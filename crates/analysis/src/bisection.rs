@@ -1,0 +1,112 @@
+//! Bisection analysis (Figures 12–13): fraction of links crossing the
+//! estimated minimum bisection.
+//!
+//! Direct topologies report `cut / m`. For indirect topologies the paper
+//! normalizes "by the network links incident with routers that have
+//! attached endpoints" (Fig. 12 caption) — switch-to-switch links whose
+//! endpoints are both pure switches would otherwise inflate the
+//! denominator.
+
+use polarstar_graph::partition::min_bisection;
+use polarstar_topo::network::NetworkSpec;
+
+/// Result of a bisection estimate for one topology.
+#[derive(Clone, Debug)]
+pub struct BisectionRow {
+    /// Topology label.
+    pub name: String,
+    /// Network radix (links + endpoints).
+    pub radix: usize,
+    /// Routers.
+    pub routers: usize,
+    /// Estimated cut edges.
+    pub cut: usize,
+    /// Normalized fraction (see module docs).
+    pub fraction: f64,
+}
+
+/// Estimated min-bisection fraction with the paper's normalization.
+pub fn normalized_bisection_fraction(spec: &NetworkSpec, restarts: usize, seed: u64) -> f64 {
+    let bi = min_bisection(&spec.graph, restarts, seed);
+    let denom = normalization_links(spec);
+    if denom == 0 {
+        0.0
+    } else {
+        bi.cut as f64 / denom as f64
+    }
+}
+
+/// Full row for the Figure 12 table.
+pub fn bisection_row(spec: &NetworkSpec, restarts: usize, seed: u64) -> BisectionRow {
+    let bi = min_bisection(&spec.graph, restarts, seed);
+    let denom = normalization_links(spec).max(1);
+    BisectionRow {
+        name: spec.name.clone(),
+        radix: spec.radix(),
+        routers: spec.routers(),
+        cut: bi.cut,
+        fraction: bi.cut as f64 / denom as f64,
+    }
+}
+
+/// Links incident with at least one endpoint-carrying router (equals `m`
+/// for direct topologies).
+pub fn normalization_links(spec: &NetworkSpec) -> usize {
+    spec.graph
+        .edges()
+        .filter(|&(u, v)| spec.endpoints[u as usize] > 0 || spec.endpoints[v as usize] > 0)
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polarstar_graph::Graph;
+    use polarstar_topo::fattree::fattree;
+    use polarstar_topo::megafly::{megafly, MegaflyParams};
+
+    #[test]
+    fn direct_normalization_is_all_links() {
+        let spec = NetworkSpec::uniform("k8", Graph::complete(8), 2);
+        assert_eq!(normalization_links(&spec), spec.graph.m());
+        let f = normalized_bisection_fraction(&spec, 4, 1);
+        // K8 bisection is 16/28 with 4/4 (or 15/28 with 3/5 tolerance).
+        assert!(f > 0.5, "fraction {f}");
+    }
+
+    #[test]
+    fn fattree_normalization_excludes_top_links() {
+        // In a p-ary 3-tree only leaf↔middle links touch endpoint
+        // routers; middle↔top links don't.
+        let ft = fattree(4, 3);
+        let all = ft.graph.m();
+        let norm = normalization_links(&ft);
+        assert_eq!(all, 128, "16 leaves × 4 up + 16 middles × 4 up");
+        assert_eq!(norm, 64, "only the 64 leaf uplinks count");
+    }
+
+    #[test]
+    fn megafly_normalization_excludes_global_links() {
+        let mf = megafly(MegaflyParams { rho: 2, a: 4, p: 2 });
+        let norm = normalization_links(&mf);
+        // Leaf-spine links only: groups × (a/2)².
+        assert_eq!(norm, mf.num_groups() * 4);
+    }
+
+    #[test]
+    fn random_graph_has_large_bisection_fraction() {
+        // Jellyfish-style random regular graphs cut ≈ d/2·(n/2)·(1/2)
+        // edges — a large constant fraction (paper: highest among
+        // direct networks).
+        let jf = polarstar_topo::jellyfish::jellyfish(60, 8, 2, 3).unwrap();
+        let f = normalized_bisection_fraction(&jf, 6, 5);
+        assert!(f > 0.25, "random regular fraction {f}");
+    }
+
+    #[test]
+    fn ring_has_tiny_bisection_fraction() {
+        let spec = NetworkSpec::uniform("c64", Graph::cycle(64), 1);
+        let f = normalized_bisection_fraction(&spec, 6, 5);
+        assert!((f - 2.0 / 64.0).abs() < 1e-9, "cycle cuts 2 of 64 links, got {f}");
+    }
+}

@@ -1,0 +1,214 @@
+//! Fault tolerance under random link failures (Figure 14, §11.2).
+//!
+//! We remove random links in fixed increments until the endpoint-visible
+//! network disconnects, recording diameter and average shortest-path
+//! length over the pairs that remain connected. Following the paper, for
+//! indirect topologies only distances between routers that carry
+//! endpoints are considered, 100 trajectories are sampled, and the
+//! trajectory with the median disconnection ratio is reported.
+
+use polarstar_graph::csr::{Graph, VertexId};
+use polarstar_graph::traversal;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+
+/// Metrics at one failure level.
+#[derive(Clone, Debug)]
+pub struct FaultStep {
+    /// Fraction of links removed.
+    pub failed_fraction: f64,
+    /// Max distance over still-connected relevant pairs.
+    pub diameter: Option<u32>,
+    /// Mean distance over still-connected relevant pairs.
+    pub avg_path_length: Option<f64>,
+    /// Whether all relevant pairs remain connected.
+    pub connected: bool,
+}
+
+/// A full failure trajectory plus its disconnection ratio (fraction of
+/// links removed when some relevant pair first disconnects).
+#[derive(Clone, Debug)]
+pub struct FaultTrajectory {
+    /// Metrics at each sampled failure level, ascending.
+    pub steps: Vec<FaultStep>,
+    /// First failure fraction at which the relevant set disconnects.
+    pub disconnection_ratio: f64,
+}
+
+/// Run one failure trajectory: shuffle the edge list and remove prefixes
+/// of increasing size (`step_fraction` granularity), measuring restricted
+/// metrics from up to `max_sources` relevant vertices.
+pub fn fault_trajectory(
+    g: &Graph,
+    relevant: &[VertexId],
+    step_fraction: f64,
+    max_sources: usize,
+    seed: u64,
+) -> FaultTrajectory {
+    assert!(step_fraction > 0.0 && step_fraction < 1.0);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut edges: Vec<(VertexId, VertexId)> = g.edges().collect();
+    edges.shuffle(&mut rng);
+    let m = edges.len();
+
+    let mut steps = Vec::new();
+    let mut disconnection = 1.0;
+    let mut frac = 0.0;
+    loop {
+        let removed = (frac * m as f64).round() as usize;
+        let h = g.without_edges(&edges[..removed.min(m)]);
+        let (diam, apl, connected) = restricted_metrics(&h, relevant, max_sources);
+        steps.push(FaultStep {
+            failed_fraction: frac,
+            diameter: diam,
+            avg_path_length: apl,
+            connected,
+        });
+        if !connected {
+            disconnection = frac;
+            break;
+        }
+        if frac >= 1.0 - step_fraction / 2.0 {
+            break;
+        }
+        frac = (frac + step_fraction).min(1.0);
+    }
+    FaultTrajectory { steps, disconnection_ratio: disconnection }
+}
+
+/// Diameter / APL restricted to `relevant` pairs, sampling up to
+/// `max_sources` BFS sources for tractability; `connected` is exact over
+/// the sampled sources.
+pub fn restricted_metrics(
+    g: &Graph,
+    relevant: &[VertexId],
+    max_sources: usize,
+) -> (Option<u32>, Option<f64>, bool) {
+    let stride = (relevant.len() / max_sources.max(1)).max(1);
+    let sources: Vec<VertexId> = relevant.iter().copied().step_by(stride).collect();
+    let per: Vec<(u32, u64, u64, bool)> = sources
+        .par_iter()
+        .map(|&s| {
+            let dist = traversal::bfs_distances(g, s);
+            let mut dmax = 0u32;
+            let mut sum = 0u64;
+            let mut cnt = 0u64;
+            let mut ok = true;
+            for &t in relevant {
+                if t == s {
+                    continue;
+                }
+                let d = dist[t as usize];
+                if d == traversal::UNREACHABLE {
+                    ok = false;
+                } else {
+                    dmax = dmax.max(d);
+                    sum += d as u64;
+                    cnt += 1;
+                }
+            }
+            (dmax, sum, cnt, ok)
+        })
+        .collect();
+    let connected = per.iter().all(|p| p.3);
+    let dmax = per.iter().map(|p| p.0).max().unwrap_or(0);
+    let total: u64 = per.iter().map(|p| p.1).sum();
+    let count: u64 = per.iter().map(|p| p.2).sum();
+    let diam = (count > 0).then_some(dmax);
+    let apl = (count > 0).then(|| total as f64 / count as f64);
+    (diam, apl, connected)
+}
+
+/// Run `trials` trajectories and return the one with the median
+/// disconnection ratio, plus all ratios (paper: 100 scenarios, median
+/// reported).
+pub fn median_trajectory(
+    g: &Graph,
+    relevant: &[VertexId],
+    step_fraction: f64,
+    max_sources: usize,
+    trials: usize,
+    seed: u64,
+) -> (FaultTrajectory, Vec<f64>) {
+    let mut trajectories: Vec<FaultTrajectory> = (0..trials)
+        .into_par_iter()
+        .map(|t| fault_trajectory(g, relevant, step_fraction, max_sources, seed + t as u64))
+        .collect();
+    trajectories.sort_by(|a, b| {
+        a.disconnection_ratio.partial_cmp(&b.disconnection_ratio).unwrap()
+    });
+    let ratios: Vec<f64> = trajectories.iter().map(|t| t.disconnection_ratio).collect();
+    let median = trajectories.swap_remove(trajectories.len() / 2);
+    (median, ratios)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polarstar_graph::Graph;
+
+    #[test]
+    fn pristine_metrics_match_traversal() {
+        let g = Graph::cycle(10);
+        let all: Vec<u32> = (0..10).collect();
+        let (diam, apl, connected) = restricted_metrics(&g, &all, 10);
+        assert!(connected);
+        assert_eq!(diam, Some(5));
+        assert!((apl.unwrap() - traversal::avg_path_length(&g).unwrap()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn restriction_ignores_irrelevant_vertices() {
+        // Path 0-1-2-3: restrict to {0, 1}: diameter 1.
+        let g = Graph::path(4);
+        let (diam, _, connected) = restricted_metrics(&g, &[0, 1], 2);
+        assert!(connected);
+        assert_eq!(diam, Some(1));
+    }
+
+    #[test]
+    fn trajectory_ends_disconnected() {
+        let g = Graph::cycle(12);
+        let all: Vec<u32> = (0..12).collect();
+        let t = fault_trajectory(&g, &all, 0.1, 12, 42);
+        assert!(!t.steps.last().unwrap().connected);
+        assert!(t.disconnection_ratio > 0.0 && t.disconnection_ratio <= 1.0);
+        // Cycle disconnects as soon as 2 edges go: ratio ≤ ~0.2 typically.
+        assert!(t.disconnection_ratio <= 0.5);
+        // Monotone failure fractions.
+        for w in t.steps.windows(2) {
+            assert!(w[1].failed_fraction > w[0].failed_fraction);
+        }
+    }
+
+    #[test]
+    fn dense_graphs_survive_longer_than_sparse() {
+        let sparse = Graph::cycle(16);
+        let dense = Graph::complete(16);
+        let all: Vec<u32> = (0..16).collect();
+        let (_, sparse_ratios) = median_trajectory(&sparse, &all, 0.1, 16, 9, 1);
+        let (_, dense_ratios) = median_trajectory(&dense, &all, 0.1, 16, 9, 1);
+        let med = |v: &Vec<f64>| v[v.len() / 2];
+        assert!(
+            med(&dense_ratios) > med(&sparse_ratios),
+            "dense {dense_ratios:?} vs sparse {sparse_ratios:?}"
+        );
+    }
+
+    #[test]
+    fn diameter_grows_with_failures() {
+        // On a richly-connected graph, knocking out links at the median
+        // trajectory should not shrink the diameter.
+        let g = polarstar_graph::random::random_regular(40, 6, 2).unwrap();
+        let all: Vec<u32> = (0..40).collect();
+        let t = fault_trajectory(&g, &all, 0.1, 40, 3);
+        let connected_steps: Vec<&FaultStep> =
+            t.steps.iter().filter(|s| s.connected).collect();
+        assert!(connected_steps.len() >= 2, "should survive at least one step");
+        let first = connected_steps.first().unwrap();
+        let last = connected_steps.last().unwrap();
+        assert!(last.avg_path_length.unwrap() >= first.avg_path_length.unwrap());
+    }
+}

@@ -1,0 +1,196 @@
+//! Channel-load analysis: the expected per-link load under uniform
+//! traffic with minimal multipath routing.
+//!
+//! This is exactly shortest-path edge betweenness (Brandes' algorithm,
+//! edge variant): for uniform all-to-all traffic where each pair splits
+//! its flow evenly over all minimal paths, the relative load of link `e`
+//! is `betweenness(e) / pairs`. The maximum channel load lower-bounds the
+//! saturation throughput of minimal routing (Dally & Towles), so this
+//! quantifies the §9.5/§9.6 observations (e.g. Dragonfly's single
+//! inter-group links are maximum-load channels).
+
+use polarstar_graph::csr::{Graph, VertexId};
+use rayon::prelude::*;
+use std::collections::HashMap;
+
+/// Per-link channel load statistics under uniform minimal routing.
+#[derive(Clone, Debug)]
+pub struct ChannelLoad {
+    /// Load per directed link (u, v), normalized so the AVERAGE over
+    /// directed links equals (avg path length) × pairs / links.
+    pub per_link: HashMap<(VertexId, VertexId), f64>,
+    /// Maximum directed-link load.
+    pub max: f64,
+    /// Mean directed-link load.
+    pub mean: f64,
+}
+
+impl ChannelLoad {
+    /// Max/mean ratio — 1.0 means perfectly balanced channels.
+    pub fn imbalance(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.max / self.mean
+        }
+    }
+
+    /// Predicted uniform-traffic saturation fraction for minimal
+    /// routing: ideal (bisection-free) load divided by the hottest
+    /// channel's relative overload.
+    pub fn predicted_saturation(&self, n: usize) -> f64 {
+        if self.max == 0.0 {
+            return 1.0;
+        }
+        // Each of n routers injects λ; hottest link carries max/(n(n−1))
+        // of pair flow × n(n−1) λ... normalized: λ_max = 1 / (max per
+        // unit-rate pair flow / 1).
+        let per_pair = self.max / (n as f64 * (n as f64 - 1.0));
+        (1.0 / (per_pair * n as f64)).min(1.0)
+    }
+}
+
+/// Compute shortest-path edge betweenness with uniform pair weights and
+/// even splitting over minimal paths (Brandes, edge variant), in
+/// parallel over sources.
+pub fn channel_load(g: &Graph) -> ChannelLoad {
+    let n = g.n();
+    let maps: Vec<HashMap<(VertexId, VertexId), f64>> = (0..n as VertexId)
+        .into_par_iter()
+        .map(|s| single_source_edge_dependency(g, s))
+        .collect();
+    let mut per_link: HashMap<(VertexId, VertexId), f64> = HashMap::new();
+    for m in maps {
+        for (e, w) in m {
+            *per_link.entry(e).or_insert(0.0) += w;
+        }
+    }
+    let max = per_link.values().copied().fold(0.0, f64::max);
+    let mean = if per_link.is_empty() {
+        0.0
+    } else {
+        per_link.values().sum::<f64>() / (2.0 * g.m() as f64)
+    };
+    ChannelLoad { per_link, max, mean }
+}
+
+/// Brandes single-source pass, attributing each pair's unit of flow
+/// evenly across its minimal paths' directed edges.
+fn single_source_edge_dependency(g: &Graph, s: VertexId) -> HashMap<(VertexId, VertexId), f64> {
+    let n = g.n();
+    let mut dist = vec![u32::MAX; n];
+    let mut sigma = vec![0.0f64; n]; // # shortest paths from s
+    let mut order: Vec<VertexId> = Vec::with_capacity(n);
+    let mut queue = std::collections::VecDeque::new();
+    dist[s as usize] = 0;
+    sigma[s as usize] = 1.0;
+    queue.push_back(s);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == u32::MAX {
+                dist[v as usize] = dist[u as usize] + 1;
+                queue.push_back(v);
+            }
+            if dist[v as usize] == dist[u as usize] + 1 {
+                sigma[v as usize] += sigma[u as usize];
+            }
+        }
+    }
+    // delta[v] = accumulated dependency of s-pairs on v (each target
+    // contributes 1 unit of flow, split by sigma ratios).
+    let mut delta = vec![0.0f64; n];
+    let mut out = HashMap::new();
+    for &w in order.iter().rev() {
+        for &v in g.neighbors(w) {
+            // v is a predecessor of w iff dist[v] + 1 == dist[w].
+            if dist[v as usize] + 1 == dist[w as usize] {
+                let share = sigma[v as usize] / sigma[w as usize] * (1.0 + delta[w as usize]);
+                delta[v as usize] += share;
+                *out.entry((v, w)).or_insert(0.0) += share;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polarstar_graph::Graph;
+
+    #[test]
+    fn cycle_loads_are_uniform() {
+        let g = Graph::cycle(6);
+        let cl = channel_load(&g);
+        // Vertex-and-edge-transitive: perfectly balanced.
+        assert!((cl.imbalance() - 1.0).abs() < 1e-9, "imbalance {}", cl.imbalance());
+        // Total flow = sum over pairs of path length = APL·pairs.
+        let total: f64 = cl.per_link.values().sum();
+        let apl = polarstar_graph::traversal::avg_path_length(&g).unwrap();
+        let pairs = 6.0 * 5.0;
+        assert!((total - apl * pairs).abs() < 1e-6, "{total} vs {}", apl * pairs);
+    }
+
+    #[test]
+    fn star_uplinks_carry_all_flows() {
+        // Star K_{1,5}: every leaf's 5 outbound flows (4 leaves + the
+        // center) cross its uplink, so each directed edge carries 5 —
+        // the star is edge-transitive, hence balanced but hot.
+        let edges: Vec<(u32, u32)> = (1..6).map(|v| (0u32, v)).collect();
+        let g = Graph::from_edges(6, &edges);
+        let cl = channel_load(&g);
+        let load = cl.per_link[&(1u32, 0u32)];
+        assert!((load - 5.0).abs() < 1e-9, "leaf uplink load {load}");
+        assert!((cl.max - 5.0).abs() < 1e-9);
+        // Much hotter than a complete graph's unit loads.
+        assert!(cl.max > channel_load(&Graph::complete(6)).max);
+    }
+
+    #[test]
+    fn complete_graph_unit_loads() {
+        let g = Graph::complete(5);
+        let cl = channel_load(&g);
+        for (&e, &w) in &cl.per_link {
+            assert!((w - 1.0).abs() < 1e-9, "edge {e:?} load {w}");
+        }
+        assert!((cl.predicted_saturation(5) - 1.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn even_split_across_parallel_minimal_paths() {
+        // C4: every directed edge carries its adjacent pair (1) plus a
+        // half share of each of the two diagonal pairs that can use it
+        // (0.5 + 0.5) = 2, matching APL·pairs/links = (4/3·12)/8.
+        let g = Graph::cycle(4);
+        let cl = channel_load(&g);
+        for (&_e, &w) in &cl.per_link {
+            assert!((w - 2.0).abs() < 1e-9, "load {w}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod topology_tests {
+    use super::*;
+    use polarstar_topo::dragonfly::{dragonfly, DragonflyParams};
+
+    /// §9.6's structural argument, quantified: Dragonfly's single
+    /// inter-group links are its hottest channels by a wide margin.
+    #[test]
+    fn dragonfly_global_links_are_hottest() {
+        let df = dragonfly(DragonflyParams { a: 4, h: 2, p: 1 });
+        let cl = channel_load(&df.graph);
+        // Find the max-load link and check it is inter-group.
+        let (&(u, v), _) = cl
+            .per_link
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        assert_ne!(
+            df.group[u as usize], df.group[v as usize],
+            "hottest channel must be a global link"
+        );
+        assert!(cl.imbalance() > 1.2, "imbalance {}", cl.imbalance());
+    }
+}

@@ -1,0 +1,45 @@
+//! Construction-cost microbenchmarks: factor graphs, star products and
+//! full PolarStar networks across radixes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polarstar::design::best_config;
+use polarstar::network::PolarStarNetwork;
+use polarstar_topo::er::ErGraph;
+use polarstar_topo::iq::inductive_quad;
+
+fn bench_er(c: &mut Criterion) {
+    let mut g = c.benchmark_group("er_graph");
+    g.sample_size(10);
+    for q in [7u64, 11, 16, 23] {
+        g.bench_with_input(BenchmarkId::from_parameter(q), &q, |b, &q| {
+            b.iter(|| ErGraph::new(q).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_iq(c: &mut Criterion) {
+    let mut g = c.benchmark_group("inductive_quad");
+    g.sample_size(10);
+    for d in [3usize, 8, 16, 32] {
+        g.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, &d| {
+            b.iter(|| inductive_quad(d).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_polarstar(c: &mut Criterion) {
+    let mut g = c.benchmark_group("polarstar_build");
+    g.sample_size(10);
+    for radix in [12usize, 15, 20] {
+        let cfg = best_config(radix).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(radix), &cfg, |b, cfg| {
+            b.iter(|| PolarStarNetwork::build(*cfg, 1).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_er, bench_iq, bench_polarstar);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Message-level motif simulator cost: one allreduce iteration over a
+//! mid-size PolarStar.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use polarstar::design::best_config;
+use polarstar::network::PolarStarNetwork;
+use polarstar_motifs::collectives::{allreduce, AllreduceAlgo};
+use polarstar_motifs::netmodel::{MotifConfig, NetModel, RoutingMode};
+
+fn bench_allreduce(c: &mut Criterion) {
+    let spec = PolarStarNetwork::build(best_config(12).unwrap(), 2).unwrap().spec;
+    let mut g = c.benchmark_group("motif_allreduce");
+    g.sample_size(10);
+    for (label, algo) in [
+        ("recursive_doubling", AllreduceAlgo::RecursiveDoubling),
+        ("ring", AllreduceAlgo::Ring),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let mut m = NetModel::new(spec.clone(), MotifConfig::default());
+                allreduce(&mut m, algo, 64 * 1024, 1, RoutingMode::Min)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_allreduce);
+criterion_main!(benches);

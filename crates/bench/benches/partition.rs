@@ -1,0 +1,23 @@
+//! FM bisection estimator cost (the METIS substitute of Figs. 12–13).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polarstar::design::best_config;
+use polarstar::network::PolarStarNetwork;
+use polarstar_graph::partition::min_bisection;
+
+fn bench_fm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fm_bisection");
+    g.sample_size(10);
+    for radix in [9usize, 12, 15] {
+        let net = PolarStarNetwork::build(best_config(radix).unwrap(), 1).unwrap();
+        g.bench_with_input(
+            BenchmarkId::from_parameter(net.spec.routers()),
+            net.graph(),
+            |b, graph| b.iter(|| min_bisection(graph, 2, 7)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fm);
+criterion_main!(benches);

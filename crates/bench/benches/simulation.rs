@@ -1,0 +1,32 @@
+//! Cycle-engine throughput: simulated cycles for a small PolarStar under
+//! uniform traffic at moderate load.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use polarstar::design::best_config;
+use polarstar::network::PolarStarNetwork;
+use polarstar_netsim::engine::{simulate, SimConfig};
+use polarstar_netsim::routing::{RouteTable, RoutingKind};
+use polarstar_netsim::traffic::Pattern;
+
+fn bench_engine(c: &mut Criterion) {
+    let net = PolarStarNetwork::build(best_config(9).unwrap(), 2).unwrap().spec;
+    let table = RouteTable::new(&net.graph);
+    let cfg = SimConfig {
+        warmup_cycles: 200,
+        measure_cycles: 500,
+        drain_cycles: 2_000,
+        seed: 1,
+        ..SimConfig::default()
+    };
+    let mut g = c.benchmark_group("cycle_engine");
+    g.sample_size(10);
+    for (label, kind) in [("min", RoutingKind::MinMulti), ("ugal", RoutingKind::ugal4())] {
+        g.bench_function(label, |b| {
+            b.iter(|| simulate(&net, &table, kind, &Pattern::Uniform, 0.3, &cfg))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

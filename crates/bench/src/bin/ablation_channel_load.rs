@@ -1,0 +1,22 @@
+//! Ablation: per-channel load under uniform minimal routing for the
+//! Table 3 networks — explains the Figure 9 MIN saturation ordering
+//! (max channel load lower-bounds saturation) without running the
+//! cycle simulator.
+
+use bench::{table3_network, TABLE3_KEYS};
+use polarstar_analysis::linkload::channel_load;
+
+fn main() {
+    println!("topology,routers,avg_path_length,max_channel_load,imbalance");
+    for key in TABLE3_KEYS {
+        let net = table3_network(key);
+        let cl = channel_load(&net.graph);
+        let apl = polarstar_graph::traversal::avg_path_length(&net.graph).unwrap_or(0.0);
+        println!(
+            "{key},{},{apl:.3},{:.1},{:.3}",
+            net.routers(),
+            cl.max,
+            cl.imbalance()
+        );
+    }
+}

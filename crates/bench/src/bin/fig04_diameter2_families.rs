@@ -1,0 +1,44 @@
+//! Figure 4: Moore-bound comparison of diameter-2 families — the
+//! structure-graph candidates.
+//!
+//! CSV `degree,family,order,moore2_efficiency`. The ER curve dominating
+//! at almost every degree is the paper's justification for choosing it.
+//! "Best Cayley" uses Abas's d²/2 construction order as the closed form
+//! (see EXPERIMENTS.md).
+
+use polarstar_gf::primes::prime_power;
+
+fn main() {
+    println!("degree,family,order,moore2_efficiency");
+    for d in 3u64..=128 {
+        let moore = d * d + 1;
+        let row = |name: &str, order: Option<u64>| {
+            if let Some(o) = order {
+                println!("{d},{name},{o},{:.4}", o as f64 / moore as f64);
+            }
+        };
+        row("Moore", Some(moore));
+        // ER_q: degree q + 1, order q² + q + 1.
+        let q = d - 1;
+        row("ER", prime_power(q).map(|_| q * q + q + 1));
+        // MMS: degree (3q − δ)/2, order 2q².
+        let mms = (4..=d)
+            .filter(|&q| prime_power(q).is_some())
+            .filter_map(|q| {
+                let delta = match q % 4 {
+                    0 => 0i64,
+                    1 => 1,
+                    3 => -1,
+                    _ => return None,
+                };
+                ((3 * q as i64 - delta) / 2 == d as i64).then(|| 2 * q * q)
+            })
+            .max();
+        row("MMS", mms);
+        // Paley: degree (q − 1)/2, order q = 2d + 1.
+        let pq = 2 * d + 1;
+        row("Paley", (pq % 4 == 1 && prime_power(pq).is_some()).then_some(pq));
+        // Abas 2017 Cayley graphs of diameter 2: order ≈ d²/2 for all d.
+        row("Cayley", Some(d * d / 2));
+    }
+}

@@ -1,0 +1,19 @@
+//! Figure 7: every feasible (radix, order) PolarStar combination for
+//! radixes 8–128, labelled by supernode family and degree split.
+
+use polarstar::design::enumerate_configs;
+
+fn main() {
+    println!("radix,config,q,supernode_degree,order");
+    for radix in 8..=128usize {
+        for cfg in enumerate_configs(radix) {
+            println!(
+                "{radix},{},{},{},{}",
+                cfg.label(),
+                cfg.q,
+                cfg.supernode.degree(),
+                cfg.order()
+            );
+        }
+    }
+}

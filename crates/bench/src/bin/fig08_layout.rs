@@ -1,0 +1,29 @@
+//! Figure 8 / §8: hierarchical modular layout — cluster decomposition,
+//! links per supernode bundle, bundle counts and cable reduction.
+
+use polarstar::design::best_config;
+use polarstar::layout::Layout;
+use polarstar::network::PolarStarNetwork;
+
+fn main() {
+    println!("radix,q,clusters,links_per_bundle,bundles,cable_reduction");
+    for radix in [11usize, 15, 21, 27, 33, 45, 63] {
+        let cfg = match best_config(radix) {
+            Some(c) => c,
+            None => continue,
+        };
+        let net = match PolarStarNetwork::build(cfg, 1) {
+            Ok(n) => n,
+            Err(_) => continue,
+        };
+        let layout = Layout::of(&net);
+        println!(
+            "{radix},{},{},{},{},{:.1}",
+            cfg.q,
+            layout.clusters.len(),
+            layout.links_per_bundle,
+            layout.bundle_count,
+            layout.cable_reduction()
+        );
+    }
+}

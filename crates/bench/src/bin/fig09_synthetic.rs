@@ -1,0 +1,83 @@
+//! Figure 9: latency vs offered load for the Table 3 topologies under
+//! uniform, random-permutation, bit-reverse and bit-shuffle traffic with
+//! MIN and UGAL routing.
+//!
+//! CSV `pattern,topology,routing,offered,avg_latency,accepted,stable`.
+//! Load points ascend and a series stops after its first unstable point
+//! (the paper plots up to the last stable rate). `--quick` shrinks the
+//! simulation for smoke tests; `--only <key>` restricts topologies.
+
+use bench::{only_filter, quick_mode, route_table_for, table3_network, TABLE3_KEYS};
+use polarstar_netsim::engine::{simulate, SimConfig};
+use polarstar_netsim::routing::RoutingKind;
+use polarstar_netsim::traffic::Pattern;
+use rayon::prelude::*;
+
+fn main() {
+    let quick = quick_mode();
+    let keys: Vec<&str> = match only_filter() {
+        Some(only) => TABLE3_KEYS
+            .into_iter()
+            .filter(|k| only.iter().any(|o| k.contains(o.as_str())))
+            .collect(),
+        None => TABLE3_KEYS.to_vec(),
+    };
+    let cfg = SimConfig {
+        warmup_cycles: if quick { 300 } else { 1_500 },
+        measure_cycles: if quick { 600 } else { 4_000 },
+        drain_cycles: if quick { 3_000 } else { 20_000 },
+        seed: 2024,
+        ..SimConfig::default()
+    };
+    let loads: Vec<f64> = if quick {
+        vec![0.1, 0.3, 0.5, 0.7]
+    } else {
+        vec![0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95]
+    };
+    let patterns = [
+        Pattern::Uniform,
+        Pattern::Permutation,
+        Pattern::BitReverse,
+        Pattern::BitShuffle,
+    ];
+    let routings = [RoutingKind::MinMulti, RoutingKind::ugal4()];
+
+    println!("pattern,topology,routing,offered,avg_latency,accepted,stable");
+    // One series per (topology, pattern, routing); parallel across series,
+    // sequential in load with early stop at instability.
+    let mut series: Vec<(String, Pattern, RoutingKind)> = Vec::new();
+    for &k in &keys {
+        for p in &patterns {
+            for &r in &routings {
+                series.push((k.to_string(), p.clone(), r));
+            }
+        }
+    }
+    let rows: Vec<String> = series
+        .par_iter()
+        .flat_map(|(key, pattern, kind)| {
+            let net = table3_network(key);
+            let table = route_table_for(key, &net);
+            let mut out = Vec::new();
+            for &load in &loads {
+                let r = simulate(&net, &table, *kind, pattern, load, &cfg);
+                out.push(format!(
+                    "{},{key},{},{:.3},{:.2},{:.4},{}",
+                    pattern.label(),
+                    kind.label(),
+                    r.offered,
+                    r.avg_latency,
+                    r.accepted,
+                    r.stable
+                ));
+                if !r.stable {
+                    break;
+                }
+            }
+            out
+        })
+        .collect();
+    for row in rows {
+        println!("{row}");
+    }
+}

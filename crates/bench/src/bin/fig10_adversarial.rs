@@ -1,0 +1,63 @@
+//! Figure 10: adversarial supernode-pair traffic on the hierarchical
+//! topologies (PS-IQ, PS-Pal, BF, DF, MF) plus FT for reference.
+//!
+//! CSV as in fig09. DF and MF saturate first (single inter-group link);
+//! star products keep multiple links per supernode pair.
+
+use bench::{quick_mode, route_table_for, table3_network};
+use polarstar_netsim::engine::{simulate, SimConfig};
+use polarstar_netsim::routing::RoutingKind;
+use polarstar_netsim::traffic::Pattern;
+use rayon::prelude::*;
+
+fn main() {
+    let quick = quick_mode();
+    let keys = ["PS-IQ", "PS-Pal", "BF", "DF", "MF", "FT"];
+    let cfg = SimConfig {
+        warmup_cycles: if quick { 300 } else { 1_500 },
+        measure_cycles: if quick { 600 } else { 4_000 },
+        drain_cycles: if quick { 3_000 } else { 20_000 },
+        seed: 99,
+        ..SimConfig::default()
+    };
+    let loads: Vec<f64> = if quick {
+        vec![0.05, 0.1, 0.2, 0.4]
+    } else {
+        vec![0.025, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7]
+    };
+    println!("pattern,topology,routing,offered,avg_latency,accepted,stable");
+    let series: Vec<(&str, RoutingKind)> = keys
+        .iter()
+        .flat_map(|&k| {
+            [RoutingKind::MinMulti, RoutingKind::ugal4()]
+                .into_iter()
+                .map(move |r| (k, r))
+        })
+        .collect();
+    let rows: Vec<String> = series
+        .par_iter()
+        .flat_map(|&(key, kind)| {
+            let net = table3_network(key);
+            let table = route_table_for(key, &net);
+            let mut out = Vec::new();
+            for &load in &loads {
+                let r = simulate(&net, &table, kind, &Pattern::AdversarialGroup, load, &cfg);
+                out.push(format!(
+                    "adversarial,{key},{},{:.3},{:.2},{:.4},{}",
+                    kind.label(),
+                    r.offered,
+                    r.avg_latency,
+                    r.accepted,
+                    r.stable
+                ));
+                if !r.stable {
+                    break;
+                }
+            }
+            out
+        })
+        .collect();
+    for row in rows {
+        println!("{row}");
+    }
+}

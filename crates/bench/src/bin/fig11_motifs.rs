@@ -1,0 +1,44 @@
+//! Figure 11: Allreduce and Sweep3D motifs (SST/Ember substitute).
+//!
+//! 64 KB allreduce, 10 iterations, 20 ns latencies, 4 GB/s links, linear
+//! rank mapping (§10.1). CSV `motif,topology,routing,time_us`.
+
+use bench::table3_network;
+use polarstar_motifs::collectives::{allreduce, sweep3d, AllreduceAlgo};
+use polarstar_motifs::netmodel::{MotifConfig, NetModel, RoutingMode};
+use rayon::prelude::*;
+
+fn main() {
+    let keys = ["PS-IQ", "DF", "HX", "FT"];
+    let modes = [RoutingMode::Min, RoutingMode::Adaptive { candidates: 4 }];
+    println!("motif,topology,routing,time_us");
+    let jobs: Vec<(&str, RoutingMode, &str)> = keys
+        .iter()
+        .flat_map(|&k| {
+            modes
+                .iter()
+                .flat_map(move |&m| [("allreduce", k, m), ("sweep3d", k, m)])
+        })
+        .map(|(motif, k, m)| (k, m, motif))
+        .collect();
+    let rows: Vec<String> = jobs
+        .par_iter()
+        .map(|&(key, mode, motif)| {
+            let spec = table3_network(key);
+            let mut model = NetModel::new(spec, MotifConfig::default());
+            let t_ns = match motif {
+                "allreduce" => {
+                    allreduce(&mut model, AllreduceAlgo::RecursiveDoubling, 64 * 1024, 10, mode)
+                }
+                _ => {
+                    // 64×64 rank grid fits every Table 3 configuration.
+                    sweep3d(&mut model, 64, 64, 4 * 1024, 200.0, 10, mode)
+                }
+            };
+            format!("{motif},{key},{},{:.1}", mode.label(), t_ns / 1000.0)
+        })
+        .collect();
+    for row in rows {
+        println!("{row}");
+    }
+}

@@ -1,0 +1,20 @@
+//! Table 1: qualitative network-property matrix, with the objective
+//! columns re-verified against real constructions.
+
+use polarstar_topo::properties::{table1, Rating};
+
+fn main() {
+    println!("topology,direct,scalability,stable_design_space,diameter_le_3,bundlability");
+    for row in table1() {
+        let fmt = |r: Rating| format!("{r}");
+        println!(
+            "{},{},{},{},{},{}",
+            row.topology,
+            row.direct,
+            fmt(row.scalability),
+            fmt(row.stable_design_space),
+            row.diameter_le_3,
+            fmt(row.bundlability)
+        );
+    }
+}

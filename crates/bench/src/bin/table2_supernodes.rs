@@ -1,0 +1,34 @@
+//! Table 2: supernode parameter comparison, with Properties R* and R1
+//! verified computationally on constructed instances.
+
+use polarstar_topo::bdf::bdf_supernode;
+use polarstar_topo::iq::inductive_quad;
+use polarstar_topo::paley::paley_supernode;
+use polarstar_topo::supernode::{complete_supernode, Supernode};
+
+fn report(family: &str, d: usize, s: Option<Supernode>) {
+    match s {
+        Some(s) => println!(
+            "{family},{d},{},{},{}",
+            s.order(),
+            s.satisfies_r_star(),
+            s.satisfies_r1()
+        ),
+        None => println!("{family},{d},-,-,-"),
+    }
+}
+
+fn main() {
+    println!("family,degree,order,property_r_star,property_r1");
+    for d in 1..=12usize {
+        report("InductiveQuad", d, inductive_quad(d));
+        report(
+            "Paley",
+            d,
+            if d % 2 == 0 { paley_supernode(2 * d as u64 + 1) } else { None },
+        );
+        report("BDF", d, bdf_supernode(d));
+        report("Complete", d, Some(complete_supernode(d + 1)));
+    }
+    eprintln!("# orders: IQ = 2d'+2 (R* bound), Paley = 2d'+1 (R1 bound), BDF = 2d', K = d'+1");
+}

@@ -1,0 +1,23 @@
+//! Table 3: the simulated configurations — routers, network radix,
+//! endpoints — constructed for real and measured (diameter included as a
+//! sanity column).
+
+use bench::{table3_network, TABLE3_KEYS};
+use polarstar_graph::traversal;
+
+fn main() {
+    println!("network,routers,network_radix,endpoints_per_router,endpoints,diameter");
+    for key in TABLE3_KEYS {
+        let net = table3_network(key);
+        let p = *net.endpoints.iter().max().unwrap();
+        let diam = traversal::diameter(&net.graph)
+            .map(|d| d.to_string())
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "{key},{},{},{p},{},{diam}",
+            net.routers(),
+            net.radix(),
+            net.total_endpoints()
+        );
+    }
+}

@@ -1,0 +1,128 @@
+//! Shared harness for the per-figure benchmark binaries.
+//!
+//! [`table3_networks`] constructs the exact simulated configurations of
+//! the paper's Table 3 (with the documented substitutions for PS-Pal's
+//! order and Spectralfly's LPS realization); the binaries in `src/bin/`
+//! regenerate each table and figure as CSV on stdout.
+
+use polarstar::design::{best_config, best_config_with};
+use polarstar::network::PolarStarNetwork;
+use polarstar_topo::bundlefly::{bundlefly, BundleflyParams};
+use polarstar_topo::dragonfly::{dragonfly, DragonflyParams};
+use polarstar_topo::fattree::fattree;
+use polarstar_topo::hyperx::hyperx;
+use polarstar_topo::lps::lps_graph;
+use polarstar_topo::megafly::{megafly, MegaflyParams};
+use polarstar_topo::network::NetworkSpec;
+
+/// Table 3 topology keys in paper order.
+pub const TABLE3_KEYS: [&str; 8] =
+    ["PS-IQ", "PS-Pal", "BF", "HX", "DF", "SF", "MF", "FT"];
+
+/// Build one Table 3 network by key.
+pub fn table3_network(key: &str) -> NetworkSpec {
+    match key {
+        "PS-IQ" => {
+            let cfg = best_config(15).expect("radix-15 PolarStar");
+            let mut net = PolarStarNetwork::build(cfg, 5).unwrap().spec;
+            net.name = "PS-IQ".into();
+            net
+        }
+        "PS-Pal" => {
+            let cfg = best_config_with(15, false).expect("radix-15 PS-Pal");
+            let mut net = PolarStarNetwork::build(cfg, 5).unwrap().spec;
+            net.name = "PS-Pal".into();
+            net
+        }
+        "BF" => {
+            let mut net = bundlefly(BundleflyParams { q: 7, dprime: 4, p: 5 }).unwrap();
+            net.name = "BF".into();
+            net
+        }
+        "HX" => {
+            let mut net = hyperx(&[9, 9, 8], 8);
+            net.name = "HX".into();
+            net
+        }
+        "DF" => {
+            let mut net = dragonfly(DragonflyParams { a: 12, h: 6, p: 6 });
+            net.name = "DF".into();
+            net
+        }
+        "SF" => {
+            let g = lps_graph(23, 13).expect("X^{23,13}");
+            let mut net = NetworkSpec::uniform("SF", g, 8);
+            net.name = "SF".into();
+            net
+        }
+        "MF" => {
+            let mut net = megafly(MegaflyParams { rho: 8, a: 16, p: 8 });
+            net.name = "MF".into();
+            net
+        }
+        "FT" => {
+            let mut net = fattree(18, 3);
+            net.name = "FT".into();
+            net
+        }
+        other => panic!("unknown Table 3 key {other}"),
+    }
+}
+
+/// All Table 3 networks (expensive: constructs every topology).
+pub fn table3_networks() -> Vec<NetworkSpec> {
+    TABLE3_KEYS.iter().map(|k| table3_network(k)).collect()
+}
+
+/// Routing table appropriate for a Table 3 network: Dragonfly and
+/// Megafly use BookSim-style hierarchical (≤1 global hop) tables, the
+/// rest use unconstrained minimal tables.
+pub fn route_table_for(key: &str, net: &NetworkSpec) -> polarstar_netsim::routing::RouteTable {
+    match key {
+        "DF" | "MF" => polarstar_netsim::routing::RouteTable::hierarchical(&net.graph, &net.group),
+        _ => polarstar_netsim::routing::RouteTable::new(&net.graph),
+    }
+}
+
+/// Whether `--quick` was passed (smoke-test mode for the heavy figures).
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Topology filter from `--only <key>` (repeatable substring match).
+pub fn only_filter() -> Option<Vec<String>> {
+    let args: Vec<String> = std::env::args().collect();
+    let keys: Vec<String> = args
+        .windows(2)
+        .filter(|w| w[0] == "--only")
+        .map(|w| w[1].clone())
+        .collect();
+    (!keys.is_empty()).then_some(keys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_shapes() {
+        // Orders per Table 3 (PS-Pal uses the formula-consistent 949; see
+        // EXPERIMENTS.md).
+        let expect: &[(&str, usize, usize)] = &[
+            ("PS-IQ", 1064, 5320),
+            ("PS-Pal", 949, 4745),
+            ("BF", 882, 4410),
+            ("HX", 648, 5184),
+            ("DF", 876, 5256),
+            ("SF", 1092, 8736),
+            ("MF", 1040, 4160),
+            ("FT", 972, 5832),
+        ];
+        for &(key, routers, endpoints) in expect {
+            let net = table3_network(key);
+            assert_eq!(net.routers(), routers, "{key} routers");
+            assert_eq!(net.total_endpoints(), endpoints, "{key} endpoints");
+            net.validate().unwrap();
+        }
+    }
+}

@@ -1,0 +1,475 @@
+//! Runtime-constructed finite fields GF(p^k).
+//!
+//! Elements are represented as `u64` indices in `0..q`: the base-p digits of
+//! the index are the coefficients of the element in the polynomial basis
+//! (for prime fields, the index is simply the residue). This encoding makes
+//! elements trivially usable as array indices in graph constructions.
+//!
+//! Multiplication, inversion and powering use discrete-log tables over a
+//! generator of the multiplicative group, so they are O(1) after an
+//! O(q log q) construction. Addition is digit-wise mod p via a precomputed
+//! per-digit table for extension fields and a plain modular add for prime
+//! fields.
+
+use crate::poly::{self, PolyZp};
+use crate::primes;
+
+/// A finite field GF(p^k) constructed at runtime.
+///
+/// Cheap to share behind a reference; construction cost and memory are
+/// O(q). Supports q up to [`Gf::MAX_ORDER`].
+#[derive(Clone, Debug)]
+pub struct Gf {
+    p: u64,
+    k: u32,
+    q: u64,
+    /// exp[i] = g^i for generator g, length q-1 (indices 0..q-1).
+    exp: Vec<u64>,
+    /// log[a] = i with g^i = a, for a in 1..q; log[0] is unused.
+    log: Vec<u64>,
+    /// Irreducible modulus for extension fields (None for k == 1).
+    modulus: Option<PolyZp>,
+    /// Whether each nonzero element is a square (index by element).
+    is_square: Vec<bool>,
+}
+
+/// Errors from field construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GfError {
+    /// The requested order is not a prime power.
+    NotPrimePower(u64),
+    /// The requested order exceeds [`Gf::MAX_ORDER`].
+    TooLarge(u64),
+}
+
+impl std::fmt::Display for GfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GfError::NotPrimePower(q) => write!(f, "{q} is not a prime power"),
+            GfError::TooLarge(q) => {
+                write!(f, "field order {q} exceeds supported maximum {}", Gf::MAX_ORDER)
+            }
+        }
+    }
+}
+
+impl std::error::Error for GfError {}
+
+impl Gf {
+    /// Largest supported field order (tables are O(q)).
+    pub const MAX_ORDER: u64 = 1 << 20;
+
+    /// Construct GF(q). Fails if `q` is not a prime power or is too large.
+    pub fn new(q: u64) -> Result<Self, GfError> {
+        let (p, k) = primes::prime_power(q).ok_or(GfError::NotPrimePower(q))?;
+        if q > Self::MAX_ORDER {
+            return Err(GfError::TooLarge(q));
+        }
+        let modulus = if k > 1 { Some(poly::find_irreducible(p, k)) } else { None };
+
+        // Raw multiplication in the polynomial basis, used only to bootstrap
+        // the log tables.
+        let raw_mul = |a: u64, b: u64| -> u64 {
+            match &modulus {
+                None => a * b % p,
+                Some(m) => {
+                    let pa = PolyZp::from_index(a, p);
+                    let pb = PolyZp::from_index(b, p);
+                    pa.mul(&pb, p).rem(m, p).to_index(p)
+                }
+            }
+        };
+
+        // Find a generator of the multiplicative group (order q-1).
+        let group = q - 1;
+        let factors = primes::factorize(group);
+        let mut generator = 0;
+        'search: for cand in 2..q {
+            // Skip candidates that are not valid element encodings (all are,
+            // for index < q). Check order by ruling out every maximal proper
+            // divisor group/(prime factor).
+            for &(r, _) in &factors {
+                let e = group / r;
+                // cand^e via repeated squaring on raw_mul.
+                let mut acc = 1u64;
+                let mut base = cand;
+                let mut ee = e;
+                while ee > 0 {
+                    if ee & 1 == 1 {
+                        acc = raw_mul(acc, base);
+                    }
+                    base = raw_mul(base, base);
+                    ee >>= 1;
+                }
+                if acc == 1 {
+                    continue 'search;
+                }
+            }
+            generator = cand;
+            break;
+        }
+        assert!(generator != 0 || q == 2, "no generator found for GF({q})");
+        if q == 2 {
+            generator = 1;
+        }
+
+        let mut exp = vec![0u64; group as usize];
+        let mut log = vec![0u64; q as usize];
+        let mut cur = 1u64;
+        for i in 0..group {
+            exp[i as usize] = cur;
+            log[cur as usize] = i;
+            cur = raw_mul(cur, generator);
+        }
+        debug_assert_eq!(cur, 1, "generator order must be q-1");
+
+        // Squares: g^i is a square iff i is even (for q odd); every element
+        // is a square in characteristic 2.
+        let mut is_square = vec![false; q as usize];
+        for i in 0..group {
+            let even = p == 2 || i % 2 == 0;
+            is_square[exp[i as usize] as usize] = even;
+        }
+
+        Ok(Gf { p, k, q, exp, log, modulus, is_square })
+    }
+
+    /// Field order q = p^k.
+    pub fn order(&self) -> u64 {
+        self.q
+    }
+
+    /// Field characteristic p.
+    pub fn characteristic(&self) -> u64 {
+        self.p
+    }
+
+    /// Extension degree k.
+    pub fn degree(&self) -> u32 {
+        self.k
+    }
+
+    /// The additive identity.
+    pub fn zero(&self) -> u64 {
+        0
+    }
+
+    /// The multiplicative identity.
+    pub fn one(&self) -> u64 {
+        1
+    }
+
+    /// A fixed generator of the multiplicative group.
+    pub fn generator(&self) -> u64 {
+        if self.q == 2 {
+            1
+        } else {
+            self.exp[1]
+        }
+    }
+
+    /// The irreducible modulus polynomial for extension fields.
+    pub fn modulus(&self) -> Option<&PolyZp> {
+        self.modulus.as_ref()
+    }
+
+    /// Iterator over all q elements.
+    pub fn elements(&self) -> impl Iterator<Item = u64> {
+        0..self.q
+    }
+
+    /// Iterator over the q−1 nonzero elements.
+    pub fn nonzero_elements(&self) -> impl Iterator<Item = u64> {
+        1..self.q
+    }
+
+    #[inline]
+    fn check(&self, a: u64) {
+        debug_assert!(a < self.q, "element {a} out of range for GF({})", self.q);
+    }
+
+    /// a + b.
+    #[inline]
+    pub fn add(&self, a: u64, b: u64) -> u64 {
+        self.check(a);
+        self.check(b);
+        if self.k == 1 {
+            let s = a + b;
+            if s >= self.q {
+                s - self.q
+            } else {
+                s
+            }
+        } else {
+            // Digit-wise addition base p.
+            let (mut a, mut b) = (a, b);
+            let mut out = 0u64;
+            let mut mult = 1u64;
+            for _ in 0..self.k {
+                let da = a % self.p;
+                let db = b % self.p;
+                let mut d = da + db;
+                if d >= self.p {
+                    d -= self.p;
+                }
+                out += d * mult;
+                mult *= self.p;
+                a /= self.p;
+                b /= self.p;
+            }
+            out
+        }
+    }
+
+    /// −a.
+    #[inline]
+    pub fn neg(&self, a: u64) -> u64 {
+        self.check(a);
+        if self.k == 1 {
+            if a == 0 {
+                0
+            } else {
+                self.q - a
+            }
+        } else {
+            let mut a = a;
+            let mut out = 0u64;
+            let mut mult = 1u64;
+            for _ in 0..self.k {
+                let d = a % self.p;
+                let nd = if d == 0 { 0 } else { self.p - d };
+                out += nd * mult;
+                mult *= self.p;
+                a /= self.p;
+            }
+            out
+        }
+    }
+
+    /// a − b.
+    #[inline]
+    pub fn sub(&self, a: u64, b: u64) -> u64 {
+        self.add(a, self.neg(b))
+    }
+
+    /// a · b.
+    #[inline]
+    pub fn mul(&self, a: u64, b: u64) -> u64 {
+        self.check(a);
+        self.check(b);
+        if a == 0 || b == 0 {
+            return 0;
+        }
+        let group = self.q - 1;
+        let i = self.log[a as usize] + self.log[b as usize];
+        let i = if i >= group { i - group } else { i };
+        self.exp[i as usize]
+    }
+
+    /// Multiplicative inverse; `None` for 0.
+    #[inline]
+    pub fn inv(&self, a: u64) -> Option<u64> {
+        self.check(a);
+        if a == 0 {
+            return None;
+        }
+        let group = self.q - 1;
+        let i = (group - self.log[a as usize]) % group;
+        Some(self.exp[i as usize])
+    }
+
+    /// a / b; `None` if b = 0.
+    #[inline]
+    pub fn div(&self, a: u64, b: u64) -> Option<u64> {
+        self.inv(b).map(|bi| self.mul(a, bi))
+    }
+
+    /// a^e (with 0^0 = 1).
+    pub fn pow(&self, a: u64, e: u64) -> u64 {
+        self.check(a);
+        if e == 0 {
+            return 1;
+        }
+        if a == 0 {
+            return 0;
+        }
+        let group = self.q - 1;
+        let i = (self.log[a as usize] as u128 * e as u128 % group as u128) as u64;
+        self.exp[i as usize]
+    }
+
+    /// Whether `a` is a nonzero square (quadratic residue). 0 is reported
+    /// as `false` so Paley constructions can use this directly.
+    #[inline]
+    pub fn is_square(&self, a: u64) -> bool {
+        self.check(a);
+        a != 0 && self.is_square[a as usize]
+    }
+
+    /// All nonzero squares, ascending by element encoding.
+    pub fn squares(&self) -> Vec<u64> {
+        (1..self.q).filter(|&a| self.is_square[a as usize]).collect()
+    }
+
+    /// Dot product of 3-vectors over the field, the orthogonality form used
+    /// by the Erdős–Rényi polarity graph.
+    #[inline]
+    pub fn dot3(&self, u: [u64; 3], v: [u64; 3]) -> u64 {
+        let mut acc = 0;
+        for i in 0..3 {
+            acc = self.add(acc, self.mul(u[i], v[i]));
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const ORDERS: &[u64] = &[2, 3, 4, 5, 7, 8, 9, 11, 13, 16, 25, 27, 32, 49, 64, 81, 121, 128, 169];
+
+    #[test]
+    fn construction_rejects_non_prime_powers() {
+        for q in [0u64, 1, 6, 10, 12, 15, 100] {
+            assert!(matches!(Gf::new(q), Err(GfError::NotPrimePower(_))), "q={q}");
+        }
+        assert!(matches!(Gf::new(1 << 21), Err(_)));
+    }
+
+    #[test]
+    fn additive_group_axioms() {
+        for &q in ORDERS {
+            let f = Gf::new(q).unwrap();
+            for a in f.elements() {
+                assert_eq!(f.add(a, 0), a);
+                assert_eq!(f.add(a, f.neg(a)), 0, "a + (−a) = 0 in GF({q})");
+                assert_eq!(f.sub(a, a), 0);
+            }
+            // Commutativity + associativity on a sample.
+            let sample: Vec<u64> = f.elements().step_by(1 + q as usize / 8).collect();
+            for &a in &sample {
+                for &b in &sample {
+                    assert_eq!(f.add(a, b), f.add(b, a));
+                    for &c in &sample {
+                        assert_eq!(f.add(f.add(a, b), c), f.add(a, f.add(b, c)));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multiplicative_group_axioms() {
+        for &q in ORDERS {
+            let f = Gf::new(q).unwrap();
+            for a in f.nonzero_elements() {
+                let ai = f.inv(a).unwrap();
+                assert_eq!(f.mul(a, ai), 1, "a·a⁻¹ = 1 in GF({q})");
+                assert_eq!(f.pow(a, q - 1), 1, "Fermat in GF({q})");
+                assert_eq!(f.mul(a, 1), a);
+                assert_eq!(f.mul(a, 0), 0);
+            }
+            assert_eq!(f.inv(0), None);
+            assert_eq!(f.div(1, 0), None);
+        }
+    }
+
+    #[test]
+    fn distributivity_sampled() {
+        for &q in &[9u64, 16, 25, 27, 49] {
+            let f = Gf::new(q).unwrap();
+            for a in f.elements() {
+                for b in f.elements().step_by(3) {
+                    for c in f.elements().step_by(5) {
+                        assert_eq!(
+                            f.mul(a, f.add(b, c)),
+                            f.add(f.mul(a, b), f.mul(a, c)),
+                            "distributivity in GF({q})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generator_has_full_order() {
+        for &q in ORDERS {
+            let f = Gf::new(q).unwrap();
+            let g = f.generator();
+            let mut seen = vec![false; q as usize];
+            let mut cur = 1u64;
+            for _ in 0..q - 1 {
+                assert!(!seen[cur as usize], "generator cycles early in GF({q})");
+                seen[cur as usize] = true;
+                cur = f.mul(cur, g);
+            }
+            assert_eq!(cur, 1);
+        }
+    }
+
+    #[test]
+    fn square_counts() {
+        for &q in ORDERS {
+            let f = Gf::new(q).unwrap();
+            let n_squares = f.squares().len() as u64;
+            if q % 2 == 0 {
+                // In characteristic 2 every element is a square.
+                assert_eq!(n_squares, q - 1);
+            } else {
+                assert_eq!(n_squares, (q - 1) / 2, "odd q has (q−1)/2 QRs");
+            }
+        }
+    }
+
+    #[test]
+    fn squares_are_closed_under_multiplication() {
+        for &q in &[5u64, 9, 13, 25, 49] {
+            let f = Gf::new(q).unwrap();
+            let sqs = f.squares();
+            for &a in &sqs {
+                for &b in &sqs {
+                    let prod = f.mul(a, b);
+                    assert!(prod == 0 || f.is_square(prod));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paley_condition_minus_one() {
+        // −1 is a QR iff q ≡ 1 (mod 4) — the condition for the Paley graph
+        // to be undirected.
+        for &q in &[5u64, 9, 13, 17, 25, 29] {
+            let f = Gf::new(q).unwrap();
+            assert!(f.is_square(f.neg(1)), "−1 must be square for q≡1 mod 4, q={q}");
+        }
+        for &q in &[3u64, 7, 11, 19, 23, 27] {
+            let f = Gf::new(q).unwrap();
+            assert!(!f.is_square(f.neg(1)), "−1 must be non-square for q≡3 mod 4, q={q}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_field_ops_consistent(qi in 0usize..ORDERS.len(), a in 0u64..169, b in 0u64..169, c in 0u64..169) {
+            let q = ORDERS[qi];
+            let f = Gf::new(q).unwrap();
+            let (a, b, c) = (a % q, b % q, c % q);
+            // mul distributes, sub inverts add, div inverts mul.
+            prop_assert_eq!(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)));
+            prop_assert_eq!(f.sub(f.add(a, b), b), a);
+            if b != 0 {
+                prop_assert_eq!(f.mul(f.div(a, b).unwrap(), b), a);
+            }
+            // pow matches repeated multiplication.
+            let mut acc = 1u64;
+            for _ in 0..7 {
+                acc = f.mul(acc, a);
+            }
+            prop_assert_eq!(f.pow(a, 7), acc);
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Finite field arithmetic for network-topology constructions.
+//!
+//! The PolarStar paper builds its structure graph (the Erdős–Rényi polarity
+//! graph `ER_q`) from the projective plane PG(2, q), and its comparison
+//! topologies from Paley graphs, McKay–Miller–Širáň graphs and
+//! Lubotzky–Phillips–Sarnak Ramanujan graphs — all of which require exact
+//! arithmetic over the finite field 𝔽_q for an arbitrary prime power
+//! q = p^k.
+//!
+//! This crate provides:
+//!
+//! * [`Gf`] — a runtime-constructed finite field supporting every prime
+//!   power up to 2^20, with O(1) multiplication/inversion via discrete-log
+//!   tables and digit-wise addition in the polynomial basis;
+//! * [`poly::PolyZp`] — dense polynomials over ℤ_p used to locate the
+//!   irreducible modulus of extension fields;
+//! * [`primes`] — primality testing, factorization and prime-power
+//!   decomposition helpers used by the design-space search.
+//!
+//! # Example
+//!
+//! ```
+//! use polarstar_gf::Gf;
+//!
+//! let f = Gf::new(9).unwrap(); // GF(3^2)
+//! let a = 5;
+//! let b = f.inv(a).unwrap();
+//! assert_eq!(f.mul(a, b), f.one());
+//! ```
+
+pub mod field;
+pub mod poly;
+pub mod primes;
+
+pub use field::Gf;
+pub use primes::{factorize, is_prime, prime_power};

@@ -1,0 +1,318 @@
+//! Dense polynomials over ℤ_p, used to find the irreducible modulus that
+//! defines an extension field GF(p^k).
+//!
+//! Coefficients are stored little-endian (index = degree). All arithmetic is
+//! modulo a prime `p` carried alongside each operation; the polynomials
+//! themselves are plain coefficient vectors so they stay cheap to clone.
+
+/// A polynomial over ℤ_p with little-endian coefficients.
+///
+/// The zero polynomial is represented by an empty coefficient vector;
+/// non-zero polynomials never have a trailing zero coefficient.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct PolyZp {
+    coeffs: Vec<u64>,
+}
+
+impl PolyZp {
+    /// Build from raw coefficients (little-endian), reducing mod `p` and
+    /// trimming leading zeros.
+    pub fn new(coeffs: &[u64], p: u64) -> Self {
+        let mut c: Vec<u64> = coeffs.iter().map(|&x| x % p).collect();
+        while c.last() == Some(&0) {
+            c.pop();
+        }
+        PolyZp { coeffs: c }
+    }
+
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        PolyZp { coeffs: Vec::new() }
+    }
+
+    /// The constant polynomial `1`.
+    pub fn one() -> Self {
+        PolyZp { coeffs: vec![1] }
+    }
+
+    /// The monomial `x`.
+    pub fn x() -> Self {
+        PolyZp { coeffs: vec![0, 1] }
+    }
+
+    /// Degree, or `None` for the zero polynomial.
+    pub fn degree(&self) -> Option<usize> {
+        self.coeffs.len().checked_sub(1)
+    }
+
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Little-endian coefficient view.
+    pub fn coeffs(&self) -> &[u64] {
+        &self.coeffs
+    }
+
+    /// Coefficient of x^i (0 beyond the stored degree).
+    pub fn coeff(&self, i: usize) -> u64 {
+        self.coeffs.get(i).copied().unwrap_or(0)
+    }
+
+    /// Sum mod p.
+    pub fn add(&self, other: &Self, p: u64) -> Self {
+        let n = self.coeffs.len().max(other.coeffs.len());
+        let coeffs: Vec<u64> = (0..n).map(|i| (self.coeff(i) + other.coeff(i)) % p).collect();
+        PolyZp::new(&coeffs, p)
+    }
+
+    /// Difference mod p.
+    pub fn sub(&self, other: &Self, p: u64) -> Self {
+        let n = self.coeffs.len().max(other.coeffs.len());
+        let coeffs: Vec<u64> =
+            (0..n).map(|i| (self.coeff(i) + p - other.coeff(i)) % p).collect();
+        PolyZp::new(&coeffs, p)
+    }
+
+    /// Product mod p (schoolbook; degrees here are ≤ ~20).
+    pub fn mul(&self, other: &Self, p: u64) -> Self {
+        if self.is_zero() || other.is_zero() {
+            return PolyZp::zero();
+        }
+        let mut coeffs = vec![0u64; self.coeffs.len() + other.coeffs.len() - 1];
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            if a == 0 {
+                continue;
+            }
+            for (j, &b) in other.coeffs.iter().enumerate() {
+                coeffs[i + j] = (coeffs[i + j] + a * b) % p;
+            }
+        }
+        PolyZp::new(&coeffs, p)
+    }
+
+    /// Remainder of `self` divided by monic-normalizable `divisor`, mod p.
+    ///
+    /// # Panics
+    /// Panics if `divisor` is zero.
+    pub fn rem(&self, divisor: &Self, p: u64) -> Self {
+        assert!(!divisor.is_zero(), "division by zero polynomial");
+        let dd = divisor.degree().unwrap();
+        let lead_inv = mod_inverse(*divisor.coeffs.last().unwrap(), p);
+        let mut r = self.coeffs.clone();
+        while r.len() > dd {
+            let k = r.len() - 1; // degree of current remainder
+            let factor = (r[k] * lead_inv) % p;
+            if factor != 0 {
+                let shift = k - dd;
+                for (j, &dc) in divisor.coeffs.iter().enumerate() {
+                    let idx = shift + j;
+                    r[idx] = (r[idx] + p - (factor * dc) % p) % p;
+                }
+            }
+            r.pop();
+            while r.last() == Some(&0) {
+                r.pop();
+            }
+        }
+        PolyZp { coeffs: r }
+    }
+
+    /// `self^e mod (modulus, p)` by square-and-multiply.
+    pub fn pow_mod(&self, mut e: u64, modulus: &Self, p: u64) -> Self {
+        let mut base = self.rem(modulus, p);
+        let mut acc = PolyZp::one();
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = acc.mul(&base, p).rem(modulus, p);
+            }
+            base = base.mul(&base, p).rem(modulus, p);
+            e >>= 1;
+        }
+        acc
+    }
+
+    /// Polynomial GCD over ℤ_p (monic result).
+    pub fn gcd(&self, other: &Self, p: u64) -> Self {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        while !b.is_zero() {
+            let r = a.rem(&b, p);
+            a = b;
+            b = r;
+        }
+        if a.is_zero() {
+            return a;
+        }
+        // Normalize to monic.
+        let inv = mod_inverse(*a.coeffs.last().unwrap(), p);
+        let coeffs: Vec<u64> = a.coeffs.iter().map(|&c| (c * inv) % p).collect();
+        PolyZp { coeffs }
+    }
+
+    /// Decode from the integer whose base-p digits are the coefficients.
+    pub fn from_index(mut idx: u64, p: u64) -> Self {
+        let mut coeffs = Vec::new();
+        while idx > 0 {
+            coeffs.push(idx % p);
+            idx /= p;
+        }
+        PolyZp { coeffs }
+    }
+
+    /// Encode as the integer whose base-p digits are the coefficients.
+    pub fn to_index(&self, p: u64) -> u64 {
+        self.coeffs.iter().rev().fold(0u64, |acc, &c| acc * p + c)
+    }
+}
+
+/// Modular inverse in ℤ_p for prime p via Fermat's little theorem.
+pub fn mod_inverse(a: u64, p: u64) -> u64 {
+    mod_pow(a % p, p - 2, p)
+}
+
+/// `base^exp mod m` with 128-bit intermediates.
+pub fn mod_pow(base: u64, mut exp: u64, m: u64) -> u64 {
+    let mut acc: u128 = 1;
+    let mut b: u128 = (base % m) as u128;
+    let m128 = m as u128;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = acc * b % m128;
+        }
+        b = b * b % m128;
+        exp >>= 1;
+    }
+    acc as u64
+}
+
+/// Rabin irreducibility test for a monic degree-k polynomial over ℤ_p.
+///
+/// `f` is irreducible iff x^(p^k) ≡ x (mod f) and for every prime divisor r
+/// of k, gcd(x^(p^(k/r)) − x, f) = 1.
+pub fn is_irreducible(f: &PolyZp, p: u64) -> bool {
+    let k = match f.degree() {
+        Some(d) if d >= 1 => d as u64,
+        _ => return false,
+    };
+    let x = PolyZp::x();
+    // x^(p^k) mod f, computed by k successive Frobenius powers.
+    let mut xp = x.clone();
+    for _ in 0..k {
+        xp = xp.pow_mod(p, f, p);
+    }
+    if xp.sub(&x, p).rem(f, p) != PolyZp::zero() {
+        return false;
+    }
+    for (r, _) in crate::primes::factorize(k) {
+        let mut xr = x.clone();
+        for _ in 0..(k / r) {
+            xr = xr.pow_mod(p, f, p);
+        }
+        let g = xr.sub(&x, p).gcd(f, p);
+        if g != PolyZp::one() {
+            return false;
+        }
+    }
+    true
+}
+
+/// Find the lexicographically-smallest monic irreducible polynomial of
+/// degree `k` over ℤ_p. Always exists; search space is p^k which is small
+/// for every field this crate constructs.
+pub fn find_irreducible(p: u64, k: u32) -> PolyZp {
+    assert!(k >= 1);
+    if k == 1 {
+        return PolyZp::x();
+    }
+    // Iterate over the k low coefficients; the leading coefficient is 1.
+    for low in 0..p.pow(k) {
+        let mut coeffs = PolyZp::from_index(low, p).coeffs.clone();
+        coeffs.resize(k as usize + 1, 0);
+        coeffs[k as usize] = 1; // monic
+        let f = PolyZp { coeffs };
+        if is_irreducible(&f, p) {
+            return f;
+        }
+    }
+    unreachable!("an irreducible polynomial of degree {k} over GF({p}) must exist");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_basics() {
+        let p = 5;
+        let a = PolyZp::new(&[1, 2, 3], p); // 3x^2+2x+1
+        let b = PolyZp::new(&[4, 3], p); // 3x+4
+        assert_eq!(a.add(&b, p), PolyZp::new(&[0, 0, 3], p));
+        assert_eq!(a.sub(&a, p), PolyZp::zero());
+        let prod = a.mul(&b, p);
+        // (3x^2+2x+1)(3x+4) = 9x^3 + 12x^2 + 6x^2 + 8x + 3x + 4
+        //                   = 9x^3 + 18x^2 + 11x + 4 ≡ 4x^3 + 3x^2 + x + 4 (mod 5)
+        assert_eq!(prod, PolyZp::new(&[4, 1, 3, 4], p));
+    }
+
+    #[test]
+    fn remainder_and_gcd() {
+        let p = 7;
+        let f = PolyZp::new(&[1, 0, 1], p); // x^2+1
+        let g = PolyZp::new(&[6, 0, 1], p); // x^2-1 = (x-1)(x+1)
+        let x_plus_1 = PolyZp::new(&[1, 1], p);
+        let prod = g.mul(&x_plus_1, p);
+        assert_eq!(prod.rem(&g, p), PolyZp::zero());
+        assert_eq!(prod.gcd(&g, p), g); // g is monic already
+        assert_eq!(f.gcd(&g, p), PolyZp::one()); // x^2+1 has no roots mod 7
+    }
+
+    #[test]
+    fn known_irreducibles() {
+        // x^2+1 over GF(3) is irreducible (−1 is not a QR mod 3).
+        assert!(is_irreducible(&PolyZp::new(&[1, 0, 1], 3), 3));
+        // x^2+1 over GF(5) is reducible (2^2 = 4 ≡ −1).
+        assert!(!is_irreducible(&PolyZp::new(&[1, 0, 1], 5), 5));
+        // x^2+x+1 over GF(2) is the unique irreducible quadratic.
+        assert!(is_irreducible(&PolyZp::new(&[1, 1, 1], 2), 2));
+        assert!(!is_irreducible(&PolyZp::new(&[1, 0, 1], 2), 2)); // (x+1)^2
+        // x^3+x+1 over GF(2).
+        assert!(is_irreducible(&PolyZp::new(&[1, 1, 0, 1], 2), 2));
+    }
+
+    #[test]
+    fn found_irreducibles_have_no_roots() {
+        for (p, k) in [(2u64, 2u32), (2, 3), (2, 4), (2, 8), (3, 2), (3, 3), (5, 2), (7, 2), (11, 2)] {
+            let f = find_irreducible(p, k);
+            assert_eq!(f.degree(), Some(k as usize));
+            assert_eq!(*f.coeffs().last().unwrap(), 1, "must be monic");
+            for root in 0..p {
+                let val = f
+                    .coeffs()
+                    .iter()
+                    .rev()
+                    .fold(0u64, |acc, &c| (acc * root + c) % p);
+                assert_ne!(val, 0, "irreducible poly must have no root {root} mod {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let p = 3;
+        for idx in 0..81 {
+            let poly = PolyZp::from_index(idx, p);
+            assert_eq!(poly.to_index(p), idx);
+        }
+    }
+
+    #[test]
+    fn mod_pow_and_inverse() {
+        assert_eq!(mod_pow(2, 10, 1000), 24);
+        for p in [2u64, 3, 5, 7, 13, 101] {
+            for a in 1..p {
+                assert_eq!(a * mod_inverse(a, p) % p, 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Primality, factorization and prime-power helpers.
+//!
+//! The design-space search in the `polarstar` crate enumerates every prime
+//! power q in a radix window, so these run on small inputs (q ≤ 2^20) and
+//! favour simplicity over asymptotics.
+
+/// Deterministic primality test by trial division; exact for all `u64`
+/// inputs we use (topology parameters are < 2^32).
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    if n % 2 == 0 {
+        return n == 2;
+    }
+    if n % 3 == 0 {
+        return n == 3;
+    }
+    let mut d = 5u64;
+    while d.saturating_mul(d) <= n {
+        if n % d == 0 || n % (d + 2) == 0 {
+            return false;
+        }
+        d += 6;
+    }
+    true
+}
+
+/// Factorize `n` into `(prime, exponent)` pairs in ascending prime order.
+pub fn factorize(mut n: u64) -> Vec<(u64, u32)> {
+    let mut out = Vec::new();
+    let mut push = |p: u64, e: u32| {
+        if e > 0 {
+            out.push((p, e));
+        }
+    };
+    for p in [2u64, 3] {
+        let mut e = 0;
+        while n % p == 0 {
+            n /= p;
+            e += 1;
+        }
+        push(p, e);
+    }
+    let mut d = 5u64;
+    while d.saturating_mul(d) <= n {
+        for p in [d, d + 2] {
+            let mut e = 0;
+            while n % p == 0 {
+                n /= p;
+                e += 1;
+            }
+            push(p, e);
+        }
+        d += 6;
+    }
+    if n > 1 {
+        push(n, 1);
+    }
+    out
+}
+
+/// If `q` is a prime power p^k (k ≥ 1), return `(p, k)`.
+pub fn prime_power(q: u64) -> Option<(u64, u32)> {
+    if q < 2 {
+        return None;
+    }
+    let f = factorize(q);
+    if f.len() == 1 {
+        Some(f[0])
+    } else {
+        None
+    }
+}
+
+/// Iterator over all prime powers in `[lo, hi]` (inclusive), ascending.
+pub fn prime_powers_in(lo: u64, hi: u64) -> Vec<u64> {
+    (lo.max(2)..=hi).filter(|&q| prime_power(q).is_some()).collect()
+}
+
+/// The largest prime power ≤ `n`, if any.
+pub fn prev_prime_power(n: u64) -> Option<u64> {
+    (2..=n).rev().find(|&q| prime_power(q).is_some())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primality_small() {
+        let primes: Vec<u64> = (0..60).filter(|&n| is_prime(n)).collect();
+        assert_eq!(
+            primes,
+            vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59]
+        );
+    }
+
+    #[test]
+    fn primality_larger() {
+        assert!(is_prime(7919));
+        assert!(is_prime(104_729));
+        assert!(!is_prime(7919 * 104_729));
+        assert!(!is_prime(1));
+        assert!(!is_prime(0));
+    }
+
+    #[test]
+    fn factorization_roundtrip() {
+        for n in 2u64..2000 {
+            let f = factorize(n);
+            let back: u64 = f.iter().map(|&(p, e)| p.pow(e)).product();
+            assert_eq!(back, n, "factorization of {n} failed");
+            for &(p, _) in &f {
+                assert!(is_prime(p));
+            }
+            // Ascending order, unique primes.
+            for w in f.windows(2) {
+                assert!(w[0].0 < w[1].0);
+            }
+        }
+    }
+
+    #[test]
+    fn prime_power_detection() {
+        assert_eq!(prime_power(2), Some((2, 1)));
+        assert_eq!(prime_power(4), Some((2, 2)));
+        assert_eq!(prime_power(8), Some((2, 3)));
+        assert_eq!(prime_power(9), Some((3, 2)));
+        assert_eq!(prime_power(27), Some((3, 3)));
+        assert_eq!(prime_power(49), Some((7, 2)));
+        assert_eq!(prime_power(121), Some((11, 2)));
+        assert_eq!(prime_power(6), None);
+        assert_eq!(prime_power(12), None);
+        assert_eq!(prime_power(100), None);
+        assert_eq!(prime_power(1), None);
+        assert_eq!(prime_power(0), None);
+    }
+
+    #[test]
+    fn prime_power_ranges() {
+        assert_eq!(prime_powers_in(2, 16), vec![2, 3, 4, 5, 7, 8, 9, 11, 13, 16]);
+        assert_eq!(prev_prime_power(10), Some(9));
+        assert_eq!(prev_prime_power(16), Some(16));
+        assert_eq!(prev_prime_power(1), None);
+    }
+}

@@ -1,0 +1,88 @@
+//! Export helpers: Graphviz DOT and a simple edge-list format, so
+//! constructed topologies can be inspected with standard tooling.
+
+use crate::csr::Graph;
+use std::fmt::Write as _;
+
+/// Render the graph in Graphviz DOT (undirected).
+///
+/// `label` names the graph; vertices are bare indices. Intended for
+/// small factor graphs (ER_q, supernodes) — a Table 3 network renders,
+/// but no layout engine will thank you.
+pub fn to_dot(g: &Graph, label: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "graph \"{label}\" {{");
+    for v in 0..g.n() {
+        let _ = writeln!(out, "  {v};");
+    }
+    for (u, v) in g.edges() {
+        let _ = writeln!(out, "  {u} -- {v};");
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Render as a plain edge list (`u v` per line), the format graph tools
+/// like METIS converters and igraph ingest.
+pub fn to_edge_list(g: &Graph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# vertices: {}, edges: {}", g.n(), g.m());
+    for (u, v) in g.edges() {
+        let _ = writeln!(out, "{u} {v}");
+    }
+    out
+}
+
+/// Parse the [`to_edge_list`] format back into a graph.
+pub fn from_edge_list(text: &str) -> Result<Graph, String> {
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut max_v = 0u32;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let parse = |s: Option<&str>| -> Result<u32, String> {
+            s.ok_or_else(|| format!("line {}: missing endpoint", lineno + 1))?
+                .parse::<u32>()
+                .map_err(|e| format!("line {}: {e}", lineno + 1))
+        };
+        let u = parse(it.next())?;
+        let v = parse(it.next())?;
+        max_v = max_v.max(u).max(v);
+        edges.push((u, v));
+    }
+    Ok(Graph::from_edges(max_v as usize + 1, &edges))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::Graph;
+
+    #[test]
+    fn dot_contains_all_edges() {
+        let g = Graph::cycle(4);
+        let dot = to_dot(&g, "c4");
+        assert!(dot.starts_with("graph \"c4\""));
+        for line in ["0 -- 1;", "1 -- 2;", "2 -- 3;", "0 -- 3;"] {
+            assert!(dot.contains(line), "missing {line}\n{dot}");
+        }
+    }
+
+    #[test]
+    fn edge_list_roundtrip() {
+        let g = Graph::complete(6);
+        let text = to_edge_list(&g);
+        let back = from_edge_list(&text).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(from_edge_list("1 x").is_err());
+        assert!(from_edge_list("1").is_err());
+        assert!(from_edge_list("# comment only\n").unwrap().n() <= 1);
+    }
+}

@@ -1,0 +1,354 @@
+//! Minimum-bisection estimation — the reproduction's stand-in for METIS.
+//!
+//! The paper (Figures 12–13) estimates the minimum bisection of each
+//! topology with METIS and reports the fraction of links crossing the cut.
+//! We reproduce that with a classical Fiduccia–Mattheyses (FM) local search:
+//!
+//! 1. start from a balanced initial partition (random, or grown by BFS so
+//!    one side is a ball — good for modular/hierarchical topologies);
+//! 2. repeat FM passes: tentatively move every vertex once in gain order
+//!    (gain-bucket structure, lazy invalidation), tracking the best prefix;
+//! 3. keep the best cut over several seeded restarts.
+//!
+//! Like METIS this is a heuristic upper bound on the true minimum bisection
+//! (which is NP-hard, as the paper notes in §9.6); restarts make the
+//! estimate stable enough to reproduce the paper's topology ordering.
+
+use crate::csr::{Graph, VertexId};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+
+/// Result of a bisection estimate.
+#[derive(Clone, Debug)]
+pub struct Bisection {
+    /// Side assignment, 0 or 1 per vertex; sides differ in size by ≤ 1 + tolerance.
+    pub side: Vec<u8>,
+    /// Number of edges crossing the cut.
+    pub cut: usize,
+}
+
+impl Bisection {
+    /// Fraction of all edges crossing the cut.
+    pub fn fraction(&self, g: &Graph) -> f64 {
+        if g.m() == 0 {
+            0.0
+        } else {
+            self.cut as f64 / g.m() as f64
+        }
+    }
+}
+
+/// Count cut edges for a side assignment.
+pub fn cut_size(g: &Graph, side: &[u8]) -> usize {
+    g.edges().filter(|&(u, v)| side[u as usize] != side[v as usize]).count()
+}
+
+/// Estimate the minimum bisection of `g` with `restarts` independent
+/// seeded runs (half random initial partitions, half BFS-grown) and return
+/// the best. Deterministic for a fixed `(g, restarts, seed)`.
+pub fn min_bisection(g: &Graph, restarts: usize, seed: u64) -> Bisection {
+    assert!(g.n() >= 2, "bisection needs at least two vertices");
+    let restarts = restarts.max(1);
+    (0..restarts)
+        .into_par_iter()
+        .map(|r| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(r as u64 * 0x9E37_79B9));
+            let init = if r % 2 == 0 { random_partition(g, &mut rng) } else { bfs_partition(g, &mut rng) };
+            fm_refine(g, init)
+        })
+        .min_by_key(|b| b.cut)
+        .expect("at least one restart")
+}
+
+/// Convenience: best cut fraction (cut edges / total edges).
+pub fn bisection_fraction(g: &Graph, restarts: usize, seed: u64) -> f64 {
+    min_bisection(g, restarts, seed).fraction(g)
+}
+
+fn random_partition(g: &Graph, rng: &mut impl Rng) -> Vec<u8> {
+    let n = g.n();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(rng);
+    let mut side = vec![0u8; n];
+    for &v in order.iter().take(n / 2) {
+        side[v] = 1;
+    }
+    side
+}
+
+/// Grow side 1 as a BFS ball from a random seed until it holds n/2
+/// vertices. Hierarchical topologies have small cuts around such balls.
+fn bfs_partition(g: &Graph, rng: &mut impl Rng) -> Vec<u8> {
+    let n = g.n();
+    let target = n / 2;
+    let mut side = vec![0u8; n];
+    let mut taken = 0usize;
+    let mut visited = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    let start = rng.gen_range(0..n) as VertexId;
+    visited[start as usize] = true;
+    queue.push_back(start);
+    while taken < target {
+        let u = match queue.pop_front() {
+            Some(u) => u,
+            None => {
+                // Disconnected: jump to an unvisited vertex.
+                match (0..n).find(|&v| !visited[v]) {
+                    Some(v) => {
+                        visited[v] = true;
+                        v as VertexId
+                    }
+                    None => break,
+                }
+            }
+        };
+        side[u as usize] = 1;
+        taken += 1;
+        for &v in g.neighbors(u) {
+            if !visited[v as usize] {
+                visited[v as usize] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    side
+}
+
+/// One FM run: repeated passes until a pass yields no improvement.
+fn fm_refine(g: &Graph, mut side: Vec<u8>) -> Bisection {
+    let mut best_cut = cut_size(g, &side);
+    loop {
+        let (new_side, new_cut) = fm_pass(g, &side, best_cut);
+        if new_cut < best_cut {
+            best_cut = new_cut;
+            side = new_side;
+        } else {
+            break;
+        }
+    }
+    Bisection { side, cut: best_cut }
+}
+
+/// A single FM pass with gain buckets and lazy invalidation.
+///
+/// Moves every vertex at most once, always picking the highest-gain movable
+/// vertex whose move keeps the partition within tolerance, then rolls back
+/// to the best prefix of the move sequence.
+fn fm_pass(g: &Graph, side_in: &[u8], cut_in: usize) -> (Vec<u8>, usize) {
+    let n = g.n();
+    let max_deg = g.max_degree() as i64;
+    let tol = balance_tolerance(n);
+    let mut side = side_in.to_vec();
+
+    // gain[v] = (external degree) − (internal degree): cut change of moving v.
+    let mut gain = vec![0i64; n];
+    let mut counts = [0usize; 2];
+    for v in 0..n {
+        counts[side[v] as usize] += 1;
+        let mut ext = 0i64;
+        let mut int = 0i64;
+        for &u in g.neighbors(v as VertexId) {
+            if side[u as usize] == side[v] {
+                int += 1;
+            } else {
+                ext += 1;
+            }
+        }
+        gain[v] = ext - int;
+    }
+
+    // Gain buckets: index = gain + max_deg ∈ [0, 2·max_deg].
+    let nbuckets = (2 * max_deg + 1) as usize;
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); nbuckets];
+    let mut stamp = vec![0u32; n]; // entry version for lazy invalidation
+    let bucket_of = |gain: i64| (gain + max_deg) as usize;
+    for v in 0..n {
+        buckets[bucket_of(gain[v])].push(v as u32);
+    }
+    let mut top = nbuckets - 1;
+
+    let mut locked = vec![false; n];
+    let mut cur_cut = cut_in as i64;
+    let mut best_cut = cut_in as i64;
+    let mut best_prefix = 0usize;
+    let mut moves: Vec<u32> = Vec::with_capacity(n);
+
+    let lo = n / 2 - tol.min(n / 2);
+    let hi = n - lo;
+
+    for _ in 0..n {
+        // Pop the best movable vertex.
+        let mut chosen: Option<u32> = None;
+        'outer: loop {
+            while buckets[top].is_empty() {
+                if top == 0 {
+                    break 'outer;
+                }
+                top -= 1;
+            }
+            // Scan the top bucket from the back.
+            while let Some(&v) = buckets[top].last() {
+                let vu = v as usize;
+                if locked[vu] || bucket_of(gain[vu]) != top || stamp[vu] == u32::MAX {
+                    buckets[top].pop();
+                    continue;
+                }
+                // Balance check: moving v shrinks its side by one.
+                let from = side[vu] as usize;
+                if counts[from] - 1 < lo || counts[1 - from] + 1 > hi {
+                    // Can't move without violating balance; skip it this pass.
+                    buckets[top].pop();
+                    stamp[vu] = u32::MAX; // treat as locked for this pass
+                    locked[vu] = true;
+                    continue;
+                }
+                buckets[top].pop();
+                chosen = Some(v);
+                break 'outer;
+            }
+        }
+        let v = match chosen {
+            Some(v) => v,
+            None => break,
+        };
+        let vu = v as usize;
+
+        // Apply the move.
+        let from = side[vu];
+        let to = 1 - from;
+        cur_cut -= gain[vu];
+        counts[from as usize] -= 1;
+        counts[to as usize] += 1;
+        side[vu] = to;
+        locked[vu] = true;
+        moves.push(v);
+
+        // Update neighbor gains.
+        for &u in g.neighbors(v) {
+            let uu = u as usize;
+            if locked[uu] {
+                continue;
+            }
+            // v moved from `from` to `to`. For neighbor u:
+            //  - if u is on `from`: edge (u,v) was internal, now external → gain[u] += 2
+            //  - if u is on `to`:   edge was external, now internal       → gain[u] -= 2
+            if side[uu] == from {
+                gain[uu] += 2;
+            } else {
+                gain[uu] -= 2;
+            }
+            let b = bucket_of(gain[uu]);
+            buckets[b].push(u);
+            if b > top {
+                top = b;
+            }
+        }
+
+        if cur_cut < best_cut {
+            best_cut = cur_cut;
+            best_prefix = moves.len();
+        }
+    }
+
+    // Roll back to the best prefix.
+    for &v in moves.iter().skip(best_prefix).rev() {
+        let vu = v as usize;
+        side[vu] = 1 - side[vu];
+    }
+    debug_assert_eq!(cut_size(g, &side) as i64, best_cut);
+    (side, best_cut as usize)
+}
+
+/// Allowed deviation from a perfect half split (2% of n, at least 1).
+fn balance_tolerance(n: usize) -> usize {
+    (n / 50).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::Graph;
+    use crate::random;
+
+    fn check_balance(n: usize, side: &[u8]) {
+        let ones = side.iter().filter(|&&s| s == 1).count();
+        let tol = balance_tolerance(n);
+        let half = n / 2;
+        assert!(
+            ones + tol >= half && ones <= n - half + tol,
+            "unbalanced bisection: {ones} of {n}"
+        );
+    }
+
+    #[test]
+    fn two_cliques_with_bridge() {
+        // Two K_8s joined by a single edge: optimal bisection cuts 1 edge.
+        let mut g = Graph::complete(8).disjoint_union(&Graph::complete(8));
+        g = {
+            let mut b = crate::csr::GraphBuilder::new(16);
+            for (u, v) in g.edges() {
+                b.add_edge(u, v);
+            }
+            b.add_edge(0, 8);
+            b.build()
+        };
+        let bi = min_bisection(&g, 8, 42);
+        assert_eq!(bi.cut, 1, "FM must find the bridge cut");
+        check_balance(16, &bi.side);
+    }
+
+    #[test]
+    fn cycle_bisection_is_two() {
+        let g = Graph::cycle(20);
+        let bi = min_bisection(&g, 8, 7);
+        assert_eq!(bi.cut, 2);
+        check_balance(20, &bi.side);
+    }
+
+    #[test]
+    fn complete_graph_bisection() {
+        // K_10: a perfect 5/5 split cuts 25 edges; the ±1 balance
+        // tolerance admits a 4/6 split cutting 24. Either is acceptable,
+        // nothing below 24 is reachable.
+        let g = Graph::complete(10);
+        let bi = min_bisection(&g, 4, 1);
+        assert!(bi.cut == 24 || bi.cut == 25, "cut {}", bi.cut);
+        assert!(bi.fraction(&g) >= 24.0 / 45.0);
+    }
+
+    #[test]
+    fn cut_matches_side_assignment() {
+        let g = random::random_regular(40, 6, 3).unwrap();
+        let bi = min_bisection(&g, 6, 9);
+        assert_eq!(bi.cut, cut_size(&g, &bi.side));
+        check_balance(40, &bi.side);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let g = random::random_regular(60, 5, 11).unwrap();
+        let a = min_bisection(&g, 4, 123);
+        let b = min_bisection(&g, 4, 123);
+        assert_eq!(a.cut, b.cut);
+        assert_eq!(a.side, b.side);
+    }
+
+    #[test]
+    fn refinement_never_worse_than_initial() {
+        let g = random::random_regular(80, 4, 5).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let init = random_partition(&g, &mut rng);
+        let init_cut = cut_size(&g, &init);
+        let refined = fm_refine(&g, init);
+        assert!(refined.cut <= init_cut);
+    }
+
+    #[test]
+    fn handles_disconnected_graphs() {
+        let g = Graph::complete(6).disjoint_union(&Graph::complete(6));
+        let bi = min_bisection(&g, 8, 2);
+        assert_eq!(bi.cut, 0, "separating the two cliques cuts nothing");
+    }
+}

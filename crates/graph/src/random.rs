@@ -1,0 +1,231 @@
+//! Seeded random graph generators.
+//!
+//! * [`random_regular`] — uniform-ish d-regular graphs via the
+//!   configuration (pairing) model with edge-swap repair; this is exactly
+//!   how Jellyfish (Singla et al., NSDI'12) networks are built, used as a
+//!   bisection baseline in the paper's Figure 12.
+//! * [`gnm`] — uniform G(n, m) graphs for tests and null models.
+
+use crate::csr::{Graph, GraphBuilder, VertexId};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashSet;
+
+/// Error cases for random regular generation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RandomGraphError {
+    /// n·d must be even and d < n.
+    InfeasibleDegree { n: usize, d: usize },
+    /// Repair failed to converge (practically unreachable for d ≪ n).
+    RepairFailed,
+}
+
+impl std::fmt::Display for RandomGraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RandomGraphError::InfeasibleDegree { n, d } => {
+                write!(f, "no {d}-regular graph on {n} vertices (need n·d even, d < n)")
+            }
+            RandomGraphError::RepairFailed => write!(f, "edge-swap repair did not converge"),
+        }
+    }
+}
+
+impl std::error::Error for RandomGraphError {}
+
+/// Generate a connected d-regular simple graph on n vertices (Jellyfish),
+/// deterministic in `seed`.
+///
+/// Uses the pairing model: d stubs per vertex are shuffled and paired;
+/// self-loops and duplicate edges are then repaired by random 2-opt edge
+/// swaps. If the final graph is disconnected, swaps are applied across
+/// components until connected (Jellyfish's construction also enforces
+/// connectivity).
+pub fn random_regular(n: usize, d: usize, seed: u64) -> Result<Graph, RandomGraphError> {
+    if n == 0 || d >= n || (n * d) % 2 != 0 {
+        return Err(RandomGraphError::InfeasibleDegree { n, d });
+    }
+    if d == 0 {
+        return Ok(Graph::empty(n));
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+
+    for _attempt in 0..64 {
+        if let Some(g) = try_pairing(n, d, &mut rng) {
+            let g = ensure_connected(g, d, &mut rng);
+            if crate::traversal::is_connected(&g) {
+                debug_assert!(g.is_regular() && g.max_degree() == d);
+                return Ok(g);
+            }
+        }
+    }
+    Err(RandomGraphError::RepairFailed)
+}
+
+fn try_pairing(n: usize, d: usize, rng: &mut impl Rng) -> Option<Graph> {
+    let mut stubs: Vec<VertexId> = (0..n as VertexId).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+    stubs.shuffle(rng);
+    let mut edges: Vec<(VertexId, VertexId)> = stubs
+        .chunks_exact(2)
+        .map(|c| if c[0] < c[1] { (c[0], c[1]) } else { (c[1], c[0]) })
+        .collect();
+
+    // Repair self-loops and duplicates by 2-opt swaps.
+    let mut present: HashSet<(VertexId, VertexId)> = HashSet::new();
+    let mut bad: Vec<usize> = Vec::new();
+    for (i, &e) in edges.iter().enumerate() {
+        if e.0 == e.1 || !present.insert(e) {
+            bad.push(i);
+        }
+    }
+    let mut budget = 200 * (bad.len() + 1);
+    while let Some(&i) = bad.last() {
+        if budget == 0 {
+            return None;
+        }
+        budget -= 1;
+        let j = rng.gen_range(0..edges.len());
+        if j == i {
+            continue;
+        }
+        let (a, b) = edges[i];
+        let (c, dd) = edges[j];
+        // Swap to (a, c) and (b, dd).
+        let norm = |u: VertexId, v: VertexId| if u < v { (u, v) } else { (v, u) };
+        let e1 = norm(a, c);
+        let e2 = norm(b, dd);
+        if a == c || b == dd || present.contains(&e1) || present.contains(&e2) {
+            continue;
+        }
+        // The partner edge j must currently be good (present in the set).
+        if edges[j].0 == edges[j].1 || !present.contains(&edges[j]) {
+            continue;
+        }
+        present.remove(&edges[j]);
+        if edges[i].0 != edges[i].1 {
+            present.remove(&edges[i]);
+        }
+        edges[i] = e1;
+        edges[j] = e2;
+        present.insert(e1);
+        present.insert(e2);
+        bad.pop();
+    }
+
+    let mut b = GraphBuilder::new(n);
+    for (u, v) in edges {
+        b.add_edge(u, v);
+    }
+    let g = b.build();
+    (g.m() == n * d / 2).then_some(g)
+}
+
+/// Swap edges across components until connected (preserves regularity).
+fn ensure_connected(g: Graph, _d: usize, rng: &mut impl Rng) -> Graph {
+    let mut g = g;
+    for _ in 0..64 {
+        let (labels, count) = crate::traversal::components(&g);
+        if count <= 1 {
+            return g;
+        }
+        // Pick one edge in each of two different components and cross them.
+        let edges: Vec<(VertexId, VertexId)> = g.edges().collect();
+        let by_comp = |e: &(VertexId, VertexId)| labels[e.0 as usize];
+        let e1 = *edges.choose(rng).unwrap();
+        let c1 = by_comp(&e1);
+        let others: Vec<_> = edges.iter().filter(|e| by_comp(e) != c1).collect();
+        if others.is_empty() {
+            return g;
+        }
+        let e2 = **others.choose(rng).unwrap();
+        // Replace (a,b), (c,d) with (a,c), (b,d) if simple.
+        let (a, b) = e1;
+        let (c, d) = e2;
+        if g.has_edge(a, c) || g.has_edge(b, d) {
+            continue;
+        }
+        let mut builder = GraphBuilder::new(g.n());
+        for (u, v) in g.edges() {
+            if (u, v) != e1 && (u, v) != e2 {
+                builder.add_edge(u, v);
+            }
+        }
+        builder.add_edge(a, c);
+        builder.add_edge(b, d);
+        g = builder.build();
+    }
+    g
+}
+
+/// Uniform G(n, m): m distinct edges chosen without replacement.
+pub fn gnm(n: usize, m: usize, seed: u64) -> Graph {
+    let max_m = n * n.saturating_sub(1) / 2;
+    assert!(m <= max_m, "G({n}, {m}) infeasible");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut chosen: HashSet<(VertexId, VertexId)> = HashSet::with_capacity(m);
+    while chosen.len() < m {
+        let u = rng.gen_range(0..n) as VertexId;
+        let v = rng.gen_range(0..n) as VertexId;
+        if u == v {
+            continue;
+        }
+        chosen.insert(if u < v { (u, v) } else { (v, u) });
+    }
+    let edges: Vec<_> = chosen.into_iter().collect();
+    Graph::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal;
+
+    #[test]
+    fn regular_graph_shape() {
+        for (n, d, seed) in [(10, 3, 1u64), (24, 5, 2), (50, 4, 3), (100, 7, 4), (64, 10, 5)] {
+            let g = random_regular(n, d, seed).unwrap();
+            assert_eq!(g.n(), n);
+            assert!(g.is_regular(), "n={n} d={d}");
+            assert_eq!(g.max_degree(), d);
+            assert!(traversal::is_connected(&g));
+            g.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn regular_rejects_infeasible() {
+        assert!(random_regular(5, 3, 0).is_err(), "odd n·d");
+        assert!(random_regular(4, 4, 0).is_err(), "d ≥ n");
+        assert!(random_regular(0, 0, 0).is_err());
+    }
+
+    #[test]
+    fn regular_deterministic() {
+        let a = random_regular(40, 6, 99).unwrap();
+        let b = random_regular(40, 6, 99).unwrap();
+        assert_eq!(a, b);
+        let c = random_regular(40, 6, 100).unwrap();
+        assert_ne!(a, c, "different seeds should give different graphs");
+    }
+
+    #[test]
+    fn zero_degree() {
+        let g = random_regular(6, 0, 1).unwrap();
+        assert_eq!(g.m(), 0);
+    }
+
+    #[test]
+    fn gnm_shape() {
+        let g = gnm(30, 60, 7);
+        assert_eq!(g.n(), 30);
+        assert_eq!(g.m(), 60);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn gnm_extremes() {
+        assert_eq!(gnm(10, 0, 1).m(), 0);
+        assert_eq!(gnm(10, 45, 1).m(), 45); // complete
+    }
+}

@@ -1,0 +1,27 @@
+//! Message-level motif simulator — the reproduction's substitute for
+//! SST/Merlin + the Ember communication-pattern library (§10).
+//!
+//! Instead of SST's component model we use a compact event-driven
+//! simulator: messages traverse shortest (or adaptively chosen) router
+//! paths; every directed link is a bandwidth-serialized resource; heads
+//! cut through (per-hop router + link latency) while tails occupy links
+//! for `size / bandwidth`. The §10.1 parameters map directly:
+//! 20 ns router and link latency, 4 GB/s links, 64 KB messages,
+//! 10 iterations, linear rank-to-endpoint mapping.
+//!
+//! Motifs:
+//!
+//! * [`collectives::allreduce`] — recursive-doubling or ring allreduce;
+//! * [`collectives::sweep3d`] — the diagonal wavefront over a 2-D
+//!   process grid.
+//!
+//! "Adaptive" (UGAL-like) routing is modelled by choosing, per message,
+//! the candidate path (minimal, or through a random intermediate) with
+//! the earliest predicted completion given current link reservations —
+//! the message-level analogue of §9.3's adaptive selection.
+
+pub mod collectives;
+pub mod netmodel;
+
+pub use collectives::{allreduce, alltoall, sweep3d, tree_broadcast, AllreduceAlgo};
+pub use netmodel::{MotifConfig, NetModel, RoutingMode};

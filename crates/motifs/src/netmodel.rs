@@ -1,0 +1,338 @@
+//! Link-contention network model for motif simulation.
+//!
+//! Time is tracked in integer picoseconds so events order totally and
+//! deterministically. Each directed router-to-router link is a resource
+//! with a `free_at` horizon: a message reserves `size / bandwidth` of
+//! serialization on every link of its path, while its head advances with
+//! per-hop router + link latency (virtual cut-through).
+
+use polarstar_graph::traversal;
+use polarstar_topo::network::NetworkSpec;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+
+/// Picoseconds.
+pub type Time = u64;
+
+/// Convert nanoseconds to the internal picosecond clock.
+pub fn ns(x: f64) -> Time {
+    (x * 1000.0).round() as Time
+}
+
+/// §10.1 simulation parameters.
+#[derive(Clone, Debug)]
+pub struct MotifConfig {
+    /// Router traversal latency (ns). Paper: 20 ns.
+    pub router_latency_ns: f64,
+    /// Link traversal latency (ns). Paper: 20 ns.
+    pub link_latency_ns: f64,
+    /// Link bandwidth (bytes/ns = GB/s). Paper: 4 GB/s.
+    pub bandwidth_bytes_per_ns: f64,
+    /// Fixed software/NIC overhead per message (ns).
+    pub overhead_ns: f64,
+    /// RNG seed for adaptive path sampling.
+    pub seed: u64,
+}
+
+impl Default for MotifConfig {
+    fn default() -> Self {
+        MotifConfig {
+            router_latency_ns: 20.0,
+            link_latency_ns: 20.0,
+            bandwidth_bytes_per_ns: 4.0,
+            overhead_ns: 100.0,
+            seed: 0xE38E,
+        }
+    }
+}
+
+/// Path selection policy for motif messages.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RoutingMode {
+    /// Deterministic shortest path.
+    Min,
+    /// Best of {minimal path} ∪ {k paths via random intermediates},
+    /// judged by predicted completion under current reservations.
+    Adaptive {
+        /// Number of Valiant candidates (the paper's UGAL samples 4).
+        candidates: usize,
+    },
+}
+
+impl RoutingMode {
+    /// Label matching the paper's figure legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RoutingMode::Min => "MIN",
+            RoutingMode::Adaptive { .. } => "UGAL",
+        }
+    }
+}
+
+/// The contention-aware network model.
+pub struct NetModel {
+    /// Next-hop parent lists toward each destination, built lazily:
+    /// parents[dst][r] = every neighbor of r one hop closer to dst
+    /// (ECMP set).
+    parents: HashMap<u32, Vec<Vec<u32>>>,
+    /// free_at per directed link (u → v).
+    free_at: HashMap<(u32, u32), Time>,
+    spec: NetworkSpec,
+    cfg: MotifConfig,
+    rng: ChaCha8Rng,
+}
+
+impl NetModel {
+    /// Build a model over a network.
+    pub fn new(spec: NetworkSpec, cfg: MotifConfig) -> Self {
+        let rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        NetModel { parents: HashMap::new(), free_at: HashMap::new(), spec, cfg, rng }
+    }
+
+    /// The underlying network.
+    pub fn spec(&self) -> &NetworkSpec {
+        &self.spec
+    }
+
+    /// Reset link reservations (between iterations/benchmarks).
+    pub fn reset(&mut self) {
+        self.free_at.clear();
+    }
+
+    fn ensure_parent_tree(&mut self, dst: u32) {
+        let spec = &self.spec;
+        self.parents.entry(dst).or_insert_with(|| {
+            // BFS from dst; parents[r] = all neighbors one hop closer.
+            let dist = traversal::bfs_distances(&spec.graph, dst);
+            let mut parent = vec![Vec::new(); spec.graph.n()];
+            for r in 0..spec.graph.n() as u32 {
+                if r == dst || dist[r as usize] == traversal::UNREACHABLE {
+                    continue;
+                }
+                for &nb in spec.graph.neighbors(r) {
+                    if dist[nb as usize] + 1 == dist[r as usize] {
+                        parent[r as usize].push(nb);
+                    }
+                }
+            }
+            parent
+        });
+    }
+
+    /// The deterministic minimal router path `src → dst` (first ECMP
+    /// choice at every hop) as a list of directed links.
+    pub fn min_path(&mut self, src: u32, dst: u32) -> Vec<(u32, u32)> {
+        if src == dst {
+            return Vec::new();
+        }
+        self.ensure_parent_tree(dst);
+        let tree = &self.parents[&dst];
+        let mut path = Vec::new();
+        let mut cur = src;
+        while cur != dst {
+            let next = *tree[cur as usize].first().expect("disconnected pair");
+            path.push((cur, next));
+            cur = next;
+        }
+        path
+    }
+
+    /// A uniformly random minimal path (ECMP) — what "MIN" means in the
+    /// paper's simulators, which store or enumerate all minimal paths.
+    pub fn ecmp_path(&mut self, src: u32, dst: u32) -> Vec<(u32, u32)> {
+        if src == dst {
+            return Vec::new();
+        }
+        self.ensure_parent_tree(dst);
+        let mut picks: Vec<usize> = Vec::new();
+        {
+            let tree = &self.parents[&dst];
+            let mut cur = src;
+            while cur != dst {
+                let opts = &tree[cur as usize];
+                let k = if opts.len() == 1 { 0 } else { self.rng.gen_range(0..opts.len()) };
+                picks.push(k);
+                cur = opts[k];
+            }
+        }
+        let tree = &self.parents[&dst];
+        let mut path = Vec::new();
+        let mut cur = src;
+        for k in picks {
+            let next = tree[cur as usize][k];
+            path.push((cur, next));
+            cur = next;
+        }
+        path
+    }
+
+    /// Predicted completion of sending `bytes` along `path` starting at
+    /// `start` — without reserving.
+    fn predict(&self, path: &[(u32, u32)], bytes: u64, start: Time) -> Time {
+        let per_hop = ns(self.cfg.router_latency_ns + self.cfg.link_latency_ns);
+        let serial = ns(bytes as f64 / self.cfg.bandwidth_bytes_per_ns);
+        let mut head = start + ns(self.cfg.overhead_ns);
+        let mut done = head;
+        for link in path {
+            let free = self.free_at.get(link).copied().unwrap_or(0);
+            let begin = head.max(free);
+            head = begin + per_hop;
+            done = begin + per_hop + serial;
+        }
+        done
+    }
+
+    /// Reserve `path` for a `bytes`-sized message starting at `start`;
+    /// returns delivery time.
+    fn reserve(&mut self, path: &[(u32, u32)], bytes: u64, start: Time) -> Time {
+        let per_hop = ns(self.cfg.router_latency_ns + self.cfg.link_latency_ns);
+        let serial = ns(bytes as f64 / self.cfg.bandwidth_bytes_per_ns);
+        let mut head = start + ns(self.cfg.overhead_ns);
+        let mut done = head;
+        for link in path {
+            let free = self.free_at.get(link).copied().unwrap_or(0);
+            let begin = head.max(free);
+            self.free_at.insert(*link, begin + serial);
+            head = begin + per_hop;
+            done = begin + per_hop + serial;
+        }
+        done
+    }
+
+    /// Send a message between ROUTERS at `start`; returns delivery time.
+    pub fn send_routers(
+        &mut self,
+        src: u32,
+        dst: u32,
+        bytes: u64,
+        start: Time,
+        mode: RoutingMode,
+    ) -> Time {
+        if src == dst {
+            // Loopback through the local router only.
+            return start + ns(self.cfg.overhead_ns + self.cfg.router_latency_ns);
+        }
+        let path = match mode {
+            RoutingMode::Min => self.ecmp_path(src, dst),
+            RoutingMode::Adaptive { candidates } => {
+                let min_path = self.ecmp_path(src, dst);
+                let n = self.spec.graph.n() as u32;
+                let mut best_t = self.predict(&min_path, bytes, start);
+                let mut best = min_path;
+                for _ in 0..candidates {
+                    let mid = self.rng.gen_range(0..n);
+                    if mid == src || mid == dst {
+                        continue;
+                    }
+                    let mut p = self.ecmp_path(src, mid);
+                    p.extend(self.ecmp_path(mid, dst));
+                    let t = self.predict(&p, bytes, start);
+                    if t < best_t {
+                        best_t = t;
+                        best = p;
+                    }
+                }
+                best
+            }
+        };
+        self.reserve(&path, bytes, start)
+    }
+
+    /// Send between ENDPOINTS (ranks map linearly onto endpoints, §10.1).
+    pub fn send_endpoints(
+        &mut self,
+        src_ep: u32,
+        dst_ep: u32,
+        bytes: u64,
+        start: Time,
+        mode: RoutingMode,
+    ) -> Time {
+        let (sr, _) = self.spec.endpoint_router(src_ep as usize);
+        let (dr, _) = self.spec.endpoint_router(dst_ep as usize);
+        self.send_routers(sr, dr, bytes, start, mode)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polarstar_graph::Graph;
+
+    fn model() -> NetModel {
+        let spec = NetworkSpec::uniform("path4", Graph::path(4), 1);
+        NetModel::new(spec, MotifConfig::default())
+    }
+
+    #[test]
+    fn min_path_follows_bfs() {
+        let mut m = model();
+        let p = m.min_path(0, 3);
+        assert_eq!(p, vec![(0, 1), (1, 2), (2, 3)]);
+        assert!(m.min_path(2, 2).is_empty());
+    }
+
+    #[test]
+    fn uncontended_latency_formula() {
+        let mut m = model();
+        // 4000-byte message over 1 hop at 4 B/ns: serial 1000 ns,
+        // overhead 100, per-hop 40 → 1140 ns.
+        let t = m.send_routers(0, 1, 4000, 0, RoutingMode::Min);
+        assert_eq!(t, ns(100.0 + 40.0 + 1000.0));
+    }
+
+    #[test]
+    fn serialization_contention() {
+        let mut m = model();
+        // Two messages over the same link back-to-back: second waits.
+        let t1 = m.send_routers(0, 1, 4000, 0, RoutingMode::Min);
+        let t2 = m.send_routers(0, 1, 4000, 0, RoutingMode::Min);
+        assert!(t2 >= t1 + ns(1000.0) - ns(40.0), "t1={t1} t2={t2}");
+    }
+
+    #[test]
+    fn pipelining_not_store_and_forward() {
+        let mut m = model();
+        // 3-hop path: cut-through = overhead + 3·perhop + serial; SAF
+        // would pay serial 3×.
+        let t = m.send_routers(0, 3, 40_000, 0, RoutingMode::Min);
+        let serial = 10_000.0;
+        let expect = ns(100.0 + 3.0 * 40.0 + serial);
+        assert_eq!(t, expect);
+    }
+
+    #[test]
+    fn adaptive_diverts_under_contention() {
+        // Square: two routes from 0 to 2. Saturate one, adaptive picks
+        // the other.
+        let spec = NetworkSpec::uniform("c4", Graph::cycle(4), 1);
+        let mut m = NetModel::new(spec, MotifConfig::default());
+        // Jam the 0→1→2 side.
+        for _ in 0..4 {
+            m.send_routers(0, 1, 1_000_000, 0, RoutingMode::Min);
+            m.send_routers(1, 2, 1_000_000, 0, RoutingMode::Min);
+        }
+        let min_t = {
+            let p = m.min_path(0, 2);
+            m.predict(&p, 10_000, 0)
+        };
+        let t = m.send_routers(0, 2, 10_000, 0, RoutingMode::Adaptive { candidates: 8 });
+        assert!(t <= min_t, "adaptive {t} must beat congested minimal {min_t}");
+    }
+
+    #[test]
+    fn reset_clears_reservations() {
+        let mut m = model();
+        let t1 = m.send_routers(0, 1, 4000, 0, RoutingMode::Min);
+        m.reset();
+        let t2 = m.send_routers(0, 1, 4000, 0, RoutingMode::Min);
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn loopback_is_cheap() {
+        let mut m = model();
+        let t = m.send_routers(2, 2, 1 << 20, 0, RoutingMode::Min);
+        assert!(t < ns(200.0));
+    }
+}

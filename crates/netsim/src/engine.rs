@@ -1,0 +1,881 @@
+//! The cycle loop: input-queued virtual-channel routers with credit-based
+//! flow control and virtual cut-through switching.
+//!
+//! See the crate docs for the model. The engine is deterministic for a
+//! fixed seed and single-threaded; parallelism lives one level up
+//! (load sweeps in [`crate::stats`] fan out with rayon).
+
+use crate::routing::{RouteTable, RoutingKind};
+use crate::traffic::{resolve, Pattern, ResolvedPattern};
+use polarstar_topo::network::NetworkSpec;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::VecDeque;
+
+/// Simulation parameters; defaults follow §9.4 (4-flit packets, 128-flit
+/// buffers per port, 4 VCs).
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Flits per packet.
+    pub packet_flits: u32,
+    /// Virtual channels per port.
+    pub vcs: usize,
+    /// Flit buffer per port, divided evenly among VCs.
+    pub buf_flits_per_port: u32,
+    /// Link traversal latency in cycles.
+    pub link_latency: u32,
+    /// Cycles before measurement starts.
+    pub warmup_cycles: u64,
+    /// Measurement window length.
+    pub measure_cycles: u64,
+    /// Max extra cycles to drain measured packets.
+    pub drain_cycles: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            packet_flits: 4,
+            vcs: 4,
+            buf_flits_per_port: 128,
+            link_latency: 1,
+            warmup_cycles: 2_000,
+            measure_cycles: 5_000,
+            drain_cycles: 20_000,
+            seed: 0x9e3779b97f4a7c15,
+        }
+    }
+}
+
+/// Outcome of one simulation point.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    /// Offered load (fraction of endpoint injection bandwidth).
+    pub offered: f64,
+    /// Accepted throughput: ejected flits per active endpoint per cycle
+    /// during the measurement window.
+    pub accepted: f64,
+    /// Mean packet latency (cycles, generation → tail ejection) over
+    /// measured packets.
+    pub avg_latency: f64,
+    /// 99th-percentile latency of measured packets.
+    pub p99_latency: f64,
+    /// Measured packets ejected / measured packets generated.
+    pub delivered_fraction: f64,
+    /// Whether the run drained its measured packets (a saturated network
+    /// fails to, or shows runaway latency).
+    pub stable: bool,
+    /// Measured packets ejected.
+    pub measured_ejected: u64,
+    /// Mean hop count of measured packets (minimal routing on a
+    /// diameter-3 network gives ≤ 3 + 1 ejection-free hops).
+    pub avg_hops: f64,
+}
+
+const EJECT: u8 = u8::MAX;
+
+#[derive(Clone)]
+struct Packet {
+    dst_router: u32,
+    dst_slot: u16,
+    intermediate: u32, // u32::MAX = none
+    phase: u8,
+    hops: u8,
+    cur_port: u8, // routed output at current router (EJECT = ejection)
+    measured: bool,
+    gen_cycle: u64,
+}
+
+/// One input buffer (per port per VC), in packets.
+type Queue = VecDeque<u32>;
+
+struct Router {
+    /// Input queues: network inports then injection ports; each with
+    /// `vcs` queues (injection uses VC 0 only).
+    inputs: Vec<Vec<Queue>>,
+    /// Downstream credit counters per network outport per VC (packets).
+    credits: Vec<Vec<u32>>,
+    /// Output-busy horizon per network outport.
+    out_busy: Vec<u64>,
+    /// Ejection-busy horizon per endpoint slot.
+    eject_busy: Vec<u64>,
+    /// Round-robin pointer per network outport (+1 virtual for ejection).
+    rr: Vec<u32>,
+    /// Buffered packet count (for skip-idle fast path).
+    load: u32,
+}
+
+enum Event {
+    Arrive { router: u32, inport: u16, vc: u8, packet: u32 },
+    Credit { router: u32, outport: u8, vc: u8 },
+}
+
+/// Simulate `spec` under `pattern` at `load` (fraction of injection
+/// bandwidth) with the given routing.
+pub fn simulate(
+    spec: &NetworkSpec,
+    table: &RouteTable,
+    kind: RoutingKind,
+    pattern: &Pattern,
+    load: f64,
+    cfg: &SimConfig,
+) -> SimResult {
+    assert!((0.0..=1.0).contains(&load));
+    let resolved = resolve(pattern, spec, cfg.seed ^ 0x7a11);
+    Engine::new(spec, table, kind, resolved, load, cfg.clone()).run()
+}
+
+struct Engine<'a> {
+    spec: &'a NetworkSpec,
+    table: &'a RouteTable,
+    kind: RoutingKind,
+    pattern: ResolvedPattern,
+    load: f64,
+    cfg: SimConfig,
+    rng: ChaCha8Rng,
+
+    routers: Vec<Router>,
+    packets: Vec<Packet>,
+    free: Vec<u32>,
+    /// Per-endpoint source queues (unbounded).
+    sources: Vec<VecDeque<u32>>,
+    /// endpoint → (router, slot), and router → first endpoint id.
+    ep_router: Vec<(u32, u16)>,
+    ep_offsets: Vec<usize>,
+    /// Event wheel.
+    wheel: Vec<Vec<Event>>,
+    /// Per-link reverse port map: port p of router r leads to neighbor
+    /// u; back_port[r][p] = the port of u that leads back to r.
+    back_port: Vec<Vec<u8>>,
+    /// Routers with buffered packets (dirty set, deduplicated lazily).
+    active: Vec<u32>,
+    active_flag: Vec<bool>,
+    /// Reusable request scratch for switch allocation.
+    req_buf: Vec<(u16, u8, u8)>,
+
+    // Stats.
+    measured_generated: u64,
+    measured_ejected: u64,
+    latency_sum: u64,
+    latencies: Vec<u32>,
+    ejected_flits_measure: u64,
+    hops_sum: u64,
+    /// Latency sums/counts split by generation half of the measurement
+    /// window — steady-state detection (saturated runs show growth).
+    half_sums: [u64; 2],
+    half_counts: [u64; 2],
+}
+
+impl<'a> Engine<'a> {
+    fn new(
+        spec: &'a NetworkSpec,
+        table: &'a RouteTable,
+        kind: RoutingKind,
+        pattern: ResolvedPattern,
+        load: f64,
+        cfg: SimConfig,
+    ) -> Self {
+        let n = spec.graph.n();
+        let vcs = cfg.vcs;
+        let cap_pkts = (cfg.buf_flits_per_port / vcs as u32 / cfg.packet_flits).max(1);
+        let mut routers = Vec::with_capacity(n);
+        let mut back_port = Vec::with_capacity(n);
+        for r in 0..n as u32 {
+            let deg = spec.graph.degree(r);
+            let eps = spec.endpoints[r as usize] as usize;
+            routers.push(Router {
+                inputs: vec![vec![Queue::new(); vcs]; deg + eps],
+                credits: vec![vec![cap_pkts; vcs]; deg],
+                out_busy: vec![0; deg],
+                eject_busy: vec![0; eps],
+                rr: vec![0; deg + 1],
+                load: 0,
+            });
+            let bp: Vec<u8> = spec
+                .graph
+                .neighbors(r)
+                .iter()
+                .map(|&u| {
+                    spec.graph
+                        .neighbors(u)
+                        .binary_search(&r)
+                        .expect("undirected edge") as u8
+                })
+                .collect();
+            back_port.push(bp);
+        }
+        let total_eps = spec.total_endpoints();
+        let ep_offsets = spec.endpoint_offsets();
+        let ep_router: Vec<(u32, u16)> = (0..total_eps)
+            .map(|e| {
+                let (r, s) = spec.endpoint_router(e);
+                (r, s as u16)
+            })
+            .collect();
+        let wheel_size = (cfg.packet_flits + cfg.link_latency + 2) as usize;
+        Engine {
+            spec,
+            table,
+            kind,
+            pattern,
+            load,
+            rng: ChaCha8Rng::seed_from_u64(cfg.seed),
+            cfg,
+            routers,
+            packets: Vec::new(),
+            free: Vec::new(),
+            sources: vec![VecDeque::new(); total_eps],
+            ep_router,
+            ep_offsets,
+            wheel: (0..wheel_size).map(|_| Vec::new()).collect(),
+            back_port,
+            active: Vec::new(),
+            active_flag: vec![false; n],
+            req_buf: Vec::new(),
+            measured_generated: 0,
+            measured_ejected: 0,
+            latency_sum: 0,
+            latencies: Vec::new(),
+            ejected_flits_measure: 0,
+            hops_sum: 0,
+            half_sums: [0, 0],
+            half_counts: [0, 0],
+        }
+    }
+
+    fn alloc_packet(&mut self, p: Packet) -> u32 {
+        if let Some(id) = self.free.pop() {
+            self.packets[id as usize] = p;
+            id
+        } else {
+            self.packets.push(p);
+            (self.packets.len() - 1) as u32
+        }
+    }
+
+    fn mark_active(&mut self, r: u32) {
+        if !self.active_flag[r as usize] {
+            self.active_flag[r as usize] = true;
+            self.active.push(r);
+        }
+    }
+
+    /// Route `packet` at router `r`: set `cur_port` (EJECT or a network
+    /// port) and handle Valiant phase transitions.
+    fn route_at(&mut self, pid: u32, r: u32) {
+        let (dst_router, mut phase, intermediate) = {
+            let p = &self.packets[pid as usize];
+            (p.dst_router, p.phase, p.intermediate)
+        };
+        if phase == 0 && intermediate != u32::MAX && r == intermediate {
+            phase = 1;
+            self.packets[pid as usize].phase = 1;
+        }
+        let target = if phase == 0 && intermediate != u32::MAX { intermediate } else { dst_router };
+        if r == target && target == dst_router {
+            self.packets[pid as usize].cur_port = EJECT;
+            return;
+        }
+        let ports = self.table.min_ports(r, target);
+        debug_assert!(!ports.is_empty(), "no minimal port {r}→{target}");
+        let port = match self.kind {
+            RoutingKind::MinSingle => ports[0],
+            RoutingKind::MinMulti | RoutingKind::Valiant | RoutingKind::Ugal { .. } => {
+                if ports.len() == 1 {
+                    ports[0]
+                } else {
+                    ports[self.rng.gen_range(0..ports.len())]
+                }
+            }
+        };
+        self.packets[pid as usize].cur_port = port;
+    }
+
+    /// Occupancy proxy for UGAL: packets worth of consumed credit on the
+    /// first minimal port toward `target`, plus residual serialization.
+    fn port_cost(&self, r: u32, target: u32, now: u64) -> u64 {
+        let ports = self.table.min_ports(r, target);
+        if ports.is_empty() {
+            return 0;
+        }
+        let port = ports[0] as usize;
+        let router = &self.routers[r as usize];
+        let cap: u32 = router.credits[port].iter().sum::<u32>();
+        let max_cap = self.cfg.buf_flits_per_port / self.cfg.packet_flits;
+        let consumed = max_cap.saturating_sub(cap) as u64;
+        let busy = router.out_busy[port].saturating_sub(now);
+        consumed * self.cfg.packet_flits as u64 + busy
+    }
+
+    /// UGAL-L decision at injection (§9.3): min path vs the best of k
+    /// random Valiant intermediates, judged by local occupancy × hops.
+    fn ugal_intermediate(&mut self, src_router: u32, dst_router: u32, now: u64, k: usize) -> u32 {
+        let n = self.table.n() as u32;
+        let dmin = self.table.distance(src_router, dst_router) as u64;
+        let min_cost = (dmin.max(1)) * (self.port_cost(src_router, dst_router, now) + self.cfg.packet_flits as u64);
+        let mut best = u32::MAX;
+        let mut best_cost = min_cost;
+        for _ in 0..k {
+            let i = self.rng.gen_range(0..n);
+            if i == src_router || i == dst_router {
+                continue;
+            }
+            let hops = self.table.distance(src_router, i) as u64
+                + self.table.distance(i, dst_router) as u64;
+            let cost = hops.max(1) * (self.port_cost(src_router, i, now) + self.cfg.packet_flits as u64);
+            if cost < best_cost {
+                best_cost = cost;
+                best = i;
+            }
+        }
+        best
+    }
+
+    fn run(mut self) -> SimResult {
+        let total_eps = self.sources.len();
+        let end_measure = self.cfg.warmup_cycles + self.cfg.measure_cycles;
+        let hard_end = end_measure + self.cfg.drain_cycles;
+        let mut now = 0u64;
+        // Pre-draw endpoint activity: uniform pattern endpoints always
+        // active; mapped patterns only active sources inject.
+        let active_src: Vec<bool> = match &self.pattern.dest {
+            None => vec![true; total_eps],
+            Some(map) => map.iter().enumerate().map(|(i, &d)| d != i as u32).collect(),
+        };
+
+        while now < hard_end {
+            // 1. Generation (stops after the measurement window so the
+            //    drain phase can finish).
+            if now < end_measure {
+                for e in 0..total_eps {
+                    if !active_src[e] || self.rng.gen::<f64>() >= self.load / self.cfg.packet_flits as f64 {
+                        continue;
+                    }
+                    self.generate_packet(e as u32, now);
+                }
+            }
+            // 2. Deliver wheel events for this cycle.
+            let slot = (now % self.wheel.len() as u64) as usize;
+            let events = std::mem::take(&mut self.wheel[slot]);
+            for ev in events {
+                match ev {
+                    Event::Arrive { router, inport, vc, packet } => {
+                        self.route_at(packet, router);
+                        let q = &mut self.routers[router as usize].inputs[inport as usize]
+                            [vc as usize];
+                        q.push_back(packet);
+                        // Credit accounting must keep arrivals within the
+                        // VC buffer capacity.
+                        debug_assert!(
+                            q.len() as u32
+                                <= (self.cfg.buf_flits_per_port
+                                    / self.cfg.vcs as u32
+                                    / self.cfg.packet_flits)
+                                    .max(1),
+                            "VC buffer overflow at router {router}"
+                        );
+                        self.routers[router as usize].load += 1;
+                        self.mark_active(router);
+                    }
+                    Event::Credit { router, outport, vc } => {
+                        self.routers[router as usize].credits[outport as usize][vc as usize] += 1;
+                        self.mark_active(router);
+                    }
+                }
+            }
+            // 3. Allocation at each active router.
+            let active = std::mem::take(&mut self.active);
+            for &r in &active {
+                self.active_flag[r as usize] = false;
+            }
+            for r in active {
+                self.allocate(r, now);
+                if self.routers[r as usize].load > 0 {
+                    self.mark_active(r);
+                }
+            }
+            now += 1;
+            // Early exit once everything measured has drained.
+            if now >= end_measure
+                && self.measured_ejected == self.measured_generated
+                && self.active.is_empty()
+            {
+                break;
+            }
+        }
+
+        let delivered = if self.measured_generated == 0 {
+            1.0
+        } else {
+            self.measured_ejected as f64 / self.measured_generated as f64
+        };
+        let avg = if self.measured_ejected == 0 {
+            f64::INFINITY
+        } else {
+            self.latency_sum as f64 / self.measured_ejected as f64
+        };
+        let p99 = {
+            if self.latencies.is_empty() {
+                f64::INFINITY
+            } else {
+                let mut l = std::mem::take(&mut self.latencies);
+                l.sort_unstable();
+                l[(l.len() - 1) * 99 / 100] as f64
+            }
+        };
+        let active_eps = active_src.iter().filter(|&&a| a).count().max(1);
+        let accepted = self.ejected_flits_measure as f64
+            / (active_eps as f64 * self.cfg.measure_cycles as f64);
+        // Steady state: the second half of the measurement window must
+        // not show materially higher latency than the first (saturated
+        // networks accumulate backlog, so latency grows with time).
+        let steady = if self.half_counts[0] == 0 || self.half_counts[1] == 0 {
+            self.measured_generated == 0
+        } else {
+            let a0 = self.half_sums[0] as f64 / self.half_counts[0] as f64;
+            let a1 = self.half_sums[1] as f64 / self.half_counts[1] as f64;
+            a1 <= a0 * 1.5 + 4.0 * self.cfg.packet_flits as f64
+        };
+        // Throughput criterion: a stable network accepts what is offered
+        // (ejected flit rate within 10% of the injection rate).
+        let throughput_ok = self.load == 0.0 || accepted >= 0.9 * self.load;
+        SimResult {
+            offered: self.load,
+            accepted,
+            avg_latency: avg,
+            p99_latency: p99,
+            delivered_fraction: delivered,
+            stable: delivered >= 0.99 && steady && throughput_ok,
+            measured_ejected: self.measured_ejected,
+            avg_hops: if self.measured_ejected == 0 {
+                0.0
+            } else {
+                self.hops_sum as f64 / self.measured_ejected as f64
+            },
+        }
+    }
+
+    fn generate_packet(&mut self, src_ep: u32, now: u64) {
+        let dst_ep = match self.pattern.destination(src_ep, &mut self.rng) {
+            Some(d) => d,
+            None => return,
+        };
+        let (src_router, _) = self.ep_router[src_ep as usize];
+        let (dst_router, dst_slot) = self.ep_router[dst_ep as usize];
+        let measured = now >= self.cfg.warmup_cycles
+            && now < self.cfg.warmup_cycles + self.cfg.measure_cycles;
+        let intermediate = match self.kind {
+            RoutingKind::Ugal { candidates } if src_router != dst_router => {
+                self.ugal_intermediate(src_router, dst_router, now, candidates)
+            }
+            RoutingKind::Valiant if src_router != dst_router => {
+                // Uniform random intermediate (≠ endpoints).
+                let n = self.table.n() as u32;
+                let mut i = self.rng.gen_range(0..n);
+                for _ in 0..4 {
+                    if i != src_router && i != dst_router {
+                        break;
+                    }
+                    i = self.rng.gen_range(0..n);
+                }
+                if i == src_router || i == dst_router {
+                    u32::MAX
+                } else {
+                    i
+                }
+            }
+            _ => u32::MAX,
+        };
+        let p = Packet {
+            dst_router,
+            dst_slot,
+            intermediate,
+            phase: 0,
+            hops: 0,
+            cur_port: 0,
+            measured,
+            gen_cycle: now,
+        };
+        let pid = self.alloc_packet(p);
+        if measured {
+            self.measured_generated += 1;
+        }
+        self.route_at(pid, src_router);
+        self.sources[src_ep as usize].push_back(pid);
+        // Injection queue counts toward router load via its input port.
+        let slot = self.ep_router[src_ep as usize].1;
+        let inport = self.spec.graph.degree(src_router) + slot as usize;
+        // Move from source queue into the injection input if there is
+        // room (injection buffer = one VC of cap packets).
+        let cap = (self.cfg.buf_flits_per_port / self.cfg.vcs as u32 / self.cfg.packet_flits).max(1);
+        let q = &mut self.routers[src_router as usize].inputs[inport][0];
+        if (q.len() as u32) < cap {
+            let head = self.sources[src_ep as usize].pop_front().unwrap();
+            q.push_back(head);
+            self.routers[src_router as usize].load += 1;
+        }
+        self.mark_active(src_router);
+    }
+
+    /// Switch allocation at router `r`: every output port (and every
+    /// ejection port) accepts at most one packet per cycle, chosen
+    /// round-robin among requesting input VCs.
+    fn allocate(&mut self, r: u32, now: u64) {
+        let deg = self.spec.graph.degree(r);
+        let eps = self.spec.endpoints[r as usize] as usize;
+        let vcs = self.cfg.vcs;
+        let n_inputs = deg + eps;
+
+        // Collect head requests (inport, vc, desired output) into the
+        // reusable scratch, then process them grouped by output port.
+        let mut requests = std::mem::take(&mut self.req_buf);
+        requests.clear();
+        for inport in 0..n_inputs {
+            for vc in 0..vcs {
+                if let Some(&pid) = self.routers[r as usize].inputs[inport][vc].front() {
+                    let port = self.packets[pid as usize].cur_port;
+                    requests.push((inport as u16, vc as u8, port));
+                }
+            }
+        }
+        if requests.is_empty() {
+            self.req_buf = requests;
+            self.refill_injection(r);
+            return;
+        }
+        // Group by output port (EJECT = 255 sorts last).
+        requests.sort_unstable_by_key(|&(i, v, o)| (o, i, v));
+
+        let mut gi = 0usize;
+        while gi < requests.len() {
+            let out = requests[gi].2;
+            let mut ge = gi + 1;
+            while ge < requests.len() && requests[ge].2 == out {
+                ge += 1;
+            }
+            let group = gi..ge;
+            gi = ge;
+            if out == EJECT {
+                // Ejection: one grant per endpoint slot per packet-time.
+                let glen = group.len();
+                let rr = self.routers[r as usize].rr[deg] as usize;
+                let mut granted_slots: Vec<u16> = Vec::new();
+                for k in 0..glen {
+                    let (inport, vc, _) = requests[group.start + (rr + k) % glen];
+                    let pid = *self.routers[r as usize].inputs[inport as usize][vc as usize]
+                        .front()
+                        .unwrap();
+                    let slot = self.packets[pid as usize].dst_slot;
+                    if granted_slots.contains(&slot)
+                        || self.routers[r as usize].eject_busy[slot as usize] > now
+                    {
+                        continue;
+                    }
+                    granted_slots.push(slot);
+                    self.eject(r, inport, vc, slot, now);
+                    self.routers[r as usize].rr[deg] = ((rr + k) % glen) as u32 + 1;
+                }
+                continue;
+            }
+            let out = out as usize;
+            if self.routers[r as usize].out_busy[out] > now {
+                continue;
+            }
+            let glen = group.len();
+            let rr = self.routers[r as usize].rr[out] as usize;
+            for k in 0..glen {
+                let (inport, vc, _) = requests[group.start + (rr + k) % glen];
+                let pid = *self.routers[r as usize].inputs[inport as usize][vc as usize]
+                    .front()
+                    .unwrap();
+                let next_vc = (self.packets[pid as usize].hops as usize).min(vcs - 1);
+                if self.routers[r as usize].credits[out][next_vc] == 0 {
+                    continue;
+                }
+                self.routers[r as usize].rr[out] = ((rr + k) % glen) as u32 + 1;
+                self.send(r, inport, vc, out, next_vc as u8, now);
+                break;
+            }
+        }
+        self.req_buf = requests;
+        self.refill_injection(r);
+    }
+
+    /// Move waiting source-queue packets into free injection buffers.
+    fn refill_injection(&mut self, r: u32) {
+        let deg = self.spec.graph.degree(r);
+        let eps = self.spec.endpoints[r as usize] as usize;
+        let cap = (self.cfg.buf_flits_per_port / self.cfg.vcs as u32 / self.cfg.packet_flits).max(1);
+        for slot in 0..eps {
+            let ep = self.ep_offsets[r as usize] + slot;
+            while !self.sources[ep].is_empty()
+                && (self.routers[r as usize].inputs[deg + slot][0].len() as u32) < cap
+            {
+                let pid = self.sources[ep].pop_front().unwrap();
+                self.routers[r as usize].inputs[deg + slot][0].push_back(pid);
+                self.routers[r as usize].load += 1;
+            }
+        }
+    }
+
+    fn send(&mut self, r: u32, inport: u16, vc: u8, out: usize, next_vc: u8, now: u64) {
+        let pid = self.routers[r as usize].inputs[inport as usize][vc as usize]
+            .pop_front()
+            .unwrap();
+        self.routers[r as usize].load -= 1;
+        self.packets[pid as usize].hops += 1;
+        let serialize = self.cfg.packet_flits as u64;
+        self.routers[r as usize].out_busy[out] = now + serialize;
+        self.routers[r as usize].credits[out][next_vc as usize] -= 1;
+
+        let next_router = self.table.neighbor(r, out as u8);
+        let next_inport = self.back_port[r as usize][out] as u16;
+        let arrive_at = now + serialize + self.cfg.link_latency as u64;
+        self.schedule(
+            arrive_at,
+            Event::Arrive { router: next_router, inport: next_inport, vc: next_vc, packet: pid },
+        );
+        // Credit return to the upstream router once the packet fully
+        // leaves this buffer (network inputs only; injection has no
+        // upstream).
+        let deg = self.spec.graph.degree(r);
+        if (inport as usize) < deg {
+            let upstream = self.table.neighbor(r, inport as u8);
+            let up_out = self.back_port[r as usize][inport as usize];
+            self.schedule(
+                now + serialize,
+                Event::Credit { router: upstream, outport: up_out, vc },
+            );
+        }
+    }
+
+    fn eject(&mut self, r: u32, inport: u16, vc: u8, slot: u16, now: u64) {
+        let pid = self.routers[r as usize].inputs[inport as usize][vc as usize]
+            .pop_front()
+            .unwrap();
+        self.routers[r as usize].load -= 1;
+        let serialize = self.cfg.packet_flits as u64;
+        self.routers[r as usize].eject_busy[slot as usize] = now + serialize;
+        let done = now + serialize;
+        // Stats.
+        let p = self.packets[pid as usize].clone();
+        if p.measured {
+            self.measured_ejected += 1;
+            let lat = (done - p.gen_cycle) as u32;
+            self.latency_sum += lat as u64;
+            self.latencies.push(lat);
+            self.hops_sum += p.hops as u64;
+            let mid = self.cfg.warmup_cycles + self.cfg.measure_cycles / 2;
+            let half = usize::from(p.gen_cycle >= mid);
+            self.half_sums[half] += lat as u64;
+            self.half_counts[half] += 1;
+        }
+        let end_measure = self.cfg.warmup_cycles + self.cfg.measure_cycles;
+        if now >= self.cfg.warmup_cycles && now < end_measure {
+            self.ejected_flits_measure += self.cfg.packet_flits as u64;
+        }
+        // Credit return to upstream.
+        let deg = self.spec.graph.degree(r);
+        if (inport as usize) < deg {
+            let upstream = self.table.neighbor(r, inport as u8);
+            let up_out = self.back_port[r as usize][inport as usize];
+            self.schedule(now + serialize, Event::Credit { router: upstream, outport: up_out, vc });
+        }
+        self.free.push(pid);
+    }
+
+    fn schedule(&mut self, at: u64, ev: Event) {
+        let slot = (at % self.wheel.len() as u64) as usize;
+        self.wheel[slot].push(ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polarstar_graph::Graph;
+    use polarstar_topo::network::NetworkSpec;
+
+    fn small_cfg(seed: u64) -> SimConfig {
+        SimConfig {
+            warmup_cycles: 500,
+            measure_cycles: 1_000,
+            drain_cycles: 10_000,
+            seed,
+            ..SimConfig::default()
+        }
+    }
+
+    fn k8_spec() -> NetworkSpec {
+        NetworkSpec::uniform("k8", Graph::complete(8), 2)
+    }
+
+    #[test]
+    fn low_load_latency_near_zero_load_baseline() {
+        let spec = k8_spec();
+        let table = RouteTable::new(&spec.graph);
+        let r = simulate(&spec, &table, RoutingKind::MinSingle, &Pattern::Uniform, 0.05, &small_cfg(1));
+        assert!(r.stable, "complete graph at 5% load must be stable");
+        // Minimum latency: serialization (4) + link (1) + eject
+        // serialization (4) ≈ 9-10 cycles for a 1-hop path.
+        assert!(r.avg_latency >= 8.0 && r.avg_latency < 30.0, "latency {}", r.avg_latency);
+        assert!(r.delivered_fraction > 0.999);
+    }
+
+    #[test]
+    fn complete_graph_sustains_high_uniform_load() {
+        let spec = k8_spec();
+        let table = RouteTable::new(&spec.graph);
+        let r = simulate(&spec, &table, RoutingKind::MinMulti, &Pattern::Uniform, 0.7, &small_cfg(2));
+        assert!(r.stable, "K8 with 2 eps/router should sustain 70% uniform load");
+        assert!(r.accepted > 0.5, "accepted {}", r.accepted);
+    }
+
+    #[test]
+    fn ring_saturates_under_uniform_load() {
+        // An 8-cycle with 2 endpoints per router has tiny bisection; high
+        // uniform load must saturate (latency runaway / undelivered).
+        let spec = NetworkSpec::uniform("c8", Graph::cycle(8), 2);
+        let table = RouteTable::new(&spec.graph);
+        let hi = simulate(&spec, &table, RoutingKind::MinSingle, &Pattern::Uniform, 0.9, &small_cfg(3));
+        assert!(!hi.stable || hi.avg_latency > 200.0, "ring at 90% must saturate");
+        let lo = simulate(&spec, &table, RoutingKind::MinSingle, &Pattern::Uniform, 0.05, &small_cfg(3));
+        assert!(lo.stable);
+        assert!(lo.avg_latency < hi.avg_latency.min(1e9));
+    }
+
+    #[test]
+    fn latency_monotone_in_load() {
+        let spec = k8_spec();
+        let table = RouteTable::new(&spec.graph);
+        let mut last = 0.0;
+        for load in [0.1, 0.4, 0.7] {
+            let r = simulate(&spec, &table, RoutingKind::MinMulti, &Pattern::Uniform, load, &small_cfg(4));
+            assert!(r.avg_latency >= last * 0.9, "latency not ~monotone at {load}");
+            last = r.avg_latency;
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let spec = k8_spec();
+        let table = RouteTable::new(&spec.graph);
+        let a = simulate(&spec, &table, RoutingKind::Ugal { candidates: 4 }, &Pattern::Uniform, 0.3, &small_cfg(5));
+        let b = simulate(&spec, &table, RoutingKind::Ugal { candidates: 4 }, &Pattern::Uniform, 0.3, &small_cfg(5));
+        assert_eq!(a.measured_ejected, b.measured_ejected);
+        assert_eq!(a.avg_latency, b.avg_latency);
+    }
+
+    #[test]
+    fn permutation_traffic_runs() {
+        let spec = k8_spec();
+        let table = RouteTable::new(&spec.graph);
+        let r = simulate(&spec, &table, RoutingKind::MinMulti, &Pattern::Permutation, 0.4, &small_cfg(6));
+        assert!(r.measured_ejected > 0);
+        assert!(r.stable);
+    }
+
+    #[test]
+    fn ugal_beats_min_on_adversarial_ring() {
+        // On a cycle, a permutation pinning flows through one region
+        // benefits from Valiant spreading. Use adversarial-group traffic
+        // on a dragonfly instead — the canonical UGAL showcase.
+        let spec = polarstar_topo::dragonfly::dragonfly(
+            polarstar_topo::dragonfly::DragonflyParams { a: 4, h: 2, p: 2 },
+        );
+        let table = RouteTable::new(&spec.graph);
+        // Each group funnels 8 endpoints over a single global link under
+        // MIN (throughput cap ≈ 1/8); UGAL spreads over all groups.
+        let load = 0.3;
+        let min = simulate(&spec, &table, RoutingKind::MinSingle, &Pattern::AdversarialGroup, load, &small_cfg(7));
+        let ugal = simulate(&spec, &table, RoutingKind::ugal4(), &Pattern::AdversarialGroup, load, &small_cfg(7));
+        assert!(!min.stable, "MIN at 0.3 exceeds the single-link cap");
+        assert!(
+            ugal.avg_latency < min.avg_latency * 0.7 || (ugal.stable && !min.stable),
+            "UGAL {:?} vs MIN {:?}",
+            (ugal.stable, ugal.avg_latency),
+            (min.stable, min.avg_latency)
+        );
+    }
+
+    #[test]
+    fn zero_load_produces_no_packets() {
+        let spec = k8_spec();
+        let table = RouteTable::new(&spec.graph);
+        let r = simulate(&spec, &table, RoutingKind::MinSingle, &Pattern::Uniform, 0.0, &small_cfg(8));
+        assert_eq!(r.measured_ejected, 0);
+        assert!(r.stable);
+    }
+}
+
+#[cfg(test)]
+mod fault_injection_tests {
+    use super::*;
+    use crate::routing::{RouteTable, RoutingKind};
+    use crate::traffic::Pattern;
+    use polarstar_graph::Graph;
+    use polarstar_topo::network::NetworkSpec;
+
+    /// Failure injection end-to-end: knock links out of a topology,
+    /// rebuild the routing tables, and verify traffic still delivers at
+    /// low load (the operational recovery story behind Figure 14).
+    #[test]
+    fn traffic_survives_link_failures_after_reroute() {
+        let full = polarstar_graph::random::random_regular(32, 6, 9).unwrap();
+        // Remove ~10% of links (every 10th edge, scattered so the
+        // survivor stays connected).
+        let edges: Vec<(u32, u32)> = full.edges().collect();
+        let removed: Vec<(u32, u32)> = edges.iter().copied().step_by(10).collect();
+        let faulty = full.without_edges(&removed);
+        assert!(polarstar_graph::traversal::is_connected(&faulty));
+        let spec = NetworkSpec::uniform("faulty", faulty, 2);
+        let table = RouteTable::new(&spec.graph);
+        let cfg = SimConfig {
+            warmup_cycles: 300,
+            measure_cycles: 800,
+            drain_cycles: 6_000,
+            seed: 3,
+            ..SimConfig::default()
+        };
+        let r = simulate(&spec, &table, RoutingKind::MinMulti, &Pattern::Uniform, 0.2, &cfg);
+        assert!(r.stable, "faulty network at 20% load: {r:?}");
+        assert!(r.delivered_fraction > 0.999);
+    }
+
+    /// Hop counts respect the (possibly fault-lengthened) diameter.
+    #[test]
+    fn hop_counts_bounded_by_diameter() {
+        let g = Graph::cycle(10);
+        let spec = NetworkSpec::uniform("c10", g, 1);
+        let table = RouteTable::new(&spec.graph);
+        let cfg = SimConfig {
+            warmup_cycles: 200,
+            measure_cycles: 600,
+            drain_cycles: 4_000,
+            seed: 4,
+            ..SimConfig::default()
+        };
+        let r = simulate(&spec, &table, RoutingKind::MinSingle, &Pattern::Uniform, 0.1, &cfg);
+        assert!(r.avg_hops >= 1.0 && r.avg_hops <= 5.0, "avg hops {}", r.avg_hops);
+    }
+
+    /// Pure Valiant doubles path length but still delivers.
+    #[test]
+    fn valiant_hops_exceed_minimal() {
+        let spec = NetworkSpec::uniform("k8", Graph::complete(8), 2);
+        let table = RouteTable::new(&spec.graph);
+        let cfg = SimConfig {
+            warmup_cycles: 300,
+            measure_cycles: 800,
+            drain_cycles: 6_000,
+            seed: 5,
+            ..SimConfig::default()
+        };
+        let min = simulate(&spec, &table, RoutingKind::MinMulti, &Pattern::Uniform, 0.2, &cfg);
+        let val = simulate(&spec, &table, RoutingKind::Valiant, &Pattern::Uniform, 0.2, &cfg);
+        assert!(val.avg_hops > min.avg_hops, "valiant {} vs min {}", val.avg_hops, min.avg_hops);
+        assert!(val.stable && min.stable);
+    }
+}

@@ -1,0 +1,43 @@
+//! Cycle-level interconnection-network simulator — the reproduction's
+//! BookSim substitute for the paper's §9 synthetic-traffic evaluation.
+//!
+//! The model is an input-queued virtual-channel router with credit-based
+//! flow control and virtual cut-through switching:
+//!
+//! * packets are 4 flits (configurable); a packet transfers over a link
+//!   at one flit per cycle once switch allocation succeeds and the
+//!   downstream virtual-channel buffer has room for the whole packet;
+//! * each router port has a fixed flit buffer divided evenly among the
+//!   virtual channels; credits flow back when a packet leaves a buffer;
+//! * switch allocation is round-robin per output port over requesting
+//!   input VCs; VC selection is hop-indexed (ascending VCs are a
+//!   sufficient deadlock-avoidance discipline for the ≤ 7-hop paths that
+//!   occur here);
+//! * endpoints inject with Bernoulli arrivals at a configured fraction of
+//!   link bandwidth; sources are infinite, so saturation shows up as
+//!   unbounded latency growth, exactly as in the paper's Figure 9.
+//!
+//! The paper's BookSim setup (4-flit packets, 128-flit buffers per port,
+//! 4 VCs, credit flow control, warm-up before measurement) maps directly
+//! onto [`SimConfig`]'s defaults. BookSim's wormhole pipeline differs in
+//! absolute cycle counts; latency-vs-load *shape* — who saturates first
+//! and at what load — is preserved, which is what the reproduction
+//! compares.
+//!
+//! Modules:
+//!
+//! * [`routing`] — minimal next-hop tables (single- and multi-path),
+//!   Valiant misrouting and UGAL adaptive selection (§9.3);
+//! * [`traffic`] — the synthetic patterns of §9.4 and the adversarial
+//!   pattern of §9.6;
+//! * [`engine`] — the cycle loop;
+//! * [`stats`] — load sweeps, saturation detection, latency summaries.
+
+pub mod engine;
+pub mod routing;
+pub mod stats;
+pub mod traffic;
+
+pub use engine::{simulate, SimConfig, SimResult};
+pub use routing::{RouteTable, RoutingKind};
+pub use traffic::Pattern;

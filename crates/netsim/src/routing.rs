@@ -1,0 +1,410 @@
+//! Routing state: minimal next-hop tables and the §9.3 routing schemes.
+//!
+//! A [`RouteTable`] stores, for every (router, destination-router) pair,
+//! the set of output ports lying on minimal paths — the "all minpaths"
+//! tables the paper attributes to SF/BF (and that HyperX computes by
+//! coordinate alignment). [`RoutingKind`] selects how the table is used:
+//!
+//! * `MinSingle` — one deterministic minimal path per pair;
+//! * `MinMulti` — a uniformly random minimal port at each hop;
+//! * `Ugal` — UGAL-L (§9.3): at the source, compare the minimal path
+//!   against 4 random Valiant intermediates using local output-queue
+//!   occupancy × remaining hops, then route minimally per phase.
+
+use polarstar_graph::Graph;
+use rayon::prelude::*;
+
+/// How packets pick output ports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RoutingKind {
+    /// Deterministic single minimal path.
+    MinSingle,
+    /// Random minimal port per hop (oblivious multipath).
+    MinMulti,
+    /// Valiant load balancing: every packet misroutes through a uniform
+    /// random intermediate router, then routes minimally.
+    Valiant,
+    /// UGAL-L: adaptive choice between minimal and Valiant misrouting,
+    /// sampling this many random intermediates (the paper uses 4).
+    Ugal {
+        /// Number of Valiant candidates sampled at injection.
+        candidates: usize,
+    },
+}
+
+impl RoutingKind {
+    /// The paper's UGAL configuration.
+    pub fn ugal4() -> Self {
+        RoutingKind::Ugal { candidates: 4 }
+    }
+
+    /// Display label matching the paper's figure legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RoutingKind::MinSingle | RoutingKind::MinMulti => "MIN",
+            RoutingKind::Valiant => "VAL",
+            RoutingKind::Ugal { .. } => "UGAL",
+        }
+    }
+}
+
+/// Per-destination distance and minimal-port table.
+pub struct RouteTable {
+    n: usize,
+    /// dist[dst * n + r] = hop distance from router r to dst.
+    dist: Vec<u16>,
+    /// Flattened minimal-port lists: for (r, dst), ports[..] are indices
+    /// into r's neighbor list that decrease the distance to dst.
+    port_offsets: Vec<u32>,
+    ports: Vec<u8>,
+    /// Neighbor list copy for port→router resolution.
+    neighbor_of: Vec<Vec<u32>>,
+}
+
+impl RouteTable {
+    /// Build the table with one BFS per destination (rayon-parallel).
+    pub fn new(g: &Graph) -> Self {
+        let n = g.n();
+        assert!(n > 0);
+        assert!(g.max_degree() < 256, "ports are stored as u8");
+        let dists: Vec<Vec<u32>> = (0..n as u32)
+            .into_par_iter()
+            .map(|dst| polarstar_graph::traversal::bfs_distances(g, dst))
+            .collect();
+        Self::from_distances(g, dists)
+    }
+
+    /// Hierarchical routing for group topologies (Dragonfly, Megafly):
+    /// minimal paths restricted to at most one inter-group ("global")
+    /// link — BookSim's built-in Dragonfly/Megafly MIN discipline. UGAL
+    /// over this table composes two such segments, matching the standard
+    /// Dragonfly Valiant scheme.
+    ///
+    /// Port rule: a local port is minimal if it reduces the ≤1-global
+    /// distance d1; a global port is minimal only if the remainder from
+    /// its far end is purely local (so no path ever takes two globals).
+    pub fn hierarchical(g: &Graph, group: &[u32]) -> Self {
+        let n = g.n();
+        assert_eq!(group.len(), n);
+        assert!(g.max_degree() < 256, "ports are stored as u8");
+        let per_dst: Vec<(Vec<u32>, Vec<u32>)> = (0..n as u32)
+            .into_par_iter()
+            .map(|dst| {
+                let d0 = local_bfs(g, group, dst);
+                let d1 = one_global_bfs(g, group, dst, &d0);
+                (d0, d1)
+            })
+            .collect();
+        let neighbor_of: Vec<Vec<u32>> = (0..n as u32).map(|r| g.neighbors(r).to_vec()).collect();
+        let mut dist = vec![0u16; n * n];
+        for (dst, (_, d1)) in per_dst.iter().enumerate() {
+            for (r, &x) in d1.iter().enumerate() {
+                dist[dst * n + r] = x.min(u16::MAX as u32) as u16;
+            }
+        }
+        let mut port_offsets = Vec::with_capacity(n * n + 1);
+        let mut ports = Vec::new();
+        port_offsets.push(0u32);
+        for r in 0..n {
+            for dst in 0..n {
+                if r != dst {
+                    let (d0, d1) = &per_dst[dst];
+                    let dr = d1[r];
+                    for (p, &nb) in neighbor_of[r].iter().enumerate() {
+                        let local = group[r] == group[nb as usize];
+                        let ok = if local {
+                            d1[nb as usize].saturating_add(1) == dr
+                        } else {
+                            d0[nb as usize].saturating_add(1) == dr
+                        };
+                        if ok {
+                            ports.push(p as u8);
+                        }
+                    }
+                }
+                port_offsets.push(ports.len() as u32);
+            }
+        }
+        RouteTable { n, dist, port_offsets, ports, neighbor_of }
+    }
+
+    fn from_distances(g: &Graph, dists: Vec<Vec<u32>>) -> Self {
+        let n = g.n();
+        let mut dist = vec![0u16; n * n];
+        for (dst, d) in dists.iter().enumerate() {
+            for (r, &x) in d.iter().enumerate() {
+                dist[dst * n + r] = x.min(u16::MAX as u32) as u16;
+            }
+        }
+        // Minimal ports per (r, dst).
+        let neighbor_of: Vec<Vec<u32>> =
+            (0..n as u32).map(|r| g.neighbors(r).to_vec()).collect();
+        let mut port_offsets = Vec::with_capacity(n * n + 1);
+        let mut ports = Vec::new();
+        port_offsets.push(0u32);
+        for r in 0..n {
+            for dst in 0..n {
+                if r != dst {
+                    let dr = dist[dst * n + r];
+                    for (p, &nb) in neighbor_of[r].iter().enumerate() {
+                        if dist[dst * n + nb as usize] + 1 == dr {
+                            ports.push(p as u8);
+                        }
+                    }
+                }
+                port_offsets.push(ports.len() as u32);
+            }
+        }
+        RouteTable { n, dist, port_offsets, ports, neighbor_of }
+    }
+
+    /// Number of routers.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Hop distance from `r` to `dst`.
+    #[inline]
+    pub fn distance(&self, r: u32, dst: u32) -> u16 {
+        self.dist[dst as usize * self.n + r as usize]
+    }
+
+    /// Minimal output ports at router `r` toward `dst` (empty iff r == dst
+    /// or dst unreachable).
+    #[inline]
+    pub fn min_ports(&self, r: u32, dst: u32) -> &[u8] {
+        let idx = r as usize * self.n + dst as usize;
+        let (s, e) = (self.port_offsets[idx] as usize, self.port_offsets[idx + 1] as usize);
+        &self.ports[s..e]
+    }
+
+    /// The neighbor reached through `port` of router `r`.
+    #[inline]
+    pub fn neighbor(&self, r: u32, port: u8) -> u32 {
+        self.neighbor_of[r as usize][port as usize]
+    }
+
+    /// Degree of router `r`.
+    #[inline]
+    pub fn degree(&self, r: u32) -> usize {
+        self.neighbor_of[r as usize].len()
+    }
+
+    /// Total table entries (for the paper's storage comparison).
+    pub fn storage_entries(&self) -> usize {
+        self.ports.len()
+    }
+}
+
+/// BFS to `dst` using only intra-group edges (UNREACHABLE-valued outside
+/// dst's group).
+fn local_bfs(g: &Graph, group: &[u32], dst: u32) -> Vec<u32> {
+    let n = g.n();
+    let mut dist = vec![u32::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    dist[dst as usize] = 0;
+    queue.push_back(dst);
+    while let Some(u) = queue.pop_front() {
+        for &v in g.neighbors(u) {
+            if group[v as usize] == group[u as usize] && dist[v as usize] == u32::MAX {
+                dist[v as usize] = dist[u as usize] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Shortest distance to `dst` over paths with at most one inter-group
+/// edge, given the pure-local distances `d0` toward `dst`.
+///
+/// A ≤1-global path from `v` is a local prefix to some router `w`, an
+/// optional global hop `w → s`, then a pure-local suffix `s → dst`. So
+/// `d1 = min(d0, local-Dijkstra from seeds seed[w] = min over global
+/// edges (w, s) of d0[s] + 1)` — a bucketed multi-source Dijkstra over
+/// local edges only.
+fn one_global_bfs(g: &Graph, group: &[u32], _dst: u32, d0: &[u32]) -> Vec<u32> {
+    let n = g.n();
+    let mut dist1 = d0.to_vec();
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); 8];
+    let push = |buckets: &mut Vec<Vec<u32>>, d: u32, v: u32| {
+        let d = d as usize;
+        if buckets.len() <= d {
+            buckets.resize(d + 1, Vec::new());
+        }
+        buckets[d].push(v);
+    };
+    // Seeds: crossing a global edge (w, s) costs d0[s] + 1 at w, plus
+    // the pure-local distances themselves.
+    for w in 0..n as u32 {
+        for &s in g.neighbors(w) {
+            if group[s as usize] != group[w as usize] && d0[s as usize] != u32::MAX {
+                let cand = d0[s as usize] + 1;
+                if cand < dist1[w as usize] {
+                    dist1[w as usize] = cand;
+                }
+            }
+        }
+    }
+    for r in 0..n {
+        if dist1[r] != u32::MAX {
+            push(&mut buckets, dist1[r], r as u32);
+        }
+    }
+    let mut d = 0usize;
+    while d < buckets.len() {
+        let mut i = 0;
+        while i < buckets[d].len() {
+            let u = buckets[d][i];
+            i += 1;
+            if dist1[u as usize] != d as u32 {
+                continue; // stale entry
+            }
+            for &v in g.neighbors(u) {
+                if group[v as usize] != group[u as usize] {
+                    continue; // only local propagation
+                }
+                let nd = d as u32 + 1;
+                if nd < dist1[v as usize] {
+                    dist1[v as usize] = nd;
+                    push(&mut buckets, nd, v);
+                }
+            }
+        }
+        d += 1;
+    }
+    dist1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polarstar_graph::Graph;
+
+    #[test]
+    fn table_on_cycle() {
+        let g = Graph::cycle(6);
+        let t = RouteTable::new(&g);
+        assert_eq!(t.distance(0, 3), 3);
+        assert_eq!(t.distance(0, 1), 1);
+        // Opposite vertex: both directions are minimal.
+        assert_eq!(t.min_ports(0, 3).len(), 2);
+        // Adjacent: single minimal port.
+        let ports = t.min_ports(0, 1);
+        assert_eq!(ports.len(), 1);
+        assert_eq!(t.neighbor(0, ports[0]), 1);
+        assert!(t.min_ports(2, 2).is_empty());
+    }
+
+    #[test]
+    fn minimal_ports_reduce_distance() {
+        let g = polarstar_graph::random::random_regular(40, 4, 3).unwrap();
+        let t = RouteTable::new(&g);
+        for r in 0..40u32 {
+            for dst in 0..40u32 {
+                if r == dst {
+                    continue;
+                }
+                let d = t.distance(r, dst);
+                assert!(!t.min_ports(r, dst).is_empty(), "{r}->{dst}");
+                for &p in t.min_ports(r, dst) {
+                    let nb = t.neighbor(r, p);
+                    assert_eq!(t.distance(nb, dst), d - 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn complete_graph_all_single_hop() {
+        let g = Graph::complete(5);
+        let t = RouteTable::new(&g);
+        for r in 0..5u32 {
+            for dst in 0..5u32 {
+                if r != dst {
+                    assert_eq!(t.distance(r, dst), 1);
+                    assert_eq!(t.min_ports(r, dst).len(), 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchical_dragonfly_distances() {
+        let df = polarstar_topo::dragonfly::dragonfly(
+            polarstar_topo::dragonfly::DragonflyParams { a: 4, h: 2, p: 1 },
+        );
+        let t = RouteTable::hierarchical(&df.graph, &df.group);
+        let free = RouteTable::new(&df.graph);
+        for r in 0..df.graph.n() as u32 {
+            for dst in 0..df.graph.n() as u32 {
+                // Hierarchical distance dominates unconstrained distance
+                // and stays ≤ 3 (local, global, local).
+                assert!(t.distance(r, dst) >= free.distance(r, dst));
+                assert!(t.distance(r, dst) <= 3, "{r}→{dst}");
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchical_paths_use_at_most_one_global() {
+        let df = polarstar_topo::dragonfly::dragonfly(
+            polarstar_topo::dragonfly::DragonflyParams { a: 4, h: 2, p: 1 },
+        );
+        let t = RouteTable::hierarchical(&df.graph, &df.group);
+        // Walk every (src, dst) pair greedily along every minimal-port
+        // choice at the first hop and the deterministic one after,
+        // counting global hops.
+        for src in 0..df.graph.n() as u32 {
+            for dst in 0..df.graph.n() as u32 {
+                if src == dst {
+                    continue;
+                }
+                for &p0 in t.min_ports(src, dst) {
+                    let mut cur = t.neighbor(src, p0);
+                    let mut globals =
+                        usize::from(df.group[src as usize] != df.group[cur as usize]);
+                    let mut hops = 1;
+                    while cur != dst {
+                        let ports = t.min_ports(cur, dst);
+                        assert!(!ports.is_empty(), "stuck at {cur} toward {dst}");
+                        let next = t.neighbor(cur, ports[0]);
+                        globals +=
+                            usize::from(df.group[cur as usize] != df.group[next as usize]);
+                        cur = next;
+                        hops += 1;
+                        assert!(hops <= 4, "loop {src}→{dst}");
+                    }
+                    assert!(globals <= 1, "{src}→{dst} used {globals} globals");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchical_megafly_reaches_leaves() {
+        let mf = polarstar_topo::megafly::megafly(
+            polarstar_topo::megafly::MegaflyParams { rho: 2, a: 4, p: 1 },
+        );
+        let t = RouteTable::hierarchical(&mf.graph, &mf.group);
+        let leaves = mf.endpoint_routers();
+        for &a in &leaves {
+            for &b in &leaves {
+                if a != b {
+                    assert!(t.distance(a, b) <= 3, "{a}→{b}: {}", t.distance(a, b));
+                    assert!(!t.min_ports(a, b).is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn storage_scales_with_path_diversity() {
+        // HyperX-like graphs have more minimal ports than a cycle.
+        let hx = polarstar_topo::hyperx::hyperx(&[4, 4], 1);
+        let t = RouteTable::new(&hx.graph);
+        // For routers differing in both coordinates there are 2 minimal
+        // first hops.
+        assert!(t.storage_entries() > 16 * 15);
+    }
+}

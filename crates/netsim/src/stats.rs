@@ -1,0 +1,144 @@
+//! Load sweeps and saturation detection — how Figure 9/10 series are
+//! produced from individual simulation points.
+
+use crate::engine::{simulate, SimConfig, SimResult};
+use crate::routing::{RouteTable, RoutingKind};
+use crate::traffic::Pattern;
+use polarstar_topo::network::NetworkSpec;
+use rayon::prelude::*;
+
+/// One figure series: latency and throughput across offered loads.
+#[derive(Clone, Debug)]
+pub struct LoadSweep {
+    /// Topology label.
+    pub name: String,
+    /// Routing label ("MIN"/"UGAL").
+    pub routing: &'static str,
+    /// Results in ascending offered load.
+    pub points: Vec<SimResult>,
+}
+
+impl LoadSweep {
+    /// Highest offered load whose run stayed stable (the paper plots
+    /// latency "up to the highest injection rate for which simulation is
+    /// stable").
+    pub fn saturation_load(&self) -> f64 {
+        self.points
+            .iter()
+            .filter(|p| p.stable)
+            .map(|p| p.offered)
+            .fold(0.0, f64::max)
+    }
+
+    /// Points up to and including saturation (what Fig. 9 plots).
+    pub fn stable_prefix(&self) -> Vec<&SimResult> {
+        self.points.iter().filter(|p| p.stable).collect()
+    }
+}
+
+/// Run a load sweep, parallelized across load points.
+pub fn sweep(
+    spec: &NetworkSpec,
+    table: &RouteTable,
+    kind: RoutingKind,
+    pattern: &Pattern,
+    loads: &[f64],
+    cfg: &SimConfig,
+) -> LoadSweep {
+    let points: Vec<SimResult> = loads
+        .par_iter()
+        .map(|&l| simulate(spec, table, kind, pattern, l, cfg))
+        .collect();
+    LoadSweep { name: spec.name.clone(), routing: kind.label(), points }
+}
+
+/// The default load grid used by the Figure 9/10 reproductions.
+pub fn default_loads() -> Vec<f64> {
+    vec![0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9]
+}
+
+/// Binary-search the saturation throughput to `tol` resolution.
+pub fn saturation_search(
+    spec: &NetworkSpec,
+    table: &RouteTable,
+    kind: RoutingKind,
+    pattern: &Pattern,
+    cfg: &SimConfig,
+    tol: f64,
+) -> f64 {
+    let mut lo = 0.0f64;
+    let mut hi = 1.0f64;
+    // Establish that `hi` is saturated; if not, the answer is 1.0.
+    if simulate(spec, table, kind, pattern, hi, cfg).stable {
+        return 1.0;
+    }
+    while hi - lo > tol {
+        let mid = (lo + hi) / 2.0;
+        if simulate(spec, table, kind, pattern, mid, cfg).stable {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polarstar_graph::Graph;
+
+    fn cfg() -> SimConfig {
+        SimConfig {
+            warmup_cycles: 300,
+            measure_cycles: 700,
+            drain_cycles: 6_000,
+            seed: 11,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn sweep_shapes() {
+        let spec = NetworkSpec::uniform("k6", Graph::complete(6), 2);
+        let table = RouteTable::new(&spec.graph);
+        let s = sweep(&spec, &table, RoutingKind::MinMulti, &Pattern::Uniform, &[0.1, 0.3, 0.5], &cfg());
+        assert_eq!(s.points.len(), 3);
+        assert!(s.saturation_load() >= 0.3, "K6 sustains moderate load");
+        assert!(!s.stable_prefix().is_empty());
+    }
+
+    #[test]
+    fn saturation_search_on_ring() {
+        // C8 with 2 eps/router: uniform saturation well below full load
+        // (bisection of 2 links serves ~16 endpoints × load/2 crossing).
+        let spec = NetworkSpec::uniform("c8", Graph::cycle(8), 2);
+        let table = RouteTable::new(&spec.graph);
+        let sat = saturation_search(&spec, &table, RoutingKind::MinMulti, &Pattern::Uniform, &cfg(), 0.05);
+        assert!(sat < 0.8, "ring saturation {sat} should be well below 1");
+        assert!(sat > 0.01, "ring should sustain some load");
+    }
+
+    #[test]
+    fn complete_graph_no_saturation() {
+        let spec = NetworkSpec::uniform("k8", Graph::complete(8), 1);
+        let table = RouteTable::new(&spec.graph);
+        let sat = saturation_search(&spec, &table, RoutingKind::MinMulti, &Pattern::Uniform, &cfg(), 0.1);
+        assert!(sat >= 0.9, "K8 with 1 ep/router sustains ~full load, got {sat}");
+    }
+}
+
+#[cfg(test)]
+mod paper_parameter_tests {
+    use crate::engine::SimConfig;
+
+    /// §9.4's BookSim parameters map onto the defaults.
+    #[test]
+    fn defaults_match_section_9_4() {
+        let c = SimConfig::default();
+        assert_eq!(c.packet_flits, 4, "packets are 4 flits");
+        assert_eq!(c.vcs, 4, "4 virtual channels");
+        assert_eq!(c.buf_flits_per_port, 128, "128-flit buffers per port");
+        assert!(c.warmup_cycles > 0, "a warm-up phase precedes measurement");
+    }
+}

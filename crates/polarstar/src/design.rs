@@ -1,0 +1,431 @@
+//! The PolarStar design space (§7) and the scaling comparison curves of
+//! Figure 1.
+//!
+//! A PolarStar configuration is a split of the network degree d* between
+//! an `ER_q` structure graph (degree q + 1, order q² + q + 1) and a
+//! supernode — Inductive-Quad (degree d', order 2d' + 2) or Paley
+//! (degree d', order 2d' + 1). This module enumerates all feasible
+//! configurations per radix, finds the largest, and provides the closed
+//! forms of Eq. (1)–(2) plus the order formulas of every comparison
+//! topology.
+
+use polarstar_gf::primes;
+use polarstar_topo::{iq, paley};
+
+/// Supernode choice for a PolarStar configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SupernodeKind {
+    /// Inductive-Quad of the given degree (order 2d' + 2). Feasible for
+    /// d' ≡ 0, 3 (mod 4).
+    InductiveQuad {
+        /// Supernode degree d'.
+        degree: usize,
+    },
+    /// Paley graph of the given degree (order 2d' + 1). Feasible for even
+    /// d' with 2d' + 1 a prime power ≡ 1 (mod 4); `degree: 0` denotes the
+    /// degenerate single-vertex supernode.
+    Paley {
+        /// Supernode degree d'.
+        degree: usize,
+    },
+}
+
+impl SupernodeKind {
+    /// Supernode degree d'.
+    pub fn degree(&self) -> usize {
+        match *self {
+            SupernodeKind::InductiveQuad { degree } | SupernodeKind::Paley { degree } => degree,
+        }
+    }
+
+    /// Supernode order.
+    pub fn order(&self) -> usize {
+        match *self {
+            SupernodeKind::InductiveQuad { degree } => 2 * degree + 2,
+            SupernodeKind::Paley { degree } => 2 * degree + 1,
+        }
+    }
+
+    /// Whether this supernode is constructible.
+    pub fn is_feasible(&self) -> bool {
+        match *self {
+            SupernodeKind::InductiveQuad { degree } => iq::is_feasible_degree(degree),
+            SupernodeKind::Paley { degree } => {
+                degree == 0 || paley::is_feasible_degree(degree)
+            }
+        }
+    }
+}
+
+/// A feasible PolarStar configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PolarStarConfig {
+    /// Structure graph parameter: `ER_q` has degree q + 1.
+    pub q: u64,
+    /// Supernode choice.
+    pub supernode: SupernodeKind,
+}
+
+impl PolarStarConfig {
+    /// Network degree d* = (q + 1) + d'.
+    pub fn degree(&self) -> usize {
+        self.q as usize + 1 + self.supernode.degree()
+    }
+
+    /// Network order (q² + q + 1) · |supernode|.
+    pub fn order(&self) -> usize {
+        ((self.q * self.q + self.q + 1) as usize) * self.supernode.order()
+    }
+
+    /// Order of the structure graph.
+    pub fn structure_order(&self) -> usize {
+        (self.q * self.q + self.q + 1) as usize
+    }
+
+    /// Short display name matching the paper's PS-IQ / PS-Pal labels.
+    pub fn label(&self) -> String {
+        match self.supernode {
+            SupernodeKind::InductiveQuad { degree } => format!("PS-IQ(q{},d'{})", self.q, degree),
+            SupernodeKind::Paley { degree } => format!("PS-Pal(q{},d'{})", self.q, degree),
+        }
+    }
+}
+
+/// All feasible PolarStar configurations of exactly the given network
+/// degree, largest order first.
+pub fn enumerate_configs(degree: usize) -> Vec<PolarStarConfig> {
+    let mut out = Vec::new();
+    for q in primes::prime_powers_in(2, degree.saturating_sub(1) as u64) {
+        let d_struct = q as usize + 1;
+        if d_struct >= degree + 1 {
+            continue;
+        }
+        let dprime = degree - d_struct;
+        for supernode in [
+            SupernodeKind::InductiveQuad { degree: dprime },
+            SupernodeKind::Paley { degree: dprime },
+        ] {
+            if supernode.is_feasible() {
+                out.push(PolarStarConfig { q, supernode });
+            }
+        }
+    }
+    out.sort_by_key(|c| std::cmp::Reverse(c.order()));
+    out
+}
+
+/// The largest PolarStar configuration at the given network degree.
+pub fn best_config(degree: usize) -> Option<PolarStarConfig> {
+    enumerate_configs(degree).into_iter().next()
+}
+
+/// The largest configuration restricted to one supernode family (used by
+/// Figures 9–13's PS-IQ vs PS-Pal comparison).
+pub fn best_config_with(degree: usize, want_iq: bool) -> Option<PolarStarConfig> {
+    enumerate_configs(degree).into_iter().find(|c| {
+        matches!(c.supernode, SupernodeKind::InductiveQuad { .. }) == want_iq
+    })
+}
+
+/// The Moore bound for degree d and diameter k (§2.2).
+pub fn moore_bound(d: u64, k: u32) -> u64 {
+    if d == 0 {
+        return 1;
+    }
+    let mut sum = 1u64;
+    let mut term = d;
+    for _ in 0..k {
+        sum += term;
+        term *= d - 1;
+    }
+    sum
+}
+
+/// The diameter-3 Moore bound d³ − d² + d + 1.
+pub fn moore_bound_d3(d: u64) -> u64 {
+    d * d * d - d * d + d + 1
+}
+
+/// Eq. (1): the q that maximizes PolarStar order at network degree d*.
+pub fn optimal_q(d_star: f64) -> f64 {
+    ((d_star - 1.0) + ((d_star - 1.0) * (d_star - 2.0)).sqrt()) / 3.0
+}
+
+/// Eq. (2): the asymptotic maximum PolarStar order with an IQ supernode,
+/// ≈ (8d*³ + 12d*² + 18d*)/27.
+pub fn max_order_estimate(d_star: f64) -> f64 {
+    (8.0 * d_star.powi(3) + 12.0 * d_star.powi(2) + 18.0 * d_star) / 27.0
+}
+
+/// StarMax (Fig. 1): upper bound for any P-/R-star product at network
+/// degree d* — diameter-2 Moore-bound structure graph (d² + 1 vertices)
+/// times the R* supernode bound (2d' + 2 vertices), maximized over the
+/// degree split.
+pub fn starmax_bound(degree: u64) -> u64 {
+    (1..degree)
+        .map(|dg| {
+            let dp = degree - dg;
+            (dg * dg + 1) * (2 * dp + 2)
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// Largest balanced Dragonfly order at the given network degree:
+/// maximize a(ah + 1) over splits a + h = degree + 1 (radix = a − 1 + h).
+pub fn dragonfly_best_order(degree: u64) -> u64 {
+    (1..=degree)
+        .map(|h| {
+            let a = degree + 1 - h;
+            a * (a * h + 1)
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// Largest 3-D HyperX order at the given network degree: maximize
+/// d1·d2·d3 with (d1 − 1) + (d2 − 1) + (d3 − 1) = degree.
+pub fn hyperx3d_best_order(degree: u64) -> u64 {
+    let mut best = 0;
+    for a in 1..=degree + 1 {
+        for b in a..=degree + 1 {
+            let rem = (degree + 3).checked_sub(a + b);
+            match rem {
+                Some(c) if c >= b => best = best.max(a * b * c),
+                _ => {}
+            }
+        }
+    }
+    best
+}
+
+/// Bidirectional Kautz K(d, 3) order at network degree 2d: (d + 1)·d².
+pub fn kautz_best_order(degree: u64) -> u64 {
+    let d = degree / 2;
+    if d == 0 {
+        0
+    } else {
+        (d + 1) * d * d
+    }
+}
+
+/// Moore-bound efficiency: order / diameter-3 Moore bound.
+pub fn moore_efficiency(order: u64, degree: u64) -> f64 {
+    order as f64 / moore_bound_d3(degree) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moore_bounds() {
+        // D=2: d²+1; D=3: d³−d²+d+1.
+        assert_eq!(moore_bound(3, 2), 10); // Petersen
+        assert_eq!(moore_bound(7, 2), 50); // Hoffman–Singleton
+        assert_eq!(moore_bound(57, 2), 3250);
+        for d in 2..60u64 {
+            assert_eq!(moore_bound(d, 3), moore_bound_d3(d));
+        }
+    }
+
+    #[test]
+    fn table3_ps_iq_configuration() {
+        // Table 3: PS-IQ d=12 (q=11), d'=3 → 1064 routers radix 15.
+        let cfg = best_config(15).unwrap();
+        assert_eq!(cfg.q, 11);
+        assert_eq!(cfg.supernode, SupernodeKind::InductiveQuad { degree: 3 });
+        assert_eq!(cfg.order(), 1064);
+        assert_eq!(cfg.degree(), 15);
+    }
+
+    #[test]
+    fn table3_ps_pal_configuration() {
+        // Table 3 lists PS-Pal as d=9, d'=6 with 993 routers; the paper's
+        // own closed form (q² + q + 1)(2d' + 1) gives 73 · 13 = 949 for
+        // that split (and no radix-15 split yields 993), so we pin the
+        // formula-consistent value. See EXPERIMENTS.md.
+        let cfg = best_config_with(15, false).unwrap();
+        assert_eq!(cfg.q, 8);
+        assert_eq!(cfg.supernode, SupernodeKind::Paley { degree: 6 });
+        assert_eq!(cfg.order(), 949);
+    }
+
+    #[test]
+    fn configs_exist_for_every_radix_8_to_128() {
+        // §1.3: "PolarStar ... exists with multiple configurations for
+        // every radix in [8, 128]".
+        for r in 8..=128usize {
+            let configs = enumerate_configs(r);
+            assert!(configs.len() >= 2, "radix {r}: {} configs", configs.len());
+            for c in &configs {
+                assert_eq!(c.degree(), r);
+                assert!(c.supernode.is_feasible());
+            }
+        }
+    }
+
+    #[test]
+    fn paley_wins_only_at_the_papers_radixes() {
+        // §7.2: IQ gives the largest order except k = 23, 50, 56, 80.
+        let mut paley_wins = Vec::new();
+        for r in 8..=128usize {
+            let best = best_config(r).unwrap();
+            if matches!(best.supernode, SupernodeKind::Paley { .. }) {
+                paley_wins.push(r);
+            }
+        }
+        assert_eq!(paley_wins, vec![23, 50, 56, 80]);
+    }
+
+    #[test]
+    fn optimal_q_matches_exhaustive_search() {
+        // Eq. (1): argmax q ≈ 2d*/3; the best feasible q must be the
+        // closest prime power within the granularity of feasibility.
+        for r in [16usize, 31, 64, 100, 128] {
+            let best = best_config(r).unwrap();
+            let qopt = optimal_q(r as f64);
+            // q+1 feasibility quantizes: allow generous slack.
+            assert!(
+                (best.q as f64 - qopt).abs() <= qopt * 0.35 + 3.0,
+                "radix {r}: q={} vs optimum {qopt:.1}",
+                best.q
+            );
+        }
+    }
+
+    #[test]
+    fn eq2_upper_bounds_practice() {
+        // Eq. (2) is an idealized (real q) estimate; feasible configs are
+        // below ~1.05× of it and not absurdly far.
+        for r in [24usize, 32, 48, 64, 96, 128] {
+            let best = best_config(r).unwrap().order() as f64;
+            let est = max_order_estimate(r as f64);
+            assert!(best <= est * 1.05, "radix {r}: {best} > {est}");
+            assert!(best >= est * 0.5, "radix {r}: {best} ≪ {est}");
+        }
+    }
+
+    #[test]
+    fn asymptotic_moore_efficiency_8_27() {
+        // §7.1: PolarStar approaches 8/27 ≈ 0.296 of the Moore bound.
+        let cfg = best_config(128).unwrap();
+        let eff = moore_efficiency(cfg.order() as u64, 128);
+        assert!((0.2..0.32).contains(&eff), "efficiency {eff}");
+    }
+
+    #[test]
+    fn starmax_dominates_polarstar() {
+        for r in 8..=128u64 {
+            if let Some(cfg) = best_config(r as usize) {
+                assert!(
+                    cfg.order() as u64 <= starmax_bound(r),
+                    "radix {r}: PolarStar exceeds StarMax"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hyperx_order_splits_evenly() {
+        // Max product under a fixed coordinate-sum is the even split.
+        assert_eq!(hyperx3d_best_order(6), 3 * 3 * 3);
+        assert_eq!(hyperx3d_best_order(21), 8 * 8 * 8);
+        // Table 3's 9×9×8 is the best radix-23 split.
+        assert_eq!(hyperx3d_best_order(23), 9 * 9 * 8);
+    }
+
+    #[test]
+    fn dragonfly_order_matches_balanced_rule() {
+        // For radix 17 the maximum is the canonical a=12, h=6 split.
+        assert_eq!(dragonfly_best_order(17), 12 * (12 * 6 + 1));
+    }
+
+    #[test]
+    fn starmax_is_monotone_in_radix() {
+        let mut last = 0;
+        for r in 4..=128u64 {
+            let s = starmax_bound(r);
+            assert!(s >= last, "StarMax must grow with radix");
+            last = s;
+        }
+    }
+
+    #[test]
+    fn best_config_with_family_filter() {
+        // Radix 9 = ER_5 (deg 6) + IQ(3): IQ exists; Paley variant also
+        // exists (ER_2 deg 3 + Paley(13) deg 6).
+        assert!(best_config_with(9, true).is_some());
+        assert!(best_config_with(9, false).is_some());
+        // Degenerate radixes with no split at all.
+        assert!(best_config(2).is_none());
+    }
+
+    #[test]
+    fn labels_follow_paper_convention() {
+        let iq = PolarStarConfig { q: 11, supernode: SupernodeKind::InductiveQuad { degree: 3 } };
+        assert_eq!(iq.label(), "PS-IQ(q11,d'3)");
+        let pal = PolarStarConfig { q: 8, supernode: SupernodeKind::Paley { degree: 6 } };
+        assert_eq!(pal.label(), "PS-Pal(q8,d'6)");
+    }
+
+    #[test]
+    fn fig1_headline_ratios() {
+        // §1.3 headline: geometric-mean scale increase over Dragonfly
+        // ≈ 1.9× and HyperX ≈ 6.7× for radixes in [8, 128].
+        let mut log_df = 0.0f64;
+        let mut log_hx = 0.0f64;
+        let mut n = 0usize;
+        for r in 8..=128u64 {
+            let ps = match best_config(r as usize) {
+                Some(c) => c.order() as f64,
+                None => continue,
+            };
+            let df = dragonfly_best_order(r) as f64;
+            let hx = hyperx3d_best_order(r) as f64;
+            log_df += (ps / df).ln();
+            log_hx += (ps / hx).ln();
+            n += 1;
+        }
+        let gm_df = (log_df / n as f64).exp();
+        let gm_hx = (log_hx / n as f64).exp();
+        assert!((1.5..2.4).contains(&gm_df), "DF geomean ratio {gm_df:.2}");
+        assert!((5.0..8.5).contains(&gm_hx), "HX geomean ratio {gm_hx:.2}");
+    }
+
+    #[test]
+    fn bundlefly_ratio_about_1_3() {
+        // §1.3: 1.3× geometric mean over Bundlefly.
+        let mut log_bf = 0.0f64;
+        let mut n = 0usize;
+        for r in 8..=128u64 {
+            let ps = match best_config(r as usize) {
+                Some(c) => c.order() as f64,
+                None => continue,
+            };
+            let bf = match polarstar_topo::bundlefly::best_params_for_degree(r) {
+                Some(p) => p.order() as f64,
+                None => continue,
+            };
+            log_bf += (ps / bf).ln();
+            n += 1;
+        }
+        let gm = (log_bf / n as f64).exp();
+        assert!((1.1..1.6).contains(&gm), "BF geomean ratio {gm:.2} over {n} radixes");
+    }
+
+    #[test]
+    fn kautz_efficiency_approaches_one_eighth() {
+        // §1.2: bidirectional Kautz has < 13% asymptotic Moore efficiency;
+        // (d+1)d² / (8d³ + O(d²)) → 1/8 from above as the radix grows.
+        let effs: Vec<f64> = [32u64, 64, 128, 256]
+            .iter()
+            .map(|&r| moore_efficiency(kautz_best_order(r), r))
+            .collect();
+        for w in effs.windows(2) {
+            assert!(w[1] < w[0], "efficiency must decrease toward 1/8: {effs:?}");
+        }
+        assert!(effs[3] < 0.13, "radix 256: Kautz efficiency {}", effs[3]);
+        assert!(effs.iter().all(|&e| e > 0.125), "bounded below by 1/8");
+    }
+}

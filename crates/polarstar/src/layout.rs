@@ -1,0 +1,158 @@
+//! Hierarchical modular layout and link bundling (§8, Fig. 8).
+//!
+//! PolarStar inherits the modular layout of the ER structure graph: each
+//! structure vertex becomes a supernode (the blade/chassis building
+//! block); structure vertices group into q + 1 clusters (racks); adjacent
+//! supernodes are joined by a bundle of 2(d* − q) parallel links that can
+//! share a multi-core fiber, and adjacent clusters by ≈ q such bundles.
+//!
+//! The cluster decomposition follows the projective coordinates: the
+//! points (1, y, z) cluster by y (q clusters of q points) and the points
+//! (0, ·, ·) form the final cluster of q + 1 points — giving the paper's
+//! q + 1 clusters with roughly q inter-cluster bundles per pair.
+
+use crate::network::PolarStarNetwork;
+use polarstar_topo::er::ErGraph;
+
+/// Cluster decomposition and bundling statistics for a PolarStar network.
+#[derive(Clone, Debug)]
+pub struct Layout {
+    /// Structure vertices per cluster (length q + 1).
+    pub clusters: Vec<Vec<u32>>,
+    /// Links in the bundle joining each pair of adjacent supernodes.
+    pub links_per_bundle: usize,
+    /// Total number of inter-supernode bundles (= ER edges).
+    pub bundle_count: usize,
+}
+
+impl Layout {
+    /// Compute the layout for a built network.
+    pub fn of(net: &PolarStarNetwork) -> Layout {
+        let clusters = er_clusters(&net.er);
+        Layout {
+            clusters,
+            links_per_bundle: net.supernode.order(),
+            bundle_count: net.er.graph.m(),
+        }
+    }
+
+    /// Cable-count reduction from bundling: per-link cables collapse to
+    /// one MCF per bundle.
+    pub fn cable_reduction(&self) -> f64 {
+        self.links_per_bundle as f64
+    }
+
+    /// Number of bundles between two clusters.
+    pub fn bundles_between(&self, net: &PolarStarNetwork, c1: usize, c2: usize) -> usize {
+        let mut count = 0;
+        for &u in &self.clusters[c1] {
+            for &v in &self.clusters[c2] {
+                if net.er.graph.has_edge(u, v) {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+}
+
+/// The q + 1 clusters of `ER_q`: points (1, y, ·) grouped by y, plus the
+/// cluster of all points with leading coordinate 0.
+pub fn er_clusters(er: &ErGraph) -> Vec<Vec<u32>> {
+    let q = er.q as usize;
+    let mut clusters: Vec<Vec<u32>> = vec![Vec::new(); q + 1];
+    for (v, p) in er.points.iter().enumerate() {
+        let c = if p[0] == 1 { p[1] as usize } else { q };
+        clusters[c].push(v as u32);
+    }
+    clusters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::best_config;
+    use crate::network::PolarStarNetwork;
+
+    fn net(degree: usize) -> PolarStarNetwork {
+        PolarStarNetwork::build(best_config(degree).unwrap(), 1).unwrap()
+    }
+
+    #[test]
+    fn cluster_sizes() {
+        // q clusters of q points plus one cluster of q + 1 points.
+        let n = net(12);
+        let q = n.config.q as usize;
+        let layout = Layout::of(&n);
+        assert_eq!(layout.clusters.len(), q + 1);
+        for c in &layout.clusters[..q] {
+            assert_eq!(c.len(), q);
+        }
+        assert_eq!(layout.clusters[q].len(), q + 1);
+        let total: usize = layout.clusters.iter().map(|c| c.len()).sum();
+        assert_eq!(total, n.config.structure_order());
+    }
+
+    #[test]
+    fn bundle_size_matches_paper() {
+        // §8: 2(d* − q) links between each pair of adjacent supernodes.
+        let n = net(15); // q = 11, d* = 15
+        let layout = Layout::of(&n);
+        let expected = 2 * (15 - n.config.q as usize);
+        assert_eq!(layout.links_per_bundle, expected);
+
+        // And verify against the actual product graph: count links
+        // between one adjacent supernode pair.
+        let (x, y) = n.er.graph.edges().next().unwrap();
+        let np = n.supernode.order() as u32;
+        let count = n
+            .graph()
+            .edges()
+            .filter(|&(u, v)| {
+                let (gu, gv) = (u / np, v / np);
+                (gu, gv) == (x, y) || (gu, gv) == (y, x)
+            })
+            .count();
+        assert_eq!(count, expected);
+    }
+
+    #[test]
+    fn bundle_count_is_er_edge_count() {
+        // q(q + 1)²/2 bundles (the ER edge count; the paper's §8 quotes
+        // q(q + 1)², which counts both directions).
+        let n = net(12);
+        let q = n.config.q as usize;
+        let layout = Layout::of(&n);
+        assert_eq!(layout.bundle_count, q * (q + 1) * (q + 1) / 2);
+    }
+
+    #[test]
+    fn inter_cluster_bundles_approx_q() {
+        // §8: "approximately q links between each pair of clusters".
+        let n = net(12);
+        let q = n.config.q as usize;
+        let layout = Layout::of(&n);
+        for c1 in 0..layout.clusters.len() {
+            for c2 in (c1 + 1)..layout.clusters.len() {
+                let b = layout.bundles_between(&n, c1, c2);
+                assert!(
+                    (q / 2..=2 * q + 2).contains(&b),
+                    "clusters {c1},{c2}: {b} bundles vs q={q}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cable_reduction_about_two_thirds_degree() {
+        // §8: bundling reduces global cables by ≈ 2d*/3.
+        let n = net(30);
+        let layout = Layout::of(&n);
+        let target = 2.0 * 30.0 / 3.0;
+        assert!(
+            (layout.cable_reduction() - target).abs() <= target * 0.4,
+            "reduction {} vs ≈{target}",
+            layout.cable_reduction()
+        );
+    }
+}

@@ -1,0 +1,567 @@
+//! Analytic minimal-path computation for PolarStar (§9.2).
+//!
+//! Routers store only factor-graph state — the structure graph's
+//! adjacency and 2-path middles, the supernode adjacency, and the
+//! bijection f — instead of a per-destination routing table. Paths are
+//! reconstructed from the Property-R / R* case analysis of Theorem 4:
+//!
+//! * same supernode: a supernode-internal path (possibly via the quadric
+//!   self-loop edges);
+//! * adjacent supernodes: one of the four cases (a)–(d) of §9.2;
+//! * distance-2 supernodes: hop onto an alternating path through a
+//!   Property-R middle supernode, then an adjacent-supernode tail.
+//!
+//! The implementation enumerates the paper's path templates in increasing
+//! length, so the returned path is minimal (validated against BFS in the
+//! test suite). A bounded depth-3 local search backstops the rare Paley
+//! (non-involution) corner cases; `fallback_count` reports how often it
+//! fires so tests can pin the template coverage.
+//!
+//! Storage: O(|V(G)|²) middle lists + O(|V(G')|²) supernode adjacency —
+//! for Table 3's PS-IQ that is ~18 K entries, versus ~1 M entries for a
+//! full per-destination next-hop table (§9.3's comparison with SF/BF).
+
+use crate::network::PolarStarNetwork;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Analytic router over a PolarStar network.
+///
+/// ```
+/// use polarstar::{design::best_config, network::PolarStarNetwork};
+/// use polarstar::routing::AnalyticRouter;
+/// let net = PolarStarNetwork::build(best_config(9).unwrap(), 1).unwrap();
+/// let router = AnalyticRouter::new(&net);
+/// let path = router.route(0, 100);
+/// assert!(path.len() <= 3);                 // diameter-3 guarantee
+/// assert_eq!(*path.last().unwrap(), 100);
+/// ```
+pub struct AnalyticRouter<'a> {
+    net: &'a PolarStarNetwork,
+    /// middles[x][y] = structure vertices w completing a ≤2-path x–w–y,
+    /// where w == x or w == y encodes a self-loop hop at a quadric vertex.
+    middles: Vec<Vec<Vec<u32>>>,
+    /// Inverse of the supernode bijection.
+    finv: Vec<u32>,
+    /// Number of routes that needed the bounded local-search backstop.
+    fallback_count: AtomicU64,
+}
+
+impl<'a> AnalyticRouter<'a> {
+    /// Precompute middle lists and f⁻¹.
+    pub fn new(net: &'a PolarStarNetwork) -> Self {
+        let er = &net.er;
+        let n = er.graph.n();
+        let mut middles = vec![vec![Vec::new(); n]; n];
+        for x in 0..n as u32 {
+            for y in 0..n as u32 {
+                if x == y {
+                    continue;
+                }
+                let mut list = Vec::new();
+                // Ordinary middles: common neighbors.
+                let (nx, ny) = (er.graph.neighbors(x), er.graph.neighbors(y));
+                let mut i = 0;
+                let mut j = 0;
+                while i < nx.len() && j < ny.len() {
+                    match nx[i].cmp(&ny[j]) {
+                        std::cmp::Ordering::Less => i += 1,
+                        std::cmp::Ordering::Greater => j += 1,
+                        std::cmp::Ordering::Equal => {
+                            list.push(nx[i]);
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+                // Self-loop middles (Theorem 1): if x is quadric and
+                // adjacent to y, the walk x–x–y exists; likewise at y.
+                if er.graph.has_edge(x, y) {
+                    if er.quadric[x as usize] {
+                        list.push(x);
+                    }
+                    if er.quadric[y as usize] {
+                        list.push(y);
+                    }
+                }
+                middles[x as usize][y as usize] = list;
+            }
+        }
+        let f = &net.supernode.f;
+        let mut finv = vec![0u32; f.len()];
+        for (a, &b) in f.iter().enumerate() {
+            finv[b as usize] = a as u32;
+        }
+        AnalyticRouter { net, middles, finv, fallback_count: AtomicU64::new(0) }
+    }
+
+    /// How many routes used the local-search backstop instead of a §9.2
+    /// template.
+    pub fn fallbacks(&self) -> u64 {
+        self.fallback_count.load(Ordering::Relaxed)
+    }
+
+    /// Supernode coordinate after crossing the structure edge `x → y`
+    /// (the star product orients arcs from the smaller endpoint, so the
+    /// reverse direction applies f⁻¹). For involutions f = f⁻¹.
+    #[inline]
+    fn cross(&self, x: u32, y: u32, a: u32) -> u32 {
+        if x < y {
+            self.net.supernode.f[a as usize]
+        } else {
+            self.finv[a as usize]
+        }
+    }
+
+    /// Whether routers `(x, a)` and `(x, b)` are adjacent inside copy x:
+    /// a supernode edge, or a quadric self-loop edge a ~ f(a) / f(b) ~ a
+    /// (both directions matter when f is not an involution, e.g. Paley).
+    #[inline]
+    fn copy_adjacent(&self, x: u32, a: u32, b: u32) -> bool {
+        if a == b {
+            return false;
+        }
+        self.net.supernode.graph.has_edge(a, b)
+            || (self.net.er.quadric[x as usize]
+                && (self.net.supernode.f[a as usize] == b
+                    || self.net.supernode.f[b as usize] == a))
+    }
+
+    /// Neighbors of local coordinate `a` within copy `x`.
+    fn copy_neighbors(&self, x: u32, a: u32) -> Vec<u32> {
+        let mut out: Vec<u32> = self.net.supernode.graph.neighbors(a).to_vec();
+        if self.net.er.quadric[x as usize] {
+            for cand in [self.net.supernode.f[a as usize], self.finv[a as usize]] {
+                if cand != a && !out.contains(&cand) {
+                    out.push(cand);
+                }
+            }
+        }
+        out
+    }
+
+    /// Destination-based incremental routing (§9.2): the next router on
+    /// a minimal path from `current` toward `dst`, or `None` when
+    /// already there. This is the per-hop decision an actual PolarStar
+    /// router makes — it recomputes the remaining minimal path from
+    /// factor-graph state at every hop, so no path state travels with
+    /// the packet.
+    pub fn next_hop(&self, current: u32, dst: u32) -> Option<u32> {
+        if current == dst {
+            return None;
+        }
+        self.route(current, dst).first().copied()
+    }
+
+    /// Compute a minimal path from router `s` to router `t`, returned as
+    /// the sequence of routers after `s` (empty when `s == t`). Length is
+    /// at most 3 (Theorems 4/5).
+    pub fn route(&self, s: u32, t: u32) -> Vec<u32> {
+        if s == t {
+            return Vec::new();
+        }
+        if let Some(p) = self.try_one_hop(s, t) {
+            return p;
+        }
+        if let Some(p) = self.try_two_hops(s, t) {
+            return p;
+        }
+        if let Some(p) = self.try_three_hops(s, t) {
+            return p;
+        }
+        self.fallback_count.fetch_add(1, Ordering::Relaxed);
+        self.bounded_search(s, t)
+            .unwrap_or_else(|| panic!("no path of length ≤ 4 from {s} to {t}"))
+    }
+
+    /// Product adjacency from factor state only.
+    fn product_adjacent(&self, s: u32, t: u32) -> bool {
+        let (x, xp) = (self.net.structure_of(s), self.net.local_of(s));
+        let (y, yp) = (self.net.structure_of(t), self.net.local_of(t));
+        if x == y {
+            self.copy_adjacent(x, xp, yp)
+        } else {
+            self.net.er.graph.has_edge(x, y) && self.cross(x, y, xp) == yp
+        }
+    }
+
+    fn try_one_hop(&self, s: u32, t: u32) -> Option<Vec<u32>> {
+        self.product_adjacent(s, t).then(|| vec![t])
+    }
+
+    /// Local coordinates reachable by one structure-level hop of the walk
+    /// `from → to`: a crossing when the vertices differ, or a quadric
+    /// self-loop hop (both f and f⁻¹ directions) when they coincide.
+    fn hop_locals(&self, from: u32, to: u32, a: u32) -> Vec<u32> {
+        if from == to {
+            let fa = self.net.supernode.f[a as usize];
+            let fia = self.finv[a as usize];
+            if fa == fia {
+                vec![fa]
+            } else {
+                vec![fa, fia]
+            }
+        } else {
+            vec![self.cross(from, to, a)]
+        }
+    }
+
+    fn try_two_hops(&self, s: u32, t: u32) -> Option<Vec<u32>> {
+        let net = self.net;
+        let (x, xp) = (net.structure_of(s), net.local_of(s));
+        let (y, yp) = (net.structure_of(t), net.local_of(t));
+        if x == y {
+            // Intra-supernode 2-path through a copy-internal middle.
+            for m in self.copy_neighbors(x, xp) {
+                if self.copy_adjacent(x, m, yp) {
+                    return Some(vec![net.router_id(x, m), t]);
+                }
+            }
+            return None;
+        }
+        if net.er.graph.has_edge(x, y) {
+            // §9.2 case (c): intra hop at x, then cross.
+            for m in self.copy_neighbors(x, xp) {
+                if self.cross(x, y, m) == yp {
+                    return Some(vec![net.router_id(x, m), t]);
+                }
+            }
+            // §9.2 case (d): cross, then intra hop at y.
+            let mid = self.cross(x, y, xp);
+            if self.copy_adjacent(y, mid, yp) {
+                return Some(vec![net.router_id(y, mid), t]);
+            }
+        }
+        // Alternating path through a middle supernode (case (a); also the
+        // only way two non-adjacent supernodes can be 2 apart).
+        for &w in &self.middles[x as usize][y as usize] {
+            for h1 in self.hop_locals(x, w, xp) {
+                for h2 in self.hop_locals(w, y, h1) {
+                    if h2 == yp {
+                        // For a self-loop middle (w == x or w == y) the
+                        // intermediate router sits in the looping copy.
+                        let mid = net.router_id(w, h1);
+                        if mid != s && mid != t {
+                            return Some(vec![mid, t]);
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    fn try_three_hops(&self, s: u32, t: u32) -> Option<Vec<u32>> {
+        let net = self.net;
+        let er = &net.er.graph;
+        let (x, xp) = (net.structure_of(s), net.local_of(s));
+        let (y, yp) = (net.structure_of(t), net.local_of(t));
+
+        if x != y {
+            for &w in &self.middles[x as usize][y as usize] {
+                // Intra hop at the source copy, then the 2-walk.
+                for m in self.copy_neighbors(x, xp) {
+                    for h1 in self.hop_locals(x, w, m) {
+                        for h2 in self.hop_locals(w, y, h1) {
+                            if h2 == yp {
+                                return Some(vec![
+                                    net.router_id(x, m),
+                                    net.router_id(w, h1),
+                                    t,
+                                ]);
+                            }
+                        }
+                    }
+                }
+                for h1 in self.hop_locals(x, w, xp) {
+                    // Intra hop at the middle copy.
+                    for m in self.copy_neighbors(w, h1) {
+                        for h2 in self.hop_locals(w, y, m) {
+                            if h2 == yp {
+                                return Some(vec![
+                                    net.router_id(w, h1),
+                                    net.router_id(w, m),
+                                    t,
+                                ]);
+                            }
+                        }
+                    }
+                    // Intra hop at the destination copy.
+                    for h2 in self.hop_locals(w, y, h1) {
+                        if self.copy_adjacent(y, h2, yp) {
+                            return Some(vec![
+                                net.router_id(w, h1),
+                                net.router_id(y, h2),
+                                t,
+                            ]);
+                        }
+                    }
+                }
+            }
+            // Adjacent supernodes may also need intra-cross-intra.
+            if er.has_edge(x, y) {
+                for m in self.copy_neighbors(x, xp) {
+                    let mid = self.cross(x, y, m);
+                    if self.copy_adjacent(y, mid, yp) {
+                        return Some(vec![
+                            net.router_id(x, m),
+                            net.router_id(y, mid),
+                            t,
+                        ]);
+                    }
+                }
+            }
+        } else {
+            // Same supernode at distance 3: intra-intra-intra.
+            for m1 in self.copy_neighbors(x, xp) {
+                for m2 in self.copy_neighbors(x, m1) {
+                    if self.copy_adjacent(x, m2, yp) {
+                        return Some(vec![
+                            net.router_id(x, m1),
+                            net.router_id(x, m2),
+                            t,
+                        ]);
+                    }
+                }
+            }
+        }
+
+        // Pure-crossing 3-walks x → a → w → y (§9.2 case (b): hop to a
+        // neighbor, then ride a 2-hop alternating path; also covers the
+        // same-supernode triangle excursion when y == x). The first hop
+        // may be a quadric self-loop.
+        let mut firsts: Vec<(u32, u32)> = Vec::new();
+        for &a in er.neighbors(x) {
+            firsts.push((a, self.cross(x, a, xp)));
+        }
+        if net.er.quadric[x as usize] {
+            for h in self.hop_locals(x, x, xp) {
+                firsts.push((x, h));
+            }
+        }
+        for (a, h) in firsts {
+            if a == y {
+                continue; // would be an at-most-2-hop case, already tried
+            }
+            for &w in &self.middles[a as usize][y as usize] {
+                for h1 in self.hop_locals(a, w, h) {
+                    for h2 in self.hop_locals(w, y, h1) {
+                        if h2 == yp {
+                            let m1 = net.router_id(a, h);
+                            let m2 = net.router_id(w, h1);
+                            if m1 != s && m1 != t && m2 != s && m2 != t && m1 != m2 {
+                                return Some(vec![m1, m2, t]);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Depth-bounded breadth-first search using on-the-fly factor
+    /// adjacency (no global tables). Backstop only.
+    fn bounded_search(&self, s: u32, t: u32) -> Option<Vec<u32>> {
+        use std::collections::{HashMap, VecDeque};
+        let mut parent: HashMap<u32, u32> = HashMap::new();
+        let mut depth: HashMap<u32, u32> = HashMap::new();
+        let mut queue = VecDeque::new();
+        depth.insert(s, 0);
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            let dv = depth[&v];
+            if dv >= 4 {
+                break;
+            }
+            for w in self.local_neighbors(v) {
+                if let std::collections::hash_map::Entry::Vacant(e) = depth.entry(w) {
+                    e.insert(dv + 1);
+                    parent.insert(w, v);
+                    if w == t {
+                        let mut path = vec![t];
+                        let mut cur = t;
+                        while let Some(&p) = parent.get(&cur) {
+                            if p == s {
+                                break;
+                            }
+                            path.push(p);
+                            cur = p;
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    queue.push_back(w);
+                }
+            }
+        }
+        None
+    }
+
+    /// All product neighbors of a router, computed from factor state.
+    pub fn local_neighbors(&self, v: u32) -> Vec<u32> {
+        let net = self.net;
+        let (x, xp) = (net.structure_of(v), net.local_of(v));
+        let mut out: Vec<u32> = self
+            .copy_neighbors(x, xp)
+            .into_iter()
+            .map(|m| net.router_id(x, m))
+            .collect();
+        for &y in net.er.graph.neighbors(x) {
+            out.push(net.router_id(y, self.cross(x, y, xp)));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::{best_config, best_config_with, PolarStarConfig, SupernodeKind};
+    use crate::network::PolarStarNetwork;
+    use polarstar_graph::traversal;
+
+    fn validate_path(net: &PolarStarNetwork, s: u32, path: &[u32]) {
+        let mut cur = s;
+        for &next in path {
+            assert!(
+                net.graph().has_edge(cur, next),
+                "{}: hop {cur}→{next} is not an edge",
+                net.config.label()
+            );
+            cur = next;
+        }
+    }
+
+    fn check_all_pairs_minimal(net: &PolarStarNetwork) -> u64 {
+        let router = AnalyticRouter::new(net);
+        let n = net.spec.routers() as u32;
+        for s in 0..n {
+            let dist = traversal::bfs_distances(net.graph(), s);
+            for t in 0..n {
+                let path = router.route(s, t);
+                validate_path(net, s, &path);
+                assert_eq!(path.last().copied().unwrap_or(s), t);
+                assert_eq!(
+                    path.len() as u32,
+                    dist[t as usize],
+                    "{}: route {s}→{t} has length {} but BFS distance {}",
+                    net.config.label(),
+                    path.len(),
+                    dist[t as usize]
+                );
+            }
+        }
+        router.fallbacks()
+    }
+
+    #[test]
+    fn iq_routing_matches_bfs_everywhere() {
+        for cfg in [
+            PolarStarConfig { q: 2, supernode: SupernodeKind::InductiveQuad { degree: 3 } },
+            PolarStarConfig { q: 3, supernode: SupernodeKind::InductiveQuad { degree: 3 } },
+            PolarStarConfig { q: 4, supernode: SupernodeKind::InductiveQuad { degree: 4 } },
+            PolarStarConfig { q: 5, supernode: SupernodeKind::InductiveQuad { degree: 3 } },
+        ] {
+            let net = PolarStarNetwork::build(cfg, 1).unwrap();
+            let fallbacks = check_all_pairs_minimal(&net);
+            assert_eq!(fallbacks, 0, "{}: templates must cover all pairs", cfg.label());
+        }
+    }
+
+    #[test]
+    fn paley_routing_matches_bfs_everywhere() {
+        for cfg in [
+            PolarStarConfig { q: 3, supernode: SupernodeKind::Paley { degree: 2 } },
+            PolarStarConfig { q: 4, supernode: SupernodeKind::Paley { degree: 2 } },
+            PolarStarConfig { q: 5, supernode: SupernodeKind::Paley { degree: 4 } },
+        ] {
+            let net = PolarStarNetwork::build(cfg, 1).unwrap();
+            let _fallbacks = check_all_pairs_minimal(&net);
+        }
+    }
+
+    #[test]
+    fn table3_scale_sampled_pairs() {
+        // PS-IQ at Table 3 scale: sample sources, verify minimality.
+        let cfg = best_config(15).unwrap();
+        let net = PolarStarNetwork::build(cfg, 1).unwrap();
+        let router = AnalyticRouter::new(&net);
+        let n = net.spec.routers() as u32;
+        for s in (0..n).step_by(97) {
+            let dist = traversal::bfs_distances(net.graph(), s);
+            for t in (0..n).step_by(13) {
+                let path = router.route(s, t);
+                validate_path(&net, s, &path);
+                assert_eq!(path.len() as u32, dist[t as usize], "{s}→{t}");
+            }
+        }
+        assert_eq!(router.fallbacks(), 0);
+    }
+
+    #[test]
+    fn paley_variant_at_scale() {
+        let cfg = best_config_with(12, false).unwrap();
+        let net = PolarStarNetwork::build(cfg, 1).unwrap();
+        let router = AnalyticRouter::new(&net);
+        let n = net.spec.routers() as u32;
+        for s in (0..n).step_by(41) {
+            let dist = traversal::bfs_distances(net.graph(), s);
+            for t in (0..n).step_by(7) {
+                let path = router.route(s, t);
+                validate_path(&net, s, &path);
+                assert_eq!(path.len() as u32, dist[t as usize], "{s}→{t}");
+            }
+        }
+    }
+
+    #[test]
+    fn local_neighbors_match_graph() {
+        let cfg = best_config(9).unwrap();
+        let net = PolarStarNetwork::build(cfg, 1).unwrap();
+        let router = AnalyticRouter::new(&net);
+        for v in 0..net.spec.routers() as u32 {
+            let mut computed = router.local_neighbors(v);
+            computed.sort_unstable();
+            computed.dedup();
+            assert_eq!(computed, net.graph().neighbors(v).to_vec(), "router {v}");
+        }
+    }
+
+    #[test]
+    fn incremental_next_hop_is_consistent() {
+        // §9.2: "amenable to incremental routing and therefore, suitable
+        // for destination-based routing" — following next_hop from every
+        // source must reach the destination in exactly the BFS distance.
+        let cfg = best_config(10).unwrap();
+        let net = PolarStarNetwork::build(cfg, 1).unwrap();
+        let router = AnalyticRouter::new(&net);
+        let n = net.spec.routers() as u32;
+        for s in (0..n).step_by(11) {
+            let dist = traversal::bfs_distances(net.graph(), s);
+            for t in (0..n).step_by(7) {
+                let mut cur = s;
+                let mut hops = 0;
+                while let Some(next) = router.next_hop(cur, t) {
+                    assert!(net.graph().has_edge(cur, next));
+                    cur = next;
+                    hops += 1;
+                    assert!(hops <= 3, "{s}→{t} exceeded diameter");
+                }
+                assert_eq!(cur, t);
+                assert_eq!(hops, dist[t as usize], "{s}→{t}");
+            }
+        }
+    }
+
+    #[test]
+    fn route_storage_is_factor_sized() {
+        // The paper's §9.3 point: analytic routing needs structure-graph
+        // middles, not per-destination tables. Middle lists are O(n²) in
+        // the *structure* order, far below router-count × degree.
+        let cfg = best_config(15).unwrap();
+        let net = PolarStarNetwork::build(cfg, 1).unwrap();
+        let n_struct = net.config.structure_order();
+        let table_entries = net.spec.routers() * net.spec.routers();
+        assert!(n_struct * n_struct * 4 < table_entries / 10);
+    }
+}

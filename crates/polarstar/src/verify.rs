@@ -1,0 +1,159 @@
+//! One-call structural verification: check a built PolarStar network
+//! against every claim the paper makes about it — the report a
+//! deployment tool would run after generating a wiring plan.
+
+use crate::layout::Layout;
+use crate::network::PolarStarNetwork;
+use polarstar_graph::traversal;
+
+/// Outcome of verifying one claim.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Check {
+    /// What was checked.
+    pub name: &'static str,
+    /// Whether it held.
+    pub ok: bool,
+    /// Human-readable detail (measured vs expected).
+    pub detail: String,
+}
+
+/// Full verification report.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Individual checks in evaluation order.
+    pub checks: Vec<Check>,
+}
+
+impl Report {
+    /// Whether every check passed.
+    pub fn all_ok(&self) -> bool {
+        self.checks.iter().all(|c| c.ok)
+    }
+
+    /// The failed checks.
+    pub fn failures(&self) -> Vec<&Check> {
+        self.checks.iter().filter(|c| !c.ok).collect()
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for c in &self.checks {
+            writeln!(f, "[{}] {} — {}", if c.ok { "ok" } else { "FAIL" }, c.name, c.detail)?;
+        }
+        Ok(())
+    }
+}
+
+/// Verify the paper's structural guarantees on a constructed network:
+/// order, degree budget, connectivity, diameter ≤ 3, factor-graph
+/// properties (R for ER_q, R*/R1 for the supernode), supernode bundle
+/// sizes and cluster decomposition.
+///
+/// `check_diameter` runs an all-pairs BFS — disable for very large
+/// networks if only the cheap invariants are wanted.
+pub fn verify(net: &PolarStarNetwork, check_diameter: bool) -> Report {
+    let mut checks = Vec::new();
+    let mut push = |name: &'static str, ok: bool, detail: String| {
+        checks.push(Check { name, ok, detail });
+    };
+
+    let cfg = &net.config;
+    let n = net.spec.routers();
+    push(
+        "order",
+        n == cfg.order(),
+        format!("{n} routers vs (q²+q+1)·|G'| = {}", cfg.order()),
+    );
+    let max_deg = net.graph().max_degree();
+    push(
+        "degree budget",
+        max_deg <= cfg.degree(),
+        format!("max link degree {max_deg} ≤ d* = {}", cfg.degree()),
+    );
+    push(
+        "connectivity",
+        traversal::is_connected(net.graph()),
+        "single connected component".into(),
+    );
+    if check_diameter {
+        let diam = traversal::diameter(net.graph());
+        push(
+            "diameter ≤ 3",
+            diam.map_or(false, |d| d <= 3),
+            format!("measured {diam:?} (Theorems 4/5)"),
+        );
+    }
+    push(
+        "structure Property R",
+        net.er.has_property_r(),
+        format!("ER_{} joins every pair by a 2-walk", cfg.q),
+    );
+    let sn = &net.supernode;
+    let sn_ok = sn.satisfies_r_star() || sn.satisfies_r1();
+    push(
+        "supernode Property R*/R1",
+        sn_ok,
+        format!("{}: R* = {}, R1 = {}", sn.name, sn.satisfies_r_star(), sn.satisfies_r1()),
+    );
+
+    let layout = Layout::of(net);
+    let expected_bundle = sn.order();
+    push(
+        "bundle size",
+        layout.links_per_bundle == expected_bundle,
+        format!("{} links per adjacent-supernode bundle (= |G'|)", layout.links_per_bundle),
+    );
+    push(
+        "cluster count",
+        layout.clusters.len() == cfg.q as usize + 1,
+        format!("{} clusters vs q + 1 = {}", layout.clusters.len(), cfg.q + 1),
+    );
+    let cluster_total: usize = layout.clusters.iter().map(|c| c.len()).sum();
+    push(
+        "cluster coverage",
+        cluster_total == cfg.structure_order(),
+        format!("{cluster_total} structure vertices clustered"),
+    );
+
+    Report { checks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::{best_config, best_config_with};
+    use crate::network::PolarStarNetwork;
+
+    #[test]
+    fn table3_network_verifies() {
+        let net = PolarStarNetwork::build(best_config(15).unwrap(), 1).unwrap();
+        let report = verify(&net, true);
+        assert!(report.all_ok(), "failures: {:?}", report.failures());
+        assert_eq!(report.checks.len(), 9);
+    }
+
+    #[test]
+    fn paley_variant_verifies() {
+        let net = PolarStarNetwork::build(best_config_with(10, false).unwrap(), 1).unwrap();
+        let report = verify(&net, true);
+        assert!(report.all_ok(), "failures: {:?}", report.failures());
+    }
+
+    #[test]
+    fn cheap_mode_skips_diameter() {
+        let net = PolarStarNetwork::build(best_config(12).unwrap(), 1).unwrap();
+        let report = verify(&net, false);
+        assert!(report.checks.iter().all(|c| c.name != "diameter ≤ 3"));
+        assert!(report.all_ok());
+    }
+
+    #[test]
+    fn report_formats() {
+        let net = PolarStarNetwork::build(best_config(9).unwrap(), 1).unwrap();
+        let report = verify(&net, false);
+        let text = format!("{report}");
+        assert!(text.contains("[ok] order"));
+        assert!(text.contains("Property R"));
+    }
+}

@@ -1,0 +1,149 @@
+//! Canonical Dragonfly `DF(a, h, p)` (Kim et al., ISCA'08) — the popular
+//! diameter-3 baseline.
+//!
+//! `a` routers per group form a clique; each router has `h` global ports
+//! and `p` endpoints. The maximum-size (balanced) Dragonfly has
+//! `g = a·h + 1` groups with exactly one global link between every pair of
+//! groups, arranged palm-tree style: global port `k` of group `g` connects
+//! to group `g + k + 1 (mod G)` and arrives there on port `G − 2 − k`.
+
+use crate::network::NetworkSpec;
+use polarstar_graph::GraphBuilder;
+
+/// Parameters of a Dragonfly network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DragonflyParams {
+    /// Routers per group.
+    pub a: usize,
+    /// Global links per router.
+    pub h: usize,
+    /// Endpoints per router.
+    pub p: usize,
+}
+
+impl DragonflyParams {
+    /// The balanced configuration for network radix `r`: a = 2⌈r/4⌉-ish
+    /// split a ≈ 2h, using the paper's rule a = 2h, p = h.
+    pub fn balanced_for_radix(radix: usize) -> Self {
+        // radix = (a - 1) + h with a = 2h → 3h - 1 = radix.
+        let h = (radix + 1) / 3;
+        let a = 2 * h;
+        DragonflyParams { a, h, p: h }
+    }
+
+    /// Number of groups in the maximal arrangement.
+    pub fn groups(&self) -> usize {
+        self.a * self.h + 1
+    }
+
+    /// Total routers.
+    pub fn routers(&self) -> usize {
+        self.groups() * self.a
+    }
+
+    /// Network radix (links + endpoints per router).
+    pub fn radix(&self) -> usize {
+        (self.a - 1) + self.h + self.p
+    }
+}
+
+/// Build the maximal Dragonfly for the given parameters.
+pub fn dragonfly(params: DragonflyParams) -> NetworkSpec {
+    let DragonflyParams { a, h, p } = params;
+    assert!(a >= 1 && h >= 1, "need at least one router and one global port");
+    let groups = params.groups();
+    let n = params.routers();
+    let mut b = GraphBuilder::new(n);
+    let router = |g: usize, r: usize| (g * a + r) as u32;
+
+    // Intra-group cliques.
+    for g in 0..groups {
+        for r1 in 0..a {
+            for r2 in (r1 + 1)..a {
+                b.add_edge(router(g, r1), router(g, r2));
+            }
+        }
+    }
+    // Global links, palm-tree arrangement: one per group pair.
+    let ports = a * h; // = groups - 1
+    for g in 0..groups {
+        for k in 0..ports {
+            let tg = (g + k + 1) % groups;
+            if tg < g {
+                continue; // each pair once (added from the smaller group)
+            }
+            let back = ports - 1 - k; // port index on the target side
+            debug_assert_eq!((tg + back + 1) % groups, g);
+            b.add_edge(router(g, k / h), router(tg, back / h));
+        }
+    }
+
+    let group: Vec<u32> = (0..n).map(|r| (r / a) as u32).collect();
+    NetworkSpec {
+        name: format!("DF(a{a},h{h},p{p})"),
+        graph: b.build(),
+        endpoints: vec![p as u32; n],
+        group,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polarstar_graph::traversal;
+
+    #[test]
+    fn table3_configuration() {
+        // Table 3: DF a=12, h=6, p=6: 876 routers, radix 17, 5256 endpoints.
+        let params = DragonflyParams { a: 12, h: 6, p: 6 };
+        let df = dragonfly(params);
+        assert_eq!(df.routers(), 876);
+        assert_eq!(df.radix(), 17 + 6); // 17 network radix + 6 endpoints
+        assert_eq!(params.radix() - params.p, 17, "network radix without endpoints");
+        assert_eq!(df.total_endpoints(), 5256);
+        df.validate().unwrap();
+    }
+
+    #[test]
+    fn diameter_is_three() {
+        for (a, h) in [(4usize, 2usize), (6, 3), (8, 4)] {
+            let df = dragonfly(DragonflyParams { a, h, p: h });
+            assert_eq!(traversal::diameter(&df.graph), Some(3), "DF(a{a},h{h})");
+        }
+    }
+
+    #[test]
+    fn one_global_link_per_group_pair() {
+        let params = DragonflyParams { a: 4, h: 2, p: 2 };
+        let df = dragonfly(params);
+        let groups = params.groups();
+        let mut count = vec![vec![0usize; groups]; groups];
+        for (u, v) in df.graph.edges() {
+            let (gu, gv) = (df.group[u as usize] as usize, df.group[v as usize] as usize);
+            if gu != gv {
+                count[gu][gv] += 1;
+                count[gv][gu] += 1;
+            }
+        }
+        for g1 in 0..groups {
+            for g2 in 0..groups {
+                if g1 != g2 {
+                    assert_eq!(count[g1][g2], 1, "groups {g1},{g2}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn router_degrees_uniform() {
+        let df = dragonfly(DragonflyParams { a: 6, h: 3, p: 3 });
+        assert!(df.graph.is_regular());
+        assert_eq!(df.graph.max_degree(), 6 - 1 + 3);
+    }
+
+    #[test]
+    fn balanced_radix_rule() {
+        let p = DragonflyParams::balanced_for_radix(17);
+        assert_eq!((p.a, p.h), (12, 6));
+    }
+}

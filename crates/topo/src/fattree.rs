@@ -1,0 +1,113 @@
+//! 3-level Fat-tree, modelled as BookSim does (§9.1): a p-ary 3-tree with
+//! router radix 2p, p² routers per level, top-level routers using only
+//! half their ports, and p³ endpoints on the leaf level.
+//!
+//! Switch `⟨l, w⟩` (level `l`, index `w` written in base p as
+//! `w_{n−2} … w_0`) connects to switch `⟨l+1, w'⟩` iff `w` and `w'` agree
+//! in every digit except digit `l` — the classical k-ary n-tree rule,
+//! which gives every leaf pair full path diversity through the roots.
+
+use crate::network::NetworkSpec;
+use polarstar_graph::GraphBuilder;
+
+/// Build a p-ary `levels`-tree (the paper uses `levels = 3`, p = 18).
+pub fn fattree(p: usize, levels: usize) -> NetworkSpec {
+    assert!(p >= 2 && levels >= 2, "need p ≥ 2 and ≥ 2 levels");
+    let per_level = p.pow(levels as u32 - 1);
+    let n = levels * per_level;
+    let router = |l: usize, w: usize| (l * per_level + w) as u32;
+
+    let mut b = GraphBuilder::new(n);
+    for l in 0..levels - 1 {
+        for w in 0..per_level {
+            // Vary digit l of w to reach the p parents at level l + 1.
+            let stride = p.pow(l as u32);
+            let digit = (w / stride) % p;
+            let base = w - digit * stride;
+            for d in 0..p {
+                let wp = base + d * stride;
+                b.add_edge(router(l, w), router(l + 1, wp));
+            }
+        }
+    }
+
+    let mut endpoints = vec![0u32; n];
+    for w in 0..per_level {
+        endpoints[router(0, w) as usize] = p as u32;
+    }
+    // Group leaves (and their ancestors) by the top digit — a "pod".
+    let pod_stride = p.pow(levels as u32 - 2);
+    let group: Vec<u32> =
+        (0..n).map(|r| ((r % per_level) / pod_stride) as u32).collect();
+
+    NetworkSpec { name: format!("FT(p{p},n{levels})"), graph: b.build(), endpoints, group }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polarstar_graph::traversal;
+
+    #[test]
+    fn table3_configuration() {
+        // Table 3: n=3, p=18 → 972 routers, radix 36, 5832 endpoints.
+        let ft = fattree(18, 3);
+        assert_eq!(ft.routers(), 972);
+        assert_eq!(ft.total_endpoints(), 5832);
+        assert_eq!(ft.radix(), 36);
+        ft.validate().unwrap();
+    }
+
+    #[test]
+    fn level_degrees() {
+        let p = 4;
+        let ft = fattree(p, 3);
+        let per = p * p;
+        for w in 0..per {
+            // Leaves: p up-links (+ p endpoints).
+            assert_eq!(ft.graph.degree(w as u32), p);
+            // Middle: p down + p up.
+            assert_eq!(ft.graph.degree((per + w) as u32), 2 * p);
+            // Top: p down only (half radix, as BookSim).
+            assert_eq!(ft.graph.degree((2 * per + w) as u32), p);
+        }
+    }
+
+    #[test]
+    fn leaf_to_leaf_distance_at_most_four() {
+        let ft = fattree(3, 3);
+        // Any two distinct leaves are ≤ 4 hops apart (up to a root, down).
+        for a in 0..9u32 {
+            for bq in 0..9u32 {
+                if a != bq {
+                    let d = traversal::pair_distance(&ft.graph, a, bq).unwrap();
+                    assert!(d <= 4 && d >= 2, "leaves {a},{bq} at distance {d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn connected_and_bipartite_levels() {
+        let ft = fattree(3, 3);
+        assert!(traversal::is_connected(&ft.graph));
+        // Edges only between adjacent levels.
+        let per = 9;
+        for (u, v) in ft.graph.edges() {
+            let (lu, lv) = (u as usize / per, v as usize / per);
+            assert_eq!(lu.abs_diff(lv), 1, "edge ({u},{v}) spans levels {lu},{lv}");
+        }
+    }
+
+    #[test]
+    fn path_diversity_to_roots() {
+        // In a p-ary 3-tree, each leaf reaches p² roots: every root is an
+        // ancestor.
+        let p = 3;
+        let ft = fattree(p, 3);
+        let d = traversal::bfs_distances(&ft.graph, 0);
+        let roots_at_2: usize =
+            (2 * p * p..3 * p * p).filter(|&r| d[r] == 2).count();
+        assert_eq!(roots_at_2, p * p);
+    }
+}

@@ -1,0 +1,99 @@
+//! HyperX (Ahn et al., SC'09): the fully-connected generalized hypercube.
+//!
+//! Routers are points of a mixed-radix lattice `S_1 × … × S_L`; two
+//! routers are linked iff they differ in exactly one coordinate (each
+//! dimension is a clique). A 3-D HyperX has diameter 3. The paper's
+//! Table 3 uses 9×9×8 with p = 8.
+
+use crate::network::NetworkSpec;
+use polarstar_graph::GraphBuilder;
+
+/// Build a HyperX with the given per-dimension sizes and `p` endpoints per
+/// router.
+pub fn hyperx(dims: &[usize], p: usize) -> NetworkSpec {
+    assert!(!dims.is_empty() && dims.iter().all(|&d| d >= 1), "dims must be ≥ 1");
+    let n: usize = dims.iter().product();
+    let mut b = GraphBuilder::new(n);
+    // Mixed-radix strides.
+    let mut stride = vec![1usize; dims.len()];
+    for i in 1..dims.len() {
+        stride[i] = stride[i - 1] * dims[i - 1];
+    }
+    for v in 0..n {
+        for (dim, (&size, &st)) in dims.iter().zip(&stride).enumerate() {
+            let _ = dim;
+            let coord = (v / st) % size;
+            for other in (coord + 1)..size {
+                let u = v + (other - coord) * st;
+                b.add_edge(v as u32, u as u32);
+            }
+        }
+    }
+    NetworkSpec {
+        name: format!(
+            "HX({})",
+            dims.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("x")
+        ),
+        graph: b.build(),
+        endpoints: vec![p as u32; n],
+        group: (0..n as u32).collect(),
+    }
+}
+
+/// Decompose a router id into lattice coordinates (used by
+/// dimension-ordered routing).
+pub fn coordinates(dims: &[usize], v: u32) -> Vec<usize> {
+    let mut out = Vec::with_capacity(dims.len());
+    let mut rest = v as usize;
+    for &d in dims {
+        out.push(rest % d);
+        rest /= d;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polarstar_graph::traversal;
+
+    #[test]
+    fn table3_configuration() {
+        // Table 3: 9×9×8, p=8 → 648 routers, network radix 23, 5184 eps.
+        let hx = hyperx(&[9, 9, 8], 8);
+        assert_eq!(hx.routers(), 648);
+        assert_eq!(hx.graph.max_degree(), 8 + 8 + 7);
+        assert_eq!(hx.total_endpoints(), 5184);
+        assert!(hx.graph.is_regular());
+        hx.validate().unwrap();
+    }
+
+    #[test]
+    fn diameter_equals_dimensions() {
+        assert_eq!(traversal::diameter(&hyperx(&[3, 3, 3], 1).graph), Some(3));
+        assert_eq!(traversal::diameter(&hyperx(&[4, 5], 1).graph), Some(2));
+        assert_eq!(traversal::diameter(&hyperx(&[6], 1).graph), Some(1));
+    }
+
+    #[test]
+    fn coordinates_roundtrip() {
+        let dims = [3usize, 4, 5];
+        for v in 0..60u32 {
+            let c = coordinates(&dims, v);
+            let back: usize = c[0] + 3 * c[1] + 12 * c[2];
+            assert_eq!(back, v as usize);
+        }
+    }
+
+    #[test]
+    fn neighbors_differ_in_one_coordinate() {
+        let dims = [3usize, 3, 2];
+        let hx = hyperx(&dims, 1);
+        for (u, v) in hx.graph.edges() {
+            let cu = coordinates(&dims, u);
+            let cv = coordinates(&dims, v);
+            let diffs = cu.iter().zip(&cv).filter(|(a, b)| a != b).count();
+            assert_eq!(diffs, 1, "edge ({u},{v})");
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Jellyfish (Singla et al., NSDI'12): a uniform random regular graph as a
+//! datacenter topology. Used in the paper's Figure 12 as the bisection
+//! upper baseline ("highest fraction of links in bisection due to random
+//! connectivity").
+
+use crate::network::NetworkSpec;
+use polarstar_graph::random::{random_regular, RandomGraphError};
+
+/// Build a Jellyfish network: `n` routers of network degree `d`, `p`
+/// endpoints each, deterministic in `seed`.
+pub fn jellyfish(n: usize, d: usize, p: usize, seed: u64) -> Result<NetworkSpec, RandomGraphError> {
+    let graph = random_regular(n, d, seed)?;
+    Ok(NetworkSpec::uniform(format!("JF(n{n},d{d})"), graph, p as u32))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polarstar_graph::traversal;
+
+    #[test]
+    fn shape_and_connectivity() {
+        let jf = jellyfish(100, 8, 4, 1).unwrap();
+        assert_eq!(jf.routers(), 100);
+        assert!(jf.graph.is_regular());
+        assert_eq!(jf.graph.max_degree(), 8);
+        assert!(traversal::is_connected(&jf.graph));
+        assert_eq!(jf.total_endpoints(), 400);
+    }
+
+    #[test]
+    fn random_regular_low_diameter() {
+        // Random regular graphs have logarithmic diameter; for n=200, d=10
+        // the diameter is tiny (≤ 4 with overwhelming probability, and
+        // deterministic here by the fixed seed).
+        let jf = jellyfish(200, 10, 1, 7).unwrap();
+        let diam = traversal::diameter(&jf.graph).unwrap();
+        assert!(diam <= 4, "diameter {diam}");
+    }
+
+    #[test]
+    fn infeasible_params_error() {
+        assert!(jellyfish(11, 3, 1, 0).is_err());
+    }
+}

@@ -1,0 +1,109 @@
+//! Kautz digraphs `K(d, n)` and their bidirectional closure — the
+//! SiCortex-style topology compared in Figure 1.
+//!
+//! Vertices are length-n strings over an alphabet of d+1 symbols with no
+//! two consecutive symbols equal; there is an arc `u → v` iff `v` is `u`
+//! shifted left by one symbol. The digraph has out-degree d, diameter n
+//! and order (d+1)·dⁿ⁻¹ — nearly the directed Moore bound.
+//!
+//! The paper treats each link as bidirectional, doubling the degree; we
+//! expose the underlying undirected simple graph the same way.
+
+use polarstar_graph::{Graph, GraphBuilder};
+
+/// Order of K(d, n): (d+1)·d^(n−1).
+pub fn kautz_order(d: usize, n: usize) -> usize {
+    (d + 1) * d.pow(n as u32 - 1)
+}
+
+/// The undirected closure of the Kautz digraph `K(d, n)`.
+///
+/// The resulting undirected degree is at most 2d (a few vertex pairs have
+/// arcs in both directions, which merge).
+pub fn kautz_bidirectional(d: usize, n: usize) -> Graph {
+    assert!(d >= 1 && n >= 1);
+    let strings = enumerate_kautz_strings(d, n);
+    let index: std::collections::HashMap<Vec<u8>, u32> = strings
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.clone(), i as u32))
+        .collect();
+    let mut b = GraphBuilder::new(strings.len());
+    for (i, s) in strings.iter().enumerate() {
+        for sym in 0..=d as u8 {
+            if sym == s[n - 1] {
+                continue; // consecutive symbols must differ
+            }
+            let mut t = s[1..].to_vec();
+            t.push(sym);
+            let j = index[&t];
+            b.add_edge(i as u32, j);
+        }
+    }
+    b.build()
+}
+
+fn enumerate_kautz_strings(d: usize, n: usize) -> Vec<Vec<u8>> {
+    let mut out = Vec::with_capacity(kautz_order(d, n));
+    let mut cur = Vec::with_capacity(n);
+    fn rec(d: usize, n: usize, cur: &mut Vec<u8>, out: &mut Vec<Vec<u8>>) {
+        if cur.len() == n {
+            out.push(cur.clone());
+            return;
+        }
+        for sym in 0..=d as u8 {
+            if cur.last() == Some(&sym) {
+                continue;
+            }
+            cur.push(sym);
+            rec(d, n, cur, out);
+            cur.pop();
+        }
+    }
+    rec(d, n, &mut cur, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polarstar_graph::traversal;
+
+    #[test]
+    fn orders() {
+        assert_eq!(kautz_order(2, 3), 12);
+        assert_eq!(kautz_order(3, 3), 36);
+        assert_eq!(kautz_order(4, 3), 80);
+        let g = kautz_bidirectional(3, 3);
+        assert_eq!(g.n(), 36);
+    }
+
+    #[test]
+    fn degrees_at_most_2d() {
+        for d in [2usize, 3, 4] {
+            let g = kautz_bidirectional(d, 3);
+            assert!(g.max_degree() <= 2 * d, "K({d},3)");
+            // Vertices of the form (a, b, a) sit on directed 2-cycles whose
+            // arcs merge, losing one unit of degree; all others reach 2d.
+            let full = (0..g.n() as u32).filter(|&v| g.degree(v) == 2 * d).count();
+            let merged = g.n() - full;
+            assert_eq!(merged, (d + 1) * d, "one (a,b,a) vertex per ordered pair");
+        }
+    }
+
+    #[test]
+    fn diameter_at_most_n() {
+        for (d, n) in [(2usize, 2usize), (2, 3), (3, 3), (4, 3)] {
+            let g = kautz_bidirectional(d, n);
+            let diam = traversal::diameter(&g).unwrap();
+            assert!(diam <= n as u32, "K({d},{n}) diameter {diam}");
+        }
+    }
+
+    #[test]
+    fn k23_is_connected_simple() {
+        let g = kautz_bidirectional(2, 3);
+        assert!(traversal::is_connected(&g));
+        g.validate().unwrap();
+    }
+}

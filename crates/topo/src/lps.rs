@@ -1,0 +1,272 @@
+//! Lubotzky–Phillips–Sarnak (LPS) Ramanujan graphs X^{p,q} — the
+//! construction behind Spectralfly (Young et al., IPDPS'22).
+//!
+//! For distinct primes p, q ≡ 1 (mod 4) with q > 2√p, X^{p,q} is a
+//! (p+1)-regular Cayley graph of PSL(2, q) (when p is a quadratic residue
+//! mod q; order q(q² − 1)/2, non-bipartite) or PGL(2, q) (otherwise;
+//! order q(q² − 1), bipartite). Generators come from the p + 1 integer
+//! solutions of a² + b² + c² + d² = p with a > 0 odd and b, c, d even.
+//!
+//! Because the graph is vertex-transitive, its diameter equals the
+//! eccentricity of the identity — a single BFS — which is how the
+//! Figure 1 "Spectralfly diameter ≤ 3 design points" are found.
+
+use polarstar_gf::poly::{mod_inverse, mod_pow};
+use polarstar_gf::primes::is_prime;
+use polarstar_graph::Graph;
+use std::collections::HashMap;
+
+/// A 2×2 matrix over ℤ_q, row-major.
+type Mat = [u64; 4];
+
+fn mat_mul(a: &Mat, b: &Mat, q: u64) -> Mat {
+    [
+        (a[0] * b[0] + a[1] * b[2]) % q,
+        (a[0] * b[1] + a[1] * b[3]) % q,
+        (a[2] * b[0] + a[3] * b[2]) % q,
+        (a[2] * b[1] + a[3] * b[3]) % q,
+    ]
+}
+
+/// Canonical representative of {M, −M} (for PSL, projectivized over ±1):
+/// the lexicographically smaller of the two.
+fn canon_psl(m: &Mat, q: u64) -> Mat {
+    let neg = [(q - m[0]) % q, (q - m[1]) % q, (q - m[2]) % q, (q - m[3]) % q];
+    if *m <= neg {
+        *m
+    } else {
+        neg
+    }
+}
+
+/// Canonical representative in PGL: scale so the first nonzero entry is 1.
+fn canon_pgl(m: &Mat, q: u64) -> Mat {
+    let lead = m.iter().copied().find(|&x| x != 0).expect("nonzero matrix");
+    let inv = mod_inverse(lead, q);
+    [m[0] * inv % q, m[1] * inv % q, m[2] * inv % q, m[3] * inv % q]
+}
+
+/// Whether `a` is a quadratic residue mod prime `q`.
+fn is_qr(a: u64, q: u64) -> bool {
+    mod_pow(a % q, (q - 1) / 2, q) == 1
+}
+
+/// A square root of `a` mod prime `q` (brute force; q ≤ ~500 here).
+fn sqrt_mod(a: u64, q: u64) -> Option<u64> {
+    (0..q).find(|&s| s * s % q == a % q)
+}
+
+/// The p+1 generator solutions of a² + b² + c² + d² = p, up to the
+/// quaternion sign quotient.
+///
+/// * p ≡ 1 (mod 4): a > 0 odd, b, c, d even (Jacobi's theorem gives p+1);
+/// * p ≡ 3 (mod 4): a ≥ 0 even, b, c, d odd — the generalized LPS set
+///   used by Spectralfly for primes like p = 23; solutions with a = 0 are
+///   taken once per ± class (first nonzero of (b, c, d) positive).
+pub fn generator_solutions(p: u64) -> Vec<[i64; 4]> {
+    let bound = (p as f64).sqrt() as i64 + 1;
+    let mut out = Vec::new();
+    if p % 4 == 1 {
+        for a in (1..=bound).step_by(2) {
+            for b in (-bound..=bound).filter(|x| x % 2 == 0) {
+                for c in (-bound..=bound).filter(|x| x % 2 == 0) {
+                    for d in (-bound..=bound).filter(|x| x % 2 == 0) {
+                        if a * a + b * b + c * c + d * d == p as i64 {
+                            out.push([a, b, c, d]);
+                        }
+                    }
+                }
+            }
+        }
+    } else {
+        let odd = |x: &i64| x % 2 != 0;
+        for a in (0..=bound).step_by(2) {
+            for b in (-bound..=bound).filter(odd) {
+                for c in (-bound..=bound).filter(odd) {
+                    for d in (-bound..=bound).filter(odd) {
+                        if a * a + b * b + c * c + d * d != p as i64 {
+                            continue;
+                        }
+                        // Quotient by ±: a > 0 is already canonical; for
+                        // a = 0 keep the representative with b > 0 (b is
+                        // odd, hence nonzero).
+                        if a > 0 || b > 0 {
+                            out.push([a, b, c, d]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Whether X^{p,q} is defined: distinct odd primes with q ≡ 1 mod 4
+/// (so that √−1 exists mod q) and q > 2√p.
+pub fn is_feasible(p: u64, q: u64) -> bool {
+    p != q
+        && p % 2 == 1
+        && is_prime(p)
+        && is_prime(q)
+        && q % 4 == 1
+        && (q * q) > 4 * p
+}
+
+/// Order of X^{p,q}: q(q²−1)/2 for the PSL case, q(q²−1) for PGL.
+pub fn lps_order(p: u64, q: u64) -> u64 {
+    let full = q * (q * q - 1);
+    if is_qr(p, q) {
+        full / 2
+    } else {
+        full
+    }
+}
+
+/// Construct the LPS Ramanujan graph X^{p,q}.
+///
+/// Returns `None` for infeasible parameters. The result is (p+1)-regular
+/// (as a multigraph; a handful of parallel edges can collapse for tiny q,
+/// so small-q degrees may dip slightly below p+1).
+pub fn lps_graph(p: u64, q: u64) -> Option<Graph> {
+    if !is_feasible(p, q) {
+        return None;
+    }
+    let psl = is_qr(p, q);
+    let sols = generator_solutions(p);
+    debug_assert_eq!(sols.len() as u64, p + 1);
+    // i with i² = −1 (exists since q ≡ 1 mod 4).
+    let i = sqrt_mod(q - 1, q)?;
+    let to_zq = |x: i64| ((x % q as i64 + q as i64) % q as i64) as u64;
+
+    let mut gens: Vec<Mat> = sols
+        .iter()
+        .map(|&[a, b, c, d]| {
+            let (a, b, c, d) = (to_zq(a), to_zq(b), to_zq(c), to_zq(d));
+            [
+                (a + i * b) % q,             // a + i·b
+                (c + i * d) % q,             // c + i·d
+                ((q - c) + i * d % q) % q,   // −c + i·d
+                (a + (q - i) * b % q) % q,   // a − i·b
+            ]
+        })
+        .collect();
+
+    if psl {
+        // Normalize determinants to 1: det = p mod q; scale by s⁻¹ with
+        // s² = p.
+        let s = sqrt_mod(p % q, q)?;
+        let sinv = mod_inverse(s, q);
+        for g in gens.iter_mut() {
+            for e in g.iter_mut() {
+                *e = *e * sinv % q;
+            }
+        }
+    }
+
+    let canon: fn(&Mat, u64) -> Mat = if psl { canon_psl } else { canon_pgl };
+
+    // BFS over the Cayley graph from the identity.
+    let identity = canon(&[1, 0, 0, 1], q);
+    let mut index: HashMap<Mat, u32> = HashMap::new();
+    index.insert(identity, 0);
+    let mut verts = vec![identity];
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut head = 0usize;
+    while head < verts.len() {
+        let v = verts[head];
+        let vid = head as u32;
+        head += 1;
+        for g in &gens {
+            let w = canon(&mat_mul(&v, g, q), q);
+            let wid = match index.get(&w) {
+                Some(&id) => id,
+                None => {
+                    let id = verts.len() as u32;
+                    index.insert(w, id);
+                    verts.push(w);
+                    id
+                }
+            };
+            if vid != wid {
+                edges.push((vid, wid));
+            }
+        }
+    }
+    Some(Graph::from_edges(verts.len(), &edges))
+}
+
+/// Diameter via a single BFS from the identity (vertex-transitivity).
+pub fn lps_diameter(g: &Graph) -> Option<u32> {
+    polarstar_graph::traversal::eccentricity(g, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jacobi_solution_count() {
+        for p in [3u64, 5, 7, 13, 17, 23, 29] {
+            assert_eq!(generator_solutions(p).len() as u64, p + 1, "p={p}");
+        }
+    }
+
+    #[test]
+    fn feasibility() {
+        assert!(is_feasible(5, 13));
+        assert!(is_feasible(23, 13), "generalized set covers 23 ≡ 3 mod 4");
+        assert!(!is_feasible(13, 5), "q too small");
+        assert!(!is_feasible(5, 5));
+        assert!(!is_feasible(5, 11), "q ≡ 3 mod 4 unsupported");
+    }
+
+    #[test]
+    fn x_5_13_shape() {
+        // p=5, q=13: QRs mod 13 are {1,3,4,9,10,12}, so 5 is a non-residue
+        // → PGL, order 13·168 = 2184, 6-regular, bipartite.
+        let g = lps_graph(5, 13).unwrap();
+        assert_eq!(g.n() as u64, lps_order(5, 13));
+        assert_eq!(g.n(), 2184);
+        assert_eq!(g.max_degree(), 6);
+        assert!(g.is_regular());
+        assert!(polarstar_graph::traversal::is_connected(&g));
+    }
+
+    #[test]
+    fn spectralfly_table3_configuration() {
+        // Table 3: SF ρ=23, q=13 → 1092 routers of network radix 24.
+        // 23 ≡ 10 (mod 13) is a QR → PSL, order 13·168/2 = 1092.
+        let g = lps_graph(23, 13).unwrap();
+        assert_eq!(g.n(), 1092);
+        assert_eq!(g.max_degree(), 24);
+        assert!(g.is_regular());
+        assert!(polarstar_graph::traversal::is_connected(&g));
+    }
+
+    #[test]
+    fn x_13_17_pgl_case() {
+        // 13 mod 17: QRs mod 17 are {1,2,4,8,9,13,15,16} — 13 is a QR →
+        // PSL, order 17·288/2 = 2448.
+        let g = lps_graph(13, 17).unwrap();
+        assert_eq!(g.n() as u64, lps_order(13, 17));
+        assert_eq!(g.max_degree(), 14);
+    }
+
+    #[test]
+    fn pgl_when_non_residue() {
+        // p=5, q=17: QRs mod 17 = {1,2,4,8,9,13,15,16}; 5 is not → PGL,
+        // order 17·288 = 4896.
+        assert!(!is_qr(5, 17));
+        let g = lps_graph(5, 17).unwrap();
+        assert_eq!(g.n(), 4896);
+    }
+
+    #[test]
+    fn ramanujan_graphs_have_low_diameter() {
+        let g = lps_graph(5, 13).unwrap();
+        let d = lps_diameter(&g).unwrap();
+        // 6-regular on 1092 vertices: Moore bound needs ≥ 5 hops; Ramanujan
+        // graphs achieve ≲ 2·log_p(n) ≈ 8.7.
+        assert!((5..=9).contains(&d), "diameter {d}");
+    }
+}

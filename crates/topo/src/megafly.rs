@@ -1,0 +1,147 @@
+//! Megafly / Dragonfly+ (Flajslik et al.; Shpiner et al.): an indirect
+//! hierarchical diameter-3 topology.
+//!
+//! Each group is a complete bipartite graph between `a/2` leaf routers
+//! (which carry the endpoints) and `a/2` spine routers (which carry `ρ`
+//! global ports each). As in the largest Dragonfly, every pair of groups
+//! is joined by exactly one global link, palm-tree arranged.
+
+use crate::network::NetworkSpec;
+use polarstar_graph::GraphBuilder;
+
+/// Parameters of a Megafly network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MegaflyParams {
+    /// Global ports per spine router.
+    pub rho: usize,
+    /// Routers per group (a/2 leaves + a/2 spines).
+    pub a: usize,
+    /// Endpoints per leaf router.
+    pub p: usize,
+}
+
+impl MegaflyParams {
+    /// Number of groups: one global link per group pair.
+    pub fn groups(&self) -> usize {
+        (self.a / 2) * self.rho + 1
+    }
+
+    /// Total routers.
+    pub fn routers(&self) -> usize {
+        self.groups() * self.a
+    }
+}
+
+/// Build the maximal Megafly for the given parameters.
+pub fn megafly(params: MegaflyParams) -> NetworkSpec {
+    let MegaflyParams { rho, a, p } = params;
+    assert!(a >= 2 && a % 2 == 0, "a must be even (half leaves, half spines)");
+    let half = a / 2;
+    let groups = params.groups();
+    let n = params.routers();
+    // Layout: group g occupies ids [g·a, (g+1)·a); leaves first, spines
+    // after.
+    let leaf = |g: usize, i: usize| (g * a + i) as u32;
+    let spine = |g: usize, i: usize| (g * a + half + i) as u32;
+
+    let mut b = GraphBuilder::new(n);
+    for g in 0..groups {
+        for l in 0..half {
+            for s in 0..half {
+                b.add_edge(leaf(g, l), spine(g, s));
+            }
+        }
+    }
+    // Global links between spines, one per group pair.
+    let ports = half * rho; // = groups - 1
+    for g in 0..groups {
+        for k in 0..ports {
+            let tg = (g + k + 1) % groups;
+            if tg < g {
+                continue;
+            }
+            let back = ports - 1 - k;
+            b.add_edge(spine(g, k / rho), spine(tg, back / rho));
+        }
+    }
+
+    let mut endpoints = vec![0u32; n];
+    for g in 0..groups {
+        for l in 0..half {
+            endpoints[leaf(g, l) as usize] = p as u32;
+        }
+    }
+    let group: Vec<u32> = (0..n).map(|r| (r / a) as u32).collect();
+    NetworkSpec {
+        name: format!("MF(r{rho},a{a},p{p})"),
+        graph: b.build(),
+        endpoints,
+        group,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polarstar_graph::traversal;
+
+    #[test]
+    fn table3_configuration() {
+        // Table 3: ρ=8, a=16, p=8 → 1040 routers, radix 16, 4160 endpoints.
+        let params = MegaflyParams { rho: 8, a: 16, p: 8 };
+        let mf = megafly(params);
+        assert_eq!(mf.routers(), 1040);
+        assert_eq!(mf.total_endpoints(), 4160);
+        assert_eq!(mf.radix(), 16);
+        mf.validate().unwrap();
+    }
+
+    #[test]
+    fn leaf_to_leaf_diameter() {
+        // Endpoint-carrying routers are ≤ 3 hops apart
+        // (leaf-spine-spine-leaf).
+        let mf = megafly(MegaflyParams { rho: 2, a: 4, p: 2 });
+        let leaves = mf.endpoint_routers();
+        for &x in &leaves {
+            let d = traversal::bfs_distances(&mf.graph, x);
+            for &y in &leaves {
+                assert!(d[y as usize] <= 3, "leaves {x},{y} at {}", d[y as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn one_global_link_per_group_pair() {
+        let params = MegaflyParams { rho: 2, a: 4, p: 2 };
+        let mf = megafly(params);
+        let groups = params.groups();
+        let mut count = vec![vec![0usize; groups]; groups];
+        for (u, v) in mf.graph.edges() {
+            let (gu, gv) = (mf.group[u as usize] as usize, mf.group[v as usize] as usize);
+            if gu != gv {
+                count[gu][gv] += 1;
+            }
+        }
+        for g1 in 0..groups {
+            for g2 in (g1 + 1)..groups {
+                assert_eq!(count[g1][g2], 1, "groups {g1},{g2}");
+            }
+        }
+    }
+
+    #[test]
+    fn spines_have_no_endpoints() {
+        let mf = megafly(MegaflyParams { rho: 2, a: 4, p: 3 });
+        // Half the routers carry endpoints.
+        assert_eq!(mf.endpoint_routers().len(), mf.routers() / 2);
+    }
+
+    #[test]
+    fn radix_balanced_between_leaf_and_spine() {
+        let mf = megafly(MegaflyParams { rho: 8, a: 16, p: 8 });
+        for r in 0..mf.routers() as u32 {
+            let total = mf.graph.degree(r) + mf.endpoints[r as usize] as usize;
+            assert_eq!(total, 16, "router {r}");
+        }
+    }
+}

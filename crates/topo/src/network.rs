@@ -1,0 +1,156 @@
+//! Common descriptor connecting a router-level graph to a simulated system:
+//! which routers carry endpoints, and how routers group into supernodes.
+
+use polarstar_graph::Graph;
+
+/// A network: router interconnect plus endpoint placement and grouping.
+///
+/// * `graph` — router-to-router links (the topology graph of §2.1);
+/// * `endpoints[r]` — number of compute endpoints attached to router `r`
+///   (0 for pure switches in indirect topologies like Fat-tree/Megafly);
+/// * `group[r]` — supernode / group id of router `r`; flat topologies use
+///   a single group per router's natural module (HyperX uses one group
+///   total). Used by hierarchical traffic patterns (bit shuffle locality,
+///   adversarial supernode-pair traffic of §9.6).
+#[derive(Clone, Debug)]
+pub struct NetworkSpec {
+    /// Short display name, e.g. `"PS-IQ"`.
+    pub name: String,
+    /// Router interconnect.
+    pub graph: Graph,
+    /// Endpoints per router.
+    pub endpoints: Vec<u32>,
+    /// Group (supernode) id per router.
+    pub group: Vec<u32>,
+}
+
+impl NetworkSpec {
+    /// Build a spec with `p` endpoints on every router and each router its
+    /// own group.
+    pub fn uniform(name: impl Into<String>, graph: Graph, p: u32) -> Self {
+        let n = graph.n();
+        NetworkSpec {
+            name: name.into(),
+            graph,
+            endpoints: vec![p; n],
+            group: (0..n as u32).collect(),
+        }
+    }
+
+    /// Number of routers.
+    pub fn routers(&self) -> usize {
+        self.graph.n()
+    }
+
+    /// Total endpoints across all routers.
+    pub fn total_endpoints(&self) -> usize {
+        self.endpoints.iter().map(|&e| e as usize).sum()
+    }
+
+    /// Network radix: max over routers of (links + endpoints).
+    pub fn radix(&self) -> usize {
+        (0..self.graph.n())
+            .map(|r| self.graph.degree(r as u32) + self.endpoints[r] as usize)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Number of distinct groups.
+    pub fn num_groups(&self) -> usize {
+        self.group.iter().copied().max().map_or(0, |g| g as usize + 1)
+    }
+
+    /// Router ids of every group, indexed by group id.
+    pub fn groups(&self) -> Vec<Vec<u32>> {
+        let mut out = vec![Vec::new(); self.num_groups()];
+        for (r, &g) in self.group.iter().enumerate() {
+            out[g as usize].push(r as u32);
+        }
+        out
+    }
+
+    /// Map a global endpoint id to `(router, local_slot)`.
+    ///
+    /// Endpoint ids are contiguous per router (and therefore per group),
+    /// matching the paper's §9.4 placement.
+    pub fn endpoint_router(&self, ep: usize) -> (u32, u32) {
+        let mut remaining = ep;
+        for (r, &cnt) in self.endpoints.iter().enumerate() {
+            if remaining < cnt as usize {
+                return (r as u32, remaining as u32);
+            }
+            remaining -= cnt as usize;
+        }
+        panic!("endpoint id {ep} out of range ({} total)", self.total_endpoints());
+    }
+
+    /// First global endpoint id on each router (length n+1 prefix sums).
+    pub fn endpoint_offsets(&self) -> Vec<usize> {
+        let mut off = Vec::with_capacity(self.endpoints.len() + 1);
+        off.push(0);
+        for &e in &self.endpoints {
+            off.push(off.last().unwrap() + e as usize);
+        }
+        off
+    }
+
+    /// Routers that carry at least one endpoint.
+    pub fn endpoint_routers(&self) -> Vec<u32> {
+        (0..self.graph.n() as u32).filter(|&r| self.endpoints[r as usize] > 0).collect()
+    }
+
+    /// Sanity checks used by tests: group array length, endpoint counts.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.endpoints.len() != self.graph.n() {
+            return Err("endpoints length mismatch".into());
+        }
+        if self.group.len() != self.graph.n() {
+            return Err("group length mismatch".into());
+        }
+        self.graph.validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_spec() {
+        let s = NetworkSpec::uniform("k4", Graph::complete(4), 3);
+        assert_eq!(s.routers(), 4);
+        assert_eq!(s.total_endpoints(), 12);
+        assert_eq!(s.radix(), 3 + 3);
+        assert_eq!(s.num_groups(), 4);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn endpoint_mapping_contiguous() {
+        let mut s = NetworkSpec::uniform("k3", Graph::complete(3), 2);
+        s.endpoints = vec![2, 0, 3];
+        assert_eq!(s.endpoint_router(0), (0, 0));
+        assert_eq!(s.endpoint_router(1), (0, 1));
+        assert_eq!(s.endpoint_router(2), (2, 0));
+        assert_eq!(s.endpoint_router(4), (2, 2));
+        assert_eq!(s.endpoint_offsets(), vec![0, 2, 2, 5]);
+        assert_eq!(s.endpoint_routers(), vec![0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn endpoint_mapping_bounds() {
+        let s = NetworkSpec::uniform("k3", Graph::complete(3), 1);
+        s.endpoint_router(3);
+    }
+
+    #[test]
+    fn groups_collect() {
+        let mut s = NetworkSpec::uniform("k4", Graph::complete(4), 1);
+        s.group = vec![0, 0, 1, 1];
+        let gs = s.groups();
+        assert_eq!(gs.len(), 2);
+        assert_eq!(gs[0], vec![0, 1]);
+        assert_eq!(gs[1], vec![2, 3]);
+    }
+}

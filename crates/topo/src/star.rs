@@ -1,0 +1,213 @@
+//! The star product of Bermond, Delorme and Farhi (Definition 1) — the
+//! mathematical construct underlying PolarStar and Bundlefly.
+//!
+//! Vertices of `G * G'` are pairs `(x, x')`; copies of the supernode `G'`
+//! replace the vertices of the structure graph `G` (condition 2a), and a
+//! bijection per structure-arc joins neighboring copies (condition 2b).
+//!
+//! Two entry points:
+//!
+//! * [`star_product_with`] — the fully general definition with an
+//!   arbitrary bijection per arc (the Cartesian product is the special
+//!   case where every bijection is the identity);
+//! * [`star_product`] — the specialization used by PolarStar: a single
+//!   bijection `f` on every arc, plus the paper's self-loop rule (§6.1.2):
+//!   a self-loop at structure vertex `x` adds edges `(x, x') ~ (x, f(x'))`
+//!   inside that supernode (Fig. 5c), dropping degenerate `f(x') = x'`
+//!   loops.
+
+use crate::supernode::Supernode;
+use polarstar_graph::{Graph, GraphBuilder};
+
+/// Composite vertex id for `(x, x')` given supernode order `n'`.
+#[inline]
+pub fn vertex_id(x: u32, xp: u32, supernode_order: usize) -> u32 {
+    x * supernode_order as u32 + xp
+}
+
+/// Decompose a composite vertex id into `(x, x')`.
+#[inline]
+pub fn vertex_parts(v: u32, supernode_order: usize) -> (u32, u32) {
+    (v / supernode_order as u32, v % supernode_order as u32)
+}
+
+/// General star product: `bijection(x, y)` returns the map applied across
+/// the arc `x → y` (arcs are the structure edges oriented `x < y`).
+pub fn star_product_with<F>(structure: &Graph, supernode: &Graph, mut bijection: F) -> Graph
+where
+    F: FnMut(u32, u32) -> Vec<u32>,
+{
+    let n = structure.n();
+    let np = supernode.n();
+    let mut b = GraphBuilder::new(n * np);
+    // Condition 2a: supernode copies.
+    for x in 0..n as u32 {
+        for (u, v) in supernode.edges() {
+            b.add_edge(vertex_id(x, u, np), vertex_id(x, v, np));
+        }
+    }
+    // Condition 2b: bijective inter-supernode links.
+    for (x, y) in structure.edges() {
+        let f = bijection(x, y);
+        assert_eq!(f.len(), np, "bijection must cover the supernode vertex set");
+        for xp in 0..np as u32 {
+            b.add_edge(vertex_id(x, xp, np), vertex_id(y, f[xp as usize], np));
+        }
+    }
+    b.build()
+}
+
+/// PolarStar-style star product: a single bijection `f` on every arc, and
+/// self-loops of the structure graph materialized as intra-supernode
+/// `x' ~ f(x')` edges.
+///
+/// `structure_self_loops` lists the structure vertices carrying self-loops
+/// (the quadric vertices of `ER_q`).
+///
+/// ```
+/// use polarstar_topo::{er::ErGraph, iq::inductive_quad, star::star_product};
+/// let er = ErGraph::new(3).unwrap();
+/// let iq = inductive_quad(3).unwrap();
+/// let g = star_product(&er.graph, &er.quadric_vertices(), &iq);
+/// assert_eq!(g.n(), 13 * 8);
+/// assert!(polarstar_graph::traversal::diameter(&g).unwrap() <= 3); // Theorem 4
+/// ```
+pub fn star_product(
+    structure: &Graph,
+    structure_self_loops: &[u32],
+    supernode: &Supernode,
+) -> Graph {
+    let n = structure.n();
+    let np = supernode.order();
+    let mut b = GraphBuilder::new(n * np);
+    for x in 0..n as u32 {
+        for (u, v) in supernode.graph.edges() {
+            b.add_edge(vertex_id(x, u, np), vertex_id(x, v, np));
+        }
+    }
+    for (x, y) in structure.edges() {
+        for xp in 0..np as u32 {
+            b.add_edge(vertex_id(x, xp, np), vertex_id(y, supernode.f[xp as usize], np));
+        }
+    }
+    for &x in structure_self_loops {
+        for xp in 0..np as u32 {
+            let fxp = supernode.f[xp as usize];
+            if fxp != xp {
+                // GraphBuilder drops self-loops anyway, but be explicit.
+                b.add_edge(vertex_id(x, xp, np), vertex_id(x, fxp, np));
+            }
+        }
+    }
+    b.build()
+}
+
+/// The Cartesian product `G × G'` (Fig. 2a): a star product where every
+/// bijection is the identity. Used as a baseline in tests.
+pub fn cartesian_product(g: &Graph, h: &Graph) -> Graph {
+    let id: Vec<u32> = (0..h.n() as u32).collect();
+    star_product_with(g, h, |_, _| id.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::er::ErGraph;
+    use crate::iq::inductive_quad;
+    use crate::paley::paley_supernode;
+    use polarstar_graph::traversal;
+
+    #[test]
+    fn order_is_product_of_orders() {
+        let g = Graph::cycle(5);
+        let h = inductive_quad(3).unwrap();
+        let p = star_product(&g, &[], &h);
+        assert_eq!(p.n(), 5 * 8);
+    }
+
+    #[test]
+    fn cartesian_l3_c4_matches_figure_2a() {
+        // Fig. 2a: L_3 × C_4 has 12 vertices, 4·2 + 3·... edges:
+        // 3 copies of C4 (12 edges) + 2 matchings of 4 = 20 edges.
+        let p = cartesian_product(&Graph::path(3), &Graph::cycle(4));
+        assert_eq!(p.n(), 12);
+        assert_eq!(p.m(), 20);
+        // Cartesian product of diameters 2 and 2 has diameter 4.
+        assert_eq!(traversal::diameter(&p), Some(4));
+    }
+
+    #[test]
+    fn star_l3_c4_matches_figure_2b() {
+        // Fig. 2b: same factors, bijection f = (01)(2)(3) on every arc.
+        let f = vec![1u32, 0, 2, 3];
+        let p = star_product_with(&Graph::path(3), &Graph::cycle(4), |_, _| f.clone());
+        assert_eq!(p.n(), 12);
+        assert_eq!(p.m(), 20);
+    }
+
+    #[test]
+    fn degree_bound_holds() {
+        // deg(G*) ≤ deg(G) + deg(G') (§4.3 fact 2).
+        let g = Graph::cycle(6);
+        let h = inductive_quad(4).unwrap();
+        let p = star_product(&g, &[], &h);
+        assert_eq!(p.max_degree(), 2 + 4);
+        assert!(p.is_regular());
+    }
+
+    #[test]
+    fn theorem4_er_iq_diameter_3() {
+        // Theorem 4: ER_q (Property R) * IQ (Property R*) has diameter ≤ 3.
+        for (q, d) in [(2u64, 0usize), (2, 3), (3, 3), (3, 4), (4, 3), (5, 4), (7, 3)] {
+            let er = ErGraph::new(q).unwrap();
+            let iq = inductive_quad(d).unwrap();
+            let p = star_product(&er.graph, &er.quadric_vertices(), &iq);
+            assert_eq!(p.n(), er.order() * iq.order());
+            let diam = traversal::diameter(&p).expect("connected");
+            assert!(diam <= 3, "ER_{q} * IQ({d}) diameter {diam} > 3");
+        }
+    }
+
+    #[test]
+    fn theorem5_er_paley_diameter_3() {
+        // Theorem 5: structure of diameter 2 * R1 supernode → diameter ≤ 3.
+        for (q, qp) in [(2u64, 5u64), (3, 5), (4, 5), (5, 9), (7, 13)] {
+            let er = ErGraph::new(q).unwrap();
+            let pal = paley_supernode(qp).unwrap();
+            let p = star_product(&er.graph, &er.quadric_vertices(), &pal);
+            let diam = traversal::diameter(&p).expect("connected");
+            assert!(diam <= 3, "ER_{q} * Paley({qp}) diameter {diam} > 3");
+        }
+    }
+
+    #[test]
+    fn self_loops_add_intra_supernode_edges() {
+        // A single structure vertex with a self-loop and IQ3 supernode:
+        // the product is just IQ3 plus the f-matching.
+        let g = Graph::empty(1);
+        let iq = inductive_quad(3).unwrap();
+        let with_loop = star_product(&g, &[0], &iq);
+        let without = star_product(&g, &[], &iq);
+        assert_eq!(without.m(), iq.graph.m());
+        assert_eq!(with_loop.m(), iq.graph.m() + 4, "4 f-pairs add 4 edges");
+    }
+
+    #[test]
+    fn vertex_id_roundtrip() {
+        for np in [1usize, 4, 8] {
+            for x in 0..5u32 {
+                for xp in 0..np as u32 {
+                    let v = vertex_id(x, xp, np);
+                    assert_eq!(vertex_parts(v, np), (x, xp));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cartesian_diameter_additivity() {
+        // D(G × H) = D(G) + D(H) for connected factors.
+        let p = cartesian_product(&Graph::cycle(5), &Graph::path(4));
+        assert_eq!(traversal::diameter(&p), Some(2 + 3));
+    }
+}

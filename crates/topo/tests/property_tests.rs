@@ -1,0 +1,130 @@
+//! Property-based tests on the topology constructions: star-product
+//! algebra, factor-graph properties and parameterized families.
+
+use polarstar_graph::{traversal, Graph};
+use polarstar_topo::er::ErGraph;
+use polarstar_topo::iq::inductive_quad;
+use polarstar_topo::paley::{paley_graph, paley_supernode};
+use polarstar_topo::star::{cartesian_product, star_product, star_product_with, vertex_id, vertex_parts};
+use polarstar_topo::supernode::Supernode;
+use proptest::prelude::*;
+
+/// Random permutation of 0..n as a bijection for the star product.
+fn permutation(n: usize) -> impl Strategy<Value = Vec<u32>> {
+    Just(()).prop_perturb(move |_, mut rng| {
+        let mut v: Vec<u32> = (0..n as u32).collect();
+        for i in (1..n).rev() {
+            let j = (rng.next_u32() as usize) % (i + 1);
+            v.swap(i, j);
+        }
+        v
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn star_product_order_and_degree(
+        ns in 3usize..8,
+        np in 3usize..7,
+        f in (3usize..7).prop_flat_map(permutation),
+    ) {
+        // §4.3 facts: |V| multiplies; degree adds (cycle structure +
+        // cycle supernode keeps both regular).
+        let f = if f.len() == np { f } else { (0..np as u32).collect() };
+        let g = Graph::cycle(ns);
+        let h = Graph::cycle(np.max(3));
+        let np = h.n();
+        let f: Vec<u32> = if f.len() == np { f } else { (0..np as u32).collect() };
+        let p = star_product_with(&g, &h, |_, _| f.clone());
+        prop_assert_eq!(p.n(), ns * np);
+        prop_assert!(p.max_degree() <= 2 + 2);
+        prop_assert!(p.is_regular());
+    }
+
+    #[test]
+    fn star_product_diameter_bounded_by_sum(
+        ns in 3usize..7,
+        np in 3usize..6,
+    ) {
+        // D(G*G') ≤ D(G) + D(G') for any bijections (§4.3 fact 3),
+        // identity bijections = Cartesian product meets it with equality.
+        let g = Graph::cycle(ns);
+        let h = Graph::cycle(np.max(3));
+        let p = cartesian_product(&g, &h);
+        let dg = traversal::diameter(&g).unwrap();
+        let dh = traversal::diameter(&h).unwrap();
+        prop_assert_eq!(traversal::diameter(&p), Some(dg + dh));
+    }
+
+    #[test]
+    fn vertex_id_bijective(x in 0u32..50, xp in 0u32..20, np in 1usize..21) {
+        let xp = xp % np as u32;
+        let v = vertex_id(x, xp, np);
+        prop_assert_eq!(vertex_parts(v, np), (x, xp));
+    }
+
+    #[test]
+    fn er_structure_properties(qi in 0usize..6) {
+        let q = [2u64, 3, 4, 5, 7, 8][qi];
+        let er = ErGraph::new(q).unwrap();
+        prop_assert_eq!(er.order() as u64, q * q + q + 1);
+        prop_assert_eq!(traversal::diameter(&er.graph), Some(2));
+        prop_assert_eq!(er.quadric_vertices().len() as u64, q + 1);
+        // Orthogonality is symmetric: validated by graph validity.
+        prop_assert!(er.graph.validate().is_ok());
+    }
+
+    #[test]
+    fn iq_r_star_and_bound(k in 0usize..6) {
+        let d = [0usize, 3, 4, 7, 8, 11][k];
+        let s = inductive_quad(d).unwrap();
+        prop_assert_eq!(s.order(), 2 * d + 2);
+        prop_assert!(s.satisfies_r_star());
+        // The involution has no fixed points (pairing).
+        for (x, &fx) in s.f.iter().enumerate() {
+            prop_assert!(fx != x as u32);
+        }
+    }
+
+    #[test]
+    fn paley_self_complementary(k in 0usize..5) {
+        let q = [5u64, 9, 13, 17, 25][k];
+        let g = paley_graph(q).unwrap();
+        // Complement of Paley(q) is isomorphic to itself; cheap necessary
+        // condition: m == n(n−1)/4 and regular of degree (q−1)/2.
+        prop_assert_eq!(g.m() as u64, q * (q - 1) / 4);
+        prop_assert!(g.is_regular());
+    }
+
+    #[test]
+    fn theorem4_random_small_configs(k in 0usize..4) {
+        let (q, d) = [(2u64, 3usize), (3, 0), (4, 3), (5, 4)][k];
+        let er = ErGraph::new(q).unwrap();
+        let iq = inductive_quad(d).unwrap();
+        let p = star_product(&er.graph, &er.quadric_vertices(), &iq);
+        prop_assert!(traversal::diameter(&p).unwrap() <= 3);
+    }
+
+    #[test]
+    fn r_star_checker_rejects_mutations(seed in 0u64..200) {
+        // Removing enough edges from IQ3 must eventually break R*.
+        let s = inductive_quad(3).unwrap();
+        let edges: Vec<(u32, u32)> = s.graph.edges().collect();
+        let kill = (seed as usize) % edges.len();
+        // Remove a band of 6 of the 12 edges.
+        let removed: Vec<(u32, u32)> = (0..6).map(|i| edges[(kill + i) % edges.len()]).collect();
+        let g2 = s.graph.without_edges(&removed);
+        let s2 = Supernode::new("mutated", g2, s.f.clone());
+        prop_assert!(!s2.satisfies_r_star(), "half-empty IQ3 cannot keep R*");
+    }
+
+    #[test]
+    fn paley_supernode_r1_stable(k in 0usize..4) {
+        let q = [5u64, 9, 13, 25][k];
+        let s = paley_supernode(q).unwrap();
+        prop_assert!(s.satisfies_r1());
+        prop_assert!(s.f_squared_is_automorphism());
+    }
+}

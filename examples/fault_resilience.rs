@@ -1,0 +1,47 @@
+//! Fault-tolerance study in miniature (Figure 14 methodology): knock out
+//! random links from a PolarStar and a Dragonfly until the network
+//! disconnects, tracking diameter and average path length.
+//!
+//! ```text
+//! cargo run --release --example fault_resilience
+//! ```
+
+use polarstar::design::best_config;
+use polarstar::network::PolarStarNetwork;
+use polarstar_repro::analysis::faults::median_trajectory;
+use polarstar_repro::topo::dragonfly::{dragonfly, DragonflyParams};
+
+fn main() {
+    let ps = {
+        let c = best_config(12).unwrap();
+        let mut net = PolarStarNetwork::build(c, 1).unwrap().spec;
+        net.name = "PolarStar".into();
+        net
+    };
+    let df = {
+        let mut net = dragonfly(DragonflyParams { a: 8, h: 4, p: 4 });
+        net.name = "Dragonfly".into();
+        net
+    };
+
+    for net in [&ps, &df] {
+        let relevant = net.endpoint_routers();
+        let (median, ratios) = median_trajectory(&net.graph, &relevant, 0.05, 64, 25, 7);
+        println!(
+            "{} ({} routers): median disconnection at {:.0}% failed links",
+            net.name,
+            net.routers(),
+            100.0 * ratios[ratios.len() / 2]
+        );
+        for step in &median.steps {
+            println!(
+                "  {:>3.0}% failed: diameter {:>2}, avg path length {}",
+                100.0 * step.failed_fraction,
+                step.diameter.map(|d| d.to_string()).unwrap_or_else(|| "-".into()),
+                step.avg_path_length
+                    .map(|a| format!("{a:.3}"))
+                    .unwrap_or_else(|| "-".into()),
+            );
+        }
+    }
+}

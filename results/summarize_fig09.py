@@ -1,0 +1,19 @@
+import csv, collections, sys
+path = sys.argv[1] if len(sys.argv) > 1 else 'fig09_synthetic.csv'
+rows = list(csv.DictReader(open(path)))
+sat = collections.defaultdict(float)
+lat0 = {}
+for r in rows:
+    key = (r['pattern'], r['topology'], r['routing'])
+    if r['stable'] == 'true':
+        sat[key] = max(sat[key], float(r['offered']))
+        if key not in lat0:
+            lat0[key] = float(r['avg_latency'])
+pats = sorted({k[0] for k in sat})
+topos = ['PS-IQ','PS-Pal','BF','HX','DF','SF','MF','FT']
+for p in pats:
+    print(f'== {p}: last stable load (MIN / UGAL)')
+    for t in topos:
+        m = sat.get((p,t,'MIN'), 0.0)
+        u = sat.get((p,t,'UGAL'), 0.0)
+        print(f'  {t:7s} {m:.2f} / {u:.2f}')

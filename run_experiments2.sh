@@ -1,0 +1,15 @@
+#!/bin/bash
+set -u
+cd /root/repo
+B=target/release
+run() {
+  name=$1; shift
+  echo "=== $name start $(date +%H:%M:%S)" >> results/run.log
+  "$B/$name" "$@" > "results/$name.csv" 2> "results/$name.log"
+  echo "=== $name done  $(date +%H:%M:%S) rc=$?" >> results/run.log
+}
+run fig11_motifs
+run fig10_adversarial
+run fig09_synthetic
+run fig12_bisection
+echo ALL_DONE >> results/run.log

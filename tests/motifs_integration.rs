@@ -1,0 +1,108 @@
+//! Integration tests for the §10 motif evaluation: topologies ×
+//! collectives × routing modes on reduced-size networks.
+
+use polarstar::design::best_config;
+use polarstar::network::PolarStarNetwork;
+use polarstar_repro::motifs::collectives::{allreduce, sweep3d, AllreduceAlgo};
+use polarstar_repro::motifs::netmodel::{MotifConfig, NetModel, RoutingMode};
+use polarstar_repro::topo::dragonfly::{dragonfly, DragonflyParams};
+use polarstar_repro::topo::fattree::fattree;
+use polarstar_repro::topo::network::NetworkSpec;
+
+fn ps_net() -> NetworkSpec {
+    PolarStarNetwork::build(best_config(9).unwrap(), 2).unwrap().spec
+}
+
+/// §10.2: adaptive routing helps Allreduce substantially on direct
+/// low-diameter networks (the paper reports UGAL ≫ MIN on PolarStar,
+/// Dragonfly and HyperX).
+#[test]
+fn adaptive_helps_allreduce_on_polarstar() {
+    let mk = || NetModel::new(ps_net(), MotifConfig::default());
+    let t_min = allreduce(&mut mk(), AllreduceAlgo::RecursiveDoubling, 64 * 1024, 3, RoutingMode::Min);
+    let t_ad = allreduce(
+        &mut mk(),
+        AllreduceAlgo::RecursiveDoubling,
+        64 * 1024,
+        3,
+        RoutingMode::Adaptive { candidates: 4 },
+    );
+    assert!(t_ad < t_min, "adaptive {t_ad} vs min {t_min}");
+}
+
+/// §10.2: Fat-tree shows similar performance on MIN and adaptive (full
+/// bisection + ECMP leaves little to adapt).
+#[test]
+fn fattree_min_close_to_adaptive() {
+    let spec = fattree(6, 3); // 108 routers, 216 endpoints
+    let t_min = allreduce(
+        &mut NetModel::new(spec.clone(), MotifConfig::default()),
+        AllreduceAlgo::RecursiveDoubling,
+        64 * 1024,
+        3,
+        RoutingMode::Min,
+    );
+    let t_ad = allreduce(
+        &mut NetModel::new(spec, MotifConfig::default()),
+        AllreduceAlgo::RecursiveDoubling,
+        64 * 1024,
+        3,
+        RoutingMode::Adaptive { candidates: 4 },
+    );
+    let ratio = t_min / t_ad;
+    assert!(
+        (0.8..2.0).contains(&ratio),
+        "fat-tree MIN/adaptive ratio {ratio:.2} should be near 1"
+    );
+}
+
+/// Sweep3D stresses latency; a diameter-3 PolarStar finishes the
+/// wavefront in the same ballpark as a Dragonfly of equal radix.
+#[test]
+fn sweep3d_polarstar_vs_dragonfly() {
+    let ps = ps_net();
+    let df = dragonfly(DragonflyParams { a: 6, h: 3, p: 2 });
+    let t_ps = sweep3d(
+        &mut NetModel::new(ps, MotifConfig::default()),
+        14,
+        14,
+        2048,
+        100.0,
+        2,
+        RoutingMode::Adaptive { candidates: 4 },
+    );
+    let t_df = sweep3d(
+        &mut NetModel::new(df, MotifConfig::default()),
+        14,
+        14,
+        2048,
+        100.0,
+        2,
+        RoutingMode::Adaptive { candidates: 4 },
+    );
+    assert!(t_ps <= t_df * 1.5, "PS sweep3d {t_ps} vs DF {t_df}");
+    assert!(t_df <= t_ps * 2.5, "DF sweep3d {t_df} vs PS {t_ps}");
+}
+
+/// Both allreduce algorithms agree on scale ordering: more iterations,
+/// more time; bigger messages, more time.
+#[test]
+fn motif_monotonicity() {
+    for algo in [AllreduceAlgo::RecursiveDoubling, AllreduceAlgo::Ring] {
+        let t_small = allreduce(
+            &mut NetModel::new(ps_net(), MotifConfig::default()),
+            algo,
+            8 * 1024,
+            2,
+            RoutingMode::Min,
+        );
+        let t_big = allreduce(
+            &mut NetModel::new(ps_net(), MotifConfig::default()),
+            algo,
+            256 * 1024,
+            2,
+            RoutingMode::Min,
+        );
+        assert!(t_big > t_small, "{algo:?}: {t_big} vs {t_small}");
+    }
+}
