@@ -107,6 +107,9 @@ mod tests {
     fn ring_has_tiny_bisection_fraction() {
         let spec = NetworkSpec::uniform("c64", Graph::cycle(64), 1);
         let f = normalized_bisection_fraction(&spec, 6, 5);
-        assert!((f - 2.0 / 64.0).abs() < 1e-9, "cycle cuts 2 of 64 links, got {f}");
+        assert!(
+            (f - 2.0 / 64.0).abs() < 1e-9,
+            "cycle cuts 2 of 64 links, got {f}"
+        );
     }
 }

@@ -75,7 +75,10 @@ pub fn fault_trajectory(
         }
         frac = (frac + step_fraction).min(1.0);
     }
-    FaultTrajectory { steps, disconnection_ratio: disconnection }
+    FaultTrajectory {
+        steps,
+        disconnection_ratio: disconnection,
+    }
 }
 
 /// Diameter / APL restricted to `relevant` pairs, sampling up to
@@ -137,7 +140,9 @@ pub fn median_trajectory(
         .map(|t| fault_trajectory(g, relevant, step_fraction, max_sources, seed + t as u64))
         .collect();
     trajectories.sort_by(|a, b| {
-        a.disconnection_ratio.partial_cmp(&b.disconnection_ratio).unwrap()
+        a.disconnection_ratio
+            .partial_cmp(&b.disconnection_ratio)
+            .unwrap()
     });
     let ratios: Vec<f64> = trajectories.iter().map(|t| t.disconnection_ratio).collect();
     let median = trajectories.swap_remove(trajectories.len() / 2);
@@ -204,9 +209,11 @@ mod tests {
         let g = polarstar_graph::random::random_regular(40, 6, 2).unwrap();
         let all: Vec<u32> = (0..40).collect();
         let t = fault_trajectory(&g, &all, 0.1, 40, 3);
-        let connected_steps: Vec<&FaultStep> =
-            t.steps.iter().filter(|s| s.connected).collect();
-        assert!(connected_steps.len() >= 2, "should survive at least one step");
+        let connected_steps: Vec<&FaultStep> = t.steps.iter().filter(|s| s.connected).collect();
+        assert!(
+            connected_steps.len() >= 2,
+            "should survive at least one step"
+        );
         let first = connected_steps.first().unwrap();
         let last = connected_steps.last().unwrap();
         assert!(last.avg_path_length.unwrap() >= first.avg_path_length.unwrap());

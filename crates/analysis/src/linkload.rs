@@ -71,7 +71,11 @@ pub fn channel_load(g: &Graph) -> ChannelLoad {
     } else {
         per_link.values().sum::<f64>() / (2.0 * g.m() as f64)
     };
-    ChannelLoad { per_link, max, mean }
+    ChannelLoad {
+        per_link,
+        max,
+        mean,
+    }
 }
 
 /// Brandes single-source pass, attributing each pair's unit of flow
@@ -124,12 +128,20 @@ mod tests {
         let g = Graph::cycle(6);
         let cl = channel_load(&g);
         // Vertex-and-edge-transitive: perfectly balanced.
-        assert!((cl.imbalance() - 1.0).abs() < 1e-9, "imbalance {}", cl.imbalance());
+        assert!(
+            (cl.imbalance() - 1.0).abs() < 1e-9,
+            "imbalance {}",
+            cl.imbalance()
+        );
         // Total flow = sum over pairs of path length = APL·pairs.
         let total: f64 = cl.per_link.values().sum();
         let apl = polarstar_graph::traversal::avg_path_length(&g).unwrap();
         let pairs = 6.0 * 5.0;
-        assert!((total - apl * pairs).abs() < 1e-6, "{total} vs {}", apl * pairs);
+        assert!(
+            (total - apl * pairs).abs() < 1e-6,
+            "{total} vs {}",
+            apl * pairs
+        );
     }
 
     #[test]

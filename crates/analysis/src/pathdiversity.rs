@@ -111,7 +111,11 @@ pub fn path_diversity(g: &Graph) -> PathDiversity {
         .map(|(&s, &c)| if c == 0 { 0.0 } else { s / c as f64 })
         .collect();
     PathDiversity {
-        geomean: if acc.pairs == 0 { 0.0 } else { (acc.log_sum / acc.pairs as f64).exp() },
+        geomean: if acc.pairs == 0 {
+            0.0
+        } else {
+            (acc.log_sum / acc.pairs as f64).exp()
+        },
         single_path_fraction: if acc.pairs == 0 {
             0.0
         } else {

@@ -19,7 +19,8 @@ pub fn edge_disjoint_spanning_trees(g: &Graph) -> Vec<Vec<(VertexId, VertexId)>>
     if n <= 1 {
         return Vec::new();
     }
-    let mut used: std::collections::HashSet<(VertexId, VertexId)> = std::collections::HashSet::new();
+    let mut used: std::collections::HashSet<(VertexId, VertexId)> =
+        std::collections::HashSet::new();
     let mut trees = Vec::new();
     let mut root = 0u32;
     loop {
@@ -77,7 +78,8 @@ pub fn edge_disjoint_spanning_trees(g: &Graph) -> Vec<Vec<(VertexId, VertexId)>>
 /// (n−1 edges + connected), and pairwise edge-disjoint.
 pub fn validate_packing(g: &Graph, trees: &[Vec<(VertexId, VertexId)>]) -> Result<(), String> {
     let n = g.n();
-    let mut seen: std::collections::HashSet<(VertexId, VertexId)> = std::collections::HashSet::new();
+    let mut seen: std::collections::HashSet<(VertexId, VertexId)> =
+        std::collections::HashSet::new();
     for (i, tree) in trees.iter().enumerate() {
         if tree.len() != n - 1 {
             return Err(format!("tree {i} has {} edges, want {}", tree.len(), n - 1));

@@ -8,7 +8,9 @@ use polarstar_motifs::collectives::{allreduce, AllreduceAlgo};
 use polarstar_motifs::netmodel::{MotifConfig, NetModel, RoutingMode};
 
 fn bench_allreduce(c: &mut Criterion) {
-    let spec = PolarStarNetwork::build(best_config(12).unwrap(), 2).unwrap().spec;
+    let spec = PolarStarNetwork::build(best_config(12).unwrap(), 2)
+        .unwrap()
+        .spec;
     let mut g = c.benchmark_group("motif_allreduce");
     g.sample_size(10);
     for (label, algo) in [

@@ -50,5 +50,10 @@ fn bench_table_lookup(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_analytic_route, bench_table_build, bench_table_lookup);
+criterion_group!(
+    benches,
+    bench_analytic_route,
+    bench_table_build,
+    bench_table_lookup
+);
 criterion_main!(benches);

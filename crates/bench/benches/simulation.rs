@@ -9,7 +9,9 @@ use polarstar_netsim::routing::{RouteTable, RoutingKind};
 use polarstar_netsim::traffic::Pattern;
 
 fn bench_engine(c: &mut Criterion) {
-    let net = PolarStarNetwork::build(best_config(9).unwrap(), 2).unwrap().spec;
+    let net = PolarStarNetwork::build(best_config(9).unwrap(), 2)
+        .unwrap()
+        .spec;
     let table = RouteTable::new(&net.graph);
     let cfg = SimConfig {
         warmup_cycles: 200,
@@ -20,7 +22,10 @@ fn bench_engine(c: &mut Criterion) {
     };
     let mut g = c.benchmark_group("cycle_engine");
     g.sample_size(10);
-    for (label, kind) in [("min", RoutingKind::MinMulti), ("ugal", RoutingKind::ugal4())] {
+    for (label, kind) in [
+        ("min", RoutingKind::MinMulti),
+        ("ugal", RoutingKind::ugal4()),
+    ] {
         g.bench_function(label, |b| {
             b.iter(|| simulate(&net, &table, kind, &Pattern::Uniform, 0.3, &cfg))
         });

@@ -2,7 +2,10 @@
 //! compare star products of ER_q with the IQ, Paley, BDF and complete
 //! supernodes on scale, diameter and bisection — quantifying §6.2's
 //! argument that IQ's 2d'+2 order is the right choice.
+//! `--metrics-dir <path>` writes an analytic `RunManifest` JSON per
+//! (radix, supernode, d') combination.
 
+use bench::{metrics_dir, RunManifest};
 use polarstar_analysis::bisection::bisection_row;
 use polarstar_gf::primes::prev_prime_power;
 use polarstar_topo::bdf::bdf_supernode;
@@ -18,7 +21,11 @@ fn supernodes(dprime: usize) -> Vec<(&'static str, Option<Supernode>)> {
         ("InductiveQuad", inductive_quad(dprime)),
         (
             "Paley",
-            if dprime % 2 == 0 { paley_supernode(2 * dprime as u64 + 1) } else { None },
+            if dprime.is_multiple_of(2) {
+                paley_supernode(2 * dprime as u64 + 1)
+            } else {
+                None
+            },
         ),
         ("BDF", bdf_supernode(dprime)),
         ("Complete", Some(complete_supernode(dprime + 1))),
@@ -26,6 +33,7 @@ fn supernodes(dprime: usize) -> Vec<(&'static str, Option<Supernode>)> {
 }
 
 fn main() {
+    let dir = metrics_dir();
     println!("radix,supernode,order,diameter,bisection_fraction");
     for radix in [12usize, 16, 20, 24] {
         // Fix d' = 3 or 4 and give the rest of the radix to ER.
@@ -47,13 +55,27 @@ fn main() {
                 let diam = polarstar_graph::traversal::diameter(&g)
                     .map(|d| d.to_string())
                     .unwrap_or_else(|| "-".into());
-                let spec = NetworkSpec::uniform(format!("{name}"), g, 1);
+                let spec = NetworkSpec::uniform(name.to_string(), g, 1);
                 let row = bisection_row(&spec, 4, 21);
                 println!(
                     "{radix},{name}(d'{dprime}),{},{diam},{:.4}",
                     spec.routers(),
                     row.fraction
                 );
+                if let Some(dir) = &dir {
+                    let label = format!("{name}-d{dprime}-r{radix}");
+                    let mut m = RunManifest::for_network(&label, &spec);
+                    m.push_extra("radix", radix as f64);
+                    m.push_extra("dprime", dprime as f64);
+                    m.push_extra("bisection_fraction", row.fraction);
+                    if let Some(d) = polarstar_graph::traversal::diameter(&spec.graph) {
+                        m.push_extra("diameter", d as f64);
+                    }
+                    let path = m
+                        .write(dir, &bench::manifest::file_stem(&label))
+                        .expect("write manifest");
+                    eprintln!("wrote {}", path.display());
+                }
             }
         }
     }

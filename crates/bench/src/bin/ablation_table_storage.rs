@@ -10,9 +10,14 @@ use polarstar_analysis::pathdiversity::path_diversity;
 fn main() {
     println!("network,routers,minpath_table_entries,avg_minpaths_geomean");
     for key in TABLE3_KEYS {
-        let net = table3_network(key);
+        let net = table3_network(key).expect("Table 3 config");
         let pd = path_diversity(&net.graph);
-        println!("{key},{},{},{:.2}", net.routers(), pd.table_entries, pd.geomean);
+        println!(
+            "{key},{},{},{:.2}",
+            net.routers(),
+            pd.table_entries,
+            pd.geomean
+        );
     }
     // PolarStar's analytic alternative: middles over the structure graph
     // plus the supernode adjacency — per §9.2.
@@ -24,8 +29,8 @@ fn main() {
         let n_struct = net.config.structure_order();
         // Upper bound: one middle per ordered structure pair plus the
         // supernode adjacency and f.
-        let analytic_entries = n_struct * n_struct + net.supernode.graph.m() * 2
-            + net.supernode.order();
+        let analytic_entries =
+            n_struct * n_struct + net.supernode.graph.m() * 2 + net.supernode.order();
         eprintln!(
             "# {label}: analytic routing state ≈ {analytic_entries} entries \
              (vs full table above)"

@@ -25,7 +25,7 @@ fn spectralfly_d3_order(radix: u64, max_n: u64) -> Option<u64> {
         if !lps::is_feasible(p, q) || lps::lps_order(p, q) > max_n {
             continue;
         }
-        if let Some(g) = lps::lps_graph(p, q) {
+        if let Ok(g) = lps::lps_graph(p, q) {
             if lps::lps_diameter(&g) <= Some(3) {
                 best = best.max(Some(g.n() as u64));
             }
@@ -59,10 +59,16 @@ fn main() {
             }
             None
         };
-        let ps = row("PolarStar", best_config(radix as usize).map(|c| c.order() as u64));
+        let ps = row(
+            "PolarStar",
+            best_config(radix as usize).map(|c| c.order() as u64),
+        );
         row("StarMax", Some(starmax_bound(radix)));
         row("MooreBound", Some(moore_bound_d3(radix)));
-        let bf = row("Bundlefly", best_params_for_degree(radix).map(|p| p.order()));
+        let bf = row(
+            "Bundlefly",
+            best_params_for_degree(radix).map(|p| p.order()),
+        );
         let df = row("Dragonfly", Some(dragonfly_best_order(radix)));
         let hx = row("HyperX3D", Some(hyperx3d_best_order(radix)));
         let kz = row("Kautz", Some(kautz_best_order(radix)));

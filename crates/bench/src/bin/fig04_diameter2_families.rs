@@ -37,7 +37,10 @@ fn main() {
         row("MMS", mms);
         // Paley: degree (q − 1)/2, order q = 2d + 1.
         let pq = 2 * d + 1;
-        row("Paley", (pq % 4 == 1 && prime_power(pq).is_some()).then_some(pq));
+        row(
+            "Paley",
+            (pq % 4 == 1 && prime_power(pq).is_some()).then_some(pq),
+        );
         // Abas 2017 Cayley graphs of diameter 2: order ≈ d²/2 for all d.
         row("Cayley", Some(d * d / 2));
     }

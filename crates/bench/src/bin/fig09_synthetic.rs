@@ -6,10 +6,13 @@
 //! Load points ascend and a series stops after its first unstable point
 //! (the paper plots up to the last stable rate). `--quick` shrinks the
 //! simulation for smoke tests; `--only <key>` restricts topologies.
+//! `--metrics-dir <path>` additionally runs one monitored uniform/MIN
+//! point per topology and writes a `RunManifest` JSON per key.
 
-use bench::{only_filter, quick_mode, route_table_for, table3_network, TABLE3_KEYS};
-use polarstar_netsim::engine::{simulate, SimConfig};
-use polarstar_netsim::routing::RoutingKind;
+use bench::{metrics_dir, only_filter, quick_mode, table3_network, RunManifest, TABLE3_KEYS};
+use polarstar_netsim::engine::{simulate, simulate_monitored, SimConfig};
+use polarstar_netsim::monitor::MetricsMonitor;
+use polarstar_netsim::routing::{RouteTable, RoutingKind};
 use polarstar_netsim::traffic::Pattern;
 use rayon::prelude::*;
 
@@ -56,8 +59,8 @@ fn main() {
     let rows: Vec<String> = series
         .par_iter()
         .flat_map(|(key, pattern, kind)| {
-            let net = table3_network(key);
-            let table = route_table_for(key, &net);
+            let net = table3_network(key).expect("Table 3 config");
+            let table = RouteTable::for_spec(&net);
             let mut out = Vec::new();
             for &load in &loads {
                 let r = simulate(&net, &table, *kind, pattern, load, &cfg);
@@ -79,5 +82,37 @@ fn main() {
         .collect();
     for row in rows {
         println!("{row}");
+    }
+
+    if let Some(dir) = metrics_dir() {
+        // One monitored uniform/MIN point per topology at moderate load:
+        // enough to populate link/VC/stall/latency metrics without a
+        // second full sweep.
+        let load = 0.3;
+        keys.par_iter().for_each(|&key| {
+            let net = table3_network(key).expect("Table 3 config");
+            let table = RouteTable::for_spec(&net);
+            let mut mon = MetricsMonitor::new(if quick { 64 } else { 256 });
+            simulate_monitored(
+                &net,
+                &table,
+                RoutingKind::MinMulti,
+                &Pattern::Uniform,
+                load,
+                &cfg,
+                &mut mon,
+            );
+            let manifest = RunManifest::for_network(key, &net).with_sim(
+                "MIN",
+                "uniform",
+                load,
+                &cfg,
+                mon.report(),
+            );
+            let path = manifest
+                .write(&dir, &bench::manifest::file_stem(key))
+                .expect("write manifest");
+            eprintln!("wrote {}", path.display());
+        });
     }
 }

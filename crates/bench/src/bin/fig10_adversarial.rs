@@ -3,10 +3,13 @@
 //!
 //! CSV as in fig09. DF and MF saturate first (single inter-group link);
 //! star products keep multiple links per supernode pair.
+//! `--metrics-dir <path>` additionally runs one monitored adversarial
+//! point per topology and writes a `RunManifest` JSON per key.
 
-use bench::{quick_mode, route_table_for, table3_network};
-use polarstar_netsim::engine::{simulate, SimConfig};
-use polarstar_netsim::routing::RoutingKind;
+use bench::{metrics_dir, quick_mode, table3_network, RunManifest};
+use polarstar_netsim::engine::{simulate, simulate_monitored, SimConfig};
+use polarstar_netsim::monitor::MetricsMonitor;
+use polarstar_netsim::routing::{RouteTable, RoutingKind};
 use polarstar_netsim::traffic::Pattern;
 use rayon::prelude::*;
 
@@ -37,8 +40,8 @@ fn main() {
     let rows: Vec<String> = series
         .par_iter()
         .flat_map(|&(key, kind)| {
-            let net = table3_network(key);
-            let table = route_table_for(key, &net);
+            let net = table3_network(key).expect("Table 3 config");
+            let table = RouteTable::for_spec(&net);
             let mut out = Vec::new();
             for &load in &loads {
                 let r = simulate(&net, &table, kind, &Pattern::AdversarialGroup, load, &cfg);
@@ -59,5 +62,34 @@ fn main() {
         .collect();
     for row in rows {
         println!("{row}");
+    }
+
+    if let Some(dir) = metrics_dir() {
+        let load = 0.1;
+        keys.par_iter().for_each(|&key| {
+            let net = table3_network(key).expect("Table 3 config");
+            let table = RouteTable::for_spec(&net);
+            let mut mon = MetricsMonitor::new(if quick { 64 } else { 256 });
+            simulate_monitored(
+                &net,
+                &table,
+                RoutingKind::ugal4(),
+                &Pattern::AdversarialGroup,
+                load,
+                &cfg,
+                &mut mon,
+            );
+            let manifest = RunManifest::for_network(key, &net).with_sim(
+                "UGAL",
+                "adversarial",
+                load,
+                &cfg,
+                mon.report(),
+            );
+            let path = manifest
+                .write(&dir, &bench::manifest::file_stem(key))
+                .expect("write manifest");
+            eprintln!("wrote {}", path.display());
+        });
     }
 }

@@ -24,12 +24,16 @@ fn main() {
     let rows: Vec<String> = jobs
         .par_iter()
         .map(|&(key, mode, motif)| {
-            let spec = table3_network(key);
+            let spec = table3_network(key).expect("Table 3 config");
             let mut model = NetModel::new(spec, MotifConfig::default());
             let t_ns = match motif {
-                "allreduce" => {
-                    allreduce(&mut model, AllreduceAlgo::RecursiveDoubling, 64 * 1024, 10, mode)
-                }
+                "allreduce" => allreduce(
+                    &mut model,
+                    AllreduceAlgo::RecursiveDoubling,
+                    64 * 1024,
+                    10,
+                    mode,
+                ),
                 _ => {
                     // 64×64 rank grid fits every Table 3 configuration.
                     sweep3d(&mut model, 64, 64, 4 * 1024, 200.0, 10, mode)

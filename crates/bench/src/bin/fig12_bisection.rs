@@ -9,7 +9,7 @@ use polarstar::design::best_config;
 use polarstar::network::PolarStarNetwork;
 use polarstar_analysis::bisection::bisection_row;
 use polarstar_gf::primes::is_prime;
-use polarstar_topo::bundlefly::{bundlefly, best_params_for_degree};
+use polarstar_topo::bundlefly::{best_params_for_degree, bundlefly};
 use polarstar_topo::dragonfly::{dragonfly, DragonflyParams};
 use polarstar_topo::hyperx::hyperx;
 use polarstar_topo::jellyfish::jellyfish;
@@ -35,9 +35,9 @@ fn spectralfly(radix: usize, cap: usize) -> Option<NetworkSpec> {
         if !lps::is_feasible(p, q) || lps::lps_order(p, q) > cap as u64 {
             continue;
         }
-        if let Some(g) = lps::lps_graph(p, q) {
+        if let Ok(g) = lps::lps_graph(p, q) {
             if lps::lps_diameter(&g) <= Some(3) {
-                let better = best.as_ref().map_or(true, |b| g.n() > b.routers());
+                let better = best.as_ref().is_none_or(|b| g.n() > b.routers());
                 if better {
                     best = Some(NetworkSpec::uniform("Spectralfly", g, 1));
                 }
@@ -59,37 +59,51 @@ fn main() {
                     return None;
                 }
                 let row = bisection_row(&spec, RESTARTS, SEED);
-                println!("{radix},{name},{},{},{:.4}", row.routers, row.cut, row.fraction);
+                println!(
+                    "{radix},{name},{},{},{:.4}",
+                    row.routers, row.cut, row.fraction
+                );
                 return Some(spec.routers());
             }
             None
         };
         let ps_routers = {
             let cfg = best_config(radix);
-            let spec = cfg.and_then(|c| PolarStarNetwork::build(c, 1).ok()).map(|n| n.spec);
+            let spec = cfg
+                .and_then(|c| PolarStarNetwork::build(c, 1).ok())
+                .map(|n| n.spec);
             emit("PolarStar", spec)
         };
         emit(
             "Bundlefly",
-            best_params_for_degree(radix as u64)
-                .and_then(|mut p| {
-                    p.p = 1;
-                    bundlefly(p)
-                }),
+            best_params_for_degree(radix as u64).and_then(|mut p| {
+                p.p = 1;
+                bundlefly(p).ok()
+            }),
         );
-        emit("Dragonfly", Some(dragonfly(DragonflyParams::balanced_for_radix(radix)))); 
+        emit(
+            "Dragonfly",
+            Some(dragonfly(DragonflyParams::balanced_for_radix(radix))),
+        );
         emit("HyperX3D", Some(hyperx(&hx_dims(radix), 1)));
         emit(
             "Megafly",
             (radix % 2 == 0).then(|| {
                 let a = radix; // a/2 leaves with p = a/2 ports... keep ρ = a/2
-                megafly(MegaflyParams { rho: radix / 2, a, p: radix / 2 })
+                megafly(MegaflyParams {
+                    rho: radix / 2,
+                    a,
+                    p: radix / 2,
+                })
             }),
         );
         emit("Spectralfly", spectralfly(radix, cap_routers));
         if let Some(nps) = ps_routers {
             // Jellyfish with PolarStar's radix and scale.
-            emit("Jellyfish", jellyfish(nps, radix.min(nps - 1), 1, SEED).ok());
+            emit(
+                "Jellyfish",
+                jellyfish(nps, radix.min(nps - 1), 1, SEED).ok(),
+            );
         }
     }
 }

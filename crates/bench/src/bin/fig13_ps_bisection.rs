@@ -26,7 +26,10 @@ fn main() {
             }
             let row = bisection_row(&net, 6, 13);
             let label = if want_iq { "InductiveQuad" } else { "Paley" };
-            println!("{radix},{label},{},{},{:.4}", row.routers, row.cut, row.fraction);
+            println!(
+                "{radix},{label},{},{},{:.4}",
+                row.routers, row.cut, row.fraction
+            );
             sums[idx] += row.fraction;
             counts[idx] += 1;
         }

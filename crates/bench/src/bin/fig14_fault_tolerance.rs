@@ -13,16 +13,19 @@ fn main() {
     println!("topology,failed_fraction,diameter,avg_path_length,connected");
     eprintln!("# disconnection ratios (median over {trials} trials):");
     for key in keys {
-        let net = table3_network(key);
+        let net = table3_network(key).expect("Table 3 config");
         let relevant = net.endpoint_routers();
-        let (median, ratios) =
-            median_trajectory(&net.graph, &relevant, 0.05, 48, trials, 1234);
+        let (median, ratios) = median_trajectory(&net.graph, &relevant, 0.05, 48, trials, 1234);
         for step in &median.steps {
             println!(
                 "{key},{:.2},{},{},{}",
                 step.failed_fraction,
-                step.diameter.map(|d| d.to_string()).unwrap_or_else(|| "-".into()),
-                step.avg_path_length.map(|a| format!("{a:.3}")).unwrap_or_else(|| "-".into()),
+                step.diameter
+                    .map(|d| d.to_string())
+                    .unwrap_or_else(|| "-".into()),
+                step.avg_path_length
+                    .map(|a| format!("{a:.3}"))
+                    .unwrap_or_else(|| "-".into()),
                 step.connected
             );
         }

@@ -25,7 +25,11 @@ fn main() {
         report(
             "Paley",
             d,
-            if d % 2 == 0 { paley_supernode(2 * d as u64 + 1) } else { None },
+            if d % 2 == 0 {
+                paley_supernode(2 * d as u64 + 1)
+            } else {
+                None
+            },
         );
         report("BDF", d, bdf_supernode(d));
         report("Complete", d, Some(complete_supernode(d + 1)));

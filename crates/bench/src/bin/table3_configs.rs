@@ -8,7 +8,7 @@ use polarstar_graph::traversal;
 fn main() {
     println!("network,routers,network_radix,endpoints_per_router,endpoints,diameter");
     for key in TABLE3_KEYS {
-        let net = table3_network(key);
+        let net = table3_network(key).expect("Table 3 config");
         let p = *net.endpoints.iter().max().unwrap();
         let diam = traversal::diameter(&net.graph)
             .map(|d| d.to_string())

@@ -3,39 +3,50 @@
 //! [`table3_networks`] constructs the exact simulated configurations of
 //! the paper's Table 3 (with the documented substitutions for PS-Pal's
 //! order and Spectralfly's LPS realization); the binaries in `src/bin/`
-//! regenerate each table and figure as CSV on stdout.
+//! regenerate each table and figure as CSV on stdout. [`manifest`]
+//! captures run provenance (config, topology, seed, metrics) as JSON.
+
+pub mod manifest;
 
 use polarstar::design::{best_config, best_config_with};
 use polarstar::network::PolarStarNetwork;
 use polarstar_topo::bundlefly::{bundlefly, BundleflyParams};
 use polarstar_topo::dragonfly::{dragonfly, DragonflyParams};
+use polarstar_topo::error::TopoError;
 use polarstar_topo::fattree::fattree;
 use polarstar_topo::hyperx::hyperx;
 use polarstar_topo::lps::lps_graph;
 use polarstar_topo::megafly::{megafly, MegaflyParams};
 use polarstar_topo::network::NetworkSpec;
 
+pub use manifest::RunManifest;
+
 /// Table 3 topology keys in paper order.
-pub const TABLE3_KEYS: [&str; 8] =
-    ["PS-IQ", "PS-Pal", "BF", "HX", "DF", "SF", "MF", "FT"];
+pub const TABLE3_KEYS: [&str; 8] = ["PS-IQ", "PS-Pal", "BF", "HX", "DF", "SF", "MF", "FT"];
 
 /// Build one Table 3 network by key.
-pub fn table3_network(key: &str) -> NetworkSpec {
-    match key {
+pub fn table3_network(key: &str) -> Result<NetworkSpec, TopoError> {
+    let net = match key {
         "PS-IQ" => {
-            let cfg = best_config(15).expect("radix-15 PolarStar");
-            let mut net = PolarStarNetwork::build(cfg, 5).unwrap().spec;
+            let cfg = best_config(15)
+                .ok_or_else(|| TopoError::infeasible("PolarStar", "no radix-15 config"))?;
+            let mut net = PolarStarNetwork::build(cfg, 5)?.spec;
             net.name = "PS-IQ".into();
             net
         }
         "PS-Pal" => {
-            let cfg = best_config_with(15, false).expect("radix-15 PS-Pal");
-            let mut net = PolarStarNetwork::build(cfg, 5).unwrap().spec;
+            let cfg = best_config_with(15, false)
+                .ok_or_else(|| TopoError::infeasible("PolarStar", "no radix-15 Paley config"))?;
+            let mut net = PolarStarNetwork::build(cfg, 5)?.spec;
             net.name = "PS-Pal".into();
             net
         }
         "BF" => {
-            let mut net = bundlefly(BundleflyParams { q: 7, dprime: 4, p: 5 }).unwrap();
+            let mut net = bundlefly(BundleflyParams {
+                q: 7,
+                dprime: 4,
+                p: 5,
+            })?;
             net.name = "BF".into();
             net
         }
@@ -50,13 +61,15 @@ pub fn table3_network(key: &str) -> NetworkSpec {
             net
         }
         "SF" => {
-            let g = lps_graph(23, 13).expect("X^{23,13}");
-            let mut net = NetworkSpec::uniform("SF", g, 8);
-            net.name = "SF".into();
-            net
+            let g = lps_graph(23, 13)?;
+            NetworkSpec::uniform("SF", g, 8)
         }
         "MF" => {
-            let mut net = megafly(MegaflyParams { rho: 8, a: 16, p: 8 });
+            let mut net = megafly(MegaflyParams {
+                rho: 8,
+                a: 16,
+                p: 8,
+            });
             net.name = "MF".into();
             net
         }
@@ -65,23 +78,17 @@ pub fn table3_network(key: &str) -> NetworkSpec {
             net.name = "FT".into();
             net
         }
-        other => panic!("unknown Table 3 key {other}"),
-    }
+        other => return Err(TopoError::UnknownKey(other.to_string())),
+    };
+    Ok(net)
 }
 
 /// All Table 3 networks (expensive: constructs every topology).
 pub fn table3_networks() -> Vec<NetworkSpec> {
-    TABLE3_KEYS.iter().map(|k| table3_network(k)).collect()
-}
-
-/// Routing table appropriate for a Table 3 network: Dragonfly and
-/// Megafly use BookSim-style hierarchical (≤1 global hop) tables, the
-/// rest use unconstrained minimal tables.
-pub fn route_table_for(key: &str, net: &NetworkSpec) -> polarstar_netsim::routing::RouteTable {
-    match key {
-        "DF" | "MF" => polarstar_netsim::routing::RouteTable::hierarchical(&net.graph, &net.group),
-        _ => polarstar_netsim::routing::RouteTable::new(&net.graph),
-    }
+    TABLE3_KEYS
+        .iter()
+        .map(|k| table3_network(k).expect("Table 3 config"))
+        .collect()
 }
 
 /// Whether `--quick` was passed (smoke-test mode for the heavy figures).
@@ -100,9 +107,19 @@ pub fn only_filter() -> Option<Vec<String>> {
     (!keys.is_empty()).then_some(keys)
 }
 
+/// Directory from `--metrics-dir <path>`: when present, binaries write a
+/// [`RunManifest`] JSON per topology next to their CSV output.
+pub fn metrics_dir() -> Option<std::path::PathBuf> {
+    let args: Vec<String> = std::env::args().collect();
+    args.windows(2)
+        .find(|w| w[0] == "--metrics-dir")
+        .map(|w| std::path::PathBuf::from(&w[1]))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use polarstar_topo::network::RoutingPolicy;
 
     #[test]
     fn table3_shapes() {
@@ -119,10 +136,45 @@ mod tests {
             ("FT", 972, 5832),
         ];
         for &(key, routers, endpoints) in expect {
-            let net = table3_network(key);
+            let net = table3_network(key).unwrap();
             assert_eq!(net.routers(), routers, "{key} routers");
             assert_eq!(net.total_endpoints(), endpoints, "{key} endpoints");
             net.validate().unwrap();
         }
+    }
+
+    #[test]
+    fn registry_round_trip() {
+        // Every key builds, validates, carries the right routing policy,
+        // and emits a well-formed manifest.
+        for key in TABLE3_KEYS {
+            let net = table3_network(key).expect(key);
+            net.validate().expect(key);
+            let want = match key {
+                "DF" | "MF" => RoutingPolicy::HierarchicalMinimal,
+                _ => RoutingPolicy::FlatMinimal,
+            };
+            assert_eq!(net.routing_policy(), want, "{key} routing policy");
+            let m = RunManifest::for_network(key, &net);
+            let json = m.to_json();
+            assert!(
+                json.starts_with('{') && json.ends_with('}'),
+                "{key} manifest"
+            );
+            assert!(json.contains(&format!("\"key\": \"{key}\"")));
+            assert_eq!(
+                json.bytes().filter(|&b| b == b'{').count(),
+                json.bytes().filter(|&b| b == b'}').count(),
+                "{key} manifest braces balance"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_key_is_an_error() {
+        assert!(matches!(
+            table3_network("nope"),
+            Err(TopoError::UnknownKey(k)) if k == "nope"
+        ));
     }
 }

@@ -47,7 +47,11 @@ impl std::fmt::Display for GfError {
         match self {
             GfError::NotPrimePower(q) => write!(f, "{q} is not a prime power"),
             GfError::TooLarge(q) => {
-                write!(f, "field order {q} exceeds supported maximum {}", Gf::MAX_ORDER)
+                write!(
+                    f,
+                    "field order {q} exceeds supported maximum {}",
+                    Gf::MAX_ORDER
+                )
             }
         }
     }
@@ -65,7 +69,11 @@ impl Gf {
         if q > Self::MAX_ORDER {
             return Err(GfError::TooLarge(q));
         }
-        let modulus = if k > 1 { Some(poly::find_irreducible(p, k)) } else { None };
+        let modulus = if k > 1 {
+            Some(poly::find_irreducible(p, k))
+        } else {
+            None
+        };
 
         // Raw multiplication in the polynomial basis, used only to bootstrap
         // the log tables.
@@ -131,7 +139,15 @@ impl Gf {
             is_square[exp[i as usize] as usize] = even;
         }
 
-        Ok(Gf { p, k, q, exp, log, modulus, is_square })
+        Ok(Gf {
+            p,
+            k,
+            q,
+            exp,
+            log,
+            modulus,
+            is_square,
+        })
     }
 
     /// Field order q = p^k.
@@ -308,7 +324,9 @@ impl Gf {
 
     /// All nonzero squares, ascending by element encoding.
     pub fn squares(&self) -> Vec<u64> {
-        (1..self.q).filter(|&a| self.is_square[a as usize]).collect()
+        (1..self.q)
+            .filter(|&a| self.is_square[a as usize])
+            .collect()
     }
 
     /// Dot product of 3-vectors over the field, the orthogonality form used
@@ -328,14 +346,19 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
 
-    const ORDERS: &[u64] = &[2, 3, 4, 5, 7, 8, 9, 11, 13, 16, 25, 27, 32, 49, 64, 81, 121, 128, 169];
+    const ORDERS: &[u64] = &[
+        2, 3, 4, 5, 7, 8, 9, 11, 13, 16, 25, 27, 32, 49, 64, 81, 121, 128, 169,
+    ];
 
     #[test]
     fn construction_rejects_non_prime_powers() {
         for q in [0u64, 1, 6, 10, 12, 15, 100] {
-            assert!(matches!(Gf::new(q), Err(GfError::NotPrimePower(_))), "q={q}");
+            assert!(
+                matches!(Gf::new(q), Err(GfError::NotPrimePower(_))),
+                "q={q}"
+            );
         }
-        assert!(matches!(Gf::new(1 << 21), Err(_)));
+        assert!(Gf::new(1 << 21).is_err());
     }
 
     #[test]
@@ -444,11 +467,17 @@ mod tests {
         // to be undirected.
         for &q in &[5u64, 9, 13, 17, 25, 29] {
             let f = Gf::new(q).unwrap();
-            assert!(f.is_square(f.neg(1)), "−1 must be square for q≡1 mod 4, q={q}");
+            assert!(
+                f.is_square(f.neg(1)),
+                "−1 must be square for q≡1 mod 4, q={q}"
+            );
         }
         for &q in &[3u64, 7, 11, 19, 23, 27] {
             let f = Gf::new(q).unwrap();
-            assert!(!f.is_square(f.neg(1)), "−1 must be non-square for q≡3 mod 4, q={q}");
+            assert!(
+                !f.is_square(f.neg(1)),
+                "−1 must be non-square for q≡3 mod 4, q={q}"
+            );
         }
     }
 

@@ -62,15 +62,18 @@ impl PolyZp {
     /// Sum mod p.
     pub fn add(&self, other: &Self, p: u64) -> Self {
         let n = self.coeffs.len().max(other.coeffs.len());
-        let coeffs: Vec<u64> = (0..n).map(|i| (self.coeff(i) + other.coeff(i)) % p).collect();
+        let coeffs: Vec<u64> = (0..n)
+            .map(|i| (self.coeff(i) + other.coeff(i)) % p)
+            .collect();
         PolyZp::new(&coeffs, p)
     }
 
     /// Difference mod p.
     pub fn sub(&self, other: &Self, p: u64) -> Self {
         let n = self.coeffs.len().max(other.coeffs.len());
-        let coeffs: Vec<u64> =
-            (0..n).map(|i| (self.coeff(i) + p - other.coeff(i)) % p).collect();
+        let coeffs: Vec<u64> = (0..n)
+            .map(|i| (self.coeff(i) + p - other.coeff(i)) % p)
+            .collect();
         PolyZp::new(&coeffs, p)
     }
 
@@ -276,13 +279,23 @@ mod tests {
         // x^2+x+1 over GF(2) is the unique irreducible quadratic.
         assert!(is_irreducible(&PolyZp::new(&[1, 1, 1], 2), 2));
         assert!(!is_irreducible(&PolyZp::new(&[1, 0, 1], 2), 2)); // (x+1)^2
-        // x^3+x+1 over GF(2).
+                                                                  // x^3+x+1 over GF(2).
         assert!(is_irreducible(&PolyZp::new(&[1, 1, 0, 1], 2), 2));
     }
 
     #[test]
     fn found_irreducibles_have_no_roots() {
-        for (p, k) in [(2u64, 2u32), (2, 3), (2, 4), (2, 8), (3, 2), (3, 3), (5, 2), (7, 2), (11, 2)] {
+        for (p, k) in [
+            (2u64, 2u32),
+            (2, 3),
+            (2, 4),
+            (2, 8),
+            (3, 2),
+            (3, 3),
+            (5, 2),
+            (7, 2),
+            (11, 2),
+        ] {
             let f = find_irreducible(p, k);
             assert_eq!(f.degree(), Some(k as usize));
             assert_eq!(*f.coeffs().last().unwrap(), 1, "must be monic");

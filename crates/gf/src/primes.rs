@@ -10,15 +10,15 @@ pub fn is_prime(n: u64) -> bool {
     if n < 2 {
         return false;
     }
-    if n % 2 == 0 {
+    if n.is_multiple_of(2) {
         return n == 2;
     }
-    if n % 3 == 0 {
+    if n.is_multiple_of(3) {
         return n == 3;
     }
     let mut d = 5u64;
     while d.saturating_mul(d) <= n {
-        if n % d == 0 || n % (d + 2) == 0 {
+        if n.is_multiple_of(d) || n.is_multiple_of(d + 2) {
             return false;
         }
         d += 6;
@@ -36,7 +36,7 @@ pub fn factorize(mut n: u64) -> Vec<(u64, u32)> {
     };
     for p in [2u64, 3] {
         let mut e = 0;
-        while n % p == 0 {
+        while n.is_multiple_of(p) {
             n /= p;
             e += 1;
         }
@@ -46,7 +46,7 @@ pub fn factorize(mut n: u64) -> Vec<(u64, u32)> {
     while d.saturating_mul(d) <= n {
         for p in [d, d + 2] {
             let mut e = 0;
-            while n % p == 0 {
+            while n.is_multiple_of(p) {
                 n /= p;
                 e += 1;
             }
@@ -75,7 +75,9 @@ pub fn prime_power(q: u64) -> Option<(u64, u32)> {
 
 /// Iterator over all prime powers in `[lo, hi]` (inclusive), ascending.
 pub fn prime_powers_in(lo: u64, hi: u64) -> Vec<u64> {
-    (lo.max(2)..=hi).filter(|&q| prime_power(q).is_some()).collect()
+    (lo.max(2)..=hi)
+        .filter(|&q| prime_power(q).is_some())
+        .collect()
 }
 
 /// The largest prime power ≤ `n`, if any.
@@ -139,7 +141,10 @@ mod tests {
 
     #[test]
     fn prime_power_ranges() {
-        assert_eq!(prime_powers_in(2, 16), vec![2, 3, 4, 5, 7, 8, 9, 11, 13, 16]);
+        assert_eq!(
+            prime_powers_in(2, 16),
+            vec![2, 3, 4, 5, 7, 8, 9, 11, 13, 16]
+        );
         assert_eq!(prev_prime_power(10), Some(9));
         assert_eq!(prev_prime_power(16), Some(16));
         assert_eq!(prev_prime_power(1), None);

@@ -30,7 +30,10 @@ impl Graph {
 
     /// An edgeless graph on `n` vertices.
     pub fn empty(n: usize) -> Self {
-        Graph { offsets: vec![0; n + 1], neighbors: Vec::new() }
+        Graph {
+            offsets: vec![0; n + 1],
+            neighbors: Vec::new(),
+        }
     }
 
     /// The complete graph K_n.
@@ -102,12 +105,18 @@ impl Graph {
 
     /// Maximum degree (0 for the empty graph).
     pub fn max_degree(&self) -> usize {
-        (0..self.n() as VertexId).map(|v| self.degree(v)).max().unwrap_or(0)
+        (0..self.n() as VertexId)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Minimum degree (0 for the empty graph).
     pub fn min_degree(&self) -> usize {
-        (0..self.n() as VertexId).map(|v| self.degree(v)).min().unwrap_or(0)
+        (0..self.n() as VertexId)
+            .map(|v| self.degree(v))
+            .min()
+            .unwrap_or(0)
     }
 
     /// Whether every vertex has the same degree.
@@ -133,8 +142,7 @@ impl Graph {
             .iter()
             .map(|&(u, v)| if u < v { (u, v) } else { (v, u) })
             .collect();
-        let edges: Vec<(VertexId, VertexId)> =
-            self.edges().filter(|e| !kill.contains(e)).collect();
+        let edges: Vec<(VertexId, VertexId)> = self.edges().filter(|e| !kill.contains(e)).collect();
         Graph::from_edges(self.n(), &edges)
     }
 
@@ -191,7 +199,10 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Start a graph on `n` vertices.
     pub fn new(n: usize) -> Self {
-        GraphBuilder { n, edges: Vec::new() }
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// Number of vertices.
@@ -203,7 +214,11 @@ impl GraphBuilder {
     /// product drops them per §6.1.2); duplicates are deduplicated at
     /// build time.
     pub fn add_edge(&mut self, u: VertexId, v: VertexId) {
-        assert!((u as usize) < self.n && (v as usize) < self.n, "edge ({u},{v}) out of range (n={})", self.n);
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "edge ({u},{v}) out of range (n={})",
+            self.n
+        );
         if u == v {
             return;
         }

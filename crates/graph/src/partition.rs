@@ -42,7 +42,9 @@ impl Bisection {
 
 /// Count cut edges for a side assignment.
 pub fn cut_size(g: &Graph, side: &[u8]) -> usize {
-    g.edges().filter(|&(u, v)| side[u as usize] != side[v as usize]).count()
+    g.edges()
+        .filter(|&(u, v)| side[u as usize] != side[v as usize])
+        .count()
 }
 
 /// Estimate the minimum bisection of `g` with `restarts` independent
@@ -55,7 +57,11 @@ pub fn min_bisection(g: &Graph, restarts: usize, seed: u64) -> Bisection {
         .into_par_iter()
         .map(|r| {
             let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(r as u64 * 0x9E37_79B9));
-            let init = if r % 2 == 0 { random_partition(g, &mut rng) } else { bfs_partition(g, &mut rng) };
+            let init = if r % 2 == 0 {
+                random_partition(g, &mut rng)
+            } else {
+                bfs_partition(g, &mut rng)
+            };
             fm_refine(g, init)
         })
         .min_by_key(|b| b.cut)
@@ -128,7 +134,10 @@ fn fm_refine(g: &Graph, mut side: Vec<u8>) -> Bisection {
             break;
         }
     }
-    Bisection { side, cut: best_cut }
+    Bisection {
+        side,
+        cut: best_cut,
+    }
 }
 
 /// A single FM pass with gain buckets and lazy invalidation.

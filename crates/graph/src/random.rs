@@ -25,7 +25,10 @@ impl std::fmt::Display for RandomGraphError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RandomGraphError::InfeasibleDegree { n, d } => {
-                write!(f, "no {d}-regular graph on {n} vertices (need n·d even, d < n)")
+                write!(
+                    f,
+                    "no {d}-regular graph on {n} vertices (need n·d even, d < n)"
+                )
             }
             RandomGraphError::RepairFailed => write!(f, "edge-swap repair did not converge"),
         }
@@ -43,7 +46,7 @@ impl std::error::Error for RandomGraphError {}
 /// components until connected (Jellyfish's construction also enforces
 /// connectivity).
 pub fn random_regular(n: usize, d: usize, seed: u64) -> Result<Graph, RandomGraphError> {
-    if n == 0 || d >= n || (n * d) % 2 != 0 {
+    if n == 0 || d >= n || !(n * d).is_multiple_of(2) {
         return Err(RandomGraphError::InfeasibleDegree { n, d });
     }
     if d == 0 {
@@ -64,11 +67,19 @@ pub fn random_regular(n: usize, d: usize, seed: u64) -> Result<Graph, RandomGrap
 }
 
 fn try_pairing(n: usize, d: usize, rng: &mut impl Rng) -> Option<Graph> {
-    let mut stubs: Vec<VertexId> = (0..n as VertexId).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+    let mut stubs: Vec<VertexId> = (0..n as VertexId)
+        .flat_map(|v| std::iter::repeat_n(v, d))
+        .collect();
     stubs.shuffle(rng);
     let mut edges: Vec<(VertexId, VertexId)> = stubs
         .chunks_exact(2)
-        .map(|c| if c[0] < c[1] { (c[0], c[1]) } else { (c[1], c[0]) })
+        .map(|c| {
+            if c[0] < c[1] {
+                (c[0], c[1])
+            } else {
+                (c[1], c[0])
+            }
+        })
         .collect();
 
     // Repair self-loops and duplicates by 2-opt swaps.
@@ -183,7 +194,13 @@ mod tests {
 
     #[test]
     fn regular_graph_shape() {
-        for (n, d, seed) in [(10, 3, 1u64), (24, 5, 2), (50, 4, 3), (100, 7, 4), (64, 10, 5)] {
+        for (n, d, seed) in [
+            (10, 3, 1u64),
+            (24, 5, 2),
+            (50, 4, 3),
+            (100, 7, 4),
+            (64, 10, 5),
+        ] {
             let g = random_regular(n, d, seed).unwrap();
             assert_eq!(g.n(), n);
             assert!(g.is_regular(), "n={n} d={d}");

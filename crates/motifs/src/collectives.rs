@@ -76,9 +76,9 @@ fn recursive_doubling_round(
         // exchange start from the same readiness.
         let starts: Vec<Time> = ready[..pow2].to_vec();
         let mut arrived: Vec<Time> = starts.clone();
-        for r in 0..pow2 {
+        for (r, &start) in starts.iter().enumerate() {
             let partner = r ^ k;
-            let t = model.send_endpoints(r as u32, partner as u32, bytes, starts[r], mode);
+            let t = model.send_endpoints(r as u32, partner as u32, bytes, start, mode);
             arrived[partner] = arrived[partner].max(t);
         }
         ready[..pow2].copy_from_slice(&arrived);
@@ -100,9 +100,9 @@ fn ring_round(model: &mut NetModel, ready: &mut [Time], bytes: u64, mode: Routin
     // Reduce-scatter then allgather: 2(P−1) ring steps.
     for _step in 0..2 * (p - 1) {
         let starts: Vec<Time> = ready.to_vec();
-        for r in 0..p {
+        for (r, &start) in starts.iter().enumerate() {
             let next = (r + 1) % p;
-            let t = model.send_endpoints(r as u32, next as u32, chunk, starts[r], mode);
+            let t = model.send_endpoints(r as u32, next as u32, chunk, start, mode);
             ready[next] = ready[next].max(t);
         }
     }
@@ -177,7 +177,13 @@ mod tests {
         // Recursive doubling over 16 ranks: 4 rounds. Time should be
         // ≳ 4 × single message time and ≪ 16 ×.
         let mut m = model(8, 2); // 16 ranks
-        let t = allreduce(&mut m, AllreduceAlgo::RecursiveDoubling, 64 * 1024, 1, RoutingMode::Min);
+        let t = allreduce(
+            &mut m,
+            AllreduceAlgo::RecursiveDoubling,
+            64 * 1024,
+            1,
+            RoutingMode::Min,
+        );
         let single = 64.0 * 1024.0 / 4.0 + 140.0; // serial + overhead+hop
         assert!(t >= 4.0 * single * 0.8, "t={t} vs 4·{single}");
         assert!(t <= 16.0 * single, "t={t}");
@@ -189,7 +195,13 @@ mod tests {
         // contend; the ring algorithm sends only neighbor chunks.
         let spec = NetworkSpec::uniform("c16", Graph::cycle(16), 1);
         let mut m1 = NetModel::new(spec.clone(), MotifConfig::default());
-        let t_rd = allreduce(&mut m1, AllreduceAlgo::RecursiveDoubling, 1 << 20, 1, RoutingMode::Min);
+        let t_rd = allreduce(
+            &mut m1,
+            AllreduceAlgo::RecursiveDoubling,
+            1 << 20,
+            1,
+            RoutingMode::Min,
+        );
         let mut m2 = NetModel::new(spec, MotifConfig::default());
         let t_ring = allreduce(&mut m2, AllreduceAlgo::Ring, 1 << 20, 1, RoutingMode::Min);
         assert!(t_ring < t_rd, "ring {t_ring} vs rd {t_rd}");
@@ -198,16 +210,34 @@ mod tests {
     #[test]
     fn iterations_accumulate() {
         let mut m = model(4, 2);
-        let t1 = allreduce(&mut m, AllreduceAlgo::RecursiveDoubling, 4096, 1, RoutingMode::Min);
+        let t1 = allreduce(
+            &mut m,
+            AllreduceAlgo::RecursiveDoubling,
+            4096,
+            1,
+            RoutingMode::Min,
+        );
         let mut m2 = model(4, 2);
-        let t10 = allreduce(&mut m2, AllreduceAlgo::RecursiveDoubling, 4096, 10, RoutingMode::Min);
+        let t10 = allreduce(
+            &mut m2,
+            AllreduceAlgo::RecursiveDoubling,
+            4096,
+            10,
+            RoutingMode::Min,
+        );
         assert!(t10 > 5.0 * t1, "10 iters {t10} vs 1 iter {t1}");
     }
 
     #[test]
     fn non_power_of_two_ranks() {
         let mut m = model(6, 1); // 6 ranks
-        let t = allreduce(&mut m, AllreduceAlgo::RecursiveDoubling, 4096, 1, RoutingMode::Min);
+        let t = allreduce(
+            &mut m,
+            AllreduceAlgo::RecursiveDoubling,
+            4096,
+            1,
+            RoutingMode::Min,
+        );
         assert!(t.is_finite() && t > 0.0);
     }
 
@@ -235,9 +265,21 @@ mod tests {
     fn adaptive_not_worse_on_congested_allreduce() {
         let spec = NetworkSpec::uniform("c12", Graph::cycle(12), 1);
         let mut m1 = NetModel::new(spec.clone(), MotifConfig::default());
-        let t_min = allreduce(&mut m1, AllreduceAlgo::RecursiveDoubling, 1 << 18, 2, RoutingMode::Min);
+        let t_min = allreduce(
+            &mut m1,
+            AllreduceAlgo::RecursiveDoubling,
+            1 << 18,
+            2,
+            RoutingMode::Min,
+        );
         let mut m2 = NetModel::new(spec, MotifConfig::default());
-        let t_ad = allreduce(&mut m2, AllreduceAlgo::RecursiveDoubling, 1 << 18, 2, RoutingMode::Adaptive { candidates: 4 });
+        let t_ad = allreduce(
+            &mut m2,
+            AllreduceAlgo::RecursiveDoubling,
+            1 << 18,
+            2,
+            RoutingMode::Adaptive { candidates: 4 },
+        );
         assert!(t_ad <= t_min * 1.05, "adaptive {t_ad} vs min {t_min}");
     }
 }
@@ -254,9 +296,9 @@ pub fn alltoall(model: &mut NetModel, bytes: u64, iters: usize, mode: RoutingMod
     for _ in 0..iters {
         for k in 1..p {
             let starts: Vec<Time> = ready.clone();
-            for r in 0..p {
+            for (r, &start) in starts.iter().enumerate() {
                 let dst = (r + k) % p;
-                let t = model.send_endpoints(r as u32, dst as u32, bytes, starts[r], mode);
+                let t = model.send_endpoints(r as u32, dst as u32, bytes, start, mode);
                 ready[dst] = ready[dst].max(t);
             }
         }
@@ -357,7 +399,9 @@ mod extension_tests {
         use polarstar::design::best_config;
         use polarstar::network::PolarStarNetwork;
         use polarstar_analysis::spanning::edge_disjoint_spanning_trees;
-        let net = PolarStarNetwork::build(best_config(9).unwrap(), 1).unwrap().spec;
+        let net = PolarStarNetwork::build(best_config(9).unwrap(), 1)
+            .unwrap()
+            .spec;
         let trees = edge_disjoint_spanning_trees(&net.graph);
         assert!(trees.len() >= 2, "PolarStar packs ≥ 2 trees");
         let t = tree_broadcast(

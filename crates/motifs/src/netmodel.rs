@@ -78,16 +78,41 @@ pub struct NetModel {
     parents: HashMap<u32, Vec<Vec<u32>>>,
     /// free_at per directed link (u → v).
     free_at: HashMap<(u32, u32), Time>,
+    /// Cumulative serialization time reserved per directed link.
+    link_busy: HashMap<(u32, u32), Time>,
+    /// Messages that crossed each directed link.
+    link_msgs: HashMap<(u32, u32), u64>,
     spec: NetworkSpec,
     cfg: MotifConfig,
     rng: ChaCha8Rng,
+}
+
+/// Aggregate link-load summary over one simulated interval.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkLoadReport {
+    /// Directed links that carried at least one message.
+    pub links_used: usize,
+    /// Total messages summed over links (a k-hop message counts k times).
+    pub messages: u64,
+    /// Mean busy fraction over USED links for `horizon` of wall time.
+    pub mean_utilization: f64,
+    /// Busy fraction of the single most loaded link.
+    pub max_utilization: f64,
 }
 
 impl NetModel {
     /// Build a model over a network.
     pub fn new(spec: NetworkSpec, cfg: MotifConfig) -> Self {
         let rng = ChaCha8Rng::seed_from_u64(cfg.seed);
-        NetModel { parents: HashMap::new(), free_at: HashMap::new(), spec, cfg, rng }
+        NetModel {
+            parents: HashMap::new(),
+            free_at: HashMap::new(),
+            link_busy: HashMap::new(),
+            link_msgs: HashMap::new(),
+            spec,
+            cfg,
+            rng,
+        }
     }
 
     /// The underlying network.
@@ -95,9 +120,46 @@ impl NetModel {
         &self.spec
     }
 
-    /// Reset link reservations (between iterations/benchmarks).
+    /// Reset link reservations and load accounting (between
+    /// iterations/benchmarks).
     pub fn reset(&mut self) {
         self.free_at.clear();
+        self.link_busy.clear();
+        self.link_msgs.clear();
+    }
+
+    /// Cumulative serialization reserved on a directed link so far.
+    pub fn link_busy_time(&self, u: u32, v: u32) -> Time {
+        self.link_busy.get(&(u, v)).copied().unwrap_or(0)
+    }
+
+    /// Summarize link load relative to a wall-clock `horizon` (e.g. the
+    /// motif's completion time). Utilization is busy-time / horizon,
+    /// clamped to 1 per link.
+    pub fn link_report(&self, horizon: Time) -> LinkLoadReport {
+        let links_used = self.link_busy.len();
+        let messages = self.link_msgs.values().sum();
+        if links_used == 0 || horizon == 0 {
+            return LinkLoadReport {
+                links_used,
+                messages,
+                mean_utilization: 0.0,
+                max_utilization: 0.0,
+            };
+        }
+        let mut sum = 0.0;
+        let mut max = 0.0f64;
+        for &busy in self.link_busy.values() {
+            let u = (busy as f64 / horizon as f64).min(1.0);
+            sum += u;
+            max = max.max(u);
+        }
+        LinkLoadReport {
+            links_used,
+            messages,
+            mean_utilization: sum / links_used as f64,
+            max_utilization: max,
+        }
     }
 
     fn ensure_parent_tree(&mut self, dst: u32) {
@@ -151,7 +213,11 @@ impl NetModel {
             let mut cur = src;
             while cur != dst {
                 let opts = &tree[cur as usize];
-                let k = if opts.len() == 1 { 0 } else { self.rng.gen_range(0..opts.len()) };
+                let k = if opts.len() == 1 {
+                    0
+                } else {
+                    self.rng.gen_range(0..opts.len())
+                };
                 picks.push(k);
                 cur = opts[k];
             }
@@ -194,6 +260,8 @@ impl NetModel {
             let free = self.free_at.get(link).copied().unwrap_or(0);
             let begin = head.max(free);
             self.free_at.insert(*link, begin + serial);
+            *self.link_busy.entry(*link).or_insert(0) += serial;
+            *self.link_msgs.entry(*link).or_insert(0) += 1;
             head = begin + per_hop;
             done = begin + per_hop + serial;
         }
@@ -317,7 +385,10 @@ mod tests {
             m.predict(&p, 10_000, 0)
         };
         let t = m.send_routers(0, 2, 10_000, 0, RoutingMode::Adaptive { candidates: 8 });
-        assert!(t <= min_t, "adaptive {t} must beat congested minimal {min_t}");
+        assert!(
+            t <= min_t,
+            "adaptive {t} must beat congested minimal {min_t}"
+        );
     }
 
     #[test]
@@ -327,6 +398,42 @@ mod tests {
         m.reset();
         let t2 = m.send_routers(0, 1, 4000, 0, RoutingMode::Min);
         assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn link_accounting_tracks_reservations() {
+        let mut m = model();
+        // Two 4000-byte messages over 0→1→2→3: serial 1000 ns each.
+        m.send_routers(0, 3, 4000, 0, RoutingMode::Min);
+        let done = m.send_routers(0, 3, 4000, 0, RoutingMode::Min);
+        assert_eq!(m.link_busy_time(0, 1), ns(2000.0));
+        assert_eq!(m.link_busy_time(1, 0), 0, "reverse direction unused");
+        let rep = m.link_report(done);
+        assert_eq!(rep.links_used, 3);
+        assert_eq!(rep.messages, 6, "2 messages × 3 hops");
+        assert!(rep.max_utilization > 0.0 && rep.max_utilization <= 1.0);
+        assert!(rep.mean_utilization <= rep.max_utilization);
+        m.reset();
+        assert_eq!(m.link_busy_time(0, 1), 0);
+        assert_eq!(m.link_report(done).links_used, 0);
+    }
+
+    #[test]
+    fn link_report_empty_and_zero_horizon() {
+        let m = model();
+        let rep = m.link_report(1000);
+        assert_eq!(
+            rep,
+            LinkLoadReport {
+                links_used: 0,
+                messages: 0,
+                mean_utilization: 0.0,
+                max_utilization: 0.0,
+            }
+        );
+        let mut m = model();
+        m.send_routers(0, 1, 4000, 0, RoutingMode::Min);
+        assert_eq!(m.link_report(0).mean_utilization, 0.0);
     }
 
     #[test]

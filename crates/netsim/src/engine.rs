@@ -5,6 +5,7 @@
 //! fixed seed and single-threaded; parallelism lives one level up
 //! (load sweeps in [`crate::stats`] fan out with rayon).
 
+use crate::monitor::{NoopMonitor, SimMonitor, StallCause};
 use crate::routing::{RouteTable, RoutingKind};
 use crate::traffic::{resolve, Pattern, ResolvedPattern};
 use polarstar_topo::network::NetworkSpec;
@@ -108,8 +109,17 @@ struct Router {
 }
 
 enum Event {
-    Arrive { router: u32, inport: u16, vc: u8, packet: u32 },
-    Credit { router: u32, outport: u8, vc: u8 },
+    Arrive {
+        router: u32,
+        inport: u16,
+        vc: u8,
+        packet: u32,
+    },
+    Credit {
+        router: u32,
+        outport: u8,
+        vc: u8,
+    },
 }
 
 /// Simulate `spec` under `pattern` at `load` (fraction of injection
@@ -122,12 +132,27 @@ pub fn simulate(
     load: f64,
     cfg: &SimConfig,
 ) -> SimResult {
-    assert!((0.0..=1.0).contains(&load));
-    let resolved = resolve(pattern, spec, cfg.seed ^ 0x7a11);
-    Engine::new(spec, table, kind, resolved, load, cfg.clone()).run()
+    simulate_monitored(spec, table, kind, pattern, load, cfg, &mut NoopMonitor)
 }
 
-struct Engine<'a> {
+/// [`simulate`] with instrumentation: every engine event is reported to
+/// `monitor` (see [`crate::monitor`]). The plain path uses
+/// [`NoopMonitor`], whose hooks monomorphize to nothing.
+pub fn simulate_monitored<M: SimMonitor>(
+    spec: &NetworkSpec,
+    table: &RouteTable,
+    kind: RoutingKind,
+    pattern: &Pattern,
+    load: f64,
+    cfg: &SimConfig,
+    monitor: &mut M,
+) -> SimResult {
+    assert!((0.0..=1.0).contains(&load));
+    let resolved = resolve(pattern, spec, cfg.seed ^ 0x7a11);
+    Engine::new(spec, table, kind, resolved, load, cfg.clone(), monitor).run()
+}
+
+struct Engine<'a, M: SimMonitor> {
     spec: &'a NetworkSpec,
     table: &'a RouteTable,
     kind: RoutingKind,
@@ -135,6 +160,7 @@ struct Engine<'a> {
     load: f64,
     cfg: SimConfig,
     rng: ChaCha8Rng,
+    monitor: M,
 
     routers: Vec<Router>,
     packets: Vec<Packet>,
@@ -168,7 +194,7 @@ struct Engine<'a> {
     half_counts: [u64; 2],
 }
 
-impl<'a> Engine<'a> {
+impl<'a, M: SimMonitor> Engine<'a, M> {
     fn new(
         spec: &'a NetworkSpec,
         table: &'a RouteTable,
@@ -176,6 +202,7 @@ impl<'a> Engine<'a> {
         pattern: ResolvedPattern,
         load: f64,
         cfg: SimConfig,
+        monitor: M,
     ) -> Self {
         let n = spec.graph.n();
         let vcs = cfg.vcs;
@@ -207,7 +234,7 @@ impl<'a> Engine<'a> {
             back_port.push(bp);
         }
         let total_eps = spec.total_endpoints();
-        let ep_offsets = spec.endpoint_offsets();
+        let ep_offsets = spec.endpoint_offsets().to_vec();
         let ep_router: Vec<(u32, u16)> = (0..total_eps)
             .map(|e| {
                 let (r, s) = spec.endpoint_router(e);
@@ -223,6 +250,7 @@ impl<'a> Engine<'a> {
             load,
             rng: ChaCha8Rng::seed_from_u64(cfg.seed),
             cfg,
+            monitor,
             routers,
             packets: Vec::new(),
             free: Vec::new(),
@@ -273,7 +301,11 @@ impl<'a> Engine<'a> {
             phase = 1;
             self.packets[pid as usize].phase = 1;
         }
-        let target = if phase == 0 && intermediate != u32::MAX { intermediate } else { dst_router };
+        let target = if phase == 0 && intermediate != u32::MAX {
+            intermediate
+        } else {
+            dst_router
+        };
         if r == target && target == dst_router {
             self.packets[pid as usize].cur_port = EJECT;
             return;
@@ -314,7 +346,8 @@ impl<'a> Engine<'a> {
     fn ugal_intermediate(&mut self, src_router: u32, dst_router: u32, now: u64, k: usize) -> u32 {
         let n = self.table.n() as u32;
         let dmin = self.table.distance(src_router, dst_router) as u64;
-        let min_cost = (dmin.max(1)) * (self.port_cost(src_router, dst_router, now) + self.cfg.packet_flits as u64);
+        let min_cost = (dmin.max(1))
+            * (self.port_cost(src_router, dst_router, now) + self.cfg.packet_flits as u64);
         let mut best = u32::MAX;
         let mut best_cost = min_cost;
         for _ in 0..k {
@@ -324,7 +357,8 @@ impl<'a> Engine<'a> {
             }
             let hops = self.table.distance(src_router, i) as u64
                 + self.table.distance(i, dst_router) as u64;
-            let cost = hops.max(1) * (self.port_cost(src_router, i, now) + self.cfg.packet_flits as u64);
+            let cost =
+                hops.max(1) * (self.port_cost(src_router, i, now) + self.cfg.packet_flits as u64);
             if cost < best_cost {
                 best_cost = cost;
                 best = i;
@@ -333,7 +367,24 @@ impl<'a> Engine<'a> {
         best
     }
 
+    /// Network-wide buffered packets per VC, reported to the monitor.
+    fn sample_vc_occupancy(&mut self, now: u64) {
+        let mut occ = vec![0u64; self.cfg.vcs];
+        for router in &self.routers {
+            for inport in &router.inputs {
+                for (vc, q) in inport.iter().enumerate() {
+                    occ[vc] += q.len() as u64;
+                }
+            }
+        }
+        for (vc, &o) in occ.iter().enumerate() {
+            self.monitor.on_vc_sample(now, vc, o);
+        }
+    }
+
     fn run(mut self) -> SimResult {
+        self.monitor.on_run_start(self.spec, &self.cfg);
+        let sample_every = self.monitor.sample_interval();
         let total_eps = self.sources.len();
         let end_measure = self.cfg.warmup_cycles + self.cfg.measure_cycles;
         let hard_end = end_measure + self.cfg.drain_cycles;
@@ -342,15 +393,27 @@ impl<'a> Engine<'a> {
         // active; mapped patterns only active sources inject.
         let active_src: Vec<bool> = match &self.pattern.dest {
             None => vec![true; total_eps],
-            Some(map) => map.iter().enumerate().map(|(i, &d)| d != i as u32).collect(),
+            Some(map) => map
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| d != i as u32)
+                .collect(),
         };
 
         while now < hard_end {
+            // 0. Coarse VC-occupancy sampling (skipped entirely when the
+            //    monitor asks for no samples — the no-op path).
+            if let Some(k) = sample_every {
+                if now.is_multiple_of(k) {
+                    self.sample_vc_occupancy(now);
+                }
+            }
             // 1. Generation (stops after the measurement window so the
             //    drain phase can finish).
             if now < end_measure {
-                for e in 0..total_eps {
-                    if !active_src[e] || self.rng.gen::<f64>() >= self.load / self.cfg.packet_flits as f64 {
+                for (e, &active) in active_src.iter().enumerate() {
+                    if !active || self.rng.gen::<f64>() >= self.load / self.cfg.packet_flits as f64
+                    {
                         continue;
                     }
                     self.generate_packet(e as u32, now);
@@ -361,10 +424,15 @@ impl<'a> Engine<'a> {
             let events = std::mem::take(&mut self.wheel[slot]);
             for ev in events {
                 match ev {
-                    Event::Arrive { router, inport, vc, packet } => {
+                    Event::Arrive {
+                        router,
+                        inport,
+                        vc,
+                        packet,
+                    } => {
                         self.route_at(packet, router);
-                        let q = &mut self.routers[router as usize].inputs[inport as usize]
-                            [vc as usize];
+                        let q =
+                            &mut self.routers[router as usize].inputs[inport as usize][vc as usize];
                         q.push_back(packet);
                         // Credit accounting must keep arrivals within the
                         // VC buffer capacity.
@@ -379,7 +447,11 @@ impl<'a> Engine<'a> {
                         self.routers[router as usize].load += 1;
                         self.mark_active(router);
                     }
-                    Event::Credit { router, outport, vc } => {
+                    Event::Credit {
+                        router,
+                        outport,
+                        vc,
+                    } => {
                         self.routers[router as usize].credits[outport as usize][vc as usize] += 1;
                         self.mark_active(router);
                     }
@@ -406,6 +478,7 @@ impl<'a> Engine<'a> {
             }
         }
 
+        self.monitor.on_run_end(now);
         let delivered = if self.measured_generated == 0 {
             1.0
         } else {
@@ -464,8 +537,8 @@ impl<'a> Engine<'a> {
         };
         let (src_router, _) = self.ep_router[src_ep as usize];
         let (dst_router, dst_slot) = self.ep_router[dst_ep as usize];
-        let measured = now >= self.cfg.warmup_cycles
-            && now < self.cfg.warmup_cycles + self.cfg.measure_cycles;
+        let measured =
+            now >= self.cfg.warmup_cycles && now < self.cfg.warmup_cycles + self.cfg.measure_cycles;
         let intermediate = match self.kind {
             RoutingKind::Ugal { candidates } if src_router != dst_router => {
                 self.ugal_intermediate(src_router, dst_router, now, candidates)
@@ -509,12 +582,15 @@ impl<'a> Engine<'a> {
         let inport = self.spec.graph.degree(src_router) + slot as usize;
         // Move from source queue into the injection input if there is
         // room (injection buffer = one VC of cap packets).
-        let cap = (self.cfg.buf_flits_per_port / self.cfg.vcs as u32 / self.cfg.packet_flits).max(1);
+        let cap =
+            (self.cfg.buf_flits_per_port / self.cfg.vcs as u32 / self.cfg.packet_flits).max(1);
         let q = &mut self.routers[src_router as usize].inputs[inport][0];
         if (q.len() as u32) < cap {
             let head = self.sources[src_ep as usize].pop_front().unwrap();
             q.push_back(head);
             self.routers[src_router as usize].load += 1;
+        } else {
+            self.monitor.on_injection_backpressure(src_router);
         }
         self.mark_active(src_router);
     }
@@ -581,22 +657,35 @@ impl<'a> Engine<'a> {
             }
             let out = out as usize;
             if self.routers[r as usize].out_busy[out] > now {
+                self.monitor.on_stall(r, StallCause::Crossbar);
                 continue;
             }
             let glen = group.len();
             let rr = self.routers[r as usize].rr[out] as usize;
+            let mut examined = 0usize;
+            let mut granted = false;
             for k in 0..glen {
                 let (inport, vc, _) = requests[group.start + (rr + k) % glen];
                 let pid = *self.routers[r as usize].inputs[inport as usize][vc as usize]
                     .front()
                     .unwrap();
                 let next_vc = (self.packets[pid as usize].hops as usize).min(vcs - 1);
+                examined += 1;
                 if self.routers[r as usize].credits[out][next_vc] == 0 {
+                    self.monitor.on_stall(r, StallCause::CreditStarved);
                     continue;
                 }
                 self.routers[r as usize].rr[out] = ((rr + k) % glen) as u32 + 1;
                 self.send(r, inport, vc, out, next_vc as u8, now);
+                granted = true;
                 break;
+            }
+            if granted {
+                // Requests never examined lost the port to this cycle's
+                // winner — VC-allocation stalls.
+                for _ in examined..glen {
+                    self.monitor.on_stall(r, StallCause::VcAllocation);
+                }
             }
         }
         self.req_buf = requests;
@@ -607,7 +696,8 @@ impl<'a> Engine<'a> {
     fn refill_injection(&mut self, r: u32) {
         let deg = self.spec.graph.degree(r);
         let eps = self.spec.endpoints[r as usize] as usize;
-        let cap = (self.cfg.buf_flits_per_port / self.cfg.vcs as u32 / self.cfg.packet_flits).max(1);
+        let cap =
+            (self.cfg.buf_flits_per_port / self.cfg.vcs as u32 / self.cfg.packet_flits).max(1);
         for slot in 0..eps {
             let ep = self.ep_offsets[r as usize] + slot;
             while !self.sources[ep].is_empty()
@@ -629,13 +719,19 @@ impl<'a> Engine<'a> {
         let serialize = self.cfg.packet_flits as u64;
         self.routers[r as usize].out_busy[out] = now + serialize;
         self.routers[r as usize].credits[out][next_vc as usize] -= 1;
+        self.monitor.on_link_flit(r, out, self.cfg.packet_flits);
 
         let next_router = self.table.neighbor(r, out as u8);
         let next_inport = self.back_port[r as usize][out] as u16;
         let arrive_at = now + serialize + self.cfg.link_latency as u64;
         self.schedule(
             arrive_at,
-            Event::Arrive { router: next_router, inport: next_inport, vc: next_vc, packet: pid },
+            Event::Arrive {
+                router: next_router,
+                inport: next_inport,
+                vc: next_vc,
+                packet: pid,
+            },
         );
         // Credit return to the upstream router once the packet fully
         // leaves this buffer (network inputs only; injection has no
@@ -646,7 +742,11 @@ impl<'a> Engine<'a> {
             let up_out = self.back_port[r as usize][inport as usize];
             self.schedule(
                 now + serialize,
-                Event::Credit { router: upstream, outport: up_out, vc },
+                Event::Credit {
+                    router: upstream,
+                    outport: up_out,
+                    vc,
+                },
             );
         }
     }
@@ -661,6 +761,8 @@ impl<'a> Engine<'a> {
         let done = now + serialize;
         // Stats.
         let p = self.packets[pid as usize].clone();
+        self.monitor
+            .on_packet_delivered(done - p.gen_cycle, p.hops as u32, p.measured);
         if p.measured {
             self.measured_ejected += 1;
             let lat = (done - p.gen_cycle) as u32;
@@ -681,7 +783,14 @@ impl<'a> Engine<'a> {
         if (inport as usize) < deg {
             let upstream = self.table.neighbor(r, inport as u8);
             let up_out = self.back_port[r as usize][inport as usize];
-            self.schedule(now + serialize, Event::Credit { router: upstream, outport: up_out, vc });
+            self.schedule(
+                now + serialize,
+                Event::Credit {
+                    router: upstream,
+                    outport: up_out,
+                    vc,
+                },
+            );
         }
         self.free.push(pid);
     }
@@ -716,11 +825,22 @@ mod tests {
     fn low_load_latency_near_zero_load_baseline() {
         let spec = k8_spec();
         let table = RouteTable::new(&spec.graph);
-        let r = simulate(&spec, &table, RoutingKind::MinSingle, &Pattern::Uniform, 0.05, &small_cfg(1));
+        let r = simulate(
+            &spec,
+            &table,
+            RoutingKind::MinSingle,
+            &Pattern::Uniform,
+            0.05,
+            &small_cfg(1),
+        );
         assert!(r.stable, "complete graph at 5% load must be stable");
         // Minimum latency: serialization (4) + link (1) + eject
         // serialization (4) ≈ 9-10 cycles for a 1-hop path.
-        assert!(r.avg_latency >= 8.0 && r.avg_latency < 30.0, "latency {}", r.avg_latency);
+        assert!(
+            r.avg_latency >= 8.0 && r.avg_latency < 30.0,
+            "latency {}",
+            r.avg_latency
+        );
         assert!(r.delivered_fraction > 0.999);
     }
 
@@ -728,8 +848,18 @@ mod tests {
     fn complete_graph_sustains_high_uniform_load() {
         let spec = k8_spec();
         let table = RouteTable::new(&spec.graph);
-        let r = simulate(&spec, &table, RoutingKind::MinMulti, &Pattern::Uniform, 0.7, &small_cfg(2));
-        assert!(r.stable, "K8 with 2 eps/router should sustain 70% uniform load");
+        let r = simulate(
+            &spec,
+            &table,
+            RoutingKind::MinMulti,
+            &Pattern::Uniform,
+            0.7,
+            &small_cfg(2),
+        );
+        assert!(
+            r.stable,
+            "K8 with 2 eps/router should sustain 70% uniform load"
+        );
         assert!(r.accepted > 0.5, "accepted {}", r.accepted);
     }
 
@@ -739,9 +869,26 @@ mod tests {
         // uniform load must saturate (latency runaway / undelivered).
         let spec = NetworkSpec::uniform("c8", Graph::cycle(8), 2);
         let table = RouteTable::new(&spec.graph);
-        let hi = simulate(&spec, &table, RoutingKind::MinSingle, &Pattern::Uniform, 0.9, &small_cfg(3));
-        assert!(!hi.stable || hi.avg_latency > 200.0, "ring at 90% must saturate");
-        let lo = simulate(&spec, &table, RoutingKind::MinSingle, &Pattern::Uniform, 0.05, &small_cfg(3));
+        let hi = simulate(
+            &spec,
+            &table,
+            RoutingKind::MinSingle,
+            &Pattern::Uniform,
+            0.9,
+            &small_cfg(3),
+        );
+        assert!(
+            !hi.stable || hi.avg_latency > 200.0,
+            "ring at 90% must saturate"
+        );
+        let lo = simulate(
+            &spec,
+            &table,
+            RoutingKind::MinSingle,
+            &Pattern::Uniform,
+            0.05,
+            &small_cfg(3),
+        );
         assert!(lo.stable);
         assert!(lo.avg_latency < hi.avg_latency.min(1e9));
     }
@@ -752,8 +899,18 @@ mod tests {
         let table = RouteTable::new(&spec.graph);
         let mut last = 0.0;
         for load in [0.1, 0.4, 0.7] {
-            let r = simulate(&spec, &table, RoutingKind::MinMulti, &Pattern::Uniform, load, &small_cfg(4));
-            assert!(r.avg_latency >= last * 0.9, "latency not ~monotone at {load}");
+            let r = simulate(
+                &spec,
+                &table,
+                RoutingKind::MinMulti,
+                &Pattern::Uniform,
+                load,
+                &small_cfg(4),
+            );
+            assert!(
+                r.avg_latency >= last * 0.9,
+                "latency not ~monotone at {load}"
+            );
             last = r.avg_latency;
         }
     }
@@ -762,8 +919,22 @@ mod tests {
     fn deterministic_for_seed() {
         let spec = k8_spec();
         let table = RouteTable::new(&spec.graph);
-        let a = simulate(&spec, &table, RoutingKind::Ugal { candidates: 4 }, &Pattern::Uniform, 0.3, &small_cfg(5));
-        let b = simulate(&spec, &table, RoutingKind::Ugal { candidates: 4 }, &Pattern::Uniform, 0.3, &small_cfg(5));
+        let a = simulate(
+            &spec,
+            &table,
+            RoutingKind::Ugal { candidates: 4 },
+            &Pattern::Uniform,
+            0.3,
+            &small_cfg(5),
+        );
+        let b = simulate(
+            &spec,
+            &table,
+            RoutingKind::Ugal { candidates: 4 },
+            &Pattern::Uniform,
+            0.3,
+            &small_cfg(5),
+        );
         assert_eq!(a.measured_ejected, b.measured_ejected);
         assert_eq!(a.avg_latency, b.avg_latency);
     }
@@ -772,7 +943,14 @@ mod tests {
     fn permutation_traffic_runs() {
         let spec = k8_spec();
         let table = RouteTable::new(&spec.graph);
-        let r = simulate(&spec, &table, RoutingKind::MinMulti, &Pattern::Permutation, 0.4, &small_cfg(6));
+        let r = simulate(
+            &spec,
+            &table,
+            RoutingKind::MinMulti,
+            &Pattern::Permutation,
+            0.4,
+            &small_cfg(6),
+        );
         assert!(r.measured_ejected > 0);
         assert!(r.stable);
     }
@@ -782,15 +960,32 @@ mod tests {
         // On a cycle, a permutation pinning flows through one region
         // benefits from Valiant spreading. Use adversarial-group traffic
         // on a dragonfly instead — the canonical UGAL showcase.
-        let spec = polarstar_topo::dragonfly::dragonfly(
-            polarstar_topo::dragonfly::DragonflyParams { a: 4, h: 2, p: 2 },
-        );
+        let spec =
+            polarstar_topo::dragonfly::dragonfly(polarstar_topo::dragonfly::DragonflyParams {
+                a: 4,
+                h: 2,
+                p: 2,
+            });
         let table = RouteTable::new(&spec.graph);
         // Each group funnels 8 endpoints over a single global link under
         // MIN (throughput cap ≈ 1/8); UGAL spreads over all groups.
         let load = 0.3;
-        let min = simulate(&spec, &table, RoutingKind::MinSingle, &Pattern::AdversarialGroup, load, &small_cfg(7));
-        let ugal = simulate(&spec, &table, RoutingKind::ugal4(), &Pattern::AdversarialGroup, load, &small_cfg(7));
+        let min = simulate(
+            &spec,
+            &table,
+            RoutingKind::MinSingle,
+            &Pattern::AdversarialGroup,
+            load,
+            &small_cfg(7),
+        );
+        let ugal = simulate(
+            &spec,
+            &table,
+            RoutingKind::ugal4(),
+            &Pattern::AdversarialGroup,
+            load,
+            &small_cfg(7),
+        );
         assert!(!min.stable, "MIN at 0.3 exceeds the single-link cap");
         assert!(
             ugal.avg_latency < min.avg_latency * 0.7 || (ugal.stable && !min.stable),
@@ -804,7 +999,14 @@ mod tests {
     fn zero_load_produces_no_packets() {
         let spec = k8_spec();
         let table = RouteTable::new(&spec.graph);
-        let r = simulate(&spec, &table, RoutingKind::MinSingle, &Pattern::Uniform, 0.0, &small_cfg(8));
+        let r = simulate(
+            &spec,
+            &table,
+            RoutingKind::MinSingle,
+            &Pattern::Uniform,
+            0.0,
+            &small_cfg(8),
+        );
         assert_eq!(r.measured_ejected, 0);
         assert!(r.stable);
     }
@@ -839,7 +1041,14 @@ mod fault_injection_tests {
             seed: 3,
             ..SimConfig::default()
         };
-        let r = simulate(&spec, &table, RoutingKind::MinMulti, &Pattern::Uniform, 0.2, &cfg);
+        let r = simulate(
+            &spec,
+            &table,
+            RoutingKind::MinMulti,
+            &Pattern::Uniform,
+            0.2,
+            &cfg,
+        );
         assert!(r.stable, "faulty network at 20% load: {r:?}");
         assert!(r.delivered_fraction > 0.999);
     }
@@ -857,8 +1066,19 @@ mod fault_injection_tests {
             seed: 4,
             ..SimConfig::default()
         };
-        let r = simulate(&spec, &table, RoutingKind::MinSingle, &Pattern::Uniform, 0.1, &cfg);
-        assert!(r.avg_hops >= 1.0 && r.avg_hops <= 5.0, "avg hops {}", r.avg_hops);
+        let r = simulate(
+            &spec,
+            &table,
+            RoutingKind::MinSingle,
+            &Pattern::Uniform,
+            0.1,
+            &cfg,
+        );
+        assert!(
+            r.avg_hops >= 1.0 && r.avg_hops <= 5.0,
+            "avg hops {}",
+            r.avg_hops
+        );
     }
 
     /// Pure Valiant doubles path length but still delivers.
@@ -873,9 +1093,28 @@ mod fault_injection_tests {
             seed: 5,
             ..SimConfig::default()
         };
-        let min = simulate(&spec, &table, RoutingKind::MinMulti, &Pattern::Uniform, 0.2, &cfg);
-        let val = simulate(&spec, &table, RoutingKind::Valiant, &Pattern::Uniform, 0.2, &cfg);
-        assert!(val.avg_hops > min.avg_hops, "valiant {} vs min {}", val.avg_hops, min.avg_hops);
+        let min = simulate(
+            &spec,
+            &table,
+            RoutingKind::MinMulti,
+            &Pattern::Uniform,
+            0.2,
+            &cfg,
+        );
+        let val = simulate(
+            &spec,
+            &table,
+            RoutingKind::Valiant,
+            &Pattern::Uniform,
+            0.2,
+            &cfg,
+        );
+        assert!(
+            val.avg_hops > min.avg_hops,
+            "valiant {} vs min {}",
+            val.avg_hops,
+            min.avg_hops
+        );
         assert!(val.stable && min.stable);
     }
 }

@@ -31,13 +31,17 @@
 //! * [`traffic`] — the synthetic patterns of §9.4 and the adversarial
 //!   pattern of §9.6;
 //! * [`engine`] — the cycle loop;
+//! * [`monitor`] — observability hooks: link utilization, VC occupancy,
+//!   stall causes, latency histograms (zero-cost when unused);
 //! * [`stats`] — load sweeps, saturation detection, latency summaries.
 
 pub mod engine;
+pub mod monitor;
 pub mod routing;
 pub mod stats;
 pub mod traffic;
 
-pub use engine::{simulate, SimConfig, SimResult};
+pub use engine::{simulate, simulate_monitored, SimConfig, SimResult};
+pub use monitor::{MetricsMonitor, MetricsReport, NoopMonitor, SimMonitor, StallCause};
 pub use routing::{RouteTable, RoutingKind};
 pub use traffic::Pattern;

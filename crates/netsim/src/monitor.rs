@@ -1,0 +1,496 @@
+//! Simulator observability: the [`SimMonitor`] hook trait, the zero-cost
+//! [`NoopMonitor`], and the allocating [`MetricsMonitor`] /
+//! [`MetricsReport`] pair.
+//!
+//! The engine is generic over its monitor, so the no-op implementation
+//! monomorphizes every hook to an empty inline body — the unmonitored
+//! `simulate` path pays nothing for this layer. `MetricsMonitor` collects
+//! per-port link utilization, coarse-sampled per-VC buffer occupancy,
+//! stall-cause counters, injection-backpressure counts, and a
+//! log-bucketed latency histogram (p50/p99/p999 without storing samples).
+
+use crate::engine::SimConfig;
+use polarstar_topo::network::NetworkSpec;
+
+/// Why a head-of-line packet failed to advance this cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StallCause {
+    /// The chosen output VC had no downstream credit.
+    CreditStarved,
+    /// Lost round-robin arbitration to another input VC this cycle.
+    VcAllocation,
+    /// The output port was still serializing a previous packet.
+    Crossbar,
+}
+
+/// Engine instrumentation hooks. Every method has an empty default, so a
+/// monitor implements only what it needs.
+pub trait SimMonitor {
+    /// Called once before the first cycle.
+    fn on_run_start(&mut self, _spec: &NetworkSpec, _cfg: &SimConfig) {}
+
+    /// If `Some(k)`, the engine scans VC occupancy every `k` cycles and
+    /// reports it via [`SimMonitor::on_vc_sample`]. `None` (the default)
+    /// skips the scan entirely.
+    fn sample_interval(&self) -> Option<u64> {
+        None
+    }
+
+    /// Network-wide buffered packets in VC `vc` at cycle `now`.
+    fn on_vc_sample(&mut self, _now: u64, _vc: usize, _occupied_packets: u64) {}
+
+    /// `flits` flits started traversing network port `port` of `router`.
+    fn on_link_flit(&mut self, _router: u32, _port: usize, _flits: u32) {}
+
+    /// A head packet at `router` stalled for `cause`.
+    fn on_stall(&mut self, _router: u32, _cause: StallCause) {}
+
+    /// An endpoint on `router` generated a packet its injection buffer
+    /// could not accept this cycle.
+    fn on_injection_backpressure(&mut self, _router: u32) {}
+
+    /// A packet reached its destination endpoint.
+    fn on_packet_delivered(&mut self, _latency: u64, _hops: u32, _measured: bool) {}
+
+    /// Called once after the last cycle.
+    fn on_run_end(&mut self, _cycles: u64) {}
+}
+
+/// The do-nothing monitor behind the plain `simulate` path.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopMonitor;
+
+impl SimMonitor for NoopMonitor {}
+
+impl<M: SimMonitor> SimMonitor for &mut M {
+    fn on_run_start(&mut self, spec: &NetworkSpec, cfg: &SimConfig) {
+        (**self).on_run_start(spec, cfg)
+    }
+    fn sample_interval(&self) -> Option<u64> {
+        (**self).sample_interval()
+    }
+    fn on_vc_sample(&mut self, now: u64, vc: usize, occupied_packets: u64) {
+        (**self).on_vc_sample(now, vc, occupied_packets)
+    }
+    fn on_link_flit(&mut self, router: u32, port: usize, flits: u32) {
+        (**self).on_link_flit(router, port, flits)
+    }
+    fn on_stall(&mut self, router: u32, cause: StallCause) {
+        (**self).on_stall(router, cause)
+    }
+    fn on_injection_backpressure(&mut self, router: u32) {
+        (**self).on_injection_backpressure(router)
+    }
+    fn on_packet_delivered(&mut self, latency: u64, hops: u32, measured: bool) {
+        (**self).on_packet_delivered(latency, hops, measured)
+    }
+    fn on_run_end(&mut self, cycles: u64) {
+        (**self).on_run_end(cycles)
+    }
+}
+
+/// Latency histogram over power-of-two buckets: bucket `i` counts
+/// latencies in `[2^(i-1), 2^i)` (bucket 0 counts latency 0). Quantiles
+/// come back as the geometric midpoint of the containing bucket, so
+/// p50/p99/p999 need no stored samples.
+#[derive(Clone, Debug)]
+pub struct LatencyHistogram {
+    buckets: [u64; 64],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: [0; 64],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Record one latency observation.
+    pub fn record(&mut self, latency: u64) {
+        let b = (64 - latency.leading_zeros()) as usize; // floor(log2)+1; 0 → 0
+        self.buckets[b.min(63)] += 1;
+        self.count += 1;
+        self.sum += latency;
+        self.max = self.max.max(latency);
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency (exact — from the running sum, not the buckets).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile `q` in [0, 1]: geometric midpoint of the
+    /// bucket containing the q-th observation, clamped to the observed
+    /// maximum.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (b, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let mid = if b == 0 {
+                    0.0
+                } else {
+                    // Bucket b spans [2^(b-1), 2^b).
+                    let lo = (1u64 << (b - 1)) as f64;
+                    lo * 1.5
+                };
+                return mid.min(self.max as f64);
+            }
+        }
+        self.max as f64
+    }
+}
+
+/// A [`SimMonitor`] that aggregates everything the hooks expose.
+#[derive(Clone, Debug)]
+pub struct MetricsMonitor {
+    sample_every: u64,
+    /// Per-router offset into `link_flits` (prefix sums of degrees).
+    port_base: Vec<usize>,
+    /// Flits sent per directed network port.
+    link_flits: Vec<u64>,
+    /// Per-VC occupancy time series: `(cycle, buffered packets)`.
+    vc_series: Vec<Vec<(u64, u64)>>,
+    stall_credit: u64,
+    stall_vc: u64,
+    stall_crossbar: u64,
+    injection_backpressure: u64,
+    delivered: u64,
+    delivered_measured: u64,
+    latency: LatencyHistogram,
+    hops_sum: u64,
+    cycles: u64,
+}
+
+impl MetricsMonitor {
+    /// Collect metrics, sampling VC occupancy every `sample_every` cycles
+    /// (coarse — 64 is a good default; the scan touches every buffer).
+    pub fn new(sample_every: u64) -> Self {
+        MetricsMonitor {
+            sample_every: sample_every.max(1),
+            port_base: Vec::new(),
+            link_flits: Vec::new(),
+            vc_series: Vec::new(),
+            stall_credit: 0,
+            stall_vc: 0,
+            stall_crossbar: 0,
+            injection_backpressure: 0,
+            delivered: 0,
+            delivered_measured: 0,
+            latency: LatencyHistogram::default(),
+            hops_sum: 0,
+            cycles: 0,
+        }
+    }
+
+    /// Summarize the run. Call after the simulation returns.
+    pub fn report(&self) -> MetricsReport {
+        let links = self.link_flits.len();
+        let cycles = self.cycles.max(1);
+        let util = |flits: u64| flits as f64 / cycles as f64;
+        let max_link = self.link_flits.iter().copied().max().unwrap_or(0);
+        let total: u64 = self.link_flits.iter().sum();
+        let busy_links = self.link_flits.iter().filter(|&&f| f > 0).count();
+        let vc_occupancy = self
+            .vc_series
+            .iter()
+            .map(|s| {
+                let peak = s.iter().map(|&(_, o)| o).max().unwrap_or(0);
+                let mean = if s.is_empty() {
+                    0.0
+                } else {
+                    s.iter().map(|&(_, o)| o).sum::<u64>() as f64 / s.len() as f64
+                };
+                VcOccupancy {
+                    mean,
+                    peak,
+                    samples: s.len(),
+                }
+            })
+            .collect();
+        MetricsReport {
+            cycles: self.cycles,
+            links,
+            busy_links,
+            mean_link_utilization: if links == 0 {
+                0.0
+            } else {
+                util(total) / links as f64
+            },
+            max_link_utilization: util(max_link),
+            stall_credit: self.stall_credit,
+            stall_vc_alloc: self.stall_vc,
+            stall_crossbar: self.stall_crossbar,
+            injection_backpressure: self.injection_backpressure,
+            delivered_packets: self.delivered,
+            delivered_measured: self.delivered_measured,
+            avg_hops: if self.delivered == 0 {
+                0.0
+            } else {
+                self.hops_sum as f64 / self.delivered as f64
+            },
+            latency_mean: self.latency.mean(),
+            latency_p50: self.latency.quantile(0.50),
+            latency_p99: self.latency.quantile(0.99),
+            latency_p999: self.latency.quantile(0.999),
+            vc_occupancy,
+        }
+    }
+
+    /// Raw per-VC occupancy time series (cycle, buffered packets).
+    pub fn vc_series(&self) -> &[Vec<(u64, u64)>] {
+        &self.vc_series
+    }
+
+    /// Flit counts per directed port of `router`.
+    pub fn link_flits_of(&self, router: u32) -> &[u64] {
+        let r = router as usize;
+        &self.link_flits[self.port_base[r]..self.port_base[r + 1]]
+    }
+}
+
+impl SimMonitor for MetricsMonitor {
+    fn on_run_start(&mut self, spec: &NetworkSpec, cfg: &SimConfig) {
+        let n = spec.graph.n();
+        self.port_base = Vec::with_capacity(n + 1);
+        self.port_base.push(0);
+        for r in 0..n as u32 {
+            self.port_base
+                .push(self.port_base[r as usize] + spec.graph.degree(r));
+        }
+        self.link_flits = vec![0; self.port_base[n]];
+        self.vc_series = vec![Vec::new(); cfg.vcs];
+    }
+
+    fn sample_interval(&self) -> Option<u64> {
+        Some(self.sample_every)
+    }
+
+    fn on_vc_sample(&mut self, now: u64, vc: usize, occupied_packets: u64) {
+        self.vc_series[vc].push((now, occupied_packets));
+    }
+
+    fn on_link_flit(&mut self, router: u32, port: usize, flits: u32) {
+        self.link_flits[self.port_base[router as usize] + port] += flits as u64;
+    }
+
+    fn on_stall(&mut self, _router: u32, cause: StallCause) {
+        match cause {
+            StallCause::CreditStarved => self.stall_credit += 1,
+            StallCause::VcAllocation => self.stall_vc += 1,
+            StallCause::Crossbar => self.stall_crossbar += 1,
+        }
+    }
+
+    fn on_injection_backpressure(&mut self, _router: u32) {
+        self.injection_backpressure += 1;
+    }
+
+    fn on_packet_delivered(&mut self, latency: u64, hops: u32, measured: bool) {
+        self.delivered += 1;
+        self.hops_sum += hops as u64;
+        if measured {
+            self.delivered_measured += 1;
+            self.latency.record(latency);
+        }
+    }
+
+    fn on_run_end(&mut self, cycles: u64) {
+        self.cycles = cycles;
+    }
+}
+
+/// Aggregate occupancy of one virtual channel across the run.
+#[derive(Clone, Debug)]
+pub struct VcOccupancy {
+    /// Mean buffered packets across samples.
+    pub mean: f64,
+    /// Peak buffered packets in any sample.
+    pub peak: u64,
+    /// Number of samples taken.
+    pub samples: usize,
+}
+
+/// The serializable summary a [`MetricsMonitor`] produces.
+#[derive(Clone, Debug)]
+pub struct MetricsReport {
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Directed network ports in the topology.
+    pub links: usize,
+    /// Ports that carried at least one flit.
+    pub busy_links: usize,
+    /// Mean flits per port per cycle.
+    pub mean_link_utilization: f64,
+    /// Flits per cycle on the busiest port.
+    pub max_link_utilization: f64,
+    /// Head-packet stalls: no downstream credit.
+    pub stall_credit: u64,
+    /// Head-packet stalls: lost VC arbitration.
+    pub stall_vc_alloc: u64,
+    /// Head-packet stalls: output still serializing.
+    pub stall_crossbar: u64,
+    /// Generated packets that found a full injection buffer.
+    pub injection_backpressure: u64,
+    /// Packets delivered (warmup + measured + drain).
+    pub delivered_packets: u64,
+    /// Packets delivered inside the measurement window.
+    pub delivered_measured: u64,
+    /// Mean hops over all delivered packets.
+    pub avg_hops: f64,
+    /// Mean latency of measured packets (cycles).
+    pub latency_mean: f64,
+    /// Approximate median latency.
+    pub latency_p50: f64,
+    /// Approximate 99th-percentile latency.
+    pub latency_p99: f64,
+    /// Approximate 99.9th-percentile latency.
+    pub latency_p999: f64,
+    /// Per-VC occupancy summaries (index = VC).
+    pub vc_occupancy: Vec<VcOccupancy>,
+}
+
+/// Format a float for JSON: finite values as-is, non-finite as `null`.
+pub(crate) fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "null".into()
+    }
+}
+
+impl MetricsReport {
+    /// Hand-rolled JSON (no serde in this workspace).
+    pub fn to_json(&self) -> String {
+        let vcs: Vec<String> = self
+            .vc_occupancy
+            .iter()
+            .map(|v| {
+                format!(
+                    "{{\"mean\":{},\"peak\":{},\"samples\":{}}}",
+                    json_f64(v.mean),
+                    v.peak,
+                    v.samples
+                )
+            })
+            .collect();
+        format!(
+            "{{\"cycles\":{},\"links\":{},\"busy_links\":{},\
+             \"mean_link_utilization\":{},\"max_link_utilization\":{},\
+             \"stalls\":{{\"credit\":{},\"vc_alloc\":{},\"crossbar\":{}}},\
+             \"injection_backpressure\":{},\
+             \"delivered_packets\":{},\"delivered_measured\":{},\"avg_hops\":{},\
+             \"latency\":{{\"mean\":{},\"p50\":{},\"p99\":{},\"p999\":{}}},\
+             \"vc_occupancy\":[{}]}}",
+            self.cycles,
+            self.links,
+            self.busy_links,
+            json_f64(self.mean_link_utilization),
+            json_f64(self.max_link_utilization),
+            self.stall_credit,
+            self.stall_vc_alloc,
+            self.stall_crossbar,
+            self.injection_backpressure,
+            self.delivered_packets,
+            self.delivered_measured,
+            json_f64(self.avg_hops),
+            json_f64(self.latency_mean),
+            json_f64(self.latency_p50),
+            json_f64(self.latency_p99),
+            json_f64(self.latency_p999),
+            vcs.join(",")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_data() {
+        let mut h = LatencyHistogram::default();
+        for lat in 1..=1000u64 {
+            h.record(lat);
+        }
+        assert_eq!(h.count(), 1000);
+        assert!((h.mean() - 500.5).abs() < 1e-9);
+        // Log-bucket quantiles are approximate: within a factor of 2.
+        let p50 = h.quantile(0.5);
+        assert!((250.0..=1000.0).contains(&p50), "p50 {p50}");
+        let p99 = h.quantile(0.99);
+        assert!((500.0..=1000.0).contains(&p99), "p99 {p99}");
+        assert!(h.quantile(0.999) <= 1000.0);
+    }
+
+    #[test]
+    fn histogram_empty_and_zero() {
+        let mut h = LatencyHistogram::default();
+        assert_eq!(h.quantile(0.5), 0.0);
+        h.record(0);
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn report_json_shape() {
+        let mut m = MetricsMonitor::new(8);
+        let spec = polarstar_topo::network::NetworkSpec::uniform(
+            "k3",
+            polarstar_graph::Graph::complete(3),
+            1,
+        );
+        let cfg = SimConfig::default();
+        m.on_run_start(&spec, &cfg);
+        m.on_link_flit(0, 1, 4);
+        m.on_stall(0, StallCause::CreditStarved);
+        m.on_injection_backpressure(1);
+        m.on_vc_sample(8, 0, 3);
+        m.on_packet_delivered(12, 2, true);
+        m.on_run_end(100);
+        let rep = m.report();
+        assert_eq!(rep.links, 6); // K3: 3 edges, 6 directed ports
+        assert_eq!(rep.busy_links, 1);
+        assert_eq!(rep.stall_credit, 1);
+        assert_eq!(rep.injection_backpressure, 1);
+        assert_eq!(rep.delivered_measured, 1);
+        let json = rep.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        for key in [
+            "max_link_utilization",
+            "stalls",
+            "latency",
+            "vc_occupancy",
+            "p999",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn noop_monitor_has_no_sampling() {
+        assert!(NoopMonitor.sample_interval().is_none());
+    }
+}

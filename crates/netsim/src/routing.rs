@@ -12,6 +12,7 @@
 //!   occupancy × remaining hops, then route minimally per phase.
 
 use polarstar_graph::Graph;
+use polarstar_topo::network::{NetworkSpec, RoutingPolicy};
 use rayon::prelude::*;
 
 /// How packets pick output ports.
@@ -62,6 +63,22 @@ pub struct RouteTable {
 }
 
 impl RouteTable {
+    /// Build the table a spec asks for: its [`RoutingPolicy`] hint picks
+    /// between flat and hierarchical minimal tables, so callers no longer
+    /// match on display names.
+    pub fn for_spec(spec: &NetworkSpec) -> Self {
+        Self::build(spec, spec.routing_policy())
+    }
+
+    /// Build a table for `spec` under an explicit policy (e.g. to compare
+    /// flat vs hierarchical tables on the same topology).
+    pub fn build(spec: &NetworkSpec, policy: RoutingPolicy) -> Self {
+        match policy {
+            RoutingPolicy::FlatMinimal => Self::new(&spec.graph),
+            RoutingPolicy::HierarchicalMinimal => Self::hierarchical(&spec.graph, &spec.group),
+        }
+    }
+
     /// Build the table with one BFS per destination (rayon-parallel).
     pub fn new(g: &Graph) -> Self {
         let n = g.n();
@@ -106,9 +123,8 @@ impl RouteTable {
         let mut ports = Vec::new();
         port_offsets.push(0u32);
         for r in 0..n {
-            for dst in 0..n {
+            for (dst, (d0, d1)) in per_dst.iter().enumerate() {
                 if r != dst {
-                    let (d0, d1) = &per_dst[dst];
                     let dr = d1[r];
                     for (p, &nb) in neighbor_of[r].iter().enumerate() {
                         let local = group[r] == group[nb as usize];
@@ -125,7 +141,13 @@ impl RouteTable {
                 port_offsets.push(ports.len() as u32);
             }
         }
-        RouteTable { n, dist, port_offsets, ports, neighbor_of }
+        RouteTable {
+            n,
+            dist,
+            port_offsets,
+            ports,
+            neighbor_of,
+        }
     }
 
     fn from_distances(g: &Graph, dists: Vec<Vec<u32>>) -> Self {
@@ -137,8 +159,7 @@ impl RouteTable {
             }
         }
         // Minimal ports per (r, dst).
-        let neighbor_of: Vec<Vec<u32>> =
-            (0..n as u32).map(|r| g.neighbors(r).to_vec()).collect();
+        let neighbor_of: Vec<Vec<u32>> = (0..n as u32).map(|r| g.neighbors(r).to_vec()).collect();
         let mut port_offsets = Vec::with_capacity(n * n + 1);
         let mut ports = Vec::new();
         port_offsets.push(0u32);
@@ -155,7 +176,13 @@ impl RouteTable {
                 port_offsets.push(ports.len() as u32);
             }
         }
-        RouteTable { n, dist, port_offsets, ports, neighbor_of }
+        RouteTable {
+            n,
+            dist,
+            port_offsets,
+            ports,
+            neighbor_of,
+        }
     }
 
     /// Number of routers.
@@ -174,7 +201,10 @@ impl RouteTable {
     #[inline]
     pub fn min_ports(&self, r: u32, dst: u32) -> &[u8] {
         let idx = r as usize * self.n + dst as usize;
-        let (s, e) = (self.port_offsets[idx] as usize, self.port_offsets[idx + 1] as usize);
+        let (s, e) = (
+            self.port_offsets[idx] as usize,
+            self.port_offsets[idx + 1] as usize,
+        );
         &self.ports[s..e]
     }
 
@@ -246,9 +276,9 @@ fn one_global_bfs(g: &Graph, group: &[u32], _dst: u32, d0: &[u32]) -> Vec<u32> {
             }
         }
     }
-    for r in 0..n {
-        if dist1[r] != u32::MAX {
-            push(&mut buckets, dist1[r], r as u32);
+    for (r, &d) in dist1.iter().enumerate() {
+        if d != u32::MAX {
+            push(&mut buckets, d, r as u32);
         }
     }
     let mut d = 0usize;
@@ -331,9 +361,11 @@ mod tests {
 
     #[test]
     fn hierarchical_dragonfly_distances() {
-        let df = polarstar_topo::dragonfly::dragonfly(
-            polarstar_topo::dragonfly::DragonflyParams { a: 4, h: 2, p: 1 },
-        );
+        let df = polarstar_topo::dragonfly::dragonfly(polarstar_topo::dragonfly::DragonflyParams {
+            a: 4,
+            h: 2,
+            p: 1,
+        });
         let t = RouteTable::hierarchical(&df.graph, &df.group);
         let free = RouteTable::new(&df.graph);
         for r in 0..df.graph.n() as u32 {
@@ -348,9 +380,11 @@ mod tests {
 
     #[test]
     fn hierarchical_paths_use_at_most_one_global() {
-        let df = polarstar_topo::dragonfly::dragonfly(
-            polarstar_topo::dragonfly::DragonflyParams { a: 4, h: 2, p: 1 },
-        );
+        let df = polarstar_topo::dragonfly::dragonfly(polarstar_topo::dragonfly::DragonflyParams {
+            a: 4,
+            h: 2,
+            p: 1,
+        });
         let t = RouteTable::hierarchical(&df.graph, &df.group);
         // Walk every (src, dst) pair greedily along every minimal-port
         // choice at the first hop and the deterministic one after,
@@ -362,15 +396,13 @@ mod tests {
                 }
                 for &p0 in t.min_ports(src, dst) {
                     let mut cur = t.neighbor(src, p0);
-                    let mut globals =
-                        usize::from(df.group[src as usize] != df.group[cur as usize]);
+                    let mut globals = usize::from(df.group[src as usize] != df.group[cur as usize]);
                     let mut hops = 1;
                     while cur != dst {
                         let ports = t.min_ports(cur, dst);
                         assert!(!ports.is_empty(), "stuck at {cur} toward {dst}");
                         let next = t.neighbor(cur, ports[0]);
-                        globals +=
-                            usize::from(df.group[cur as usize] != df.group[next as usize]);
+                        globals += usize::from(df.group[cur as usize] != df.group[next as usize]);
                         cur = next;
                         hops += 1;
                         assert!(hops <= 4, "loop {src}→{dst}");
@@ -383,9 +415,11 @@ mod tests {
 
     #[test]
     fn hierarchical_megafly_reaches_leaves() {
-        let mf = polarstar_topo::megafly::megafly(
-            polarstar_topo::megafly::MegaflyParams { rho: 2, a: 4, p: 1 },
-        );
+        let mf = polarstar_topo::megafly::megafly(polarstar_topo::megafly::MegaflyParams {
+            rho: 2,
+            a: 4,
+            p: 1,
+        });
         let t = RouteTable::hierarchical(&mf.graph, &mf.group);
         let leaves = mf.endpoint_routers();
         for &a in &leaves {

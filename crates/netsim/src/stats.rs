@@ -1,7 +1,8 @@
 //! Load sweeps and saturation detection — how Figure 9/10 series are
 //! produced from individual simulation points.
 
-use crate::engine::{simulate, SimConfig, SimResult};
+use crate::engine::{simulate, simulate_monitored, SimConfig, SimResult};
+use crate::monitor::{MetricsMonitor, MetricsReport};
 use crate::routing::{RouteTable, RoutingKind};
 use crate::traffic::Pattern;
 use polarstar_topo::network::NetworkSpec;
@@ -49,7 +50,51 @@ pub fn sweep(
         .par_iter()
         .map(|&l| simulate(spec, table, kind, pattern, l, cfg))
         .collect();
-    LoadSweep { name: spec.name.clone(), routing: kind.label(), points }
+    LoadSweep {
+        name: spec.name.clone(),
+        routing: kind.label(),
+        points,
+    }
+}
+
+/// A [`LoadSweep`] whose points also carry full monitor metrics.
+#[derive(Clone, Debug)]
+pub struct MetricsSweep {
+    /// The latency/throughput series.
+    pub sweep: LoadSweep,
+    /// One [`MetricsReport`] per load point, same order as
+    /// `sweep.points`.
+    pub metrics: Vec<MetricsReport>,
+}
+
+/// [`sweep`] with a [`MetricsMonitor`] per point (VC occupancy sampled
+/// every `sample_every` cycles), parallelized across load points.
+pub fn sweep_with_metrics(
+    spec: &NetworkSpec,
+    table: &RouteTable,
+    kind: RoutingKind,
+    pattern: &Pattern,
+    loads: &[f64],
+    cfg: &SimConfig,
+    sample_every: u64,
+) -> MetricsSweep {
+    let runs: Vec<(SimResult, MetricsReport)> = loads
+        .par_iter()
+        .map(|&l| {
+            let mut mon = MetricsMonitor::new(sample_every);
+            let r = simulate_monitored(spec, table, kind, pattern, l, cfg, &mut mon);
+            (r, mon.report())
+        })
+        .collect();
+    let (points, metrics): (Vec<_>, Vec<_>) = runs.into_iter().unzip();
+    MetricsSweep {
+        sweep: LoadSweep {
+            name: spec.name.clone(),
+            routing: kind.label(),
+            points,
+        },
+        metrics,
+    }
 }
 
 /// The default load grid used by the Figure 9/10 reproductions.
@@ -102,7 +147,14 @@ mod tests {
     fn sweep_shapes() {
         let spec = NetworkSpec::uniform("k6", Graph::complete(6), 2);
         let table = RouteTable::new(&spec.graph);
-        let s = sweep(&spec, &table, RoutingKind::MinMulti, &Pattern::Uniform, &[0.1, 0.3, 0.5], &cfg());
+        let s = sweep(
+            &spec,
+            &table,
+            RoutingKind::MinMulti,
+            &Pattern::Uniform,
+            &[0.1, 0.3, 0.5],
+            &cfg(),
+        );
         assert_eq!(s.points.len(), 3);
         assert!(s.saturation_load() >= 0.3, "K6 sustains moderate load");
         assert!(!s.stable_prefix().is_empty());
@@ -114,7 +166,14 @@ mod tests {
         // (bisection of 2 links serves ~16 endpoints × load/2 crossing).
         let spec = NetworkSpec::uniform("c8", Graph::cycle(8), 2);
         let table = RouteTable::new(&spec.graph);
-        let sat = saturation_search(&spec, &table, RoutingKind::MinMulti, &Pattern::Uniform, &cfg(), 0.05);
+        let sat = saturation_search(
+            &spec,
+            &table,
+            RoutingKind::MinMulti,
+            &Pattern::Uniform,
+            &cfg(),
+            0.05,
+        );
         assert!(sat < 0.8, "ring saturation {sat} should be well below 1");
         assert!(sat > 0.01, "ring should sustain some load");
     }
@@ -123,8 +182,18 @@ mod tests {
     fn complete_graph_no_saturation() {
         let spec = NetworkSpec::uniform("k8", Graph::complete(8), 1);
         let table = RouteTable::new(&spec.graph);
-        let sat = saturation_search(&spec, &table, RoutingKind::MinMulti, &Pattern::Uniform, &cfg(), 0.1);
-        assert!(sat >= 0.9, "K8 with 1 ep/router sustains ~full load, got {sat}");
+        let sat = saturation_search(
+            &spec,
+            &table,
+            RoutingKind::MinMulti,
+            &Pattern::Uniform,
+            &cfg(),
+            0.1,
+        );
+        assert!(
+            sat >= 0.9,
+            "K8 with 1 ep/router sustains ~full load, got {sat}"
+        );
     }
 }
 

@@ -80,7 +80,11 @@ impl ResolvedPattern {
 pub fn resolve(pattern: &Pattern, spec: &NetworkSpec, seed: u64) -> ResolvedPattern {
     let total = spec.total_endpoints();
     match pattern {
-        Pattern::Uniform => ResolvedPattern { dest: None, active: total, total },
+        Pattern::Uniform => ResolvedPattern {
+            dest: None,
+            active: total,
+            total,
+        },
         Pattern::Permutation => {
             let mut rng = ChaCha8Rng::seed_from_u64(seed);
             // Permute endpoint-carrying routers; endpoint k on router r
@@ -92,15 +96,19 @@ pub fn resolve(pattern: &Pattern, spec: &NetworkSpec, seed: u64) -> ResolvedPatt
                 routers.iter().copied().zip(tau.iter().copied()).collect();
             let offsets = spec.endpoint_offsets();
             let mut dest = vec![0u32; total];
-            for e in 0..total {
+            for (e, d) in dest.iter_mut().enumerate() {
                 let (r, slot) = spec.endpoint_router(e);
                 let tr = router_to_tau[&r];
                 // Slot wraps if τ(r) has fewer endpoints (doesn't happen
                 // in the evaluated configs, but stay safe).
                 let cnt = spec.endpoints[tr as usize].max(1);
-                dest[e] = (offsets[tr as usize] + (slot % cnt) as usize) as u32;
+                *d = (offsets[tr as usize] + (slot % cnt) as usize) as u32;
             }
-            ResolvedPattern { dest: Some(dest), active: total, total }
+            ResolvedPattern {
+                dest: Some(dest),
+                active: total,
+                total,
+            }
         }
         Pattern::BitShuffle | Pattern::BitReverse => {
             // Largest power of two ≤ total (§9.4: 2^b endpoints).
@@ -112,7 +120,7 @@ pub fn resolve(pattern: &Pattern, spec: &NetworkSpec, seed: u64) -> ResolvedPatt
             let m = 1usize << bits;
             let mut dest: Vec<u32> = (0..total as u32).collect(); // self = inactive
             let mut active = 0;
-            for s in 0..m {
+            for (s, slot) in dest.iter_mut().enumerate().take(m) {
                 let d = match pattern {
                     Pattern::BitShuffle => ((s << 1) | (s >> (bits - 1))) & (m - 1),
                     Pattern::BitReverse => {
@@ -127,11 +135,15 @@ pub fn resolve(pattern: &Pattern, spec: &NetworkSpec, seed: u64) -> ResolvedPatt
                     _ => unreachable!(),
                 };
                 if d != s {
-                    dest[s] = d as u32;
+                    *slot = d as u32;
                     active += 1;
                 }
             }
-            ResolvedPattern { dest: Some(dest), active, total }
+            ResolvedPattern {
+                dest: Some(dest),
+                active,
+                total,
+            }
         }
         Pattern::AdversarialGroup => {
             let groups = spec.groups();
@@ -151,9 +163,7 @@ pub fn resolve(pattern: &Pattern, spec: &NetworkSpec, seed: u64) -> ResolvedPatt
             for g in 0..g_count {
                 let candidate = (0..g_count)
                     .filter(|&h| {
-                        h != g
-                            && links[g][h] > 0
-                            && group_endpoint_count(spec, &groups[h]) > 0
+                        h != g && links[g][h] > 0 && group_endpoint_count(spec, &groups[h]) > 0
                     })
                     .min_by_key(|&h| (in_count[h], links[g][h], std::cmp::Reverse(dist[g][h])));
                 let target = candidate.unwrap_or_else(|| {
@@ -169,8 +179,8 @@ pub fn resolve(pattern: &Pattern, spec: &NetworkSpec, seed: u64) -> ResolvedPatt
             for (g, members) in groups.iter().enumerate() {
                 let target = targets[g];
                 // Gather endpoint slots of source and target groups.
-                let src_eps = group_endpoints(spec, members, &offsets);
-                let dst_eps = group_endpoints(spec, &groups[target], &offsets);
+                let src_eps = group_endpoints(spec, members, offsets);
+                let dst_eps = group_endpoints(spec, &groups[target], offsets);
                 for (k, &e) in src_eps.iter().enumerate() {
                     if dst_eps.is_empty() {
                         dest[e as usize] = e; // inactive
@@ -179,8 +189,16 @@ pub fn resolve(pattern: &Pattern, spec: &NetworkSpec, seed: u64) -> ResolvedPatt
                     }
                 }
             }
-            let active = dest.iter().enumerate().filter(|&(i, &d)| d != i as u32).count();
-            ResolvedPattern { dest: Some(dest), active, total }
+            let active = dest
+                .iter()
+                .enumerate()
+                .filter(|&(i, &d)| d != i as u32)
+                .count();
+            ResolvedPattern {
+                dest: Some(dest),
+                active,
+                total,
+            }
         }
     }
 }
@@ -196,14 +214,20 @@ fn group_endpoints(spec: &NetworkSpec, members: &[u32], offsets: &[usize]) -> Ve
 }
 
 fn group_endpoint_count(spec: &NetworkSpec, members: &[u32]) -> usize {
-    members.iter().map(|&r| spec.endpoints[r as usize] as usize).sum()
+    members
+        .iter()
+        .map(|&r| spec.endpoints[r as usize] as usize)
+        .sum()
 }
 
 /// Direct link counts between groups.
 fn group_link_matrix(spec: &NetworkSpec, g_count: usize) -> Vec<Vec<usize>> {
     let mut links = vec![vec![0usize; g_count]; g_count];
     for (u, v) in spec.graph.edges() {
-        let (gu, gv) = (spec.group[u as usize] as usize, spec.group[v as usize] as usize);
+        let (gu, gv) = (
+            spec.group[u as usize] as usize,
+            spec.group[v as usize] as usize,
+        );
         if gu != gv {
             links[gu][gv] += 1;
             links[gv][gu] += 1;
@@ -264,14 +288,14 @@ mod tests {
         let r = resolve(&Pattern::Permutation, &spec, 7);
         let map = r.dest.as_ref().unwrap();
         // Destinations partition endpoints: bijection on the active set.
-        let mut seen = vec![false; 16];
+        let mut seen = [false; 16];
         for &d in map {
             assert!(!seen[d as usize], "duplicate destination {d}");
             seen[d as usize] = true;
         }
         // Corresponding slots: endpoint e on router r goes to same slot.
-        for e in 0..16usize {
-            assert_eq!(map[e] % 4, e as u32 % 4, "slot preserved");
+        for (e, &d) in map.iter().enumerate() {
+            assert_eq!(d % 4, e as u32 % 4, "slot preserved");
         }
     }
 
@@ -305,8 +329,8 @@ mod tests {
         let spec = NetworkSpec::uniform("odd", Graph::complete(5), 3);
         let r = resolve(&Pattern::BitShuffle, &spec, 0);
         let map = r.dest.as_ref().unwrap();
-        for e in 8..15 {
-            assert_eq!(map[e], e as u32, "endpoints ≥ 8 are inactive");
+        for (e, &d) in map.iter().enumerate().take(15).skip(8) {
+            assert_eq!(d, e as u32, "endpoints ≥ 8 are inactive");
         }
     }
 
@@ -328,7 +352,10 @@ mod tests {
                 }
             }
             assert_eq!(targets.len(), 1, "group {g} must target exactly one group");
-            assert!(!targets.contains(&(g as u32)), "group {g} must not self-target");
+            assert!(
+                !targets.contains(&(g as u32)),
+                "group {g} must not self-target"
+            );
         }
     }
 
@@ -368,7 +395,12 @@ mod polarstar_pattern_tests {
                     targets.insert(spec.group[dr as usize] as usize);
                 }
             }
-            assert_eq!(targets.len(), 1, "supernode {g} has {} targets", targets.len());
+            assert_eq!(
+                targets.len(),
+                1,
+                "supernode {g} has {} targets",
+                targets.len()
+            );
             let t = *targets.iter().next().unwrap();
             assert_ne!(t, g);
             in_count[t] += 1;

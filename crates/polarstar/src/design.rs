@@ -50,9 +50,7 @@ impl SupernodeKind {
     pub fn is_feasible(&self) -> bool {
         match *self {
             SupernodeKind::InductiveQuad { degree } => iq::is_feasible_degree(degree),
-            SupernodeKind::Paley { degree } => {
-                degree == 0 || paley::is_feasible_degree(degree)
-            }
+            SupernodeKind::Paley { degree } => degree == 0 || paley::is_feasible_degree(degree),
         }
     }
 }
@@ -97,7 +95,7 @@ pub fn enumerate_configs(degree: usize) -> Vec<PolarStarConfig> {
     let mut out = Vec::new();
     for q in primes::prime_powers_in(2, degree.saturating_sub(1) as u64) {
         let d_struct = q as usize + 1;
-        if d_struct >= degree + 1 {
+        if d_struct > degree {
             continue;
         }
         let dprime = degree - d_struct;
@@ -122,9 +120,9 @@ pub fn best_config(degree: usize) -> Option<PolarStarConfig> {
 /// The largest configuration restricted to one supernode family (used by
 /// Figures 9–13's PS-IQ vs PS-Pal comparison).
 pub fn best_config_with(degree: usize, want_iq: bool) -> Option<PolarStarConfig> {
-    enumerate_configs(degree).into_iter().find(|c| {
-        matches!(c.supernode, SupernodeKind::InductiveQuad { .. }) == want_iq
-    })
+    enumerate_configs(degree)
+        .into_iter()
+        .find(|c| matches!(c.supernode, SupernodeKind::InductiveQuad { .. }) == want_iq)
 }
 
 /// The Moore bound for degree d and diameter k (§2.2).
@@ -363,9 +361,15 @@ mod tests {
 
     #[test]
     fn labels_follow_paper_convention() {
-        let iq = PolarStarConfig { q: 11, supernode: SupernodeKind::InductiveQuad { degree: 3 } };
+        let iq = PolarStarConfig {
+            q: 11,
+            supernode: SupernodeKind::InductiveQuad { degree: 3 },
+        };
         assert_eq!(iq.label(), "PS-IQ(q11,d'3)");
-        let pal = PolarStarConfig { q: 8, supernode: SupernodeKind::Paley { degree: 6 } };
+        let pal = PolarStarConfig {
+            q: 8,
+            supernode: SupernodeKind::Paley { degree: 6 },
+        };
         assert_eq!(pal.label(), "PS-Pal(q8,d'6)");
     }
 
@@ -411,7 +415,10 @@ mod tests {
             n += 1;
         }
         let gm = (log_bf / n as f64).exp();
-        assert!((1.1..1.6).contains(&gm), "BF geomean ratio {gm:.2} over {n} radixes");
+        assert!(
+            (1.1..1.6).contains(&gm),
+            "BF geomean ratio {gm:.2} over {n} radixes"
+        );
     }
 
     #[test]

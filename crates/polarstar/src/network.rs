@@ -4,6 +4,7 @@
 use crate::design::{PolarStarConfig, SupernodeKind};
 use polarstar_graph::Graph;
 use polarstar_topo::er::ErGraph;
+use polarstar_topo::error::TopoError;
 use polarstar_topo::network::NetworkSpec;
 use polarstar_topo::star::star_product;
 use polarstar_topo::supernode::Supernode;
@@ -24,43 +25,23 @@ pub struct PolarStarNetwork {
     pub spec: NetworkSpec,
 }
 
-/// Construction failures.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum BuildError {
-    /// The configuration's supernode is infeasible.
-    InfeasibleSupernode(SupernodeKind),
-    /// The structure-graph field order is invalid.
-    BadField(u64),
-}
-
-impl std::fmt::Display for BuildError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            BuildError::InfeasibleSupernode(k) => write!(f, "infeasible supernode {k:?}"),
-            BuildError::BadField(q) => write!(f, "invalid field order {q}"),
-        }
-    }
-}
-
-impl std::error::Error for BuildError {}
-
 impl PolarStarNetwork {
     /// Build the network for `config` with `p` endpoints per router.
-    pub fn build(config: PolarStarConfig, p: u32) -> Result<Self, BuildError> {
-        let er = ErGraph::new(config.q).map_err(|_| BuildError::BadField(config.q))?;
+    pub fn build(config: PolarStarConfig, p: u32) -> Result<Self, TopoError> {
+        let er = ErGraph::new(config.q)?;
         let supernode = build_supernode(config.supernode)
-            .ok_or(BuildError::InfeasibleSupernode(config.supernode))?;
+            .ok_or_else(|| TopoError::InfeasibleSupernode(format!("{:?}", config.supernode)))?;
         let graph = star_product(&er.graph, &er.quadric_vertices(), &supernode);
         let np = supernode.order();
         let n = graph.n();
         let group: Vec<u32> = (0..n).map(|v| (v / np) as u32).collect();
-        let spec = NetworkSpec {
-            name: config.label(),
-            graph,
-            endpoints: vec![p; n],
-            group,
-        };
-        Ok(PolarStarNetwork { config, er, supernode, spec })
+        let spec = NetworkSpec::new(config.label(), graph, vec![p; n], group);
+        Ok(PolarStarNetwork {
+            config,
+            er,
+            supernode,
+            spec,
+        })
     }
 
     /// The router graph.

@@ -91,7 +91,12 @@ impl<'a> AnalyticRouter<'a> {
         for (a, &b) in f.iter().enumerate() {
             finv[b as usize] = a as u32;
         }
-        AnalyticRouter { net, middles, finv, fallback_count: AtomicU64::new(0) }
+        AnalyticRouter {
+            net,
+            middles,
+            finv,
+            fallback_count: AtomicU64::new(0),
+        }
     }
 
     /// How many routes used the local-search backstop instead of a §9.2
@@ -122,8 +127,7 @@ impl<'a> AnalyticRouter<'a> {
         }
         self.net.supernode.graph.has_edge(a, b)
             || (self.net.er.quadric[x as usize]
-                && (self.net.supernode.f[a as usize] == b
-                    || self.net.supernode.f[b as usize] == a))
+                && (self.net.supernode.f[a as usize] == b || self.net.supernode.f[b as usize] == a))
     }
 
     /// Neighbors of local coordinate `a` within copy `x`.
@@ -263,11 +267,7 @@ impl<'a> AnalyticRouter<'a> {
                     for h1 in self.hop_locals(x, w, m) {
                         for h2 in self.hop_locals(w, y, h1) {
                             if h2 == yp {
-                                return Some(vec![
-                                    net.router_id(x, m),
-                                    net.router_id(w, h1),
-                                    t,
-                                ]);
+                                return Some(vec![net.router_id(x, m), net.router_id(w, h1), t]);
                             }
                         }
                     }
@@ -277,22 +277,14 @@ impl<'a> AnalyticRouter<'a> {
                     for m in self.copy_neighbors(w, h1) {
                         for h2 in self.hop_locals(w, y, m) {
                             if h2 == yp {
-                                return Some(vec![
-                                    net.router_id(w, h1),
-                                    net.router_id(w, m),
-                                    t,
-                                ]);
+                                return Some(vec![net.router_id(w, h1), net.router_id(w, m), t]);
                             }
                         }
                     }
                     // Intra hop at the destination copy.
                     for h2 in self.hop_locals(w, y, h1) {
                         if self.copy_adjacent(y, h2, yp) {
-                            return Some(vec![
-                                net.router_id(w, h1),
-                                net.router_id(y, h2),
-                                t,
-                            ]);
+                            return Some(vec![net.router_id(w, h1), net.router_id(y, h2), t]);
                         }
                     }
                 }
@@ -302,11 +294,7 @@ impl<'a> AnalyticRouter<'a> {
                 for m in self.copy_neighbors(x, xp) {
                     let mid = self.cross(x, y, m);
                     if self.copy_adjacent(y, mid, yp) {
-                        return Some(vec![
-                            net.router_id(x, m),
-                            net.router_id(y, mid),
-                            t,
-                        ]);
+                        return Some(vec![net.router_id(x, m), net.router_id(y, mid), t]);
                     }
                 }
             }
@@ -315,11 +303,7 @@ impl<'a> AnalyticRouter<'a> {
             for m1 in self.copy_neighbors(x, xp) {
                 for m2 in self.copy_neighbors(x, m1) {
                     if self.copy_adjacent(x, m2, yp) {
-                        return Some(vec![
-                            net.router_id(x, m1),
-                            net.router_id(x, m2),
-                            t,
-                        ]);
+                        return Some(vec![net.router_id(x, m1), net.router_id(x, m2), t]);
                     }
                 }
             }
@@ -457,23 +441,49 @@ mod tests {
     #[test]
     fn iq_routing_matches_bfs_everywhere() {
         for cfg in [
-            PolarStarConfig { q: 2, supernode: SupernodeKind::InductiveQuad { degree: 3 } },
-            PolarStarConfig { q: 3, supernode: SupernodeKind::InductiveQuad { degree: 3 } },
-            PolarStarConfig { q: 4, supernode: SupernodeKind::InductiveQuad { degree: 4 } },
-            PolarStarConfig { q: 5, supernode: SupernodeKind::InductiveQuad { degree: 3 } },
+            PolarStarConfig {
+                q: 2,
+                supernode: SupernodeKind::InductiveQuad { degree: 3 },
+            },
+            PolarStarConfig {
+                q: 3,
+                supernode: SupernodeKind::InductiveQuad { degree: 3 },
+            },
+            PolarStarConfig {
+                q: 4,
+                supernode: SupernodeKind::InductiveQuad { degree: 4 },
+            },
+            PolarStarConfig {
+                q: 5,
+                supernode: SupernodeKind::InductiveQuad { degree: 3 },
+            },
         ] {
             let net = PolarStarNetwork::build(cfg, 1).unwrap();
             let fallbacks = check_all_pairs_minimal(&net);
-            assert_eq!(fallbacks, 0, "{}: templates must cover all pairs", cfg.label());
+            assert_eq!(
+                fallbacks,
+                0,
+                "{}: templates must cover all pairs",
+                cfg.label()
+            );
         }
     }
 
     #[test]
     fn paley_routing_matches_bfs_everywhere() {
         for cfg in [
-            PolarStarConfig { q: 3, supernode: SupernodeKind::Paley { degree: 2 } },
-            PolarStarConfig { q: 4, supernode: SupernodeKind::Paley { degree: 2 } },
-            PolarStarConfig { q: 5, supernode: SupernodeKind::Paley { degree: 4 } },
+            PolarStarConfig {
+                q: 3,
+                supernode: SupernodeKind::Paley { degree: 2 },
+            },
+            PolarStarConfig {
+                q: 4,
+                supernode: SupernodeKind::Paley { degree: 2 },
+            },
+            PolarStarConfig {
+                q: 5,
+                supernode: SupernodeKind::Paley { degree: 4 },
+            },
         ] {
             let net = PolarStarNetwork::build(cfg, 1).unwrap();
             let _fallbacks = check_all_pairs_minimal(&net);

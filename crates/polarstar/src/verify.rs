@@ -39,7 +39,13 @@ impl Report {
 impl std::fmt::Display for Report {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         for c in &self.checks {
-            writeln!(f, "[{}] {} — {}", if c.ok { "ok" } else { "FAIL" }, c.name, c.detail)?;
+            writeln!(
+                f,
+                "[{}] {} — {}",
+                if c.ok { "ok" } else { "FAIL" },
+                c.name,
+                c.detail
+            )?;
         }
         Ok(())
     }
@@ -80,7 +86,7 @@ pub fn verify(net: &PolarStarNetwork, check_diameter: bool) -> Report {
         let diam = traversal::diameter(net.graph());
         push(
             "diameter ≤ 3",
-            diam.map_or(false, |d| d <= 3),
+            diam.is_some_and(|d| d <= 3),
             format!("measured {diam:?} (Theorems 4/5)"),
         );
     }
@@ -94,7 +100,12 @@ pub fn verify(net: &PolarStarNetwork, check_diameter: bool) -> Report {
     push(
         "supernode Property R*/R1",
         sn_ok,
-        format!("{}: R* = {}, R1 = {}", sn.name, sn.satisfies_r_star(), sn.satisfies_r1()),
+        format!(
+            "{}: R* = {}, R1 = {}",
+            sn.name,
+            sn.satisfies_r_star(),
+            sn.satisfies_r1()
+        ),
     );
 
     let layout = Layout::of(net);
@@ -102,12 +113,19 @@ pub fn verify(net: &PolarStarNetwork, check_diameter: bool) -> Report {
     push(
         "bundle size",
         layout.links_per_bundle == expected_bundle,
-        format!("{} links per adjacent-supernode bundle (= |G'|)", layout.links_per_bundle),
+        format!(
+            "{} links per adjacent-supernode bundle (= |G'|)",
+            layout.links_per_bundle
+        ),
     );
     push(
         "cluster count",
         layout.clusters.len() == cfg.q as usize + 1,
-        format!("{} clusters vs q + 1 = {}", layout.clusters.len(), cfg.q + 1),
+        format!(
+            "{} clusters vs q + 1 = {}",
+            layout.clusters.len(),
+            cfg.q + 1
+        ),
     );
     let cluster_total: usize = layout.clusters.iter().map(|c| c.len()).sum();
     push(

@@ -11,6 +11,7 @@
 //! formula (2q²·(2d'+1)) is identical, so Figure 1's Bundlefly curve is
 //! preserved.
 
+use crate::error::TopoError;
 use crate::mms;
 use crate::network::NetworkSpec;
 use crate::paley;
@@ -42,33 +43,42 @@ impl BundleflyParams {
 
     /// Whether both factors are constructible in principle.
     pub fn is_feasible(&self) -> bool {
-        mms::is_feasible(self.q)
-            && (self.dprime == 0 || paley::is_feasible_degree(self.dprime))
+        mms::is_feasible(self.q) && (self.dprime == 0 || paley::is_feasible_degree(self.dprime))
     }
 }
 
-/// Build a Bundlefly network. Returns `None` when parameters are
-/// infeasible or the MMS set search fails (large q with δ ≠ 1).
-pub fn bundlefly(params: BundleflyParams) -> Option<NetworkSpec> {
+/// Build a Bundlefly network. Errs when parameters are infeasible or the
+/// MMS set search fails (large q with δ ≠ 1).
+pub fn bundlefly(params: BundleflyParams) -> Result<NetworkSpec, TopoError> {
     if !params.is_feasible() {
-        return None;
+        return Err(TopoError::infeasible(
+            "Bundlefly",
+            format!(
+                "q={} d'={} has no MMS × Paley realization",
+                params.q, params.dprime
+            ),
+        ));
     }
-    let structure = mms::mms_graph(params.q)?;
+    let structure = mms::mms_graph(params.q).ok_or_else(|| {
+        TopoError::infeasible("Bundlefly", format!("MMS({}) set search failed", params.q))
+    })?;
     let graph = if params.dprime == 0 {
         structure.clone()
     } else {
-        let sn = paley::paley_supernode(2 * params.dprime as u64 + 1)?;
+        let sn = paley::paley_supernode(2 * params.dprime as u64 + 1).ok_or_else(|| {
+            TopoError::InfeasibleSupernode(format!("Paley({})", 2 * params.dprime + 1))
+        })?;
         star_product(&structure, &[], &sn)
     };
     let np = 2 * params.dprime + 1;
     let n = graph.n();
     let group: Vec<u32> = (0..n).map(|v| (v / np) as u32).collect();
-    Some(NetworkSpec {
-        name: format!("BF(q{},d'{})", params.q, params.dprime),
+    Ok(NetworkSpec::new(
+        format!("BF(q{},d'{})", params.q, params.dprime),
         graph,
-        endpoints: vec![params.p as u32; n],
+        vec![params.p as u32; n],
         group,
-    })
+    ))
 }
 
 /// The largest feasible Bundlefly order at exactly the given network
@@ -82,7 +92,7 @@ pub fn best_params_for_degree(degree: u64) -> Option<BundleflyParams> {
         };
         let dprime = (degree - md) as usize;
         let params = BundleflyParams { q, dprime, p: 0 };
-        if params.is_feasible() && best.map_or(true, |b| params.order() > b.order()) {
+        if params.is_feasible() && best.is_none_or(|b| params.order() > b.order()) {
             best = Some(params);
         }
     }
@@ -97,7 +107,11 @@ mod tests {
     #[test]
     fn table3_configuration_params() {
         // Table 3: BF d=11, d'=4, p=5 → 882 routers, radix 15, 4410 eps.
-        let params = BundleflyParams { q: 7, dprime: 4, p: 5 };
+        let params = BundleflyParams {
+            q: 7,
+            dprime: 4,
+            p: 5,
+        };
         assert!(params.is_feasible());
         assert_eq!(params.degree(), Some(15));
         assert_eq!(params.order(), 882);
@@ -105,7 +119,12 @@ mod tests {
 
     #[test]
     fn table3_configuration_constructs() {
-        let bf = bundlefly(BundleflyParams { q: 7, dprime: 4, p: 5 }).unwrap();
+        let bf = bundlefly(BundleflyParams {
+            q: 7,
+            dprime: 4,
+            p: 5,
+        })
+        .unwrap();
         assert_eq!(bf.routers(), 882);
         assert_eq!(bf.total_endpoints(), 4410);
         assert_eq!(bf.graph.max_degree(), 15);
@@ -117,7 +136,12 @@ mod tests {
     #[test]
     fn small_bundlefly_diameter_3() {
         // MMS(5) × Paley(5): 50·5 = 250 routers, degree 7 + 2 = 9.
-        let bf = bundlefly(BundleflyParams { q: 5, dprime: 2, p: 3 }).unwrap();
+        let bf = bundlefly(BundleflyParams {
+            q: 5,
+            dprime: 2,
+            p: 3,
+        })
+        .unwrap();
         assert_eq!(bf.routers(), 250);
         assert_eq!(bf.graph.max_degree(), 9);
         let diam = traversal::diameter(&bf.graph).unwrap();
@@ -126,16 +150,42 @@ mod tests {
 
     #[test]
     fn degenerate_supernode_is_mms() {
-        let bf = bundlefly(BundleflyParams { q: 5, dprime: 0, p: 1 }).unwrap();
+        let bf = bundlefly(BundleflyParams {
+            q: 5,
+            dprime: 0,
+            p: 1,
+        })
+        .unwrap();
         assert_eq!(bf.routers(), 50);
         assert_eq!(traversal::diameter(&bf.graph), Some(2));
     }
 
     #[test]
     fn infeasible_params() {
-        assert!(!BundleflyParams { q: 6, dprime: 2, p: 1 }.is_feasible());
-        assert!(!BundleflyParams { q: 5, dprime: 3, p: 1 }.is_feasible(), "odd d'");
-        assert!(!BundleflyParams { q: 5, dprime: 10, p: 1 }.is_feasible(), "21 not a Paley order");
+        assert!(!BundleflyParams {
+            q: 6,
+            dprime: 2,
+            p: 1
+        }
+        .is_feasible());
+        assert!(
+            !BundleflyParams {
+                q: 5,
+                dprime: 3,
+                p: 1
+            }
+            .is_feasible(),
+            "odd d'"
+        );
+        assert!(
+            !BundleflyParams {
+                q: 5,
+                dprime: 10,
+                p: 1
+            }
+            .is_feasible(),
+            "21 not a Paley order"
+        );
     }
 
     #[test]

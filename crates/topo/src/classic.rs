@@ -25,20 +25,23 @@ pub fn torus(dims: &[usize], p: usize) -> NetworkSpec {
             b.add_edge(v as u32, u as u32);
         }
     }
-    NetworkSpec {
-        name: format!(
+    NetworkSpec::new(
+        format!(
             "Torus({})",
-            dims.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("x")
+            dims.iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("x")
         ),
-        graph: b.build(),
-        endpoints: vec![p as u32; n],
-        group: (0..n as u32).collect(),
-    }
+        b.build(),
+        vec![p as u32; n],
+        (0..n as u32).collect(),
+    )
 }
 
 /// n-dimensional hypercube: 2ⁿ routers of degree n, diameter n.
 pub fn hypercube(n_dims: usize, p: usize) -> NetworkSpec {
-    assert!(n_dims >= 1 && n_dims < 30);
+    assert!((1..30).contains(&n_dims));
     let n = 1usize << n_dims;
     let mut b = GraphBuilder::new(n);
     for v in 0..n {
@@ -46,12 +49,12 @@ pub fn hypercube(n_dims: usize, p: usize) -> NetworkSpec {
             b.add_edge(v as u32, (v ^ (1 << bit)) as u32);
         }
     }
-    NetworkSpec {
-        name: format!("Hypercube({n_dims})"),
-        graph: b.build(),
-        endpoints: vec![p as u32; n],
-        group: (0..n as u32).collect(),
-    }
+    NetworkSpec::new(
+        format!("Hypercube({n_dims})"),
+        b.build(),
+        vec![p as u32; n],
+        (0..n as u32).collect(),
+    )
 }
 
 /// 2-D Flattened Butterfly (Kim et al., ISCA'07): the k² routers of a

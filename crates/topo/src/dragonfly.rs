@@ -50,7 +50,10 @@ impl DragonflyParams {
 /// Build the maximal Dragonfly for the given parameters.
 pub fn dragonfly(params: DragonflyParams) -> NetworkSpec {
     let DragonflyParams { a, h, p } = params;
-    assert!(a >= 1 && h >= 1, "need at least one router and one global port");
+    assert!(
+        a >= 1 && h >= 1,
+        "need at least one router and one global port"
+    );
     let groups = params.groups();
     let n = params.routers();
     let mut b = GraphBuilder::new(n);
@@ -79,12 +82,13 @@ pub fn dragonfly(params: DragonflyParams) -> NetworkSpec {
     }
 
     let group: Vec<u32> = (0..n).map(|r| (r / a) as u32).collect();
-    NetworkSpec {
-        name: format!("DF(a{a},h{h},p{p})"),
-        graph: b.build(),
-        endpoints: vec![p as u32; n],
+    NetworkSpec::new(
+        format!("DF(a{a},h{h},p{p})"),
+        b.build(),
+        vec![p as u32; n],
         group,
-    }
+    )
+    .with_policy(crate::network::RoutingPolicy::HierarchicalMinimal)
 }
 
 #[cfg(test)]
@@ -99,7 +103,11 @@ mod tests {
         let df = dragonfly(params);
         assert_eq!(df.routers(), 876);
         assert_eq!(df.radix(), 17 + 6); // 17 network radix + 6 endpoints
-        assert_eq!(params.radix() - params.p, 17, "network radix without endpoints");
+        assert_eq!(
+            params.radix() - params.p,
+            17,
+            "network radix without endpoints"
+        );
         assert_eq!(df.total_endpoints(), 5256);
         df.validate().unwrap();
     }
@@ -125,10 +133,10 @@ mod tests {
                 count[gv][gu] += 1;
             }
         }
-        for g1 in 0..groups {
-            for g2 in 0..groups {
+        for (g1, row) in count.iter().enumerate() {
+            for (g2, &c) in row.iter().enumerate() {
                 if g1 != g2 {
-                    assert_eq!(count[g1][g2], 1, "groups {g1},{g2}");
+                    assert_eq!(c, 1, "groups {g1},{g2}");
                 }
             }
         }

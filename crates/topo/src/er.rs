@@ -38,7 +38,7 @@ impl ErGraph {
     ///
     /// Non-quadric vertices have degree q + 1; quadric vertices have
     /// degree q (their self-loop is dropped from the simple graph).
-    pub fn new(q: u64) -> Result<Self, polarstar_gf::field::GfError> {
+    pub fn new(q: u64) -> Result<Self, crate::error::TopoError> {
         let f = Gf::new(q)?;
         let points = projective_points(&f);
         let n = points.len();
@@ -56,7 +56,12 @@ impl ErGraph {
                 }
             }
         }
-        Ok(ErGraph { graph: b.build(), points, quadric, q })
+        Ok(ErGraph {
+            graph: b.build(),
+            points,
+            quadric,
+            q,
+        })
     }
 
     /// Number of vertices q² + q + 1.
@@ -72,7 +77,9 @@ impl ErGraph {
 
     /// Indices of the q + 1 quadric (self-orthogonal) vertices.
     pub fn quadric_vertices(&self) -> Vec<u32> {
-        (0..self.graph.n() as u32).filter(|&v| self.quadric[v as usize]).collect()
+        (0..self.graph.n() as u32)
+            .filter(|&v| self.quadric[v as usize])
+            .collect()
     }
 
     /// Witness for Property R: a path of length exactly 2 between `x` and
@@ -179,7 +186,11 @@ mod tests {
         for q in [2u64, 3, 4, 5, 7, 8, 9, 11, 13] {
             let er = ErGraph::new(q).unwrap();
             assert_eq!(er.order() as u64, q * q + q + 1, "order of ER_{q}");
-            assert_eq!(er.quadric_vertices().len() as u64, q + 1, "quadric count of ER_{q}");
+            assert_eq!(
+                er.quadric_vertices().len() as u64,
+                q + 1,
+                "quadric count of ER_{q}"
+            );
             for v in 0..er.order() as u32 {
                 let expect = if er.quadric[v as usize] { q } else { q + 1 };
                 assert_eq!(er.graph.degree(v) as u64, expect, "degree of {v} in ER_{q}");

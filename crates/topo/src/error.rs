@@ -1,0 +1,94 @@
+//! Unified error type for topology construction.
+//!
+//! Every fallible constructor in this crate (and the PolarStar builder in
+//! `crates/polarstar`) converges on [`TopoError`], so callers can treat
+//! "this configuration is not constructible" uniformly instead of
+//! juggling `Option`, `Result<_, GfError>`, `Result<_, String>` and
+//! panics per module.
+
+use polarstar_gf::field::GfError;
+
+/// Why a topology could not be constructed (or a spec failed validation).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TopoError {
+    /// The requested field order is not a prime power (or is otherwise
+    /// unusable for the algebraic construction).
+    BadField(u64),
+    /// Parameters outside the family's feasibility region, e.g. an LPS
+    /// pair violating q > 2√p or a Bundlefly supernode degree with no
+    /// Paley realization.
+    Infeasible {
+        /// Topology family, e.g. `"Bundlefly"`.
+        topo: &'static str,
+        /// Human-readable feasibility violation.
+        reason: String,
+    },
+    /// The requested supernode kind cannot be realized.
+    InfeasibleSupernode(String),
+    /// A registry lookup used a key that names no topology.
+    UnknownKey(String),
+    /// A constructed [`crate::network::NetworkSpec`] is internally
+    /// inconsistent.
+    InvalidSpec(String),
+}
+
+impl TopoError {
+    /// Shorthand for [`TopoError::Infeasible`].
+    pub fn infeasible(topo: &'static str, reason: impl Into<String>) -> Self {
+        TopoError::Infeasible {
+            topo,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TopoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopoError::BadField(q) => write!(f, "invalid field order {q}"),
+            TopoError::Infeasible { topo, reason } => {
+                write!(f, "{topo}: infeasible parameters ({reason})")
+            }
+            TopoError::InfeasibleSupernode(kind) => {
+                write!(f, "infeasible supernode {kind}")
+            }
+            TopoError::UnknownKey(key) => write!(f, "unknown topology key {key:?}"),
+            TopoError::InvalidSpec(why) => write!(f, "invalid network spec: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for TopoError {}
+
+impl From<GfError> for TopoError {
+    fn from(e: GfError) -> Self {
+        match e {
+            GfError::NotPrimePower(q) => TopoError::BadField(q),
+            other => TopoError::Infeasible {
+                topo: "GF",
+                reason: format!("{other:?}"),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(TopoError::BadField(6).to_string().contains('6'));
+        let e = TopoError::infeasible("LPS", "q too small");
+        assert!(e.to_string().contains("LPS") && e.to_string().contains("q too small"));
+        assert!(TopoError::UnknownKey("ZZ".into())
+            .to_string()
+            .contains("ZZ"));
+    }
+
+    #[test]
+    fn converts_from_gf_error() {
+        let gf = polarstar_gf::Gf::new(6).unwrap_err();
+        assert_eq!(TopoError::from(gf), TopoError::BadField(6));
+    }
+}

@@ -37,10 +37,11 @@ pub fn fattree(p: usize, levels: usize) -> NetworkSpec {
     }
     // Group leaves (and their ancestors) by the top digit — a "pod".
     let pod_stride = p.pow(levels as u32 - 2);
-    let group: Vec<u32> =
-        (0..n).map(|r| ((r % per_level) / pod_stride) as u32).collect();
+    let group: Vec<u32> = (0..n)
+        .map(|r| ((r % per_level) / pod_stride) as u32)
+        .collect();
 
-    NetworkSpec { name: format!("FT(p{p},n{levels})"), graph: b.build(), endpoints, group }
+    NetworkSpec::new(format!("FT(p{p},n{levels})"), b.build(), endpoints, group)
 }
 
 #[cfg(test)]
@@ -81,7 +82,7 @@ mod tests {
             for bq in 0..9u32 {
                 if a != bq {
                     let d = traversal::pair_distance(&ft.graph, a, bq).unwrap();
-                    assert!(d <= 4 && d >= 2, "leaves {a},{bq} at distance {d}");
+                    assert!((2..=4).contains(&d), "leaves {a},{bq} at distance {d}");
                 }
             }
         }
@@ -106,8 +107,7 @@ mod tests {
         let p = 3;
         let ft = fattree(p, 3);
         let d = traversal::bfs_distances(&ft.graph, 0);
-        let roots_at_2: usize =
-            (2 * p * p..3 * p * p).filter(|&r| d[r] == 2).count();
+        let roots_at_2: usize = (2 * p * p..3 * p * p).filter(|&r| d[r] == 2).count();
         assert_eq!(roots_at_2, p * p);
     }
 }

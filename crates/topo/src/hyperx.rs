@@ -11,7 +11,10 @@ use polarstar_graph::GraphBuilder;
 /// Build a HyperX with the given per-dimension sizes and `p` endpoints per
 /// router.
 pub fn hyperx(dims: &[usize], p: usize) -> NetworkSpec {
-    assert!(!dims.is_empty() && dims.iter().all(|&d| d >= 1), "dims must be ≥ 1");
+    assert!(
+        !dims.is_empty() && dims.iter().all(|&d| d >= 1),
+        "dims must be ≥ 1"
+    );
     let n: usize = dims.iter().product();
     let mut b = GraphBuilder::new(n);
     // Mixed-radix strides.
@@ -29,15 +32,18 @@ pub fn hyperx(dims: &[usize], p: usize) -> NetworkSpec {
             }
         }
     }
-    NetworkSpec {
-        name: format!(
+    NetworkSpec::new(
+        format!(
             "HX({})",
-            dims.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("x")
+            dims.iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("x")
         ),
-        graph: b.build(),
-        endpoints: vec![p as u32; n],
-        group: (0..n as u32).collect(),
-    }
+        b.build(),
+        vec![p as u32; n],
+        (0..n as u32).collect(),
+    )
 }
 
 /// Decompose a router id into lattice coordinates (used by

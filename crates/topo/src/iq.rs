@@ -22,7 +22,7 @@ use polarstar_graph::{Graph, GraphBuilder};
 
 /// Degrees for which IQ exists: d' ≡ 0 or 3 (mod 4).
 pub fn is_feasible_degree(d: usize) -> bool {
-    d % 4 == 0 || d % 4 == 3
+    d.is_multiple_of(4) || d % 4 == 3
 }
 
 /// Construct `IQ_{d'}`. Returns `None` when `d'` is infeasible
@@ -180,7 +180,10 @@ mod tests {
     fn iq_is_connected_for_positive_degree() {
         for d in [3usize, 4, 8, 12] {
             let s = inductive_quad(d).unwrap();
-            assert!(polarstar_graph::traversal::is_connected(&s.graph), "IQ({d})");
+            assert!(
+                polarstar_graph::traversal::is_connected(&s.graph),
+                "IQ({d})"
+            );
         }
     }
 }

@@ -10,7 +10,11 @@ use polarstar_graph::random::{random_regular, RandomGraphError};
 /// endpoints each, deterministic in `seed`.
 pub fn jellyfish(n: usize, d: usize, p: usize, seed: u64) -> Result<NetworkSpec, RandomGraphError> {
     let graph = random_regular(n, d, seed)?;
-    Ok(NetworkSpec::uniform(format!("JF(n{n},d{d})"), graph, p as u32))
+    Ok(NetworkSpec::uniform(
+        format!("JF(n{n},d{d})"),
+        graph,
+        p as u32,
+    ))
 }
 
 #[cfg(test)]

@@ -30,6 +30,7 @@ pub mod bundlefly;
 pub mod classic;
 pub mod dragonfly;
 pub mod er;
+pub mod error;
 pub mod fattree;
 pub mod hyperx;
 pub mod iq;
@@ -46,5 +47,6 @@ pub mod slimfly;
 pub mod star;
 pub mod supernode;
 
-pub use network::NetworkSpec;
+pub use error::TopoError;
+pub use network::{NetworkSpec, RoutingPolicy};
 pub use supernode::Supernode;

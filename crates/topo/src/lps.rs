@@ -11,6 +11,7 @@
 //! eccentricity of the identity — a single BFS — which is how the
 //! Figure 1 "Spectralfly diameter ≤ 3 design points" are found.
 
+use crate::error::TopoError;
 use polarstar_gf::poly::{mod_inverse, mod_pow};
 use polarstar_gf::primes::is_prime;
 use polarstar_graph::Graph;
@@ -31,7 +32,12 @@ fn mat_mul(a: &Mat, b: &Mat, q: u64) -> Mat {
 /// Canonical representative of {M, −M} (for PSL, projectivized over ±1):
 /// the lexicographically smaller of the two.
 fn canon_psl(m: &Mat, q: u64) -> Mat {
-    let neg = [(q - m[0]) % q, (q - m[1]) % q, (q - m[2]) % q, (q - m[3]) % q];
+    let neg = [
+        (q - m[0]) % q,
+        (q - m[1]) % q,
+        (q - m[2]) % q,
+        (q - m[3]) % q,
+    ];
     if *m <= neg {
         *m
     } else {
@@ -43,7 +49,12 @@ fn canon_psl(m: &Mat, q: u64) -> Mat {
 fn canon_pgl(m: &Mat, q: u64) -> Mat {
     let lead = m.iter().copied().find(|&x| x != 0).expect("nonzero matrix");
     let inv = mod_inverse(lead, q);
-    [m[0] * inv % q, m[1] * inv % q, m[2] * inv % q, m[3] * inv % q]
+    [
+        m[0] * inv % q,
+        m[1] * inv % q,
+        m[2] * inv % q,
+        m[3] * inv % q,
+    ]
 }
 
 /// Whether `a` is a quadratic residue mod prime `q`.
@@ -104,12 +115,7 @@ pub fn generator_solutions(p: u64) -> Vec<[i64; 4]> {
 /// Whether X^{p,q} is defined: distinct odd primes with q ≡ 1 mod 4
 /// (so that √−1 exists mod q) and q > 2√p.
 pub fn is_feasible(p: u64, q: u64) -> bool {
-    p != q
-        && p % 2 == 1
-        && is_prime(p)
-        && is_prime(q)
-        && q % 4 == 1
-        && (q * q) > 4 * p
+    p != q && p % 2 == 1 && is_prime(p) && is_prime(q) && q % 4 == 1 && (q * q) > 4 * p
 }
 
 /// Order of X^{p,q}: q(q²−1)/2 for the PSL case, q(q²−1) for PGL.
@@ -124,18 +130,23 @@ pub fn lps_order(p: u64, q: u64) -> u64 {
 
 /// Construct the LPS Ramanujan graph X^{p,q}.
 ///
-/// Returns `None` for infeasible parameters. The result is (p+1)-regular
-/// (as a multigraph; a handful of parallel edges can collapse for tiny q,
-/// so small-q degrees may dip slightly below p+1).
-pub fn lps_graph(p: u64, q: u64) -> Option<Graph> {
+/// Errs with [`TopoError::Infeasible`] for parameters outside the family.
+/// The result is (p+1)-regular (as a multigraph; a handful of parallel
+/// edges can collapse for tiny q, so small-q degrees may dip slightly
+/// below p+1).
+pub fn lps_graph(p: u64, q: u64) -> Result<Graph, TopoError> {
     if !is_feasible(p, q) {
-        return None;
+        return Err(TopoError::infeasible(
+            "LPS",
+            format!("X^{{{p},{q}}} needs distinct odd primes, q ≡ 1 mod 4, q > 2√p"),
+        ));
     }
     let psl = is_qr(p, q);
     let sols = generator_solutions(p);
     debug_assert_eq!(sols.len() as u64, p + 1);
     // i with i² = −1 (exists since q ≡ 1 mod 4).
-    let i = sqrt_mod(q - 1, q)?;
+    let i = sqrt_mod(q - 1, q)
+        .ok_or_else(|| TopoError::infeasible("LPS", format!("no √−1 mod {q}")))?;
     let to_zq = |x: i64| ((x % q as i64 + q as i64) % q as i64) as u64;
 
     let mut gens: Vec<Mat> = sols
@@ -143,10 +154,10 @@ pub fn lps_graph(p: u64, q: u64) -> Option<Graph> {
         .map(|&[a, b, c, d]| {
             let (a, b, c, d) = (to_zq(a), to_zq(b), to_zq(c), to_zq(d));
             [
-                (a + i * b) % q,             // a + i·b
-                (c + i * d) % q,             // c + i·d
-                ((q - c) + i * d % q) % q,   // −c + i·d
-                (a + (q - i) * b % q) % q,   // a − i·b
+                (a + i * b) % q,           // a + i·b
+                (c + i * d) % q,           // c + i·d
+                ((q - c) + i * d % q) % q, // −c + i·d
+                (a + (q - i) * b % q) % q, // a − i·b
             ]
         })
         .collect();
@@ -154,7 +165,8 @@ pub fn lps_graph(p: u64, q: u64) -> Option<Graph> {
     if psl {
         // Normalize determinants to 1: det = p mod q; scale by s⁻¹ with
         // s² = p.
-        let s = sqrt_mod(p % q, q)?;
+        let s = sqrt_mod(p % q, q)
+            .ok_or_else(|| TopoError::infeasible("LPS", format!("no √{p} mod {q}")))?;
         let sinv = mod_inverse(s, q);
         for g in gens.iter_mut() {
             for e in g.iter_mut() {
@@ -192,7 +204,7 @@ pub fn lps_graph(p: u64, q: u64) -> Option<Graph> {
             }
         }
     }
-    Some(Graph::from_edges(verts.len(), &edges))
+    Ok(Graph::from_edges(verts.len(), &edges))
 }
 
 /// Diameter via a single BFS from the identity (vertex-transitivity).

@@ -35,7 +35,10 @@ impl MegaflyParams {
 /// Build the maximal Megafly for the given parameters.
 pub fn megafly(params: MegaflyParams) -> NetworkSpec {
     let MegaflyParams { rho, a, p } = params;
-    assert!(a >= 2 && a % 2 == 0, "a must be even (half leaves, half spines)");
+    assert!(
+        a >= 2 && a % 2 == 0,
+        "a must be even (half leaves, half spines)"
+    );
     let half = a / 2;
     let groups = params.groups();
     let n = params.routers();
@@ -72,12 +75,8 @@ pub fn megafly(params: MegaflyParams) -> NetworkSpec {
         }
     }
     let group: Vec<u32> = (0..n).map(|r| (r / a) as u32).collect();
-    NetworkSpec {
-        name: format!("MF(r{rho},a{a},p{p})"),
-        graph: b.build(),
-        endpoints,
-        group,
-    }
+    NetworkSpec::new(format!("MF(r{rho},a{a},p{p})"), b.build(), endpoints, group)
+        .with_policy(crate::network::RoutingPolicy::HierarchicalMinimal)
 }
 
 #[cfg(test)]
@@ -88,7 +87,11 @@ mod tests {
     #[test]
     fn table3_configuration() {
         // Table 3: ρ=8, a=16, p=8 → 1040 routers, radix 16, 4160 endpoints.
-        let params = MegaflyParams { rho: 8, a: 16, p: 8 };
+        let params = MegaflyParams {
+            rho: 8,
+            a: 16,
+            p: 8,
+        };
         let mf = megafly(params);
         assert_eq!(mf.routers(), 1040);
         assert_eq!(mf.total_endpoints(), 4160);
@@ -122,9 +125,9 @@ mod tests {
                 count[gu][gv] += 1;
             }
         }
-        for g1 in 0..groups {
-            for g2 in (g1 + 1)..groups {
-                assert_eq!(count[g1][g2], 1, "groups {g1},{g2}");
+        for (g1, row) in count.iter().enumerate() {
+            for (g2, &c) in row.iter().enumerate().skip(g1 + 1) {
+                assert_eq!(c, 1, "groups {g1},{g2}");
             }
         }
     }
@@ -138,7 +141,11 @@ mod tests {
 
     #[test]
     fn radix_balanced_between_leaf_and_spine() {
-        let mf = megafly(MegaflyParams { rho: 8, a: 16, p: 8 });
+        let mf = megafly(MegaflyParams {
+            rho: 8,
+            a: 16,
+            p: 8,
+        });
         for r in 0..mf.routers() as u32 {
             let total = mf.graph.degree(r) + mf.endpoints[r as usize] as usize;
             assert_eq!(total, 16, "router {r}");

@@ -17,8 +17,8 @@
 //! the defining property is all that downstream code relies on.
 
 use polarstar_gf::Gf;
-use polarstar_graph::{Graph, GraphBuilder};
 use polarstar_graph::traversal;
+use polarstar_graph::{Graph, GraphBuilder};
 
 /// δ such that q ≡ δ (mod 4), restricted to {−1, 0, 1}; `None` for q ≡ 2.
 pub fn delta(q: u64) -> Option<i64> {
@@ -188,7 +188,10 @@ fn enumerate(
         return;
     }
     if remaining == 0 {
-        let mut set: Vec<u64> = chosen.iter().flat_map(|&i| orbits[i].iter().copied()).collect();
+        let mut set: Vec<u64> = chosen
+            .iter()
+            .flat_map(|&i| orbits[i].iter().copied())
+            .collect();
         set.sort_unstable();
         out.push(set);
         return;
@@ -234,7 +237,11 @@ mod tests {
         for q in [5u64, 9, 13, 17] {
             let g = mms_graph(q).unwrap();
             assert_eq!(g.n() as u64, mms_order(q), "MMS({q}) order");
-            assert_eq!(g.max_degree() as u64, mms_degree(q).unwrap(), "MMS({q}) degree");
+            assert_eq!(
+                g.max_degree() as u64,
+                mms_degree(q).unwrap(),
+                "MMS({q}) degree"
+            );
             assert_eq!(traversal::diameter(&g), Some(2), "MMS({q}) diameter");
         }
     }

@@ -1,7 +1,32 @@
 //! Common descriptor connecting a router-level graph to a simulated system:
 //! which routers carry endpoints, and how routers group into supernodes.
 
+use crate::error::TopoError;
 use polarstar_graph::Graph;
+use std::sync::OnceLock;
+
+/// How minimal routing tables should be built for a topology — carried on
+/// the spec so consumers (the cycle simulator, figure binaries) no longer
+/// have to pattern-match display names to pick a table discipline.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RoutingPolicy {
+    /// Unconstrained shortest paths over the router graph.
+    #[default]
+    FlatMinimal,
+    /// Shortest paths restricted to at most one inter-group ("global")
+    /// link — BookSim's built-in Dragonfly/Megafly MIN discipline.
+    HierarchicalMinimal,
+}
+
+impl RoutingPolicy {
+    /// Stable label for manifests and logs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RoutingPolicy::FlatMinimal => "flat-minimal",
+            RoutingPolicy::HierarchicalMinimal => "hierarchical-minimal",
+        }
+    }
+}
 
 /// A network: router interconnect plus endpoint placement and grouping.
 ///
@@ -12,7 +37,11 @@ use polarstar_graph::Graph;
 ///   a single group per router's natural module (HyperX uses one group
 ///   total). Used by hierarchical traffic patterns (bit shuffle locality,
 ///   adversarial supernode-pair traffic of §9.6).
-#[derive(Clone, Debug)]
+///
+/// Endpoint-id lookups cache the prefix-sum offsets on first use; mutate
+/// `endpoints` only before the first call to [`NetworkSpec::endpoint_router`]
+/// / [`NetworkSpec::endpoint_offsets`].
+#[derive(Debug)]
 pub struct NetworkSpec {
     /// Short display name, e.g. `"PS-IQ"`.
     pub name: String,
@@ -22,19 +51,60 @@ pub struct NetworkSpec {
     pub endpoints: Vec<u32>,
     /// Group (supernode) id per router.
     pub group: Vec<u32>,
+    /// Table discipline hint for this topology.
+    routing_policy: RoutingPolicy,
+    /// Lazily-built endpoint prefix sums (length n+1).
+    ep_offsets: OnceLock<Vec<usize>>,
+}
+
+impl Clone for NetworkSpec {
+    fn clone(&self) -> Self {
+        NetworkSpec {
+            name: self.name.clone(),
+            graph: self.graph.clone(),
+            endpoints: self.endpoints.clone(),
+            group: self.group.clone(),
+            routing_policy: self.routing_policy,
+            // The clone recomputes its offsets on first use.
+            ep_offsets: OnceLock::new(),
+        }
+    }
 }
 
 impl NetworkSpec {
+    /// Build a spec from its parts with the default flat routing policy.
+    pub fn new(
+        name: impl Into<String>,
+        graph: Graph,
+        endpoints: Vec<u32>,
+        group: Vec<u32>,
+    ) -> Self {
+        NetworkSpec {
+            name: name.into(),
+            graph,
+            endpoints,
+            group,
+            routing_policy: RoutingPolicy::FlatMinimal,
+            ep_offsets: OnceLock::new(),
+        }
+    }
+
     /// Build a spec with `p` endpoints on every router and each router its
     /// own group.
     pub fn uniform(name: impl Into<String>, graph: Graph, p: u32) -> Self {
         let n = graph.n();
-        NetworkSpec {
-            name: name.into(),
-            graph,
-            endpoints: vec![p; n],
-            group: (0..n as u32).collect(),
-        }
+        NetworkSpec::new(name, graph, vec![p; n], (0..n as u32).collect())
+    }
+
+    /// Set the routing-policy hint (builder style).
+    pub fn with_policy(mut self, policy: RoutingPolicy) -> Self {
+        self.routing_policy = policy;
+        self
+    }
+
+    /// The table discipline this topology expects.
+    pub fn routing_policy(&self) -> RoutingPolicy {
+        self.routing_policy
     }
 
     /// Number of routers.
@@ -57,7 +127,11 @@ impl NetworkSpec {
 
     /// Number of distinct groups.
     pub fn num_groups(&self) -> usize {
-        self.group.iter().copied().max().map_or(0, |g| g as usize + 1)
+        self.group
+            .iter()
+            .copied()
+            .max()
+            .map_or(0, |g| g as usize + 1)
     }
 
     /// Router ids of every group, indexed by group id.
@@ -72,42 +146,49 @@ impl NetworkSpec {
     /// Map a global endpoint id to `(router, local_slot)`.
     ///
     /// Endpoint ids are contiguous per router (and therefore per group),
-    /// matching the paper's §9.4 placement.
+    /// matching the paper's §9.4 placement. O(log n) via binary search on
+    /// the cached prefix sums — this sits on the per-message hot path of
+    /// both simulators.
     pub fn endpoint_router(&self, ep: usize) -> (u32, u32) {
-        let mut remaining = ep;
-        for (r, &cnt) in self.endpoints.iter().enumerate() {
-            if remaining < cnt as usize {
-                return (r as u32, remaining as u32);
-            }
-            remaining -= cnt as usize;
+        let off = self.endpoint_offsets();
+        let n = self.endpoints.len();
+        // Largest r with off[r] <= ep; off has length n+1.
+        let r = off.partition_point(|&o| o <= ep) - 1;
+        if r >= n {
+            panic!("endpoint id {ep} out of range ({} total)", off[n]);
         }
-        panic!("endpoint id {ep} out of range ({} total)", self.total_endpoints());
+        (r as u32, (ep - off[r]) as u32)
     }
 
-    /// First global endpoint id on each router (length n+1 prefix sums).
-    pub fn endpoint_offsets(&self) -> Vec<usize> {
-        let mut off = Vec::with_capacity(self.endpoints.len() + 1);
-        off.push(0);
-        for &e in &self.endpoints {
-            off.push(off.last().unwrap() + e as usize);
-        }
-        off
+    /// First global endpoint id on each router (length n+1 prefix sums),
+    /// computed once and cached.
+    pub fn endpoint_offsets(&self) -> &[usize] {
+        self.ep_offsets.get_or_init(|| {
+            let mut off = Vec::with_capacity(self.endpoints.len() + 1);
+            off.push(0);
+            for &e in &self.endpoints {
+                off.push(off.last().unwrap() + e as usize);
+            }
+            off
+        })
     }
 
     /// Routers that carry at least one endpoint.
     pub fn endpoint_routers(&self) -> Vec<u32> {
-        (0..self.graph.n() as u32).filter(|&r| self.endpoints[r as usize] > 0).collect()
+        (0..self.graph.n() as u32)
+            .filter(|&r| self.endpoints[r as usize] > 0)
+            .collect()
     }
 
     /// Sanity checks used by tests: group array length, endpoint counts.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), TopoError> {
         if self.endpoints.len() != self.graph.n() {
-            return Err("endpoints length mismatch".into());
+            return Err(TopoError::InvalidSpec("endpoints length mismatch".into()));
         }
         if self.group.len() != self.graph.n() {
-            return Err("group length mismatch".into());
+            return Err(TopoError::InvalidSpec("group length mismatch".into()));
         }
-        self.graph.validate()
+        self.graph.validate().map_err(TopoError::InvalidSpec)
     }
 }
 
@@ -122,6 +203,7 @@ mod tests {
         assert_eq!(s.total_endpoints(), 12);
         assert_eq!(s.radix(), 3 + 3);
         assert_eq!(s.num_groups(), 4);
+        assert_eq!(s.routing_policy(), RoutingPolicy::FlatMinimal);
         s.validate().unwrap();
     }
 
@@ -133,8 +215,25 @@ mod tests {
         assert_eq!(s.endpoint_router(1), (0, 1));
         assert_eq!(s.endpoint_router(2), (2, 0));
         assert_eq!(s.endpoint_router(4), (2, 2));
-        assert_eq!(s.endpoint_offsets(), vec![0, 2, 2, 5]);
+        assert_eq!(s.endpoint_offsets(), &[0, 2, 2, 5]);
         assert_eq!(s.endpoint_routers(), vec![0, 2]);
+    }
+
+    #[test]
+    fn endpoint_mapping_matches_linear_scan() {
+        // Binary search against the reference linear scan over an uneven
+        // placement with leading/trailing zero-endpoint routers.
+        let mut s = NetworkSpec::uniform("k6", Graph::complete(6), 0);
+        s.endpoints = vec![0, 3, 0, 0, 2, 1];
+        let mut expect = Vec::new();
+        for (r, &cnt) in s.endpoints.iter().enumerate() {
+            for slot in 0..cnt {
+                expect.push((r as u32, slot));
+            }
+        }
+        for (ep, &want) in expect.iter().enumerate() {
+            assert_eq!(s.endpoint_router(ep), want, "endpoint {ep}");
+        }
     }
 
     #[test]
@@ -142,6 +241,28 @@ mod tests {
     fn endpoint_mapping_bounds() {
         let s = NetworkSpec::uniform("k3", Graph::complete(3), 1);
         s.endpoint_router(3);
+    }
+
+    #[test]
+    fn clone_resets_offset_cache() {
+        let s = NetworkSpec::uniform("k3", Graph::complete(3), 1);
+        assert_eq!(s.endpoint_router(2), (2, 0)); // fill the cache
+        let mut t = s.clone();
+        t.endpoints = vec![0, 0, 2];
+        assert_eq!(t.endpoint_router(0), (2, 0));
+    }
+
+    #[test]
+    fn policy_builder() {
+        let s = NetworkSpec::uniform("k3", Graph::complete(3), 1)
+            .with_policy(RoutingPolicy::HierarchicalMinimal);
+        assert_eq!(s.routing_policy(), RoutingPolicy::HierarchicalMinimal);
+        assert_eq!(s.routing_policy().label(), "hierarchical-minimal");
+        // Clones keep the hint.
+        assert_eq!(
+            s.clone().routing_policy(),
+            RoutingPolicy::HierarchicalMinimal
+        );
     }
 
     #[test]

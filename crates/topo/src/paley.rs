@@ -21,7 +21,7 @@ pub fn is_feasible_order(q: u64) -> bool {
 /// Feasible supernode degrees: d' = (q − 1)/2 with q ≡ 1 mod 4 prime
 /// power, i.e. order 2d' + 1 (Table 2: "even d', 2d'+1 a prime power").
 pub fn is_feasible_degree(d: usize) -> bool {
-    d % 2 == 0 && is_feasible_order(2 * d as u64 + 1)
+    d.is_multiple_of(2) && is_feasible_order(2 * d as u64 + 1)
 }
 
 /// The Paley graph on q vertices as a plain graph.
@@ -115,7 +115,10 @@ mod tests {
             let s = paley_supernode(q).unwrap();
             assert!(s.satisfies_r1(), "Paley({q}) must satisfy R1");
             assert!(s.f_squared_is_automorphism());
-            assert!(!s.f_is_involution(), "multiplicative f is not an involution");
+            assert!(
+                !s.f_is_involution(),
+                "multiplicative f is not an involution"
+            );
             assert!(!s.satisfies_r_star());
             assert_eq!(s.order(), 2 * s.degree() + 1, "Paley attains the R1 bound");
         }

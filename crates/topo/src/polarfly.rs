@@ -16,12 +16,12 @@ pub fn polarfly(q: u64, p: u32) -> Option<NetworkSpec> {
         .iter()
         .map(|pt| if pt[0] == 1 { pt[1] as u32 } else { q as u32 })
         .collect();
-    Some(NetworkSpec {
-        name: format!("PolarFly(q{q})"),
-        graph: er.graph,
-        endpoints: vec![p; n],
+    Some(NetworkSpec::new(
+        format!("PolarFly(q{q})"),
+        er.graph,
+        vec![p; n],
         group,
-    })
+    ))
 }
 
 #[cfg(test)]

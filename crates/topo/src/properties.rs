@@ -42,15 +42,78 @@ pub struct PropertyRow {
 pub fn table1() -> Vec<PropertyRow> {
     use Rating::*;
     vec![
-        PropertyRow { topology: "Fat-tree", direct: false, scalability: Good, stable_design_space: Good, diameter_le_3: false, bundlability: Good },
-        PropertyRow { topology: "PolarFly", direct: true, scalability: Poor, stable_design_space: Fair, diameter_le_3: true, bundlability: Good },
-        PropertyRow { topology: "Slimfly", direct: true, scalability: Poor, stable_design_space: Fair, diameter_le_3: true, bundlability: Good },
-        PropertyRow { topology: "3-D HyperX", direct: true, scalability: Fair, stable_design_space: Good, diameter_le_3: true, bundlability: Good },
-        PropertyRow { topology: "Dragonfly", direct: true, scalability: Good, stable_design_space: Good, diameter_le_3: true, bundlability: Fair },
-        PropertyRow { topology: "Bundlefly", direct: true, scalability: Good, stable_design_space: Fair, diameter_le_3: true, bundlability: Good },
-        PropertyRow { topology: "Megafly", direct: false, scalability: Good, stable_design_space: Good, diameter_le_3: true, bundlability: Fair },
-        PropertyRow { topology: "Spectralfly", direct: true, scalability: Fair, stable_design_space: Fair, diameter_le_3: true, bundlability: Fair },
-        PropertyRow { topology: "PolarStar", direct: true, scalability: Good, stable_design_space: Good, diameter_le_3: true, bundlability: Good },
+        PropertyRow {
+            topology: "Fat-tree",
+            direct: false,
+            scalability: Good,
+            stable_design_space: Good,
+            diameter_le_3: false,
+            bundlability: Good,
+        },
+        PropertyRow {
+            topology: "PolarFly",
+            direct: true,
+            scalability: Poor,
+            stable_design_space: Fair,
+            diameter_le_3: true,
+            bundlability: Good,
+        },
+        PropertyRow {
+            topology: "Slimfly",
+            direct: true,
+            scalability: Poor,
+            stable_design_space: Fair,
+            diameter_le_3: true,
+            bundlability: Good,
+        },
+        PropertyRow {
+            topology: "3-D HyperX",
+            direct: true,
+            scalability: Fair,
+            stable_design_space: Good,
+            diameter_le_3: true,
+            bundlability: Good,
+        },
+        PropertyRow {
+            topology: "Dragonfly",
+            direct: true,
+            scalability: Good,
+            stable_design_space: Good,
+            diameter_le_3: true,
+            bundlability: Fair,
+        },
+        PropertyRow {
+            topology: "Bundlefly",
+            direct: true,
+            scalability: Good,
+            stable_design_space: Fair,
+            diameter_le_3: true,
+            bundlability: Good,
+        },
+        PropertyRow {
+            topology: "Megafly",
+            direct: false,
+            scalability: Good,
+            stable_design_space: Good,
+            diameter_le_3: true,
+            bundlability: Fair,
+        },
+        PropertyRow {
+            topology: "Spectralfly",
+            direct: true,
+            scalability: Fair,
+            stable_design_space: Fair,
+            diameter_le_3: true,
+            bundlability: Fair,
+        },
+        PropertyRow {
+            topology: "PolarStar",
+            direct: true,
+            scalability: Good,
+            stable_design_space: Good,
+            diameter_le_3: true,
+            bundlability: Good,
+        },
     ]
 }
 

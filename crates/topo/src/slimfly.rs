@@ -12,7 +12,12 @@ pub fn slimfly(q: u64, p: u32) -> Option<NetworkSpec> {
     // physical rack layout suggested in the Slim Fly paper.
     let n = graph.n();
     let group: Vec<u32> = (0..n).map(|v| (v / q as usize) as u32).collect();
-    Some(NetworkSpec { name: format!("SlimFly(q{q})"), graph, endpoints: vec![p; n], group })
+    Some(NetworkSpec::new(
+        format!("SlimFly(q{q})"),
+        graph,
+        vec![p; n],
+        group,
+    ))
 }
 
 #[cfg(test)]

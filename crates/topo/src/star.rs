@@ -87,7 +87,10 @@ pub fn star_product(
     }
     for (x, y) in structure.edges() {
         for xp in 0..np as u32 {
-            b.add_edge(vertex_id(x, xp, np), vertex_id(y, supernode.f[xp as usize], np));
+            b.add_edge(
+                vertex_id(x, xp, np),
+                vertex_id(y, supernode.f[xp as usize], np),
+            );
         }
     }
     for &x in structure_self_loops {
@@ -158,7 +161,15 @@ mod tests {
     #[test]
     fn theorem4_er_iq_diameter_3() {
         // Theorem 4: ER_q (Property R) * IQ (Property R*) has diameter ≤ 3.
-        for (q, d) in [(2u64, 0usize), (2, 3), (3, 3), (3, 4), (4, 3), (5, 4), (7, 3)] {
+        for (q, d) in [
+            (2u64, 0usize),
+            (2, 3),
+            (3, 3),
+            (3, 4),
+            (4, 3),
+            (5, 4),
+            (7, 3),
+        ] {
             let er = ErGraph::new(q).unwrap();
             let iq = inductive_quad(d).unwrap();
             let p = star_product(&er.graph, &er.quadric_vertices(), &iq);

@@ -24,10 +24,17 @@ impl Supernode {
         assert_eq!(f.len(), n, "f must be defined on all vertices");
         let mut seen = vec![false; n];
         for &y in &f {
-            assert!((y as usize) < n && !seen[y as usize], "f must be a bijection");
+            assert!(
+                (y as usize) < n && !seen[y as usize],
+                "f must be a bijection"
+            );
             seen[y as usize] = true;
         }
-        Supernode { name: name.into(), graph, f }
+        Supernode {
+            name: name.into(),
+            graph,
+            f,
+        }
     }
 
     /// Number of vertices.
@@ -42,13 +49,18 @@ impl Supernode {
 
     /// Whether `f` is an involution (f² = id) — required by Property R*.
     pub fn f_is_involution(&self) -> bool {
-        self.f.iter().enumerate().all(|(x, &y)| self.f[y as usize] == x as u32)
+        self.f
+            .iter()
+            .enumerate()
+            .all(|(x, &y)| self.f[y as usize] == x as u32)
     }
 
     /// Whether `f²` is a graph automorphism — required by Property R1.
     pub fn f_squared_is_automorphism(&self) -> bool {
         let f2 = |x: u32| self.f[self.f[x as usize] as usize];
-        self.graph.edges().all(|(u, v)| self.graph.has_edge(f2(u), f2(v)))
+        self.graph
+            .edges()
+            .all(|(u, v)| self.graph.has_edge(f2(u), f2(v)))
     }
 
     /// Property R* (§5.1.2): `f` is an involution and every vertex pair
@@ -63,10 +75,8 @@ impl Supernode {
             for y in 0..n {
                 let fx = self.f[x as usize];
                 let fy = self.f[y as usize];
-                let ok = y == x
-                    || y == fx
-                    || self.graph.has_edge(x, y)
-                    || self.graph.has_edge(fx, fy);
+                let ok =
+                    y == x || y == fx || self.graph.has_edge(x, y) || self.graph.has_edge(fx, fy);
                 if !ok {
                     return false;
                 }

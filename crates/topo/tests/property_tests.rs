@@ -5,7 +5,9 @@ use polarstar_graph::{traversal, Graph};
 use polarstar_topo::er::ErGraph;
 use polarstar_topo::iq::inductive_quad;
 use polarstar_topo::paley::{paley_graph, paley_supernode};
-use polarstar_topo::star::{cartesian_product, star_product, star_product_with, vertex_id, vertex_parts};
+use polarstar_topo::star::{
+    cartesian_product, star_product, star_product_with, vertex_id, vertex_parts,
+};
 use polarstar_topo::supernode::Supernode;
 use proptest::prelude::*;
 

@@ -37,7 +37,9 @@ fn main() {
             println!(
                 "  {:>3.0}% failed: diameter {:>2}, avg path length {}",
                 100.0 * step.failed_fraction,
-                step.diameter.map(|d| d.to_string()).unwrap_or_else(|| "-".into()),
+                step.diameter
+                    .map(|d| d.to_string())
+                    .unwrap_or_else(|| "-".into()),
                 step.avg_path_length
                     .map(|a| format!("{a:.3}"))
                     .unwrap_or_else(|| "-".into()),

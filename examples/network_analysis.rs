@@ -16,7 +16,9 @@ use polarstar_repro::topo::dragonfly::{dragonfly, DragonflyParams};
 
 fn main() {
     let ps = {
-        let mut n = PolarStarNetwork::build(best_config(9).unwrap(), 1).unwrap().spec;
+        let mut n = PolarStarNetwork::build(best_config(9).unwrap(), 1)
+            .unwrap()
+            .spec;
         n.name = "PolarStar(248)".into();
         n
     };
@@ -27,7 +29,12 @@ fn main() {
     };
 
     for net in [&ps, &df] {
-        println!("== {} — {} routers, {} links", net.name, net.routers(), net.graph.m());
+        println!(
+            "== {} — {} routers, {} links",
+            net.name,
+            net.routers(),
+            net.graph.m()
+        );
 
         let cl = channel_load(&net.graph);
         println!(

@@ -12,7 +12,10 @@ use polarstar::routing::AnalyticRouter;
 use polarstar_repro::graph::traversal;
 
 fn main() {
-    let radix: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(15);
+    let radix: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(15);
 
     // 1. Explore the design space for this network radix.
     let configs = enumerate_configs(radix);
@@ -29,7 +32,12 @@ fn main() {
     // 2. Build the largest one (Table 3's PS-IQ when radix = 15).
     let cfg = best_config(radix).expect("configurations exist for every radix in [8,128]");
     let net = PolarStarNetwork::build(cfg, 0).expect("constructible");
-    println!("\nbuilt {}: {} routers, {} links", cfg.label(), net.spec.routers(), net.graph().m());
+    println!(
+        "\nbuilt {}: {} routers, {} links",
+        cfg.label(),
+        net.spec.routers(),
+        net.graph().m()
+    );
 
     // 3. Verify the headline property: diameter 3.
     let diam = traversal::diameter(net.graph()).expect("connected");
@@ -41,7 +49,10 @@ fn main() {
     let (s, t) = (0u32, net.spec.routers() as u32 - 1);
     let path = router.route(s, t);
     println!("analytic route {s} → {t}: {} hops via {path:?}", path.len());
-    println!("moore bound at this radix: {}", moore_bound_d3(radix as u64));
+    println!(
+        "moore bound at this radix: {}",
+        moore_bound_d3(radix as u64)
+    );
 
     // 5. Physical layout: supernode bundles for multi-core fibers (§8).
     let layout = Layout::of(&net);

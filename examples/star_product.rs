@@ -37,7 +37,11 @@ fn main() {
         er.graph.max_degree()
     );
     let paley5 = paley_supernode(5).unwrap();
-    println!("Paley(5): {} vertices, degree {}", paley5.order(), paley5.degree());
+    println!(
+        "Paley(5): {} vertices, degree {}",
+        paley5.order(),
+        paley5.degree()
+    );
 
     let product = star_product(&er.graph, &er.quadric_vertices(), &paley5);
     let diam = traversal::diameter(&product).unwrap();
@@ -47,7 +51,10 @@ fn main() {
         product.m()
     );
     assert_eq!(product.n(), 13 * 5);
-    assert!(diam <= 3, "Theorem 5: structure diameter 2 + R1 supernode ⇒ ≤ 3");
+    assert!(
+        diam <= 3,
+        "Theorem 5: structure diameter 2 + R1 supernode ⇒ ≤ 3"
+    );
 
     // The quadric supernodes carry the extra f-matching edges (Fig. 5c).
     let quadric = er.quadric_vertices()[0] as usize;

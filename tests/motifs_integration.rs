@@ -10,7 +10,9 @@ use polarstar_repro::topo::fattree::fattree;
 use polarstar_repro::topo::network::NetworkSpec;
 
 fn ps_net() -> NetworkSpec {
-    PolarStarNetwork::build(best_config(9).unwrap(), 2).unwrap().spec
+    PolarStarNetwork::build(best_config(9).unwrap(), 2)
+        .unwrap()
+        .spec
 }
 
 /// §10.2: adaptive routing helps Allreduce substantially on direct
@@ -19,7 +21,13 @@ fn ps_net() -> NetworkSpec {
 #[test]
 fn adaptive_helps_allreduce_on_polarstar() {
     let mk = || NetModel::new(ps_net(), MotifConfig::default());
-    let t_min = allreduce(&mut mk(), AllreduceAlgo::RecursiveDoubling, 64 * 1024, 3, RoutingMode::Min);
+    let t_min = allreduce(
+        &mut mk(),
+        AllreduceAlgo::RecursiveDoubling,
+        64 * 1024,
+        3,
+        RoutingMode::Min,
+    );
     let t_ad = allreduce(
         &mut mk(),
         AllreduceAlgo::RecursiveDoubling,

@@ -23,8 +23,14 @@ fn polarstar_dominates_baselines_pointwise() {
     for radix in 8..=128usize {
         let ps = best_config(radix).map(|c| c.order() as u64).unwrap_or(0);
         assert!(ps > 0, "configuration must exist at radix {radix}");
-        assert!(ps >= dragonfly_best_order(radix as u64), "DF beats PS at radix {radix}");
-        assert!(ps >= hyperx3d_best_order(radix as u64), "HX beats PS at radix {radix}");
+        assert!(
+            ps >= dragonfly_best_order(radix as u64),
+            "DF beats PS at radix {radix}"
+        );
+        assert!(
+            ps >= hyperx3d_best_order(radix as u64),
+            "HX beats PS at radix {radix}"
+        );
         if let Some(bf) = bundlefly::best_params_for_degree(radix as u64) {
             total_bf += 1;
             if ps >= bf.order() {
@@ -63,7 +69,10 @@ fn theorem5_diameter_three_integration() {
         let pal = paley_supernode(pq).unwrap();
         assert!(pal.satisfies_r1());
         let g = star_product(&er.graph, &er.quadric_vertices(), &pal);
-        assert!(traversal::diameter(&g).unwrap() <= 3, "ER_{q} * Paley({pq})");
+        assert!(
+            traversal::diameter(&g).unwrap() <= 3,
+            "ER_{q} * Paley({pq})"
+        );
     }
 }
 
@@ -79,7 +88,12 @@ fn analytic_routing_is_minimal_across_families() {
             let dist = traversal::bfs_distances(net.graph(), s);
             for t in (0..n).step_by(5) {
                 let path = router.route(s, t);
-                assert_eq!(path.len() as u32, dist[t as usize], "{}: {s}→{t}", cfg.label());
+                assert_eq!(
+                    path.len() as u32,
+                    dist[t as usize],
+                    "{}: {s}→{t}",
+                    cfg.label()
+                );
             }
         }
     }
@@ -121,6 +135,7 @@ fn layout_bundles_match_construction() {
 /// Proposition 2 bound, attained by IQ and unattainable by anything
 /// larger: no R* supernode exceeds 2d' + 2 vertices.
 #[test]
+#[allow(clippy::assertions_on_constants)]
 fn r_star_bound_is_tight() {
     for d in [3usize, 4, 7, 8] {
         let iq = inductive_quad(d).unwrap();

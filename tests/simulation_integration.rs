@@ -33,7 +33,14 @@ fn small_polarstar(p: u32) -> NetworkSpec {
 fn polarstar_uniform_min_sustains_majority_load() {
     let net = small_polarstar(3);
     let table = RouteTable::new(&net.graph);
-    let r = simulate(&net, &table, RoutingKind::MinMulti, &Pattern::Uniform, 0.6, &cfg(1));
+    let r = simulate(
+        &net,
+        &table,
+        RoutingKind::MinMulti,
+        &Pattern::Uniform,
+        0.6,
+        &cfg(1),
+    );
     assert!(r.stable, "PolarStar at 60% uniform load: {r:?}");
     assert!(r.avg_latency < 100.0, "latency {}", r.avg_latency);
 }
@@ -52,8 +59,22 @@ fn adversarial_polarstar_beats_dragonfly() {
     let pst = RouteTable::new(&ps.graph);
     // BookSim's Dragonfly MIN is hierarchical: local, one global, local.
     let dft = RouteTable::hierarchical(&df.graph, &df.group);
-    let sat_ps = saturation_search(&ps, &pst, RoutingKind::MinMulti, &Pattern::AdversarialGroup, &cfg(2), 0.05);
-    let sat_df = saturation_search(&df, &dft, RoutingKind::MinMulti, &Pattern::AdversarialGroup, &cfg(2), 0.05);
+    let sat_ps = saturation_search(
+        &ps,
+        &pst,
+        RoutingKind::MinMulti,
+        &Pattern::AdversarialGroup,
+        &cfg(2),
+        0.05,
+    );
+    let sat_df = saturation_search(
+        &df,
+        &dft,
+        RoutingKind::MinMulti,
+        &Pattern::AdversarialGroup,
+        &cfg(2),
+        0.05,
+    );
     assert!(
         sat_ps > sat_df,
         "PolarStar adversarial saturation {sat_ps} must exceed Dragonfly {sat_df}"
@@ -73,7 +94,11 @@ fn ugal_reasonable_on_permutation() {
         &[0.1, 0.3, 0.5],
         &cfg(3),
     );
-    assert!(s.saturation_load() >= 0.3, "UGAL permutation saturation {}", s.saturation_load());
+    assert!(
+        s.saturation_load() >= 0.3,
+        "UGAL permutation saturation {}",
+        s.saturation_load()
+    );
 }
 
 /// Bit patterns run end-to-end on a hierarchical network and deliver.
@@ -94,8 +119,22 @@ fn bit_patterns_deliver() {
 fn sweeps_are_reproducible() {
     let net = small_polarstar(2);
     let table = RouteTable::new(&net.graph);
-    let a = sweep(&net, &table, RoutingKind::MinMulti, &Pattern::Uniform, &[0.2, 0.4], &cfg(5));
-    let b = sweep(&net, &table, RoutingKind::MinMulti, &Pattern::Uniform, &[0.2, 0.4], &cfg(5));
+    let a = sweep(
+        &net,
+        &table,
+        RoutingKind::MinMulti,
+        &Pattern::Uniform,
+        &[0.2, 0.4],
+        &cfg(5),
+    );
+    let b = sweep(
+        &net,
+        &table,
+        RoutingKind::MinMulti,
+        &Pattern::Uniform,
+        &[0.2, 0.4],
+        &cfg(5),
+    );
     for (x, y) in a.points.iter().zip(&b.points) {
         assert_eq!(x.avg_latency, y.avg_latency);
         assert_eq!(x.measured_ejected, y.measured_ejected);

@@ -1,0 +1,243 @@
+//! Offline micro-benchmark harness exposing the `criterion` API subset
+//! used by `crates/bench/benches/*`: groups, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: one untimed warm-up iteration, then `sample_size`
+//! timed iterations; the harness reports mean / min / max wall time per
+//! iteration on stdout. If `CRITERION_JSON` names a file, one JSON line
+//! per benchmark (`{"group":…,"bench":…,"mean_ns":…,…}`) is appended —
+//! the repo's `BENCH_*.json` baselines are produced from that stream.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Identifies a benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Passed to the closure under test; `iter` runs and times the payload.
+pub struct Bencher {
+    samples: Vec<u128>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `f` over `sample_size` iterations (after one warm-up call).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up, untimed
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed().as_nanos());
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Set the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        self.criterion.record(&self.name, &id.id, &b.samples);
+        self
+    }
+
+    /// Benchmark a closure against an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b, input);
+        self.criterion.record(&self.name, &id.id, &b.samples);
+        self
+    }
+
+    /// End the group (formatting no-op, kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    json_path: Option<String>,
+}
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 100,
+        }
+    }
+
+    /// Ungrouped benchmark (criterion's `bench_function` on the root).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: 100,
+        };
+        f(&mut b);
+        self.record("", id, &b.samples);
+        self
+    }
+
+    fn record(&mut self, group: &str, bench: &str, samples: &[u128]) {
+        if samples.is_empty() {
+            return;
+        }
+        let n = samples.len() as u128;
+        let mean = samples.iter().sum::<u128>() / n;
+        let min = *samples.iter().min().unwrap();
+        let max = *samples.iter().max().unwrap();
+        let label = if group.is_empty() {
+            bench.to_string()
+        } else {
+            format!("{group}/{bench}")
+        };
+        println!(
+            "{label:<40} time: [{} {} {}]  ({} samples)",
+            fmt_ns(min),
+            fmt_ns(mean),
+            fmt_ns(max),
+            n
+        );
+        if self.json_path.is_none() {
+            self.json_path = Some(std::env::var("CRITERION_JSON").unwrap_or_default());
+        }
+        if let Some(path) = self.json_path.as_ref().filter(|p| !p.is_empty()) {
+            use std::io::Write;
+            if let Ok(mut fh) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+            {
+                let _ = writeln!(
+                    fh,
+                    "{{\"group\":\"{group}\",\"bench\":\"{bench}\",\"mean_ns\":{mean},\
+                     \"min_ns\":{min},\"max_ns\":{max},\"samples\":{n}}}"
+                );
+            }
+        }
+    }
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Group benchmark functions under one entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench passes --bench (and possibly filters); the
+            // offline harness runs everything unconditionally.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_records() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("demo");
+        g.sample_size(3);
+        let mut runs = 0u32;
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        g.finish();
+        // 1 warm-up + 3 timed iterations.
+        assert_eq!(runs, 4);
+    }
+}

@@ -1,0 +1,345 @@
+//! Offline mini property-testing harness exposing the subset of the
+//! `proptest` API this workspace uses: range / `Just` / tuple / vec
+//! strategies, `prop_flat_map` / `prop_map` / `prop_perturb`, the
+//! `proptest!` macro, and `prop_assert*`.
+//!
+//! No shrinking is performed — a failing case panics with the sampled
+//! inputs' debug representation via the assertion message. Sampling is
+//! deterministic per test function name, so failures reproduce.
+
+/// Test-runner configuration and RNG.
+pub mod test_runner {
+    /// Subset of `proptest::test_runner::Config`.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of cases each property runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Run each property `cases` times.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Deterministic RNG handed to strategies (SplitMix64).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeded from a label (the test function name) so each property
+        /// has a reproducible stream.
+        pub fn deterministic(label: &str) -> Self {
+            let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+            for b in label.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Next 32 random bits.
+        pub fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        /// Independent child stream (for `prop_perturb`).
+        pub fn fork(&mut self) -> TestRng {
+            TestRng {
+                state: self.next_u64() ^ 0xa5a5_a5a5_a5a5_a5a5,
+            }
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+    }
+}
+
+/// Strategies: deterministic value generators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A value generator (no shrinking).
+    pub trait Strategy {
+        /// Generated value type.
+        type Value;
+
+        /// Draw one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map the generated value.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generate, then build a second strategy from the value.
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Transform the value with access to an RNG.
+        fn prop_perturb<O, F: Fn(Self::Value, TestRng) -> O>(self, f: F) -> Perturb<Self, F>
+        where
+            Self: Sized,
+        {
+            Perturb { inner: self, f }
+        }
+    }
+
+    /// Always produces a clone of its payload.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn sample(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.sample(rng)).sample(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_perturb`].
+    pub struct Perturb<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value, TestRng) -> O> Strategy for Perturb<S, F> {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng), rng.fork())
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as u128 - self.start as u128) as u64;
+                    self.start + (rng.below(span)) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (s, e) = (*self.start(), *self.end());
+                    assert!(s <= e, "empty strategy range");
+                    let span = (e as u128 - s as u128 + 1) as u64;
+                    s + (rng.below(span)) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Vec of `element` values with a length drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        len: core::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.clone().sample(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Glob-import surface mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Mirrors the `prop::` module alias from the real prelude.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Assert within a property (panics; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Assert equality within a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Assert inequality within a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Define property tests: each `fn name(pat in strategy, ...)` body runs
+/// `cases` times over freshly sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! {
+            cfg = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( cfg = $cfg:expr;
+      $( $(#[$meta:meta])* fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng =
+                    $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for __case in 0..__config.cases {
+                    $( let $pat = $crate::strategy::Strategy::sample(&($strat), &mut __rng); )+
+                    // Wrap in a closure so bodies may `return Ok(())`
+                    // early, as real proptest allows.
+                    #[allow(clippy::redundant_closure_call)]
+                    let __outcome: ::core::result::Result<(), ::std::string::String> =
+                        (|| {
+                            $body
+                            Ok(())
+                        })();
+                    if let ::core::result::Result::Err(e) = __outcome {
+                        panic!("property failed: {e}");
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (usize, Vec<u32>)> {
+        (2usize..10).prop_flat_map(|n| {
+            let v = collection::vec(0u32..(n as u32), 1..20);
+            (Just(n), v)
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3u64..17, y in 0usize..5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 5);
+        }
+
+        #[test]
+        fn flat_map_respects_bound((n, v) in pair()) {
+            for &e in &v {
+                prop_assert!((e as usize) < n);
+            }
+        }
+
+        #[test]
+        fn perturb_gets_rng(x in Just(5u32).prop_perturb(|v, mut rng| v + (rng.next_u32() % 2))) {
+            prop_assert!(x == 5 || x == 6);
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Offline `ChaCha8Rng`: a real 8-round ChaCha keystream generator
+//! implementing the vendored [`rand`] traits.
+//!
+//! Stream values are NOT bit-compatible with the upstream `rand_chacha`
+//! crate (the key schedule from `seed_from_u64` differs), but the
+//! workspace only relies on determinism-for-a-seed and statistical
+//! quality, both of which genuine ChaCha8 provides.
+
+use rand::{RngCore, SeedableRng};
+
+/// 8-round ChaCha random number generator.
+#[derive(Clone, Debug)]
+pub struct ChaCha8Rng {
+    /// Input block: constants, 256-bit key, 64-bit counter, 64-bit nonce.
+    state: [u32; 16],
+    /// Current keystream block.
+    buf: [u32; 16],
+    /// Next unread word in `buf` (16 = exhausted).
+    idx: usize,
+}
+
+const CHACHA_CONST: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline(always)]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    /// Construct from a 256-bit key.
+    pub fn from_key(key: [u32; 8]) -> Self {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONST);
+        state[4..12].copy_from_slice(&key);
+        // words 12..13: block counter, 14..15: nonce (zero).
+        ChaCha8Rng {
+            state,
+            buf: [0; 16],
+            idx: 16,
+        }
+    }
+
+    fn refill(&mut self) {
+        let mut w = self.state;
+        for _ in 0..4 {
+            // 8 rounds = 4 double-rounds.
+            quarter_round(&mut w, 0, 4, 8, 12);
+            quarter_round(&mut w, 1, 5, 9, 13);
+            quarter_round(&mut w, 2, 6, 10, 14);
+            quarter_round(&mut w, 3, 7, 11, 15);
+            quarter_round(&mut w, 0, 5, 10, 15);
+            quarter_round(&mut w, 1, 6, 11, 12);
+            quarter_round(&mut w, 2, 7, 8, 13);
+            quarter_round(&mut w, 3, 4, 9, 14);
+        }
+        for (o, (&a, &b)) in self.buf.iter_mut().zip(w.iter().zip(self.state.iter())) {
+            *o = a.wrapping_add(b);
+        }
+        // 64-bit block counter in words 12/13.
+        let (lo, carry) = self.state[12].overflowing_add(1);
+        self.state[12] = lo;
+        if carry {
+            self.state[13] = self.state[13].wrapping_add(1);
+        }
+        self.idx = 0;
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.idx >= 16 {
+            self.refill();
+        }
+        let v = self.buf[self.idx];
+        self.idx += 1;
+        v
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(state: u64) -> Self {
+        // SplitMix64 key expansion, as rand's default seeding does.
+        let mut x = state;
+        let mut next = || {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let mut key = [0u32; 8];
+        for i in 0..4 {
+            let v = next();
+            key[2 * i] = v as u32;
+            key[2 * i + 1] = (v >> 32) as u32;
+        }
+        ChaCha8Rng::from_key(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(123);
+        let mut b = ChaCha8Rng::seed_from_u64(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = ChaCha8Rng::seed_from_u64(124);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn roughly_uniform_f64() {
+        let mut r = ChaCha8Rng::seed_from_u64(9);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| r.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn clone_preserves_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(5);
+        a.next_u32();
+        let mut b = a.clone();
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

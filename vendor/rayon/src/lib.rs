@@ -1,0 +1,203 @@
+//! Offline shim over the `rayon` parallel-iterator API subset the
+//! workspace uses (`par_iter` / `into_par_iter` + `map` / `flat_map` /
+//! `collect`).
+//!
+//! Unlike upstream rayon's lazy work-stealing iterators, this shim
+//! materializes items and evaluates each adapter eagerly across
+//! `std::thread::scope` workers, preserving input order. That covers the
+//! coarse-grained fan-outs in this workspace (one BFS per destination,
+//! one simulation per load point) with real parallelism and no external
+//! dependencies.
+
+use std::thread;
+
+fn num_threads() -> usize {
+    thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Order-preserving parallel map over owned items.
+fn parallel_map<T: Send, U: Send, F: Fn(T) -> U + Sync>(items: Vec<T>, f: F) -> Vec<U> {
+    let threads = num_threads();
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::new();
+    let mut it = items.into_iter();
+    loop {
+        let c: Vec<T> = it.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    let f = &f;
+    let results: Vec<Vec<U>> = thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    results.into_iter().flatten().collect()
+}
+
+/// An eagerly-evaluated stand-in for rayon's `ParallelIterator`.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Parallel order-preserving map.
+    pub fn map<U: Send, F: Fn(T) -> U + Sync>(self, f: F) -> ParIter<U> {
+        ParIter {
+            items: parallel_map(self.items, f),
+        }
+    }
+
+    /// Parallel order-preserving flat-map.
+    pub fn flat_map<U, I, F>(self, f: F) -> ParIter<U>
+    where
+        U: Send,
+        I: IntoIterator<Item = U>,
+        F: Fn(T) -> I + Sync,
+    {
+        let nested = parallel_map(self.items, |t| f(t).into_iter().collect::<Vec<U>>());
+        ParIter {
+            items: nested.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Sequential filter (cheap predicates don't warrant threads).
+    pub fn filter<F: Fn(&T) -> bool>(self, f: F) -> ParIter<T> {
+        ParIter {
+            items: self.items.into_iter().filter(|t| f(t)).collect(),
+        }
+    }
+
+    /// Parallel side-effecting visit of every item.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        parallel_map(self.items, f);
+    }
+
+    /// Gather results (order matches the source).
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Number of items.
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+
+    /// Fold all items into one value (sequential; the mapped work above
+    /// it is where the parallelism pays).
+    pub fn reduce<ID: Fn() -> T, OP: Fn(T, T) -> T>(self, identity: ID, op: OP) -> T {
+        self.items.into_iter().fold(identity(), op)
+    }
+
+    /// Maximum item.
+    pub fn max(self) -> Option<T>
+    where
+        T: Ord,
+    {
+        self.items.into_iter().max()
+    }
+
+    /// Minimum item by key.
+    pub fn min_by_key<K: Ord, F: FnMut(&T) -> K>(self, f: F) -> Option<T> {
+        self.items.into_iter().min_by_key(f)
+    }
+}
+
+impl<T: Send> ParIter<Option<T>> {
+    /// Fold `Option` items, short-circuiting on `None` (rayon's
+    /// `try_reduce` restricted to `Option`).
+    pub fn try_reduce<ID, OP>(self, identity: ID, op: OP) -> Option<T>
+    where
+        ID: Fn() -> T,
+        OP: Fn(T, T) -> Option<T>,
+    {
+        let mut acc = identity();
+        for item in self.items {
+            acc = op(acc, item?)?;
+        }
+        Some(acc)
+    }
+}
+
+/// `into_par_iter` for any owned iterable.
+pub trait IntoParallelIterator: Sized {
+    /// Item type.
+    type Item: Send;
+    /// Materialize into a [`ParIter`].
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I
+where
+    I::Item: Send,
+{
+    type Item = I::Item;
+    fn into_par_iter(self) -> ParIter<I::Item> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+/// `par_iter` over slices (and anything that derefs to a slice).
+pub trait ParallelSlice<T: Sync> {
+    /// Borrowing parallel iterator.
+    fn par_iter(&self) -> ParIter<&T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// Run two closures (sequentially here) and return both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Mirrors `rayon::prelude`.
+pub mod prelude {
+    pub use super::{IntoParallelIterator, ParIter, ParallelSlice};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<u64> = (0..1000u64).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, (0..1000u64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_and_flat_map() {
+        let src = vec![1u32, 2, 3];
+        let doubled: Vec<u32> = src.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(doubled, vec![2, 3, 4]);
+        let flat: Vec<u32> = src
+            .into_par_iter()
+            .flat_map(|x| vec![x; x as usize])
+            .collect();
+        assert_eq!(flat, vec![1, 2, 2, 3, 3, 3]);
+    }
+}
