@@ -5,16 +5,17 @@
 //! CSV `pattern,topology,routing,offered,avg_latency,accepted,stable`.
 //! Load points ascend and a series stops after its first unstable point
 //! (the paper plots up to the last stable rate). `--quick` shrinks the
-//! simulation for smoke tests; `--only <key>` restricts topologies.
-//! `--metrics-dir <path>` additionally runs one monitored uniform/MIN
-//! point per topology and writes a `RunManifest` JSON per key.
+//! simulation for smoke tests; `--only <key>` restricts topologies;
+//! `--engine-threads <n>` shards each run across n threads (results are
+//! bit-identical to sequential). `--metrics-dir <path>` additionally
+//! runs one monitored uniform/MIN point per topology and writes a
+//! `RunManifest` JSON per key.
 
-use bench::{metrics_dir, only_filter, quick_mode, table3_network, RunManifest, TABLE3_KEYS};
-use polarstar_netsim::engine::{simulate, simulate_monitored, SimConfig};
-use polarstar_netsim::monitor::MetricsMonitor;
-use polarstar_netsim::routing::{RouteTable, RoutingKind};
+use bench::sweep_driver::{run_sweep_csv, series_grid, write_manifests, MonitoredPoint};
+use bench::{engine_threads, metrics_dir, only_filter, quick_mode, TABLE3_KEYS};
+use polarstar_netsim::engine::SimConfig;
+use polarstar_netsim::routing::RoutingKind;
 use polarstar_netsim::traffic::Pattern;
-use rayon::prelude::*;
 
 fn main() {
     let quick = quick_mode();
@@ -30,6 +31,7 @@ fn main() {
         measure_cycles: if quick { 600 } else { 4_000 },
         drain_cycles: if quick { 3_000 } else { 20_000 },
         seed: 2024,
+        threads: engine_threads(),
         ..SimConfig::default()
     };
     let loads: Vec<f64> = if quick {
@@ -45,74 +47,21 @@ fn main() {
     ];
     let routings = [RoutingKind::MinMulti, RoutingKind::ugal4()];
 
-    println!("pattern,topology,routing,offered,avg_latency,accepted,stable");
     // One series per (topology, pattern, routing); parallel across series,
     // sequential in load with early stop at instability.
-    let mut series: Vec<(String, Pattern, RoutingKind)> = Vec::new();
-    for &k in &keys {
-        for p in &patterns {
-            for &r in &routings {
-                series.push((k.to_string(), p.clone(), r));
-            }
-        }
-    }
-    let rows: Vec<String> = series
-        .par_iter()
-        .flat_map(|(key, pattern, kind)| {
-            let net = table3_network(key).expect("Table 3 config");
-            let table = RouteTable::for_spec(&net);
-            let mut out = Vec::new();
-            for &load in &loads {
-                let r = simulate(&net, &table, *kind, pattern, load, &cfg);
-                out.push(format!(
-                    "{},{key},{},{:.3},{:.2},{:.4},{}",
-                    pattern.label(),
-                    kind.label(),
-                    r.offered,
-                    r.avg_latency,
-                    r.accepted,
-                    r.stable
-                ));
-                if !r.stable {
-                    break;
-                }
-            }
-            out
-        })
-        .collect();
-    for row in rows {
-        println!("{row}");
-    }
+    let series = series_grid(&keys, &patterns, &routings);
+    run_sweep_csv(&series, &loads, &cfg);
 
     if let Some(dir) = metrics_dir() {
         // One monitored uniform/MIN point per topology at moderate load:
         // enough to populate link/VC/stall/latency metrics without a
         // second full sweep.
-        let load = 0.3;
-        keys.par_iter().for_each(|&key| {
-            let net = table3_network(key).expect("Table 3 config");
-            let table = RouteTable::for_spec(&net);
-            let mut mon = MetricsMonitor::new(if quick { 64 } else { 256 });
-            simulate_monitored(
-                &net,
-                &table,
-                RoutingKind::MinMulti,
-                &Pattern::Uniform,
-                load,
-                &cfg,
-                &mut mon,
-            );
-            let manifest = RunManifest::for_network(key, &net).with_sim(
-                "MIN",
-                "uniform",
-                load,
-                &cfg,
-                mon.report(),
-            );
-            let path = manifest
-                .write(&dir, &bench::manifest::file_stem(key))
-                .expect("write manifest");
-            eprintln!("wrote {}", path.display());
-        });
+        let point = MonitoredPoint {
+            kind: RoutingKind::MinMulti,
+            pattern: Pattern::Uniform,
+            load: 0.3,
+            routing_label: "MIN",
+        };
+        write_manifests(&keys, &point, &cfg, if quick { 64 } else { 256 }, &dir);
     }
 }

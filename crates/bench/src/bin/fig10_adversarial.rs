@@ -3,15 +3,16 @@
 //!
 //! CSV as in fig09. DF and MF saturate first (single inter-group link);
 //! star products keep multiple links per supernode pair.
-//! `--metrics-dir <path>` additionally runs one monitored adversarial
-//! point per topology and writes a `RunManifest` JSON per key.
+//! `--engine-threads <n>` shards each run across n threads (results are
+//! bit-identical to sequential). `--metrics-dir <path>` additionally
+//! runs one monitored adversarial point per topology and writes a
+//! `RunManifest` JSON per key.
 
-use bench::{metrics_dir, quick_mode, table3_network, RunManifest};
-use polarstar_netsim::engine::{simulate, simulate_monitored, SimConfig};
-use polarstar_netsim::monitor::MetricsMonitor;
-use polarstar_netsim::routing::{RouteTable, RoutingKind};
+use bench::sweep_driver::{run_sweep_csv, series_grid, write_manifests, MonitoredPoint};
+use bench::{engine_threads, metrics_dir, quick_mode};
+use polarstar_netsim::engine::SimConfig;
+use polarstar_netsim::routing::RoutingKind;
 use polarstar_netsim::traffic::Pattern;
-use rayon::prelude::*;
 
 fn main() {
     let quick = quick_mode();
@@ -21,6 +22,7 @@ fn main() {
         measure_cycles: if quick { 600 } else { 4_000 },
         drain_cycles: if quick { 3_000 } else { 20_000 },
         seed: 99,
+        threads: engine_threads(),
         ..SimConfig::default()
     };
     let loads: Vec<f64> = if quick {
@@ -28,68 +30,20 @@ fn main() {
     } else {
         vec![0.025, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7]
     };
-    println!("pattern,topology,routing,offered,avg_latency,accepted,stable");
-    let series: Vec<(&str, RoutingKind)> = keys
-        .iter()
-        .flat_map(|&k| {
-            [RoutingKind::MinMulti, RoutingKind::ugal4()]
-                .into_iter()
-                .map(move |r| (k, r))
-        })
-        .collect();
-    let rows: Vec<String> = series
-        .par_iter()
-        .flat_map(|&(key, kind)| {
-            let net = table3_network(key).expect("Table 3 config");
-            let table = RouteTable::for_spec(&net);
-            let mut out = Vec::new();
-            for &load in &loads {
-                let r = simulate(&net, &table, kind, &Pattern::AdversarialGroup, load, &cfg);
-                out.push(format!(
-                    "adversarial,{key},{},{:.3},{:.2},{:.4},{}",
-                    kind.label(),
-                    r.offered,
-                    r.avg_latency,
-                    r.accepted,
-                    r.stable
-                ));
-                if !r.stable {
-                    break;
-                }
-            }
-            out
-        })
-        .collect();
-    for row in rows {
-        println!("{row}");
-    }
+    let series = series_grid(
+        &keys,
+        &[Pattern::AdversarialGroup],
+        &[RoutingKind::MinMulti, RoutingKind::ugal4()],
+    );
+    run_sweep_csv(&series, &loads, &cfg);
 
     if let Some(dir) = metrics_dir() {
-        let load = 0.1;
-        keys.par_iter().for_each(|&key| {
-            let net = table3_network(key).expect("Table 3 config");
-            let table = RouteTable::for_spec(&net);
-            let mut mon = MetricsMonitor::new(if quick { 64 } else { 256 });
-            simulate_monitored(
-                &net,
-                &table,
-                RoutingKind::ugal4(),
-                &Pattern::AdversarialGroup,
-                load,
-                &cfg,
-                &mut mon,
-            );
-            let manifest = RunManifest::for_network(key, &net).with_sim(
-                "UGAL",
-                "adversarial",
-                load,
-                &cfg,
-                mon.report(),
-            );
-            let path = manifest
-                .write(&dir, &bench::manifest::file_stem(key))
-                .expect("write manifest");
-            eprintln!("wrote {}", path.display());
-        });
+        let point = MonitoredPoint {
+            kind: RoutingKind::ugal4(),
+            pattern: Pattern::AdversarialGroup,
+            load: 0.1,
+            routing_label: "UGAL",
+        };
+        write_manifests(&keys, &point, &cfg, if quick { 64 } else { 256 }, &dir);
     }
 }

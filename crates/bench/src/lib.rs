@@ -7,6 +7,7 @@
 //! captures run provenance (config, topology, seed, metrics) as JSON.
 
 pub mod manifest;
+pub mod sweep_driver;
 
 use polarstar::design::{best_config, best_config_with};
 use polarstar::network::PolarStarNetwork;
@@ -105,6 +106,20 @@ pub fn only_filter() -> Option<Vec<String>> {
         .map(|w| w[1].clone())
         .collect();
     (!keys.is_empty()).then_some(keys)
+}
+
+/// Engine worker threads from `--engine-threads <n>` for the sharded
+/// cycle engine (`SimConfig::threads`). Results are bit-identical for
+/// every value; this trades sweep-level for run-level parallelism (see
+/// EXPERIMENTS.md). Absent or `<= 1` means the sequential engine.
+pub fn engine_threads() -> Option<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    args.windows(2)
+        .find(|w| w[0] == "--engine-threads")
+        .map(|w| {
+            w[1].parse::<usize>()
+                .unwrap_or_else(|_| panic!("--engine-threads expects a number, got {:?}", w[1]))
+        })
 }
 
 /// Directory from `--metrics-dir <path>`: when present, binaries write a

@@ -17,6 +17,13 @@
 //!   link bandwidth; sources are infinite, so saturation shows up as
 //!   unbounded latency growth, exactly as in the paper's Figure 9.
 //!
+//! A single run is deterministic for a fixed seed at *any* engine thread
+//! count (`SimConfig::threads`): routers are sharded across threads and
+//! cross-shard events exchange through barrier-separated phases, with
+//! per-router RNG streams making the schedule unobservable. Sweep-level
+//! parallelism (rayon, in [`stats`]) composes with engine-level
+//! parallelism; see EXPERIMENTS.md for guidance on which to use.
+//!
 //! The paper's BookSim setup (4-flit packets, 128-flit buffers per port,
 //! 4 VCs, credit flow control, warm-up before measurement) maps directly
 //! onto [`SimConfig`]'s defaults. BookSim's wormhole pipeline differs in
@@ -38,10 +45,13 @@
 pub mod engine;
 pub mod monitor;
 pub mod routing;
+mod sharded;
 pub mod stats;
 pub mod traffic;
 
 pub use engine::{simulate, simulate_monitored, SimConfig, SimResult};
-pub use monitor::{MetricsMonitor, MetricsReport, NoopMonitor, SimMonitor, StallCause};
+pub use monitor::{
+    MetricsMonitor, MetricsReport, NoopMonitor, ShardableMonitor, SimMonitor, StallCause,
+};
 pub use routing::{RouteTable, RoutingKind};
 pub use traffic::Pattern;

@@ -56,11 +56,37 @@ pub trait SimMonitor {
     fn on_run_end(&mut self, _cycles: u64) {}
 }
 
+/// A monitor the sharded engine can split across deterministic worker
+/// threads: [`ShardableMonitor::fork`] produces an empty per-shard
+/// collector (called once per shard, after `on_run_start` ran on the
+/// parent), and [`ShardableMonitor::absorb`] folds a shard's collector
+/// back into the parent in ascending shard order at the end of the run.
+///
+/// `on_run_start` / `on_run_end` fire only on the parent monitor; forks
+/// see just the per-event hooks. Because every aggregate a monitor keeps
+/// is a sum (or an element-wise sum over fixed index spaces), absorbing
+/// shard collectors in a fixed order reproduces the sequential totals
+/// bit-for-bit.
+pub trait ShardableMonitor: SimMonitor + Send + Sized {
+    /// An empty collector sharing this monitor's configuration.
+    fn fork(&self) -> Self;
+
+    /// Fold a fork's counters back into this monitor.
+    fn absorb(&mut self, shard: Self);
+}
+
 /// The do-nothing monitor behind the plain `simulate` path.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct NoopMonitor;
 
 impl SimMonitor for NoopMonitor {}
+
+impl ShardableMonitor for NoopMonitor {
+    fn fork(&self) -> Self {
+        NoopMonitor
+    }
+    fn absorb(&mut self, _shard: Self) {}
+}
 
 impl<M: SimMonitor> SimMonitor for &mut M {
     fn on_run_start(&mut self, spec: &NetworkSpec, cfg: &SimConfig) {
@@ -134,6 +160,17 @@ impl LatencyHistogram {
         } else {
             self.sum as f64 / self.count as f64
         }
+    }
+
+    /// Fold another histogram into this one (bucket-wise; mean and
+    /// quantiles of the merge equal those of the combined sample set).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
     }
 
     /// Approximate quantile `q` in [0, 1]: geometric midpoint of the
@@ -321,8 +358,61 @@ impl SimMonitor for MetricsMonitor {
     }
 }
 
+impl ShardableMonitor for MetricsMonitor {
+    fn fork(&self) -> Self {
+        MetricsMonitor {
+            sample_every: self.sample_every,
+            port_base: self.port_base.clone(),
+            link_flits: vec![0; self.link_flits.len()],
+            vc_series: vec![Vec::new(); self.vc_series.len()],
+            stall_credit: 0,
+            stall_vc: 0,
+            stall_crossbar: 0,
+            injection_backpressure: 0,
+            delivered: 0,
+            delivered_measured: 0,
+            latency: LatencyHistogram::default(),
+            hops_sum: 0,
+            cycles: 0,
+        }
+    }
+
+    fn absorb(&mut self, shard: Self) {
+        assert_eq!(
+            self.link_flits.len(),
+            shard.link_flits.len(),
+            "absorbing a fork of a different topology"
+        );
+        for (a, b) in self.link_flits.iter_mut().zip(shard.link_flits) {
+            *a += b;
+        }
+        // Every shard samples the same cycles, so the series merge is an
+        // element-wise sum of occupancy at identical timestamps.
+        for (mine, theirs) in self.vc_series.iter_mut().zip(shard.vc_series) {
+            if mine.is_empty() {
+                *mine = theirs;
+            } else {
+                assert_eq!(mine.len(), theirs.len(), "shards sampled different cycles");
+                for (m, t) in mine.iter_mut().zip(theirs) {
+                    debug_assert_eq!(m.0, t.0);
+                    m.1 += t.1;
+                }
+            }
+        }
+        self.stall_credit += shard.stall_credit;
+        self.stall_vc += shard.stall_vc;
+        self.stall_crossbar += shard.stall_crossbar;
+        self.injection_backpressure += shard.injection_backpressure;
+        self.delivered += shard.delivered;
+        self.delivered_measured += shard.delivered_measured;
+        self.latency.merge(&shard.latency);
+        self.hops_sum += shard.hops_sum;
+        self.cycles = self.cycles.max(shard.cycles);
+    }
+}
+
 /// Aggregate occupancy of one virtual channel across the run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct VcOccupancy {
     /// Mean buffered packets across samples.
     pub mean: f64,
@@ -333,7 +423,10 @@ pub struct VcOccupancy {
 }
 
 /// The serializable summary a [`MetricsMonitor`] produces.
-#[derive(Clone, Debug)]
+///
+/// `PartialEq` is exact (including floats): determinism tests compare
+/// whole reports across engine-thread counts.
+#[derive(Clone, Debug, PartialEq)]
 pub struct MetricsReport {
     /// Simulated cycles.
     pub cycles: u64,
@@ -492,5 +585,44 @@ mod tests {
     #[test]
     fn noop_monitor_has_no_sampling() {
         assert!(NoopMonitor.sample_interval().is_none());
+    }
+
+    #[test]
+    fn fork_absorb_matches_direct_collection() {
+        let spec = polarstar_topo::network::NetworkSpec::uniform(
+            "k4",
+            polarstar_graph::Graph::complete(4),
+            1,
+        );
+        let cfg = SimConfig::default();
+        // Feed the same event stream to one monitor directly and to two
+        // forks split by router parity; the absorbed totals must match.
+        let events: Vec<(u32, u64)> = (0..40u32).map(|i| (i % 4, (i as u64) % 7)).collect();
+        let mut direct = MetricsMonitor::new(8);
+        direct.on_run_start(&spec, &cfg);
+        let mut parent = MetricsMonitor::new(8);
+        parent.on_run_start(&spec, &cfg);
+        let mut forks = [parent.fork(), parent.fork()];
+        for &(r, lat) in &events {
+            direct.on_link_flit(r, 0, 4);
+            direct.on_stall(r, StallCause::VcAllocation);
+            direct.on_packet_delivered(lat, 2, true);
+            let f = &mut forks[(r % 2) as usize];
+            f.on_link_flit(r, 0, 4);
+            f.on_stall(r, StallCause::VcAllocation);
+            f.on_packet_delivered(lat, 2, true);
+        }
+        for vc in 0..cfg.vcs {
+            direct.on_vc_sample(8, vc, 6);
+            forks[0].on_vc_sample(8, vc, 2);
+            forks[1].on_vc_sample(8, vc, 4);
+        }
+        direct.on_run_end(100);
+        parent.on_run_end(100);
+        let [f0, f1] = forks;
+        parent.absorb(f0);
+        parent.absorb(f1);
+        assert_eq!(parent.report(), direct.report());
+        assert_eq!(parent.link_flits_of(1), direct.link_flits_of(1));
     }
 }

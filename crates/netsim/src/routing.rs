@@ -50,6 +50,11 @@ impl RoutingKind {
 }
 
 /// Per-destination distance and minimal-port table.
+///
+/// All state lives in flat arenas — `dist`, the (port_offsets, ports)
+/// CSR pair, and the (nbr_offsets, nbrs) neighbor CSR pair — so lookups
+/// on the simulator hot path are offset arithmetic into contiguous
+/// memory with no pointer chasing.
 pub struct RouteTable {
     n: usize,
     /// dist[dst * n + r] = hop distance from router r to dst.
@@ -58,8 +63,24 @@ pub struct RouteTable {
     /// into r's neighbor list that decrease the distance to dst.
     port_offsets: Vec<u32>,
     ports: Vec<u8>,
-    /// Neighbor list copy for port→router resolution.
-    neighbor_of: Vec<Vec<u32>>,
+    /// Neighbor CSR: router r's neighbors are
+    /// nbrs[nbr_offsets[r]..nbr_offsets[r + 1]], in port order.
+    nbr_offsets: Vec<u32>,
+    nbrs: Vec<u32>,
+}
+
+/// Copy a graph's adjacency into one CSR pair (offsets are `n + 1`).
+fn neighbor_csr(g: &Graph) -> (Vec<u32>, Vec<u32>) {
+    let n = g.n();
+    let total: usize = (0..n as u32).map(|r| g.degree(r)).sum();
+    let mut offsets = Vec::with_capacity(n + 1);
+    let mut nbrs = Vec::with_capacity(total);
+    offsets.push(0u32);
+    for r in 0..n as u32 {
+        nbrs.extend_from_slice(g.neighbors(r));
+        offsets.push(nbrs.len() as u32);
+    }
+    (offsets, nbrs)
 }
 
 impl RouteTable {
@@ -112,7 +133,7 @@ impl RouteTable {
                 (d0, d1)
             })
             .collect();
-        let neighbor_of: Vec<Vec<u32>> = (0..n as u32).map(|r| g.neighbors(r).to_vec()).collect();
+        let (nbr_offsets, nbrs) = neighbor_csr(g);
         let mut dist = vec![0u16; n * n];
         for (dst, (_, d1)) in per_dst.iter().enumerate() {
             for (r, &x) in d1.iter().enumerate() {
@@ -120,13 +141,16 @@ impl RouteTable {
             }
         }
         let mut port_offsets = Vec::with_capacity(n * n + 1);
-        let mut ports = Vec::new();
+        // Every reachable ordered pair contributes at least one minimal
+        // port, so n·(n−1) is a lower bound on the arena size.
+        let mut ports = Vec::with_capacity(n * n.saturating_sub(1));
         port_offsets.push(0u32);
         for r in 0..n {
+            let row = &nbrs[nbr_offsets[r] as usize..nbr_offsets[r + 1] as usize];
             for (dst, (d0, d1)) in per_dst.iter().enumerate() {
                 if r != dst {
                     let dr = d1[r];
-                    for (p, &nb) in neighbor_of[r].iter().enumerate() {
+                    for (p, &nb) in row.iter().enumerate() {
                         let local = group[r] == group[nb as usize];
                         let ok = if local {
                             d1[nb as usize].saturating_add(1) == dr
@@ -146,7 +170,8 @@ impl RouteTable {
             dist,
             port_offsets,
             ports,
-            neighbor_of,
+            nbr_offsets,
+            nbrs,
         }
     }
 
@@ -159,15 +184,18 @@ impl RouteTable {
             }
         }
         // Minimal ports per (r, dst).
-        let neighbor_of: Vec<Vec<u32>> = (0..n as u32).map(|r| g.neighbors(r).to_vec()).collect();
+        let (nbr_offsets, nbrs) = neighbor_csr(g);
         let mut port_offsets = Vec::with_capacity(n * n + 1);
-        let mut ports = Vec::new();
+        // Every reachable ordered pair contributes at least one minimal
+        // port, so n·(n−1) is a lower bound on the arena size.
+        let mut ports = Vec::with_capacity(n * n.saturating_sub(1));
         port_offsets.push(0u32);
         for r in 0..n {
+            let row = &nbrs[nbr_offsets[r] as usize..nbr_offsets[r + 1] as usize];
             for dst in 0..n {
                 if r != dst {
                     let dr = dist[dst * n + r];
-                    for (p, &nb) in neighbor_of[r].iter().enumerate() {
+                    for (p, &nb) in row.iter().enumerate() {
                         if dist[dst * n + nb as usize] + 1 == dr {
                             ports.push(p as u8);
                         }
@@ -181,7 +209,8 @@ impl RouteTable {
             dist,
             port_offsets,
             ports,
-            neighbor_of,
+            nbr_offsets,
+            nbrs,
         }
     }
 
@@ -211,18 +240,36 @@ impl RouteTable {
     /// The neighbor reached through `port` of router `r`.
     #[inline]
     pub fn neighbor(&self, r: u32, port: u8) -> u32 {
-        self.neighbor_of[r as usize][port as usize]
+        self.nbrs[self.nbr_offsets[r as usize] as usize + port as usize]
+    }
+
+    /// All neighbors of router `r`, in port order.
+    #[inline]
+    pub fn neighbors(&self, r: u32) -> &[u32] {
+        let r = r as usize;
+        &self.nbrs[self.nbr_offsets[r] as usize..self.nbr_offsets[r + 1] as usize]
     }
 
     /// Degree of router `r`.
     #[inline]
     pub fn degree(&self, r: u32) -> usize {
-        self.neighbor_of[r as usize].len()
+        (self.nbr_offsets[r as usize + 1] - self.nbr_offsets[r as usize]) as usize
     }
 
     /// Total table entries (for the paper's storage comparison).
     pub fn storage_entries(&self) -> usize {
         self.ports.len()
+    }
+
+    /// Bytes held by the table's flat arenas (capacity overshoot and the
+    /// struct header excluded). Lets sweeps budget per-config routing
+    /// state up front.
+    pub fn memory_bytes(&self) -> usize {
+        self.dist.len() * std::mem::size_of::<u16>()
+            + self.port_offsets.len() * std::mem::size_of::<u32>()
+            + self.ports.len() * std::mem::size_of::<u8>()
+            + self.nbr_offsets.len() * std::mem::size_of::<u32>()
+            + self.nbrs.len() * std::mem::size_of::<u32>()
     }
 }
 
@@ -428,6 +475,43 @@ mod tests {
                     assert!(t.distance(a, b) <= 3, "{a}→{b}: {}", t.distance(a, b));
                     assert!(!t.min_ports(a, b).is_empty());
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn memory_bytes_matches_component_sum_on_table3_config() {
+        // Table 3's PS-IQ entry: radix-15 PolarStar with p = 5 (1064
+        // routers). memory_bytes must equal the exact sum of the flat
+        // arena sizes so sweep planners can trust it as a budget.
+        let cfg = polarstar::design::best_config(15).unwrap();
+        let net = polarstar::network::PolarStarNetwork::build(cfg, 5)
+            .unwrap()
+            .spec;
+        let n = net.graph.n();
+        assert_eq!(n, 1064);
+        let t = RouteTable::new(&net.graph);
+        let sum_deg: usize = (0..n as u32).map(|r| net.graph.degree(r)).sum();
+        let expect = n * n * 2            // dist: u16 per (r, dst)
+            + (n * n + 1) * 4             // port_offsets: u32
+            + t.storage_entries()         // ports: u8
+            + (n + 1) * 4                 // nbr_offsets: u32
+            + sum_deg * 4; // nbrs: u32
+        assert_eq!(t.memory_bytes(), expect);
+        // Sanity: the whole routing state for a 1064-router Table-3
+        // config stays well under 16 MiB.
+        assert!(t.memory_bytes() < 16 << 20, "{} bytes", t.memory_bytes());
+    }
+
+    #[test]
+    fn neighbors_slice_matches_graph_adjacency() {
+        let g = polarstar_graph::random::random_regular(30, 5, 7).unwrap();
+        let t = RouteTable::new(&g);
+        for r in 0..30u32 {
+            assert_eq!(t.neighbors(r), g.neighbors(r));
+            assert_eq!(t.degree(r), g.degree(r));
+            for p in 0..g.degree(r) {
+                assert_eq!(t.neighbor(r, p as u8), g.neighbors(r)[p]);
             }
         }
     }

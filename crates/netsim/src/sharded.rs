@@ -1,0 +1,227 @@
+//! The sharded cycle driver: runs one simulation across worker threads,
+//! bit-identical to the sequential engine.
+//!
+//! Each thread owns a contiguous shard of routers ([`Shard`]). A
+//! simulated cycle is one compute phase per shard followed by a single
+//! barrier:
+//!
+//! 1. **Drain** — pull cross-shard events published during the previous
+//!    cycle from this shard's mailboxes (in ascending source-shard
+//!    order; delivery order inside a cycle is canonicalized by the
+//!    engine's per-slot sort, so drain order cannot matter).
+//! 2. **Step** — generation, delivery, and switch allocation over the
+//!    shard's routers (`Shard::step`).
+//! 3. **Publish** — swap each non-empty outbox into the destination
+//!    shard's mailbox and post this shard's cumulative progress
+//!    counters.
+//! 4. **Barrier** — after it, every shard reads the same progress
+//!    snapshot and makes the same exit decision.
+//!
+//! One barrier per cycle is enough because every cross-router effect
+//! (packet arrival, credit return) is scheduled at least one cycle in
+//! the future — packet serialization takes ≥ 1 cycle. Mailboxes and
+//! progress slots are double-buffered by cycle parity: events emitted
+//! in cycle `c` land in parity `c & 1` and are drained in cycle `c + 1`
+//! from parity `(c + 1) & 1 ^ 1`; the buffers of parity `c & 1` are not
+//! written again until cycle `c + 2`, by which time the barrier at the
+//! end of cycle `c + 1` has ordered the drain before the write.
+
+use crate::engine::{Ctx, Ev, Shard, ShardStats};
+use crate::monitor::ShardableMonitor;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Sense-reversing spin barrier. Waiters spin briefly then yield — the
+/// engine must stay live even when threads exceed cores.
+pub(crate) struct SpinBarrier {
+    count: AtomicUsize,
+    generation: AtomicUsize,
+    total: usize,
+}
+
+impl SpinBarrier {
+    pub(crate) fn new(total: usize) -> Self {
+        SpinBarrier {
+            count: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+            total,
+        }
+    }
+
+    pub(crate) fn wait(&self) {
+        let gen = self.generation.load(Ordering::Acquire);
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.total {
+            // Last arriver: reset the count for the next round, then
+            // release everyone. The count reset is sequenced before the
+            // generation bump, which waiters acquire.
+            self.count.store(0, Ordering::Relaxed);
+            self.generation.fetch_add(1, Ordering::Release);
+        } else {
+            let mut spins = 0u32;
+            while self.generation.load(Ordering::Acquire) == gen {
+                spins += 1;
+                if spins > 64 {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+}
+
+/// One shard's progress snapshot for the exit decision, padded to a
+/// cache line. Cumulative counters — written before the barrier, read
+/// by every shard after it.
+#[repr(align(64))]
+#[derive(Default)]
+struct Progress {
+    generated: AtomicU64,
+    ejected: AtomicU64,
+    active: AtomicBool,
+}
+
+type Mailbox = Mutex<Vec<(u64, Ev)>>;
+
+/// Run the simulation over `ctx.shards()` worker threads and return the
+/// merged statistics and the cycle count, exactly as `run_single` would.
+pub(crate) fn run<M: ShardableMonitor>(
+    ctx: &Ctx,
+    sample_every: Option<u64>,
+    monitor: &mut M,
+) -> (ShardStats, u64) {
+    let s = ctx.shards();
+    let barrier = SpinBarrier::new(s);
+    // mailboxes[parity][dst][src], progress[parity * s + shard].
+    let mailboxes: Vec<Vec<Vec<Mailbox>>> = (0..2)
+        .map(|_| {
+            (0..s)
+                .map(|_| (0..s).map(|_| Mutex::new(Vec::new())).collect())
+                .collect()
+        })
+        .collect();
+    let progress: Vec<Progress> = (0..2 * s).map(|_| Progress::default()).collect();
+
+    let mut forks: Vec<M> = (0..s).map(|_| monitor.fork()).collect();
+    let results: Vec<(ShardStats, M, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..s)
+            .map(|id| {
+                let mut mon = forks.pop().unwrap();
+                let barrier = &barrier;
+                let mailboxes = &mailboxes;
+                let progress = &progress;
+                scope.spawn(move || {
+                    // forks were popped back-to-front; id order is
+                    // restored when collecting below.
+                    let id = s - 1 - id;
+                    let mut shard = Shard::new(ctx, id);
+                    let mut scratch: Vec<(u64, Ev)> = Vec::new();
+                    let mut now = 0u64;
+                    let mut cycles = ctx.hard_end;
+                    while now < ctx.hard_end {
+                        let parity = (now & 1) as usize;
+                        // 1. Drain events published last cycle.
+                        for inbox in &mailboxes[parity ^ 1][id] {
+                            {
+                                let mut slot = inbox.lock().unwrap();
+                                std::mem::swap(&mut *slot, &mut scratch);
+                            }
+                            for (at, ev) in scratch.drain(..) {
+                                shard.enqueue_local(at, ev);
+                            }
+                        }
+                        // 2. Compute this cycle.
+                        shard.step(ctx, now, sample_every, &mut mon);
+                        // 3. Publish outboxes and progress.
+                        for (dst, row) in mailboxes[parity].iter().enumerate() {
+                            if dst == id {
+                                continue;
+                            }
+                            let out = shard.outbox_mut(dst);
+                            if out.is_empty() {
+                                continue;
+                            }
+                            let mut slot = row[id].lock().unwrap();
+                            debug_assert!(slot.is_empty());
+                            std::mem::swap(&mut *slot, out);
+                        }
+                        let p = &progress[parity * s + id];
+                        p.generated
+                            .store(shard.stats.measured_generated(), Ordering::Relaxed);
+                        p.ejected
+                            .store(shard.stats.measured_ejected(), Ordering::Relaxed);
+                        p.active.store(!shard.active.is_empty(), Ordering::Relaxed);
+                        // 4. Everyone sees everyone's publishes.
+                        barrier.wait();
+                        // Exit check — same snapshot on every shard, so
+                        // every shard breaks at the same cycle.
+                        if now + 1 >= ctx.end_measure {
+                            let mut gen = 0u64;
+                            let mut ej = 0u64;
+                            let mut any_active = false;
+                            for sid in 0..s {
+                                let p = &progress[parity * s + sid];
+                                gen += p.generated.load(Ordering::Relaxed);
+                                ej += p.ejected.load(Ordering::Relaxed);
+                                any_active |= p.active.load(Ordering::Relaxed);
+                            }
+                            if gen == ej && !any_active {
+                                cycles = now + 1;
+                                break;
+                            }
+                        }
+                        now += 1;
+                    }
+                    (id, shard.take_stats(), mon, cycles)
+                })
+            })
+            .collect();
+        let mut out: Vec<Option<(ShardStats, M, u64)>> = (0..s).map(|_| None).collect();
+        for h in handles {
+            let (id, stats, mon, cycles) = h.join().expect("shard thread panicked");
+            out[id] = Some((stats, mon, cycles));
+        }
+        out.into_iter().map(|o| o.unwrap()).collect()
+    });
+
+    let mut merged = ShardStats::default();
+    let mut cycles = ctx.hard_end;
+    for (stats, mon, c) in results {
+        merged.merge(stats);
+        monitor.absorb(mon);
+        cycles = c;
+    }
+    (merged, cycles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn barrier_synchronizes_counter_phases() {
+        let threads = 4;
+        let rounds = 200;
+        let barrier = SpinBarrier::new(threads);
+        let counter = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    for round in 0..rounds {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        barrier.wait();
+                        // Between barriers every thread observes the
+                        // full round's increments.
+                        let seen = counter.load(Ordering::Relaxed);
+                        assert!(
+                            seen >= (round + 1) * threads as u64,
+                            "round {round}: saw {seen}"
+                        );
+                        barrier.wait();
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), rounds * threads as u64);
+    }
+}

@@ -1,5 +1,11 @@
 //! Load sweeps and saturation detection — how Figure 9/10 series are
 //! produced from individual simulation points.
+//!
+//! Sweeps fan out across load points with rayon; each point additionally
+//! honors `SimConfig::threads`, so engine-level sharding nests inside
+//! sweep-level parallelism. Prefer rayon alone for many small runs and
+//! `threads` for few large ones (EXPERIMENTS.md has the full guidance) —
+//! results are bit-identical either way.
 
 use crate::engine::{simulate, simulate_monitored, SimConfig, SimResult};
 use crate::monitor::{MetricsMonitor, MetricsReport};

@@ -1,0 +1,110 @@
+//! Engine determinism across thread counts: the sharded engine must be
+//! bit-identical to the sequential one for any `threads` setting — same
+//! `SimResult` (exact float equality) and same `MetricsMonitor` report.
+//!
+//! This is the contract that makes `--engine-threads` safe to use in
+//! experiments: a result can be reproduced on any machine regardless of
+//! its core count.
+
+use polarstar::design::best_config;
+use polarstar::network::PolarStarNetwork;
+use polarstar_netsim::routing::{RouteTable, RoutingKind};
+use polarstar_netsim::traffic::Pattern;
+use polarstar_netsim::{simulate, simulate_monitored, MetricsMonitor, SimConfig};
+use polarstar_topo::er::ErGraph;
+use polarstar_topo::network::NetworkSpec;
+
+fn cfg(threads: Option<usize>) -> SimConfig {
+    SimConfig {
+        warmup_cycles: 200,
+        measure_cycles: 400,
+        drain_cycles: 2_500,
+        seed: 77,
+        threads,
+        ..SimConfig::default()
+    }
+}
+
+fn er5_spec() -> NetworkSpec {
+    // ER_5: 31 routers, the smallest interesting polarity graph.
+    let er = ErGraph::new(5).unwrap();
+    NetworkSpec::uniform("er5", er.graph, 2)
+}
+
+fn polarstar_spec() -> NetworkSpec {
+    PolarStarNetwork::build(best_config(9).unwrap(), 2)
+        .unwrap()
+        .spec
+}
+
+fn assert_thread_invariant(spec: &NetworkSpec, kind: RoutingKind, load: f64) {
+    let table = RouteTable::new(&spec.graph);
+    let baseline = simulate(spec, &table, kind, &Pattern::Uniform, load, &cfg(None));
+    assert!(
+        baseline.measured_ejected > 0,
+        "degenerate baseline on {}: {baseline:?}",
+        spec.name
+    );
+    for threads in [1usize, 2, 4] {
+        let sharded = simulate(
+            spec,
+            &table,
+            kind,
+            &Pattern::Uniform,
+            load,
+            &cfg(Some(threads)),
+        );
+        assert_eq!(
+            baseline, sharded,
+            "{} with {kind:?} diverges at threads={threads}",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn er5_min_identical_across_thread_counts() {
+    assert_thread_invariant(&er5_spec(), RoutingKind::MinMulti, 0.3);
+}
+
+#[test]
+fn er5_ugal_identical_across_thread_counts() {
+    assert_thread_invariant(&er5_spec(), RoutingKind::ugal4(), 0.3);
+}
+
+#[test]
+fn polarstar_min_identical_across_thread_counts() {
+    assert_thread_invariant(&polarstar_spec(), RoutingKind::MinMulti, 0.3);
+}
+
+#[test]
+fn polarstar_ugal_identical_across_thread_counts() {
+    assert_thread_invariant(&polarstar_spec(), RoutingKind::ugal4(), 0.3);
+}
+
+/// The monitor sees the same totals in both modes: per-shard counters
+/// merged at commit must equal single-threaded collection.
+#[test]
+fn metrics_monitor_totals_identical_across_thread_counts() {
+    let spec = er5_spec();
+    let table = RouteTable::new(&spec.graph);
+    let run = |threads: Option<usize>| {
+        let mut mon = MetricsMonitor::new(64);
+        let r = simulate_monitored(
+            &spec,
+            &table,
+            RoutingKind::ugal4(),
+            &Pattern::Uniform,
+            0.3,
+            &cfg(threads),
+            &mut mon,
+        );
+        (r, mon.report())
+    };
+    let (base_result, base_report) = run(None);
+    for threads in [1usize, 2, 4] {
+        let (result, report) = run(Some(threads));
+        assert_eq!(base_result, result, "SimResult at threads={threads}");
+        assert_eq!(base_report, report, "MetricsReport at threads={threads}");
+    }
+}

@@ -8,6 +8,9 @@
 //! iteration on stdout. If `CRITERION_JSON` names a file, one JSON line
 //! per benchmark (`{"group":…,"bench":…,"mean_ns":…,…}`) is appended —
 //! the repo's `BENCH_*.json` baselines are produced from that stream.
+//! `CRITERION_SAMPLE_SIZE` overrides every benchmark's sample count
+//! (CI smoke jobs set it to 1 to check the benches still run without
+//! paying for statistics).
 
 use std::time::Instant;
 
@@ -88,7 +91,7 @@ impl<'a> BenchmarkGroup<'a> {
         let id = id.into();
         let mut b = Bencher {
             samples: Vec::new(),
-            sample_size: self.sample_size,
+            sample_size: effective_sample_size(self.sample_size),
         };
         f(&mut b);
         self.criterion.record(&self.name, &id.id, &b.samples);
@@ -107,7 +110,7 @@ impl<'a> BenchmarkGroup<'a> {
     {
         let mut b = Bencher {
             samples: Vec::new(),
-            sample_size: self.sample_size,
+            sample_size: effective_sample_size(self.sample_size),
         };
         f(&mut b, input);
         self.criterion.record(&self.name, &id.id, &b.samples);
@@ -138,7 +141,7 @@ impl Criterion {
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
         let mut b = Bencher {
             samples: Vec::new(),
-            sample_size: 100,
+            sample_size: effective_sample_size(100),
         };
         f(&mut b);
         self.record("", id, &b.samples);
@@ -183,6 +186,15 @@ impl Criterion {
             }
         }
     }
+}
+
+/// `CRITERION_SAMPLE_SIZE` wins over whatever the benchmark asked for.
+fn effective_sample_size(configured: usize) -> usize {
+    std::env::var("CRITERION_SAMPLE_SIZE")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map(|n| n.max(1))
+        .unwrap_or(configured)
 }
 
 fn fmt_ns(ns: u128) -> String {
