@@ -1,0 +1,144 @@
+//! Fault sweep: how saturation throughput and Allreduce completion
+//! degrade as the failed-link fraction grows (the resilience story of
+//! §11 / Figure 14, but measured in the cycle engine and motif model
+//! instead of analytically).
+//!
+//! For each topology × fraction the sweep fails a deterministic random
+//! link set (seeded per topology, nested across fractions — the same
+//! sampling discipline as `analysis::faults::fault_trajectory`), builds
+//! the degraded route table, binary-searches the uniform/MIN saturation
+//! load, runs one monitored mid-load point, and times a 64 KB
+//! recursive-doubling allreduce over all endpoints.
+//!
+//! CSV `topology,failed_fraction,failed_links,saturation_load,unroutable,allreduce_us`
+//! (`allreduce_us` is `NaN` when the surviving network severs a rank
+//! pair). `--quick` shrinks cycles and fractions for smoke tests;
+//! `--only <key>` restricts topologies; `--engine-threads <n>` shards
+//! each run; `--metrics-dir <path>` writes one `RunManifest` JSON per
+//! (topology, fraction) point.
+
+use bench::manifest::file_stem;
+use bench::{
+    engine_threads, metrics_dir, only_filter, quick_mode, table3_network, RunManifest, TABLE3_KEYS,
+};
+use polarstar_motifs::collectives::{allreduce, AllreduceAlgo};
+use polarstar_motifs::netmodel::{MotifConfig, NetModel, RoutingMode};
+use polarstar_netsim::engine::SimConfig;
+use polarstar_netsim::monitor::MetricsMonitor;
+use polarstar_netsim::routing::{RouteTable, RoutingKind};
+use polarstar_netsim::stats::saturation_search;
+use polarstar_netsim::{simulate_monitored, Pattern};
+use polarstar_topo::FaultSet;
+use rayon::prelude::*;
+
+/// Default subset: PolarStar, SlimFly-MMS (LPS realization) and
+/// Dragonfly — the low-diameter fabrics whose fault behavior the paper
+/// contrasts.
+const DEFAULT_KEYS: [&str; 3] = ["PS-IQ", "SF", "DF"];
+
+/// Per-topology fault seed; fixed so fault sets nest across fractions.
+const FAULT_SEED: u64 = 0xFA17;
+
+fn main() {
+    let quick = quick_mode();
+    let keys: Vec<&str> = match only_filter() {
+        Some(only) => TABLE3_KEYS
+            .into_iter()
+            .filter(|k| only.iter().any(|o| k.contains(o.as_str())))
+            .collect(),
+        None => DEFAULT_KEYS.to_vec(),
+    };
+    let fractions: Vec<f64> = if quick {
+        vec![0.0, 0.05]
+    } else {
+        vec![0.0, 0.01, 0.02, 0.05, 0.10, 0.15]
+    };
+    let cfg = SimConfig {
+        warmup_cycles: if quick { 300 } else { 1_500 },
+        measure_cycles: if quick { 600 } else { 4_000 },
+        drain_cycles: if quick { 3_000 } else { 20_000 },
+        seed: 2024,
+        threads: engine_threads(),
+        ..SimConfig::default()
+    };
+    let tol = if quick { 0.1 } else { 0.02 };
+    let iters = if quick { 1 } else { 2 };
+
+    println!("topology,failed_fraction,failed_links,saturation_load,unroutable,allreduce_us");
+    let jobs: Vec<(&str, f64)> = keys
+        .iter()
+        .flat_map(|&k| fractions.iter().map(move |&f| (k, f)))
+        .collect();
+    let rows: Vec<(String, RunManifest)> = jobs
+        .par_iter()
+        .map(|&(key, fraction)| {
+            let pristine = table3_network(key).expect("Table 3 config");
+            let faults = FaultSet::random_links(&pristine.graph, fraction, FAULT_SEED);
+            let failed = faults.failed_edge_count(&pristine.graph);
+            let spec = pristine.with_faults(faults);
+            let table = RouteTable::for_spec(&spec);
+            let sat = saturation_search(
+                &spec,
+                &table,
+                RoutingKind::MinMulti,
+                &Pattern::Uniform,
+                &cfg,
+                tol,
+            );
+            // One monitored point at half the surviving saturation load:
+            // stable enough to drain, loaded enough to exercise the
+            // degraded paths and count unroutable drops.
+            let load = (sat * 0.5).max(0.05);
+            let mut mon = MetricsMonitor::new(if quick { 64 } else { 256 });
+            let r = simulate_monitored(
+                &spec,
+                &table,
+                RoutingKind::MinMulti,
+                &Pattern::Uniform,
+                load,
+                &cfg,
+                &mut mon,
+            );
+            let allreduce_us = {
+                let mut model = NetModel::new(spec.clone(), MotifConfig::default());
+                match allreduce(
+                    &mut model,
+                    AllreduceAlgo::RecursiveDoubling,
+                    64 * 1024,
+                    iters,
+                    RoutingMode::Min,
+                ) {
+                    Ok(t_ns) => t_ns / 1000.0,
+                    // A severed rank pair has no finite completion time.
+                    Err(_) => f64::NAN,
+                }
+            };
+            let row = format!(
+                "{key},{fraction},{failed},{sat:.3},{},{allreduce_us:.1}",
+                r.unroutable
+            );
+            let mut m = RunManifest::for_network(key, &spec).with_sim(
+                "MIN",
+                "uniform",
+                load,
+                &cfg,
+                mon.report(),
+            );
+            m.push_extra("failed_fraction", fraction);
+            m.push_extra("failed_links", failed as f64);
+            m.push_extra("saturation_load", sat);
+            m.push_extra("unroutable", r.unroutable as f64);
+            m.push_extra("allreduce_us", allreduce_us);
+            (row, m)
+        })
+        .collect();
+    for (row, _) in &rows {
+        println!("{row}");
+    }
+    if let Some(dir) = metrics_dir() {
+        for ((key, fraction), (_, m)) in jobs.iter().zip(&rows) {
+            let stem = file_stem(&format!("fault_{key}_{fraction}"));
+            m.write(&dir, &stem).expect("write manifest");
+        }
+    }
+}

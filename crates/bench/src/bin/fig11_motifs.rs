@@ -33,10 +33,12 @@ fn main() {
                     64 * 1024,
                     10,
                     mode,
-                ),
+                )
+                .expect("Table 3 networks are pristine"),
                 _ => {
                     // 64×64 rank grid fits every Table 3 configuration.
                     sweep3d(&mut model, 64, 64, 4 * 1024, 200.0, 10, mode)
+                        .expect("Table 3 networks are pristine")
                 }
             };
             format!("{motif},{key},{},{:.1}", mode.label(), t_ns / 1000.0)

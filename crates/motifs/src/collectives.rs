@@ -5,7 +5,7 @@
 //! inbound step-k messages have arrived; message delivery times come
 //! from the contention model.
 
-use crate::netmodel::{ns, NetModel, RoutingMode, Time};
+use crate::netmodel::{ns, MotifError, NetModel, RoutingMode, Time};
 
 /// Allreduce algorithm choice.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -19,14 +19,17 @@ pub enum AllreduceAlgo {
 }
 
 /// Simulated completion time (ns) of `iters` back-to-back allreduces of
-/// `bytes` over all `ranks` endpoints of the model's network.
+/// `bytes` over all `ranks` endpoints of the model's network, or
+/// [`MotifError::Disconnected`] when a fault-degraded network severs a
+/// participating pair.
 ///
 /// ```
 /// use polarstar_motifs::{allreduce, AllreduceAlgo, MotifConfig, NetModel, RoutingMode};
 /// use polarstar_topo::network::NetworkSpec;
 /// let spec = NetworkSpec::uniform("k4", polarstar_graph::Graph::complete(4), 2);
 /// let mut model = NetModel::new(spec, MotifConfig::default());
-/// let t_ns = allreduce(&mut model, AllreduceAlgo::RecursiveDoubling, 4096, 1, RoutingMode::Min);
+/// let t_ns = allreduce(&mut model, AllreduceAlgo::RecursiveDoubling, 4096, 1, RoutingMode::Min)
+///     .unwrap();
 /// assert!(t_ns > 0.0);
 /// ```
 pub fn allreduce(
@@ -35,20 +38,20 @@ pub fn allreduce(
     bytes: u64,
     iters: usize,
     mode: RoutingMode,
-) -> f64 {
+) -> Result<f64, MotifError> {
     let ranks = model.spec().total_endpoints();
     assert!(ranks >= 2, "allreduce needs at least two ranks");
     let mut ready: Vec<Time> = vec![0; ranks];
     for _ in 0..iters {
         match algo {
             AllreduceAlgo::RecursiveDoubling => {
-                recursive_doubling_round(model, &mut ready, bytes, mode)
+                recursive_doubling_round(model, &mut ready, bytes, mode)?
             }
-            AllreduceAlgo::Ring => ring_round(model, &mut ready, bytes, mode),
+            AllreduceAlgo::Ring => ring_round(model, &mut ready, bytes, mode)?,
         }
     }
     let end = ready.iter().copied().max().unwrap_or(0);
-    end as f64 / 1000.0
+    Ok(end as f64 / 1000.0)
 }
 
 fn recursive_doubling_round(
@@ -56,7 +59,7 @@ fn recursive_doubling_round(
     ready: &mut [Time],
     bytes: u64,
     mode: RoutingMode,
-) {
+) -> Result<(), MotifError> {
     let p = ready.len();
     let pow2 = 1usize << (usize::BITS - 1 - p.leading_zeros()) as usize;
     let rem = p - pow2;
@@ -65,7 +68,7 @@ fn recursive_doubling_round(
     if rem > 0 {
         for r in pow2..p {
             let partner = r - pow2;
-            let t = model.send_endpoints(r as u32, partner as u32, bytes, ready[r], mode);
+            let t = model.send_endpoints(r as u32, partner as u32, bytes, ready[r], mode)?;
             ready[partner] = ready[partner].max(t);
         }
     }
@@ -78,7 +81,7 @@ fn recursive_doubling_round(
         let mut arrived: Vec<Time> = starts.clone();
         for (r, &start) in starts.iter().enumerate() {
             let partner = r ^ k;
-            let t = model.send_endpoints(r as u32, partner as u32, bytes, start, mode);
+            let t = model.send_endpoints(r as u32, partner as u32, bytes, start, mode)?;
             arrived[partner] = arrived[partner].max(t);
         }
         ready[..pow2].copy_from_slice(&arrived);
@@ -88,13 +91,19 @@ fn recursive_doubling_round(
     if rem > 0 {
         for r in pow2..p {
             let partner = r - pow2;
-            let t = model.send_endpoints(partner as u32, r as u32, bytes, ready[partner], mode);
+            let t = model.send_endpoints(partner as u32, r as u32, bytes, ready[partner], mode)?;
             ready[r] = ready[r].max(t);
         }
     }
+    Ok(())
 }
 
-fn ring_round(model: &mut NetModel, ready: &mut [Time], bytes: u64, mode: RoutingMode) {
+fn ring_round(
+    model: &mut NetModel,
+    ready: &mut [Time],
+    bytes: u64,
+    mode: RoutingMode,
+) -> Result<(), MotifError> {
     let p = ready.len();
     let chunk = (bytes / p as u64).max(1);
     // Reduce-scatter then allgather: 2(P−1) ring steps.
@@ -102,10 +111,14 @@ fn ring_round(model: &mut NetModel, ready: &mut [Time], bytes: u64, mode: Routin
         let starts: Vec<Time> = ready.to_vec();
         for (r, &start) in starts.iter().enumerate() {
             let next = (r + 1) % p;
-            let t = model.send_endpoints(r as u32, next as u32, chunk, start, mode);
+            let t = model.send_endpoints(r as u32, next as u32, chunk, start, mode)?;
             ready[next] = ready[next].max(t);
+            // The sender's NIC is busy for overhead + serialization — it
+            // cannot inject its next-round chunk before that.
+            ready[r] = ready[r].max(start + model.sender_busy(chunk));
         }
     }
+    Ok(())
 }
 
 /// Simulated completion time (ns) of `iters` Sweep3D wavefront sweeps on
@@ -120,7 +133,7 @@ pub fn sweep3d(
     compute_ns: f64,
     iters: usize,
     mode: RoutingMode,
-) -> f64 {
+) -> Result<f64, MotifError> {
     let ranks = model.spec().total_endpoints();
     assert!(px * py <= ranks, "grid {px}×{py} exceeds {ranks} endpoints");
     let idx = |i: usize, j: usize| i + j * px;
@@ -142,7 +155,7 @@ pub fn sweep3d(
                             bytes,
                             finish,
                             mode,
-                        );
+                        )?;
                         recv_time[idx(ni, nj)] = recv_time[idx(ni, nj)].max(t);
                     }
                 }
@@ -155,7 +168,7 @@ pub fn sweep3d(
             *d = sweep_end;
         }
     }
-    *done.iter().max().unwrap() as f64 / 1000.0
+    Ok(*done.iter().max().unwrap() as f64 / 1000.0)
 }
 
 #[cfg(test)]
@@ -183,7 +196,8 @@ mod tests {
             64 * 1024,
             1,
             RoutingMode::Min,
-        );
+        )
+        .unwrap();
         let single = 64.0 * 1024.0 / 4.0 + 140.0; // serial + overhead+hop
         assert!(t >= 4.0 * single * 0.8, "t={t} vs 4·{single}");
         assert!(t <= 16.0 * single, "t={t}");
@@ -201,9 +215,10 @@ mod tests {
             1 << 20,
             1,
             RoutingMode::Min,
-        );
+        )
+        .unwrap();
         let mut m2 = NetModel::new(spec, MotifConfig::default());
-        let t_ring = allreduce(&mut m2, AllreduceAlgo::Ring, 1 << 20, 1, RoutingMode::Min);
+        let t_ring = allreduce(&mut m2, AllreduceAlgo::Ring, 1 << 20, 1, RoutingMode::Min).unwrap();
         assert!(t_ring < t_rd, "ring {t_ring} vs rd {t_rd}");
     }
 
@@ -216,7 +231,8 @@ mod tests {
             4096,
             1,
             RoutingMode::Min,
-        );
+        )
+        .unwrap();
         let mut m2 = model(4, 2);
         let t10 = allreduce(
             &mut m2,
@@ -224,7 +240,8 @@ mod tests {
             4096,
             10,
             RoutingMode::Min,
-        );
+        )
+        .unwrap();
         assert!(t10 > 5.0 * t1, "10 iters {t10} vs 1 iter {t1}");
     }
 
@@ -237,7 +254,8 @@ mod tests {
             4096,
             1,
             RoutingMode::Min,
-        );
+        )
+        .unwrap();
         assert!(t.is_finite() && t > 0.0);
     }
 
@@ -246,9 +264,9 @@ mod tests {
         // px + py − 1 diagonal steps dominate; double the grid diagonal,
         // roughly double the time.
         let mut m = model(16, 4); // 64 ranks
-        let t4 = sweep3d(&mut m, 4, 4, 1024, 50.0, 1, RoutingMode::Min);
+        let t4 = sweep3d(&mut m, 4, 4, 1024, 50.0, 1, RoutingMode::Min).unwrap();
         let mut m2 = model(16, 4);
-        let t8 = sweep3d(&mut m2, 8, 8, 1024, 50.0, 1, RoutingMode::Min);
+        let t8 = sweep3d(&mut m2, 8, 8, 1024, 50.0, 1, RoutingMode::Min).unwrap();
         assert!(t8 > 1.5 * t4, "t8={t8} vs t4={t4}");
     }
 
@@ -271,7 +289,8 @@ mod tests {
             1 << 18,
             2,
             RoutingMode::Min,
-        );
+        )
+        .unwrap();
         let mut m2 = NetModel::new(spec, MotifConfig::default());
         let t_ad = allreduce(
             &mut m2,
@@ -279,8 +298,39 @@ mod tests {
             1 << 18,
             2,
             RoutingMode::Adaptive { candidates: 4 },
-        );
+        )
+        .unwrap();
         assert!(t_ad <= t_min * 1.05, "adaptive {t_ad} vs min {t_min}");
+    }
+
+    #[test]
+    fn ring_sender_gated_on_serialization() {
+        // Each rank injects 2(P−1) chunks back-to-back; its own NIC
+        // (overhead + serialization per chunk) lower-bounds the
+        // collective no matter how fast the fabric is.
+        let spec = NetworkSpec::uniform("k8", Graph::complete(8), 1);
+        let mut m = NetModel::new(spec, MotifConfig::default());
+        let bytes: u64 = 1 << 20;
+        let chunk = (bytes / 8).max(1);
+        let floor = (2 * (8 - 1)) as f64 * m.sender_busy(chunk) as f64 / 1000.0;
+        let t = allreduce(&mut m, AllreduceAlgo::Ring, bytes, 1, RoutingMode::Min).unwrap();
+        assert!(t >= floor * 0.99, "t={t} below sender floor {floor}");
+    }
+
+    #[test]
+    fn faulted_allreduce_reports_disconnection() {
+        use polarstar_topo::FaultSet;
+        let spec = NetworkSpec::uniform("k4", Graph::complete(4), 1)
+            .with_faults(FaultSet::from_routers([2]));
+        let mut m = NetModel::new(spec, MotifConfig::default());
+        let r = allreduce(
+            &mut m,
+            AllreduceAlgo::RecursiveDoubling,
+            4096,
+            1,
+            RoutingMode::Min,
+        );
+        assert!(matches!(r, Err(MotifError::Disconnected { .. })), "{r:?}");
     }
 }
 
@@ -289,7 +339,12 @@ mod tests {
 /// linear-shift schedule: P−1 rounds, rank r sends to r+k in round k.
 /// The collective behind FFT transposes — bandwidth-bound on every
 /// topology, and the pattern §9.4's shuffle traffic approximates.
-pub fn alltoall(model: &mut NetModel, bytes: u64, iters: usize, mode: RoutingMode) -> f64 {
+pub fn alltoall(
+    model: &mut NetModel,
+    bytes: u64,
+    iters: usize,
+    mode: RoutingMode,
+) -> Result<f64, MotifError> {
     let p = model.spec().total_endpoints();
     assert!(p >= 2);
     let mut ready: Vec<Time> = vec![0; p];
@@ -298,31 +353,35 @@ pub fn alltoall(model: &mut NetModel, bytes: u64, iters: usize, mode: RoutingMod
             let starts: Vec<Time> = ready.clone();
             for (r, &start) in starts.iter().enumerate() {
                 let dst = (r + k) % p;
-                let t = model.send_endpoints(r as u32, dst as u32, bytes, start, mode);
+                let t = model.send_endpoints(r as u32, dst as u32, bytes, start, mode)?;
                 ready[dst] = ready[dst].max(t);
+                // Gate the sender on its own NIC: next round's send
+                // cannot start until this message finished injecting.
+                ready[r] = ready[r].max(start + model.sender_busy(bytes));
             }
         }
     }
-    ready.into_iter().max().unwrap_or(0) as f64 / 1000.0
+    Ok(ready.into_iter().max().unwrap_or(0) as f64 / 1000.0)
 }
 
 /// Simulated completion time (ns) of a pipelined multi-tree broadcast:
 /// `bytes` are split across the given edge-disjoint spanning trees (from
-/// `polarstar-analysis`), each chunk flooding its own tree from rank 0's
-/// router — the in-network-collective pattern of the Dawkins et al.
-/// extension.
+/// `polarstar-analysis`), each chunk flooding its own tree from the
+/// router actually hosting rank 0 — the in-network-collective pattern of
+/// the Dawkins et al. extension.
 pub fn tree_broadcast(
     model: &mut NetModel,
     trees: &[Vec<(u32, u32)>],
     bytes: u64,
     mode: RoutingMode,
-) -> f64 {
+) -> Result<f64, MotifError> {
     assert!(!trees.is_empty(), "need at least one spanning tree");
     let chunk = (bytes / trees.len() as u64).max(1);
+    let (root, _) = model.spec().endpoint_router(0);
     let mut done: Time = 0;
     for tree in trees {
-        // BFS order the tree from router 0 so parents send before
-        // children.
+        // BFS order the tree from rank 0's router so parents send
+        // before children.
         let n = model.spec().graph.n();
         let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
         let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
@@ -333,14 +392,14 @@ pub fn tree_broadcast(
         let mut arrive: Vec<Time> = vec![0; n];
         let mut visited = vec![false; n];
         let mut queue = std::collections::VecDeque::new();
-        visited[0] = true;
-        queue.push_back(0u32);
+        visited[root as usize] = true;
+        queue.push_back(root);
         while let Some(u) = queue.pop_front() {
             for &v in &adj[u as usize] {
                 if !visited[v as usize] {
                     visited[v as usize] = true;
                     children[u as usize].push(v);
-                    let t = model.send_routers(u, v, chunk, arrive[u as usize], mode);
+                    let t = model.send_routers(u, v, chunk, arrive[u as usize], mode)?;
                     arrive[v as usize] = t;
                     done = done.max(t);
                     queue.push_back(v);
@@ -348,7 +407,7 @@ pub fn tree_broadcast(
             }
         }
     }
-    done as f64 / 1000.0
+    Ok(done as f64 / 1000.0)
 }
 
 #[cfg(test)]
@@ -367,8 +426,8 @@ mod extension_tests {
 
     #[test]
     fn alltoall_scales_linearly_in_ranks() {
-        let t8 = alltoall(&mut model(4, 2), 4096, 1, RoutingMode::Min);
-        let t16 = alltoall(&mut model(8, 2), 4096, 1, RoutingMode::Min);
+        let t8 = alltoall(&mut model(4, 2), 4096, 1, RoutingMode::Min).unwrap();
+        let t16 = alltoall(&mut model(8, 2), 4096, 1, RoutingMode::Min).unwrap();
         assert!(t16 > 1.5 * t8, "t16={t16} vs t8={t8}");
     }
 
@@ -384,13 +443,15 @@ mod extension_tests {
             &trees,
             1 << 20,
             RoutingMode::Min,
-        );
+        )
+        .unwrap();
         let single = tree_broadcast(
             &mut NetModel::new(spec, MotifConfig::default()),
             &trees[..1],
             1 << 20,
             RoutingMode::Min,
-        );
+        )
+        .unwrap();
         assert!(multi < single, "multi {multi} vs single {single}");
     }
 
@@ -409,7 +470,64 @@ mod extension_tests {
             &trees,
             1 << 18,
             RoutingMode::Min,
-        );
+        )
+        .unwrap();
         assert!(t.is_finite() && t > 0.0);
+    }
+
+    #[test]
+    fn alltoall_sender_gated_on_serialization() {
+        // P−1 rounds, one full message injected per rank per round; the
+        // sender NIC alone bounds the exchange from below.
+        let spec = NetworkSpec::uniform("k8", Graph::complete(8), 1);
+        let mut m = NetModel::new(spec, MotifConfig::default());
+        let bytes: u64 = 1 << 18;
+        let floor = 7.0 * m.sender_busy(bytes) as f64 / 1000.0;
+        let t = alltoall(&mut m, bytes, 1, RoutingMode::Min).unwrap();
+        assert!(t >= floor * 0.99, "t={t} below sender floor {floor}");
+    }
+
+    #[test]
+    fn tree_broadcast_roots_at_rank0_router() {
+        // Path 0–1–2–3, one spanning tree (the path itself). When rank 0
+        // lives on router 1 the flood depth is 2; rooting at router 0
+        // (the old hardcoded behavior) would take depth 3.
+        let g = Graph::path(4);
+        let tree: Vec<(u32, u32)> = vec![(0, 1), (1, 2), (2, 3)];
+        let at0 = NetworkSpec::new("p4-r0", g.clone(), vec![1, 1, 1, 1], (0..4).collect());
+        let t_root0 = tree_broadcast(
+            &mut NetModel::new(at0, MotifConfig::default()),
+            std::slice::from_ref(&tree),
+            1 << 16,
+            RoutingMode::Min,
+        )
+        .unwrap();
+        let at1 = NetworkSpec::new("p4-r1", g, vec![0, 1, 1, 2], (0..4).collect());
+        let t_root1 = tree_broadcast(
+            &mut NetModel::new(at1, MotifConfig::default()),
+            std::slice::from_ref(&tree),
+            1 << 16,
+            RoutingMode::Min,
+        )
+        .unwrap();
+        assert!(
+            t_root1 < t_root0,
+            "rooting at rank 0's router {t_root1} should beat depth-3 flood {t_root0}"
+        );
+    }
+
+    #[test]
+    fn faulted_broadcast_reports_disconnection() {
+        use polarstar_topo::FaultSet;
+        let g = Graph::path(4);
+        let tree: Vec<(u32, u32)> = vec![(0, 1), (1, 2), (2, 3)];
+        let spec = NetworkSpec::uniform("p4", g, 1).with_faults(FaultSet::from_links([(1, 2)]));
+        let r = tree_broadcast(
+            &mut NetModel::new(spec, MotifConfig::default()),
+            std::slice::from_ref(&tree),
+            1 << 16,
+            RoutingMode::Min,
+        );
+        assert!(matches!(r, Err(MotifError::Disconnected { .. })), "{r:?}");
     }
 }

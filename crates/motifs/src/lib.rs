@@ -24,4 +24,4 @@ pub mod collectives;
 pub mod netmodel;
 
 pub use collectives::{allreduce, alltoall, sweep3d, tree_broadcast, AllreduceAlgo};
-pub use netmodel::{MotifConfig, NetModel, RoutingMode};
+pub use netmodel::{MotifConfig, MotifError, NetModel, RoutingMode};

@@ -6,14 +6,40 @@
 //! serialization on every link of its path, while its head advances with
 //! per-hop router + link latency (virtual cut-through).
 
-use polarstar_graph::traversal;
+use polarstar_graph::{traversal, Graph};
 use polarstar_topo::network::NetworkSpec;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::collections::HashMap;
+use std::fmt;
 
 /// Picoseconds.
 pub type Time = u64;
+
+/// Why a motif-level message could not be modeled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MotifError {
+    /// No surviving path connects the two routers — the pair is
+    /// disconnected outright or a fault mask severed/killed one end.
+    Disconnected {
+        /// Source router.
+        src: u32,
+        /// Destination router.
+        dst: u32,
+    },
+}
+
+impl fmt::Display for MotifError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MotifError::Disconnected { src, dst } => {
+                write!(f, "no surviving path from router {src} to router {dst}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MotifError {}
 
 /// Convert nanoseconds to the internal picosecond clock.
 pub fn ns(x: f64) -> Time {
@@ -83,6 +109,10 @@ pub struct NetModel {
     /// Messages that crossed each directed link.
     link_msgs: HashMap<(u32, u32), u64>,
     spec: NetworkSpec,
+    /// The routed view: the spec's graph minus its fault mask (equal to
+    /// the pristine graph on a healthy network). All parent trees BFS
+    /// over this.
+    routed: Graph,
     cfg: MotifConfig,
     rng: ChaCha8Rng,
 }
@@ -104,12 +134,14 @@ impl NetModel {
     /// Build a model over a network.
     pub fn new(spec: NetworkSpec, cfg: MotifConfig) -> Self {
         let rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        let routed = spec.degraded_graph();
         NetModel {
             parents: HashMap::new(),
             free_at: HashMap::new(),
             link_busy: HashMap::new(),
             link_msgs: HashMap::new(),
             spec,
+            routed,
             cfg,
             rng,
         }
@@ -163,16 +195,17 @@ impl NetModel {
     }
 
     fn ensure_parent_tree(&mut self, dst: u32) {
-        let spec = &self.spec;
+        let routed = &self.routed;
         self.parents.entry(dst).or_insert_with(|| {
-            // BFS from dst; parents[r] = all neighbors one hop closer.
-            let dist = traversal::bfs_distances(&spec.graph, dst);
-            let mut parent = vec![Vec::new(); spec.graph.n()];
-            for r in 0..spec.graph.n() as u32 {
+            // BFS from dst over the (possibly fault-degraded) routed
+            // view; parents[r] = all neighbors one hop closer.
+            let dist = traversal::bfs_distances(routed, dst);
+            let mut parent = vec![Vec::new(); routed.n()];
+            for r in 0..routed.n() as u32 {
                 if r == dst || dist[r as usize] == traversal::UNREACHABLE {
                     continue;
                 }
-                for &nb in spec.graph.neighbors(r) {
+                for &nb in routed.neighbors(r) {
                     if dist[nb as usize] + 1 == dist[r as usize] {
                         parent[r as usize].push(nb);
                     }
@@ -183,30 +216,35 @@ impl NetModel {
     }
 
     /// The deterministic minimal router path `src → dst` (first ECMP
-    /// choice at every hop) as a list of directed links.
-    pub fn min_path(&mut self, src: u32, dst: u32) -> Vec<(u32, u32)> {
+    /// choice at every hop) as a list of directed links, or `None` when
+    /// no surviving path connects the pair.
+    pub fn min_path(&mut self, src: u32, dst: u32) -> Option<Vec<(u32, u32)>> {
         if src == dst {
-            return Vec::new();
+            return Some(Vec::new());
         }
         self.ensure_parent_tree(dst);
         let tree = &self.parents[&dst];
         let mut path = Vec::new();
         let mut cur = src;
         while cur != dst {
-            let next = *tree[cur as usize].first().expect("disconnected pair");
+            let next = *tree[cur as usize].first()?;
             path.push((cur, next));
             cur = next;
         }
-        path
+        Some(path)
     }
 
     /// A uniformly random minimal path (ECMP) — what "MIN" means in the
     /// paper's simulators, which store or enumerate all minimal paths.
-    pub fn ecmp_path(&mut self, src: u32, dst: u32) -> Vec<(u32, u32)> {
+    /// `None` when no surviving path connects the pair.
+    pub fn ecmp_path(&mut self, src: u32, dst: u32) -> Option<Vec<(u32, u32)>> {
         if src == dst {
-            return Vec::new();
+            return Some(Vec::new());
         }
         self.ensure_parent_tree(dst);
+        if self.parents[&dst][src as usize].is_empty() {
+            return None;
+        }
         let mut picks: Vec<usize> = Vec::new();
         {
             let tree = &self.parents[&dst];
@@ -230,7 +268,7 @@ impl NetModel {
             path.push((cur, next));
             cur = next;
         }
-        path
+        Some(path)
     }
 
     /// Predicted completion of sending `bytes` along `path` starting at
@@ -268,7 +306,9 @@ impl NetModel {
         done
     }
 
-    /// Send a message between ROUTERS at `start`; returns delivery time.
+    /// Send a message between ROUTERS at `start`; returns delivery time,
+    /// or [`MotifError::Disconnected`] when the (possibly
+    /// fault-degraded) network offers no path.
     pub fn send_routers(
         &mut self,
         src: u32,
@@ -276,25 +316,50 @@ impl NetModel {
         bytes: u64,
         start: Time,
         mode: RoutingMode,
-    ) -> Time {
+    ) -> Result<Time, MotifError> {
+        let disconnected = MotifError::Disconnected { src, dst };
+        if self.spec.faults().router_failed(src) || self.spec.faults().router_failed(dst) {
+            return Err(disconnected);
+        }
         if src == dst {
             // Loopback through the local router only.
-            return start + ns(self.cfg.overhead_ns + self.cfg.router_latency_ns);
+            return Ok(start + ns(self.cfg.overhead_ns + self.cfg.router_latency_ns));
         }
         let path = match mode {
-            RoutingMode::Min => self.ecmp_path(src, dst),
+            RoutingMode::Min => self.ecmp_path(src, dst).ok_or(disconnected)?,
             RoutingMode::Adaptive { candidates } => {
-                let min_path = self.ecmp_path(src, dst);
+                let min_path = self.ecmp_path(src, dst).ok_or(disconnected)?;
                 let n = self.spec.graph.n() as u32;
                 let mut best_t = self.predict(&min_path, bytes, start);
                 let mut best = min_path;
                 for _ in 0..candidates {
-                    let mid = self.rng.gen_range(0..n);
+                    // Resample (bounded) instead of burning the candidate
+                    // when the draw lands on an endpoint of the pair.
+                    let mut mid = self.rng.gen_range(0..n);
+                    for _ in 0..4 {
+                        if mid != src && mid != dst {
+                            break;
+                        }
+                        mid = self.rng.gen_range(0..n);
+                    }
                     if mid == src || mid == dst {
                         continue;
                     }
-                    let mut p = self.ecmp_path(src, mid);
-                    p.extend(self.ecmp_path(mid, dst));
+                    // Unreachable intermediates (fault-degraded) are
+                    // skipped, not fatal — the minimal path stands.
+                    let Some(mut p) = self.ecmp_path(src, mid) else {
+                        continue;
+                    };
+                    let Some(tail) = self.ecmp_path(mid, dst) else {
+                        continue;
+                    };
+                    p.extend(tail);
+                    // The spliced detour may pass through dst on its way
+                    // to mid; cut it there so it never reserves links
+                    // beyond the destination.
+                    if let Some(pos) = p.iter().position(|&(_, v)| v == dst) {
+                        p.truncate(pos + 1);
+                    }
                     let t = self.predict(&p, bytes, start);
                     if t < best_t {
                         best_t = t;
@@ -304,7 +369,7 @@ impl NetModel {
                 best
             }
         };
-        self.reserve(&path, bytes, start)
+        Ok(self.reserve(&path, bytes, start))
     }
 
     /// Send between ENDPOINTS (ranks map linearly onto endpoints, §10.1).
@@ -315,10 +380,17 @@ impl NetModel {
         bytes: u64,
         start: Time,
         mode: RoutingMode,
-    ) -> Time {
+    ) -> Result<Time, MotifError> {
         let (sr, _) = self.spec.endpoint_router(src_ep as usize);
         let (dr, _) = self.spec.endpoint_router(dst_ep as usize);
         self.send_routers(sr, dr, bytes, start, mode)
+    }
+
+    /// How long a sender's NIC stays busy injecting a `bytes`-sized
+    /// message: fixed per-message overhead plus wire serialization. Used
+    /// by the collectives to gate a rank's next send.
+    pub fn sender_busy(&self, bytes: u64) -> Time {
+        ns(self.cfg.overhead_ns) + ns(bytes as f64 / self.cfg.bandwidth_bytes_per_ns)
     }
 }
 
@@ -335,9 +407,9 @@ mod tests {
     #[test]
     fn min_path_follows_bfs() {
         let mut m = model();
-        let p = m.min_path(0, 3);
+        let p = m.min_path(0, 3).unwrap();
         assert_eq!(p, vec![(0, 1), (1, 2), (2, 3)]);
-        assert!(m.min_path(2, 2).is_empty());
+        assert!(m.min_path(2, 2).unwrap().is_empty());
     }
 
     #[test]
@@ -345,7 +417,7 @@ mod tests {
         let mut m = model();
         // 4000-byte message over 1 hop at 4 B/ns: serial 1000 ns,
         // overhead 100, per-hop 40 → 1140 ns.
-        let t = m.send_routers(0, 1, 4000, 0, RoutingMode::Min);
+        let t = m.send_routers(0, 1, 4000, 0, RoutingMode::Min).unwrap();
         assert_eq!(t, ns(100.0 + 40.0 + 1000.0));
     }
 
@@ -353,8 +425,8 @@ mod tests {
     fn serialization_contention() {
         let mut m = model();
         // Two messages over the same link back-to-back: second waits.
-        let t1 = m.send_routers(0, 1, 4000, 0, RoutingMode::Min);
-        let t2 = m.send_routers(0, 1, 4000, 0, RoutingMode::Min);
+        let t1 = m.send_routers(0, 1, 4000, 0, RoutingMode::Min).unwrap();
+        let t2 = m.send_routers(0, 1, 4000, 0, RoutingMode::Min).unwrap();
         assert!(t2 >= t1 + ns(1000.0) - ns(40.0), "t1={t1} t2={t2}");
     }
 
@@ -363,7 +435,7 @@ mod tests {
         let mut m = model();
         // 3-hop path: cut-through = overhead + 3·perhop + serial; SAF
         // would pay serial 3×.
-        let t = m.send_routers(0, 3, 40_000, 0, RoutingMode::Min);
+        let t = m.send_routers(0, 3, 40_000, 0, RoutingMode::Min).unwrap();
         let serial = 10_000.0;
         let expect = ns(100.0 + 3.0 * 40.0 + serial);
         assert_eq!(t, expect);
@@ -377,14 +449,18 @@ mod tests {
         let mut m = NetModel::new(spec, MotifConfig::default());
         // Jam the 0→1→2 side.
         for _ in 0..4 {
-            m.send_routers(0, 1, 1_000_000, 0, RoutingMode::Min);
-            m.send_routers(1, 2, 1_000_000, 0, RoutingMode::Min);
+            m.send_routers(0, 1, 1_000_000, 0, RoutingMode::Min)
+                .unwrap();
+            m.send_routers(1, 2, 1_000_000, 0, RoutingMode::Min)
+                .unwrap();
         }
         let min_t = {
-            let p = m.min_path(0, 2);
+            let p = m.min_path(0, 2).unwrap();
             m.predict(&p, 10_000, 0)
         };
-        let t = m.send_routers(0, 2, 10_000, 0, RoutingMode::Adaptive { candidates: 8 });
+        let t = m
+            .send_routers(0, 2, 10_000, 0, RoutingMode::Adaptive { candidates: 8 })
+            .unwrap();
         assert!(
             t <= min_t,
             "adaptive {t} must beat congested minimal {min_t}"
@@ -394,9 +470,9 @@ mod tests {
     #[test]
     fn reset_clears_reservations() {
         let mut m = model();
-        let t1 = m.send_routers(0, 1, 4000, 0, RoutingMode::Min);
+        let t1 = m.send_routers(0, 1, 4000, 0, RoutingMode::Min).unwrap();
         m.reset();
-        let t2 = m.send_routers(0, 1, 4000, 0, RoutingMode::Min);
+        let t2 = m.send_routers(0, 1, 4000, 0, RoutingMode::Min).unwrap();
         assert_eq!(t1, t2);
     }
 
@@ -404,8 +480,8 @@ mod tests {
     fn link_accounting_tracks_reservations() {
         let mut m = model();
         // Two 4000-byte messages over 0→1→2→3: serial 1000 ns each.
-        m.send_routers(0, 3, 4000, 0, RoutingMode::Min);
-        let done = m.send_routers(0, 3, 4000, 0, RoutingMode::Min);
+        m.send_routers(0, 3, 4000, 0, RoutingMode::Min).unwrap();
+        let done = m.send_routers(0, 3, 4000, 0, RoutingMode::Min).unwrap();
         assert_eq!(m.link_busy_time(0, 1), ns(2000.0));
         assert_eq!(m.link_busy_time(1, 0), 0, "reverse direction unused");
         let rep = m.link_report(done);
@@ -432,14 +508,109 @@ mod tests {
             }
         );
         let mut m = model();
-        m.send_routers(0, 1, 4000, 0, RoutingMode::Min);
+        m.send_routers(0, 1, 4000, 0, RoutingMode::Min).unwrap();
         assert_eq!(m.link_report(0).mean_utilization, 0.0);
     }
 
     #[test]
     fn loopback_is_cheap() {
         let mut m = model();
-        let t = m.send_routers(2, 2, 1 << 20, 0, RoutingMode::Min);
+        let t = m.send_routers(2, 2, 1 << 20, 0, RoutingMode::Min).unwrap();
         assert!(t < ns(200.0));
+    }
+
+    #[test]
+    fn disconnected_pair_errors_instead_of_panicking() {
+        // Two components: {0, 1} and {2, 3}.
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        let spec = NetworkSpec::uniform("split", g, 1);
+        let mut m = NetModel::new(spec, MotifConfig::default());
+        assert!(m.min_path(0, 2).is_none());
+        assert!(m.ecmp_path(0, 3).is_none());
+        assert_eq!(
+            m.send_routers(0, 2, 1000, 0, RoutingMode::Min),
+            Err(MotifError::Disconnected { src: 0, dst: 2 })
+        );
+        assert_eq!(
+            m.send_routers(0, 2, 1000, 0, RoutingMode::Adaptive { candidates: 4 }),
+            Err(MotifError::Disconnected { src: 0, dst: 2 })
+        );
+        // Connected halves still work.
+        assert!(m.send_routers(0, 1, 1000, 0, RoutingMode::Min).is_ok());
+        assert!(m.send_routers(2, 3, 1000, 0, RoutingMode::Min).is_ok());
+    }
+
+    #[test]
+    fn fault_mask_reroutes_motif_paths() {
+        let spec = NetworkSpec::uniform("c6", Graph::cycle(6), 1)
+            .with_faults(polarstar_topo::FaultSet::from_links([(0, 1)]));
+        let mut m = NetModel::new(spec, MotifConfig::default());
+        // The cut cable forces the long way round.
+        assert_eq!(m.min_path(0, 1).unwrap().len(), 5);
+        assert!(m.send_routers(0, 1, 1000, 0, RoutingMode::Min).is_ok());
+    }
+
+    #[test]
+    fn failed_router_disconnects_its_traffic() {
+        let spec = NetworkSpec::uniform("c6", Graph::cycle(6), 1)
+            .with_faults(polarstar_topo::FaultSet::from_routers([2]));
+        let mut m = NetModel::new(spec, MotifConfig::default());
+        // Traffic to/from the dead router fails — including loopback.
+        assert!(m.send_routers(2, 4, 1000, 0, RoutingMode::Min).is_err());
+        assert!(m.send_routers(4, 2, 1000, 0, RoutingMode::Min).is_err());
+        assert!(m.send_routers(2, 2, 1000, 0, RoutingMode::Min).is_err());
+        // The rest of the ring routes around the hole.
+        assert_eq!(m.min_path(1, 3).unwrap().len(), 4);
+        assert!(m.send_routers(1, 3, 1000, 0, RoutingMode::Min).is_ok());
+    }
+
+    #[test]
+    fn adaptive_truncates_detour_at_destination() {
+        // Diamond 0–{1,2}–3 with a pendant 4 hanging off dst 3. A
+        // detour via mid 4 must pass through 3; the spliced path is cut
+        // there and never reserves the pendant links.
+        let g = Graph::from_edges(5, &[(0, 1), (1, 3), (0, 2), (2, 3), (3, 4)]);
+        let spec = NetworkSpec::uniform("diamond", g, 1);
+        let mut m = NetModel::new(spec, MotifConfig::default());
+        // Jam one of the two minimal routes so detours get considered.
+        for _ in 0..6 {
+            m.send_routers(0, 1, 1_000_000, 0, RoutingMode::Min)
+                .unwrap();
+        }
+        for _ in 0..40 {
+            m.send_routers(0, 3, 50_000, 0, RoutingMode::Adaptive { candidates: 8 })
+                .unwrap();
+        }
+        assert_eq!(m.link_busy_time(3, 4), 0, "reserved past the destination");
+        assert_eq!(m.link_busy_time(4, 3), 0, "reserved past the destination");
+    }
+
+    #[test]
+    fn adaptive_resamples_endpoint_draws() {
+        // Triangle: the only valid intermediate for 0→1 is router 2.
+        // With a single candidate slot, resampling (instead of burning
+        // the slot when the draw hits src/dst) must still find it.
+        let spec = NetworkSpec::uniform("tri", Graph::cycle(3), 1);
+        let mut m = NetModel::new(spec, MotifConfig::default());
+        // Saturate the direct link 0→1.
+        for _ in 0..8 {
+            m.send_routers(0, 1, 1_000_000, 0, RoutingMode::Min)
+                .unwrap();
+        }
+        let min_t = {
+            let p = m.min_path(0, 1).unwrap();
+            m.predict(&p, 10_000, 0)
+        };
+        let t = m
+            .send_routers(0, 1, 10_000, 0, RoutingMode::Adaptive { candidates: 2 })
+            .unwrap();
+        assert!(t < min_t, "detour not taken: {t} vs min {min_t}");
+    }
+
+    #[test]
+    fn sender_busy_covers_overhead_and_serialization() {
+        let m = model();
+        // 4000 bytes at 4 B/ns = 1000 ns serialization + 100 ns overhead.
+        assert_eq!(m.sender_busy(4000), ns(1100.0));
     }
 }

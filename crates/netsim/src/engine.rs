@@ -113,6 +113,11 @@ pub struct SimResult {
     /// Mean hop count of measured packets (minimal routing on a
     /// diameter-3 network gives ≤ 3 + 1 ejection-free hops).
     pub avg_hops: f64,
+    /// Measured packets dropped at injection because the fault-degraded
+    /// network offers no path (source/destination router failed or the
+    /// pair is disconnected). Always 0 on a pristine network; never
+    /// counted in `delivered_fraction`'s denominator.
+    pub unroutable: u64,
 }
 
 const EJECT: u8 = u8::MAX;
@@ -254,6 +259,10 @@ pub(crate) struct Ctx<'a> {
     ep_off: Vec<u32>,
     /// endpoint → (router, slot).
     ep_router: Vec<(u32, u16)>,
+    /// Per-router failed flag from the spec's fault mask (all-false on a
+    /// pristine network). Packets touching a failed router at either end
+    /// are dropped as unroutable at injection.
+    failed_router: Vec<bool>,
     /// Per-VC input buffer capacity, in packets.
     cap_pkts: u32,
     wheel_len: usize,
@@ -315,6 +324,9 @@ impl<'a> Ctx<'a> {
                 .collect(),
         };
         let active_eps = active_src.iter().filter(|&&a| a).count();
+        let failed_router: Vec<bool> = (0..n as u32)
+            .map(|r| spec.faults().router_failed(r))
+            .collect();
         let threads = cfg.threads.unwrap_or(1).clamp(1, n);
         // Contiguous partition balanced by per-router work weight
         // (ports + endpoints + fixed overhead).
@@ -340,6 +352,7 @@ impl<'a> Ctx<'a> {
             back_port,
             ep_off,
             ep_router,
+            failed_router,
             cap_pkts,
             wheel_len,
             end_measure,
@@ -418,6 +431,7 @@ impl<'a> Ctx<'a> {
             } else {
                 stats.hops_sum as f64 / stats.measured_ejected as f64
             },
+            unroutable: stats.unroutable,
         }
     }
 }
@@ -454,6 +468,10 @@ fn partition_starts(weights: &[u64], shards: usize) -> Vec<u32> {
 pub(crate) struct ShardStats {
     measured_generated: u64,
     measured_ejected: u64,
+    /// Measured packets dropped at injection: no surviving path (see
+    /// [`SimResult::unroutable`]). Kept out of `measured_generated` so
+    /// drain-completion checks and delivered_fraction stay meaningful.
+    unroutable: u64,
     latency_sum: u64,
     latencies: Vec<u32>,
     ejected_flits_measure: u64,
@@ -476,6 +494,7 @@ impl ShardStats {
     pub(crate) fn merge(&mut self, other: ShardStats) {
         self.measured_generated += other.measured_generated;
         self.measured_ejected += other.measured_ejected;
+        self.unroutable += other.unroutable;
         self.latency_sum += other.latency_sum;
         self.latencies.extend_from_slice(&other.latencies);
         self.ejected_flits_measure += other.ejected_flits_measure;
@@ -791,25 +810,48 @@ impl Shard {
         };
         let (dst_router, dst_slot) = ctx.ep_router[dst_ep as usize];
         let measured = now >= ctx.cfg.warmup_cycles && now < ctx.end_measure;
+        // Fault handling: a packet whose source or destination router is
+        // dead, or whose pair the degraded network no longer connects,
+        // is dropped here — before any path state is materialized — and
+        // counted instead of wedging the drain loop. The destination was
+        // already drawn, so per-router RNG draw order (and therefore
+        // cross-thread determinism) is unaffected.
+        if ctx.failed_router[src_router as usize]
+            || ctx.failed_router[dst_router as usize]
+            || (src_router != dst_router && !ctx.table.is_reachable(src_router, dst_router))
+        {
+            if measured {
+                self.stats.unroutable += 1;
+            }
+            mon.on_unroutable(src_router);
+            return;
+        }
         let intermediate = match ctx.kind {
             RoutingKind::Ugal { candidates } if src_router != dst_router => {
                 self.ugal_intermediate(ctx, src_router, dst_router, now, candidates)
             }
             RoutingKind::Valiant if src_router != dst_router => {
-                // Uniform random intermediate (≠ endpoints).
+                // Uniform random intermediate (≠ endpoints, and with both
+                // misroute legs surviving any fault degradation).
                 let n = ctx.table.n() as u32;
+                let usable = |i: u32| {
+                    i != src_router
+                        && i != dst_router
+                        && ctx.table.is_reachable(src_router, i)
+                        && ctx.table.is_reachable(i, dst_router)
+                };
                 let rng = &mut self.rngs[lr];
                 let mut i = rng.gen_range(0..n);
                 for _ in 0..4 {
-                    if i != src_router && i != dst_router {
+                    if usable(i) {
                         break;
                     }
                     i = rng.gen_range(0..n);
                 }
-                if i == src_router || i == dst_router {
-                    NO_INTERMEDIATE
-                } else {
+                if usable(i) {
                     i
+                } else {
+                    NO_INTERMEDIATE
                 }
             }
             _ => NO_INTERMEDIATE,
@@ -928,7 +970,14 @@ impl Shard {
         let mut best_cost = min_cost;
         for ci in 0..k {
             let i = self.cand_buf[ci];
-            if i == src_router || i == dst_router {
+            // All k candidates are drawn before filtering so the RNG draw
+            // count per injection is fixed; fault-degraded candidates
+            // (either misroute leg disconnected) are then skipped.
+            if i == src_router
+                || i == dst_router
+                || !ctx.table.is_reachable(src_router, i)
+                || !ctx.table.is_reachable(i, dst_router)
+            {
                 continue;
             }
             let hops =
@@ -1626,5 +1675,106 @@ mod fault_injection_tests {
             min.avg_hops
         );
         assert!(val.stable && min.stable);
+    }
+
+    /// A spec-level fault mask (rather than structural edge removal)
+    /// reroutes traffic the same way: the degraded network still
+    /// delivers everything when it stays connected, with zero
+    /// unroutable drops, under every routing kind.
+    #[test]
+    fn fault_mask_reroutes_when_connected() {
+        use polarstar_topo::FaultSet;
+        let full = polarstar_graph::random::random_regular(32, 6, 9).unwrap();
+        let faults = FaultSet::random_links(&full, 0.1, 41);
+        assert!(polarstar_graph::traversal::is_connected(
+            &faults.degraded_graph(&full)
+        ));
+        let spec = NetworkSpec::uniform("masked", full, 2).with_faults(faults);
+        let table = RouteTable::for_spec(&spec);
+        let cfg = SimConfig {
+            warmup_cycles: 300,
+            measure_cycles: 800,
+            drain_cycles: 6_000,
+            seed: 3,
+            ..SimConfig::default()
+        };
+        for kind in [
+            RoutingKind::MinMulti,
+            RoutingKind::Valiant,
+            RoutingKind::ugal4(),
+        ] {
+            let r = simulate(&spec, &table, kind, &Pattern::Uniform, 0.15, &cfg);
+            assert!(r.stable, "{kind:?}: {r:?}");
+            assert!(r.delivered_fraction > 0.999, "{kind:?}");
+            assert_eq!(r.unroutable, 0, "{kind:?}");
+        }
+    }
+
+    /// Failing a router disconnects its endpoints: the run terminates
+    /// cleanly (no hang, no panic) with a nonzero unroutable count and
+    /// full delivery of everything that had a path.
+    #[test]
+    fn failed_router_yields_unroutable_not_hang() {
+        use polarstar_topo::FaultSet;
+        let g = polarstar_graph::random::random_regular(24, 5, 2).unwrap();
+        let spec =
+            NetworkSpec::uniform("dead-router", g, 2).with_faults(FaultSet::from_routers([3]));
+        let table = RouteTable::for_spec(&spec);
+        let cfg = SimConfig {
+            warmup_cycles: 200,
+            measure_cycles: 600,
+            drain_cycles: 5_000,
+            seed: 8,
+            ..SimConfig::default()
+        };
+        for kind in [
+            RoutingKind::MinSingle,
+            RoutingKind::Valiant,
+            RoutingKind::ugal4(),
+        ] {
+            let r = simulate(&spec, &table, kind, &Pattern::Uniform, 0.2, &cfg);
+            // Router 3's endpoints inject toward, and are targeted by,
+            // the rest of the network: both directions drop.
+            assert!(r.unroutable > 0, "{kind:?}: {r:?}");
+            // Everything with a surviving path drains.
+            assert!(r.delivered_fraction > 0.999, "{kind:?}: {r:?}");
+        }
+    }
+
+    /// Monitored runs count every unroutable drop (all windows, not just
+    /// measured) and agree with the SimResult on the measured subset.
+    #[test]
+    fn monitor_counts_unroutable_drops() {
+        use crate::monitor::MetricsMonitor;
+        use polarstar_topo::FaultSet;
+        let g = Graph::complete(8);
+        let spec = NetworkSpec::uniform("k8-dead", g, 1).with_faults(FaultSet::from_routers([0]));
+        let table = RouteTable::for_spec(&spec);
+        let cfg = SimConfig {
+            warmup_cycles: 200,
+            measure_cycles: 600,
+            drain_cycles: 4_000,
+            seed: 6,
+            ..SimConfig::default()
+        };
+        let mut mon = MetricsMonitor::new(64);
+        let r = simulate_monitored(
+            &spec,
+            &table,
+            RoutingKind::MinMulti,
+            &Pattern::Uniform,
+            0.3,
+            &cfg,
+            &mut mon,
+        );
+        let rep = mon.report();
+        assert!(r.unroutable > 0);
+        assert!(
+            rep.unroutable >= r.unroutable,
+            "monitor {} < result {}",
+            rep.unroutable,
+            r.unroutable
+        );
+        assert!(rep.to_json().contains("\"unroutable\""));
     }
 }

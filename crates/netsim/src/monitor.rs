@@ -52,6 +52,11 @@ pub trait SimMonitor {
     /// A packet reached its destination endpoint.
     fn on_packet_delivered(&mut self, _latency: u64, _hops: u32, _measured: bool) {}
 
+    /// An endpoint on `router` generated a packet the fault-degraded
+    /// network cannot route (dead source/destination router or a
+    /// disconnected pair); the packet was dropped at injection.
+    fn on_unroutable(&mut self, _router: u32) {}
+
     /// Called once after the last cycle.
     fn on_run_end(&mut self, _cycles: u64) {}
 }
@@ -109,6 +114,9 @@ impl<M: SimMonitor> SimMonitor for &mut M {
     }
     fn on_packet_delivered(&mut self, latency: u64, hops: u32, measured: bool) {
         (**self).on_packet_delivered(latency, hops, measured)
+    }
+    fn on_unroutable(&mut self, router: u32) {
+        (**self).on_unroutable(router)
     }
     fn on_run_end(&mut self, cycles: u64) {
         (**self).on_run_end(cycles)
@@ -213,6 +221,7 @@ pub struct MetricsMonitor {
     stall_vc: u64,
     stall_crossbar: u64,
     injection_backpressure: u64,
+    unroutable: u64,
     delivered: u64,
     delivered_measured: u64,
     latency: LatencyHistogram,
@@ -233,6 +242,7 @@ impl MetricsMonitor {
             stall_vc: 0,
             stall_crossbar: 0,
             injection_backpressure: 0,
+            unroutable: 0,
             delivered: 0,
             delivered_measured: 0,
             latency: LatencyHistogram::default(),
@@ -280,6 +290,7 @@ impl MetricsMonitor {
             stall_vc_alloc: self.stall_vc,
             stall_crossbar: self.stall_crossbar,
             injection_backpressure: self.injection_backpressure,
+            unroutable: self.unroutable,
             delivered_packets: self.delivered,
             delivered_measured: self.delivered_measured,
             avg_hops: if self.delivered == 0 {
@@ -353,6 +364,10 @@ impl SimMonitor for MetricsMonitor {
         }
     }
 
+    fn on_unroutable(&mut self, _router: u32) {
+        self.unroutable += 1;
+    }
+
     fn on_run_end(&mut self, cycles: u64) {
         self.cycles = cycles;
     }
@@ -369,6 +384,7 @@ impl ShardableMonitor for MetricsMonitor {
             stall_vc: 0,
             stall_crossbar: 0,
             injection_backpressure: 0,
+            unroutable: 0,
             delivered: 0,
             delivered_measured: 0,
             latency: LatencyHistogram::default(),
@@ -403,6 +419,7 @@ impl ShardableMonitor for MetricsMonitor {
         self.stall_vc += shard.stall_vc;
         self.stall_crossbar += shard.stall_crossbar;
         self.injection_backpressure += shard.injection_backpressure;
+        self.unroutable += shard.unroutable;
         self.delivered += shard.delivered;
         self.delivered_measured += shard.delivered_measured;
         self.latency.merge(&shard.latency);
@@ -446,6 +463,9 @@ pub struct MetricsReport {
     pub stall_crossbar: u64,
     /// Generated packets that found a full injection buffer.
     pub injection_backpressure: u64,
+    /// Generated packets dropped at injection with no surviving path
+    /// (fault-degraded networks only; whole run, not just measured).
+    pub unroutable: u64,
     /// Packets delivered (warmup + measured + drain).
     pub delivered_packets: u64,
     /// Packets delivered inside the measurement window.
@@ -492,7 +512,7 @@ impl MetricsReport {
             "{{\"cycles\":{},\"links\":{},\"busy_links\":{},\
              \"mean_link_utilization\":{},\"max_link_utilization\":{},\
              \"stalls\":{{\"credit\":{},\"vc_alloc\":{},\"crossbar\":{}}},\
-             \"injection_backpressure\":{},\
+             \"injection_backpressure\":{},\"unroutable\":{},\
              \"delivered_packets\":{},\"delivered_measured\":{},\"avg_hops\":{},\
              \"latency\":{{\"mean\":{},\"p50\":{},\"p99\":{},\"p999\":{}}},\
              \"vc_occupancy\":[{}]}}",
@@ -505,6 +525,7 @@ impl MetricsReport {
             self.stall_vc_alloc,
             self.stall_crossbar,
             self.injection_backpressure,
+            self.unroutable,
             self.delivered_packets,
             self.delivered_measured,
             json_f64(self.avg_hops),

@@ -12,6 +12,7 @@
 //!   occupancy × remaining hops, then route minimally per phase.
 
 use polarstar_graph::Graph;
+use polarstar_topo::fault::FaultSet;
 use polarstar_topo::network::{NetworkSpec, RoutingPolicy};
 use rayon::prelude::*;
 
@@ -84,19 +85,42 @@ fn neighbor_csr(g: &Graph) -> (Vec<u32>, Vec<u32>) {
 }
 
 impl RouteTable {
+    /// Distance sentinel for pairs no surviving path connects (always the
+    /// stored value when the BFS distance exceeds `u16::MAX`, which only
+    /// happens for genuinely unreachable pairs on these topologies).
+    pub const UNREACHABLE: u16 = u16::MAX;
+
     /// Build the table a spec asks for: its [`RoutingPolicy`] hint picks
-    /// between flat and hierarchical minimal tables, so callers no longer
-    /// match on display names.
+    /// between flat and hierarchical minimal tables, and its
+    /// [`FaultSet`] masks failed links/routers out of both distances and
+    /// minimal-port sets — so callers no longer match on display names or
+    /// special-case degraded networks.
     pub fn for_spec(spec: &NetworkSpec) -> Self {
         Self::build(spec, spec.routing_policy())
     }
 
     /// Build a table for `spec` under an explicit policy (e.g. to compare
-    /// flat vs hierarchical tables on the same topology).
+    /// flat vs hierarchical tables on the same topology). Honors the
+    /// spec's fault mask: distances come from the degraded graph, minimal
+    /// ports skip failed links, but the neighbor CSR keeps the *pristine*
+    /// port numbering so engine-side port indices stay aligned with the
+    /// physical topology.
     pub fn build(spec: &NetworkSpec, policy: RoutingPolicy) -> Self {
         match policy {
-            RoutingPolicy::FlatMinimal => Self::new(&spec.graph),
-            RoutingPolicy::HierarchicalMinimal => Self::hierarchical(&spec.graph, &spec.group),
+            RoutingPolicy::FlatMinimal => {
+                if spec.has_faults() {
+                    Self::new_masked(&spec.graph, spec.faults())
+                } else {
+                    Self::new(&spec.graph)
+                }
+            }
+            RoutingPolicy::HierarchicalMinimal => {
+                if spec.has_faults() {
+                    Self::hierarchical_masked(&spec.graph, &spec.group, spec.faults())
+                } else {
+                    Self::hierarchical(&spec.graph, &spec.group)
+                }
+            }
         }
     }
 
@@ -109,7 +133,24 @@ impl RouteTable {
             .into_par_iter()
             .map(|dst| polarstar_graph::traversal::bfs_distances(g, dst))
             .collect();
-        Self::from_distances(g, dists)
+        Self::assemble(g, &dists, |_, _| true)
+    }
+
+    /// Fault-masked flat table: BFS distances over the degraded graph,
+    /// minimal ports exclude failed directed links, neighbor CSR (and
+    /// therefore port numbering) from the pristine graph. Pairs the fault
+    /// set disconnects keep [`RouteTable::UNREACHABLE`] distance and an
+    /// empty port set.
+    pub fn new_masked(g: &Graph, faults: &FaultSet) -> Self {
+        let n = g.n();
+        assert!(n > 0);
+        assert!(g.max_degree() < 256, "ports are stored as u8");
+        let degraded = faults.degraded_graph(g);
+        let dists: Vec<Vec<u32>> = (0..n as u32)
+            .into_par_iter()
+            .map(|dst| polarstar_graph::traversal::bfs_distances(&degraded, dst))
+            .collect();
+        Self::assemble(g, &dists, |r, nb| !faults.link_failed(r, nb))
     }
 
     /// Hierarchical routing for group topologies (Dragonfly, Megafly):
@@ -122,14 +163,35 @@ impl RouteTable {
     /// distance d1; a global port is minimal only if the remainder from
     /// its far end is purely local (so no path ever takes two globals).
     pub fn hierarchical(g: &Graph, group: &[u32]) -> Self {
+        Self::hierarchical_with(g, g, group, |_, _| true)
+    }
+
+    /// Fault-masked hierarchical table: the ≤1-global BFS runs over the
+    /// degraded graph, the port rule skips failed directed links, and the
+    /// neighbor CSR keeps pristine port numbering.
+    pub fn hierarchical_masked(g: &Graph, group: &[u32], faults: &FaultSet) -> Self {
+        let degraded = faults.degraded_graph(g);
+        Self::hierarchical_with(g, &degraded, group, |r, nb| !faults.link_failed(r, nb))
+    }
+
+    /// Shared hierarchical assembly: distances over `routed` (the
+    /// possibly-degraded view), CSR and port numbering over the pristine
+    /// `g`, `alive` masking the minimal-port sets.
+    fn hierarchical_with<F: Fn(u32, u32) -> bool + Sync>(
+        g: &Graph,
+        routed: &Graph,
+        group: &[u32],
+        alive: F,
+    ) -> Self {
         let n = g.n();
         assert_eq!(group.len(), n);
+        assert_eq!(routed.n(), n);
         assert!(g.max_degree() < 256, "ports are stored as u8");
         let per_dst: Vec<(Vec<u32>, Vec<u32>)> = (0..n as u32)
             .into_par_iter()
             .map(|dst| {
-                let d0 = local_bfs(g, group, dst);
-                let d1 = one_global_bfs(g, group, dst, &d0);
+                let d0 = local_bfs(routed, group, dst);
+                let d1 = one_global_bfs(routed, group, dst, &d0);
                 (d0, d1)
             })
             .collect();
@@ -148,9 +210,12 @@ impl RouteTable {
         for r in 0..n {
             let row = &nbrs[nbr_offsets[r] as usize..nbr_offsets[r + 1] as usize];
             for (dst, (d0, d1)) in per_dst.iter().enumerate() {
-                if r != dst {
+                if r != dst && d1[r] != u32::MAX {
                     let dr = d1[r];
                     for (p, &nb) in row.iter().enumerate() {
+                        if !alive(r as u32, nb) {
+                            continue;
+                        }
                         let local = group[r] == group[nb as usize];
                         let ok = if local {
                             d1[nb as usize].saturating_add(1) == dr
@@ -175,7 +240,10 @@ impl RouteTable {
         }
     }
 
-    fn from_distances(g: &Graph, dists: Vec<Vec<u32>>) -> Self {
+    /// Assemble the flat arenas from per-destination u32 BFS distances
+    /// over the pristine neighbor CSR; `alive` masks failed directed
+    /// links out of the minimal-port sets.
+    fn assemble<F: Fn(u32, u32) -> bool>(g: &Graph, dists: &[Vec<u32>], alive: F) -> Self {
         let n = g.n();
         let mut dist = vec![0u16; n * n];
         for (dst, d) in dists.iter().enumerate() {
@@ -192,11 +260,14 @@ impl RouteTable {
         port_offsets.push(0u32);
         for r in 0..n {
             let row = &nbrs[nbr_offsets[r] as usize..nbr_offsets[r + 1] as usize];
-            for dst in 0..n {
-                if r != dst {
-                    let dr = dist[dst * n + r];
+            for (dst, d) in dists.iter().enumerate() {
+                if r != dst && d[r] != u32::MAX {
+                    let dr = d[r];
                     for (p, &nb) in row.iter().enumerate() {
-                        if dist[dst * n + nb as usize] + 1 == dr {
+                        if d[nb as usize] != u32::MAX
+                            && d[nb as usize] + 1 == dr
+                            && alive(r as u32, nb)
+                        {
                             ports.push(p as u8);
                         }
                     }
@@ -223,6 +294,13 @@ impl RouteTable {
     #[inline]
     pub fn distance(&self, r: u32, dst: u32) -> u16 {
         self.dist[dst as usize * self.n + r as usize]
+    }
+
+    /// Whether any surviving path connects `r` to `dst` (true for
+    /// `r == dst`).
+    #[inline]
+    pub fn is_reachable(&self, r: u32, dst: u32) -> bool {
+        self.distance(r, dst) != Self::UNREACHABLE
     }
 
     /// Minimal output ports at router `r` toward `dst` (empty iff r == dst
@@ -514,6 +592,114 @@ mod tests {
                 assert_eq!(t.neighbor(r, p as u8), g.neighbors(r)[p]);
             }
         }
+    }
+
+    #[test]
+    fn masked_table_routes_around_failed_link() {
+        use polarstar_topo::FaultSet;
+        // Cycle of 6: kill edge (0, 1). Every pair stays connected the
+        // long way round, but distances grow and the failed directed
+        // link never appears as a minimal port.
+        let g = Graph::cycle(6);
+        let f = FaultSet::from_links([(0, 1)]);
+        let t = RouteTable::new_masked(&g, &f);
+        assert_eq!(t.distance(0, 1), 5);
+        assert!(t.is_reachable(0, 1));
+        for &p in t.min_ports(0, 1) {
+            assert_ne!(t.neighbor(0, p), 1, "failed link offered as port");
+        }
+        // Pristine port numbering is preserved.
+        assert_eq!(t.neighbors(0), g.neighbors(0));
+    }
+
+    #[test]
+    fn masked_table_marks_disconnected_pairs_unreachable() {
+        use polarstar_topo::FaultSet;
+        // Path 0-1-2-3: cutting (1, 2) splits the graph in two.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let f = FaultSet::from_links([(1, 2)]);
+        let t = RouteTable::new_masked(&g, &f);
+        assert_eq!(t.distance(0, 3), RouteTable::UNREACHABLE);
+        assert!(!t.is_reachable(0, 3));
+        assert!(t.min_ports(0, 3).is_empty());
+        assert!(t.min_ports(1, 2).is_empty());
+        // Within each side routing still works.
+        assert!(t.is_reachable(0, 1));
+        assert_eq!(t.min_ports(2, 3).len(), 1);
+    }
+
+    #[test]
+    fn masked_table_isolates_failed_router() {
+        use polarstar_topo::FaultSet;
+        let g = Graph::complete(5);
+        let f = FaultSet::from_routers([2]);
+        let t = RouteTable::new_masked(&g, &f);
+        for r in 0..5u32 {
+            if r != 2 {
+                assert!(!t.is_reachable(r, 2), "{r}→2");
+                assert!(t.min_ports(r, 2).is_empty());
+                // No surviving pair routes through the dead router.
+                for dst in 0..5u32 {
+                    for &p in t.min_ports(r, dst) {
+                        assert_ne!(t.neighbor(r, p), 2);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn masked_hierarchical_avoids_failed_global_link() {
+        use polarstar_topo::FaultSet;
+        let df = polarstar_topo::dragonfly::dragonfly(polarstar_topo::dragonfly::DragonflyParams {
+            a: 4,
+            h: 2,
+            p: 1,
+        });
+        // Fail one global edge and rebuild. Under the ≤1-global
+        // discipline, pairs whose groups were joined only by that edge
+        // become UNREACHABLE (a flat table would still route them via
+        // two globals); every surviving pair keeps nonempty port sets
+        // that never traverse the dead directed link.
+        let (u, v) = df
+            .graph
+            .edges()
+            .find(|&(u, v)| df.group[u as usize] != df.group[v as usize])
+            .unwrap();
+        let f = FaultSet::from_links([(u, v)]);
+        let t = RouteTable::hierarchical_masked(&df.graph, &df.group, &f);
+        let mut lost = 0usize;
+        for src in 0..df.graph.n() as u32 {
+            for dst in 0..df.graph.n() as u32 {
+                if src == dst {
+                    continue;
+                }
+                if t.is_reachable(src, dst) {
+                    assert!(!t.min_ports(src, dst).is_empty(), "{src}→{dst}");
+                    for &p in t.min_ports(src, dst) {
+                        let nb = t.neighbor(src, p);
+                        assert!(!((src == u && nb == v) || (src == v && nb == u)));
+                    }
+                } else {
+                    assert!(t.min_ports(src, dst).is_empty(), "{src}→{dst}");
+                    lost += 1;
+                }
+            }
+        }
+        // The dead edge's own endpoints must be among the lost pairs,
+        // but most pairs survive (other groups keep their globals).
+        assert!(lost > 0);
+        assert!(!t.is_reachable(u, v));
+        assert!(lost < df.graph.n() * (df.graph.n() - 1) / 2, "{lost}");
+    }
+
+    #[test]
+    fn for_spec_honors_fault_mask() {
+        use polarstar_topo::FaultSet;
+        let spec = polarstar_topo::NetworkSpec::uniform("ring8", Graph::cycle(8), 1)
+            .with_faults(FaultSet::from_links([(0, 1)]));
+        let t = RouteTable::for_spec(&spec);
+        assert_eq!(t.distance(0, 1), 7);
     }
 
     #[test]

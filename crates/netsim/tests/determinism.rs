@@ -13,6 +13,7 @@ use polarstar_netsim::traffic::Pattern;
 use polarstar_netsim::{simulate, simulate_monitored, MetricsMonitor, SimConfig};
 use polarstar_topo::er::ErGraph;
 use polarstar_topo::network::NetworkSpec;
+use polarstar_topo::FaultSet;
 
 fn cfg(threads: Option<usize>) -> SimConfig {
     SimConfig {
@@ -38,7 +39,7 @@ fn polarstar_spec() -> NetworkSpec {
 }
 
 fn assert_thread_invariant(spec: &NetworkSpec, kind: RoutingKind, load: f64) {
-    let table = RouteTable::new(&spec.graph);
+    let table = RouteTable::for_spec(spec);
     let baseline = simulate(spec, &table, kind, &Pattern::Uniform, load, &cfg(None));
     assert!(
         baseline.measured_ejected > 0,
@@ -82,12 +83,58 @@ fn polarstar_ugal_identical_across_thread_counts() {
     assert_thread_invariant(&polarstar_spec(), RoutingKind::ugal4(), 0.3);
 }
 
+/// A fault-degraded network must keep the same contract: masked route
+/// tables and rerouted traffic stay bit-identical across thread counts.
+#[test]
+fn faulted_er5_min_identical_across_thread_counts() {
+    let spec = er5_spec();
+    let faults = FaultSet::random_links(&spec.graph, 0.15, 77);
+    assert!(!faults.is_empty());
+    assert_thread_invariant(&spec.with_faults(faults), RoutingKind::MinMulti, 0.3);
+}
+
+#[test]
+fn faulted_er5_ugal_identical_across_thread_counts() {
+    let spec = er5_spec();
+    let faults = FaultSet::random_links(&spec.graph, 0.15, 77);
+    assert_thread_invariant(&spec.with_faults(faults), RoutingKind::ugal4(), 0.3);
+}
+
+/// Router faults produce unroutable drops; the drop accounting must also
+/// be thread-invariant, and the run must still drain cleanly.
+#[test]
+fn faulted_routers_unroutable_identical_across_thread_counts() {
+    let spec = er5_spec().with_faults(FaultSet::from_routers([3, 11]));
+    let table = RouteTable::for_spec(&spec);
+    let baseline = simulate(
+        &spec,
+        &table,
+        RoutingKind::MinMulti,
+        &Pattern::Uniform,
+        0.3,
+        &cfg(None),
+    );
+    assert!(baseline.unroutable > 0, "{baseline:?}");
+    assert!(baseline.measured_ejected > 0, "{baseline:?}");
+    for threads in [1usize, 2, 4] {
+        let sharded = simulate(
+            &spec,
+            &table,
+            RoutingKind::MinMulti,
+            &Pattern::Uniform,
+            0.3,
+            &cfg(Some(threads)),
+        );
+        assert_eq!(baseline, sharded, "diverges at threads={threads}");
+    }
+}
+
 /// The monitor sees the same totals in both modes: per-shard counters
 /// merged at commit must equal single-threaded collection.
 #[test]
 fn metrics_monitor_totals_identical_across_thread_counts() {
     let spec = er5_spec();
-    let table = RouteTable::new(&spec.graph);
+    let table = RouteTable::for_spec(&spec);
     let run = |threads: Option<usize>| {
         let mut mon = MetricsMonitor::new(64);
         let r = simulate_monitored(

@@ -1,0 +1,266 @@
+//! Fault masks: the seed-deterministic set of failed links and routers a
+//! degraded network carries.
+//!
+//! A [`FaultSet`] is configuration, not runtime randomness: it is drawn
+//! once (seeded, mirroring `analysis::faults::fault_trajectory`'s
+//! shuffled-edge-prefix sampling) and then applied identically by every
+//! consumer — route-table construction, the cycle engine, and the motif
+//! model all see the same degraded view, so determinism across engine
+//! thread counts is unaffected.
+//!
+//! Links fail as directed pairs `(u, v)`. The random and undirected
+//! constructors insert both directions (a cut cable); a single direction
+//! can be failed through [`FaultSet::from_directed_links`] for laser/port
+//! failures. [`FaultSet::degraded_graph`] drops an undirected edge when
+//! *either* direction is failed — BFS-based distance computations treat a
+//! half-dead link as dead, which is conservative and keeps every derived
+//! path usable in both simulators.
+
+use polarstar_graph::Graph;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A deterministic set of failed directed links and failed routers.
+///
+/// Stored sorted for O(log f) membership queries on simulator hot paths;
+/// empty sets answer in O(1).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultSet {
+    /// Failed directed links, sorted and deduplicated.
+    links: Vec<(u32, u32)>,
+    /// Failed routers, sorted and deduplicated.
+    routers: Vec<u32>,
+}
+
+impl FaultSet {
+    /// The empty fault set (a pristine network).
+    pub fn empty() -> Self {
+        FaultSet::default()
+    }
+
+    /// Fail the given links in both directions (cable cuts).
+    pub fn from_links(links: impl IntoIterator<Item = (u32, u32)>) -> Self {
+        let mut dir = Vec::new();
+        for (u, v) in links {
+            dir.push((u, v));
+            dir.push((v, u));
+        }
+        Self::from_directed_links(dir)
+    }
+
+    /// Fail exactly the given directed links (one direction each).
+    pub fn from_directed_links(links: impl IntoIterator<Item = (u32, u32)>) -> Self {
+        let mut links: Vec<(u32, u32)> = links.into_iter().collect();
+        links.sort_unstable();
+        links.dedup();
+        FaultSet {
+            links,
+            routers: Vec::new(),
+        }
+    }
+
+    /// Fail whole routers (all their links die with them).
+    pub fn from_routers(routers: impl IntoIterator<Item = u32>) -> Self {
+        let mut routers: Vec<u32> = routers.into_iter().collect();
+        routers.sort_unstable();
+        routers.dedup();
+        FaultSet {
+            links: Vec::new(),
+            routers,
+        }
+    }
+
+    /// Fail a uniform random `fraction` of `g`'s undirected links (both
+    /// directions), deterministically for a given `seed`.
+    ///
+    /// Sampling mirrors `analysis::faults::fault_trajectory`: shuffle the
+    /// edge list with a ChaCha8 stream and take a prefix, so a fault sweep
+    /// at increasing fractions nests its failures exactly like the
+    /// graph-metric trajectories do.
+    pub fn random_links(g: &Graph, fraction: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&fraction), "fraction {fraction}");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut edges: Vec<(u32, u32)> = g.edges().collect();
+        edges.shuffle(&mut rng);
+        let take = (fraction * edges.len() as f64).round() as usize;
+        Self::from_links(edges.into_iter().take(take.min(g.m())))
+    }
+
+    /// Fail a uniform random `fraction` of routers, deterministically for
+    /// a given `seed`.
+    pub fn random_routers(g: &Graph, fraction: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&fraction), "fraction {fraction}");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut routers: Vec<u32> = (0..g.n() as u32).collect();
+        routers.shuffle(&mut rng);
+        let take = (fraction * g.n() as f64).round() as usize;
+        Self::from_routers(routers.into_iter().take(take.min(g.n())))
+    }
+
+    /// Whether nothing has failed.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty() && self.routers.is_empty()
+    }
+
+    /// Whether the directed link `u → v` is failed (either explicitly or
+    /// because one of its endpoints is a failed router).
+    #[inline]
+    pub fn link_failed(&self, u: u32, v: u32) -> bool {
+        if self.is_empty() {
+            return false;
+        }
+        self.links.binary_search(&(u, v)).is_ok() || self.router_failed(u) || self.router_failed(v)
+    }
+
+    /// Whether router `r` is failed.
+    #[inline]
+    pub fn router_failed(&self, r: u32) -> bool {
+        self.routers.binary_search(&r).is_ok()
+    }
+
+    /// The failed directed links, sorted (explicit link faults only;
+    /// router faults are reported via [`FaultSet::failed_routers`]).
+    pub fn failed_links(&self) -> &[(u32, u32)] {
+        &self.links
+    }
+
+    /// The failed routers, sorted.
+    pub fn failed_routers(&self) -> &[u32] {
+        &self.routers
+    }
+
+    /// Number of *undirected* edges of `g` this fault set kills (for
+    /// manifests: counts an edge once whether one or both directions
+    /// failed, plus every edge incident to a failed router).
+    pub fn failed_edge_count(&self, g: &Graph) -> usize {
+        if self.is_empty() {
+            return 0;
+        }
+        g.edges()
+            .filter(|&(u, v)| self.link_failed(u, v) || self.link_failed(v, u))
+            .count()
+    }
+
+    /// The degraded router graph: `g` minus every edge with a failed
+    /// direction or a failed endpoint router. Vertex ids are preserved
+    /// (failed routers stay as isolated vertices), so port numbering on
+    /// the pristine graph remains meaningful.
+    pub fn degraded_graph(&self, g: &Graph) -> Graph {
+        if self.is_empty() {
+            return g.clone();
+        }
+        let dead: Vec<(u32, u32)> = g
+            .edges()
+            .filter(|&(u, v)| self.link_failed(u, v) || self.link_failed(v, u))
+            .collect();
+        g.without_edges(&dead)
+    }
+
+    /// Merge another fault set into this one.
+    pub fn union(&self, other: &FaultSet) -> FaultSet {
+        let mut links = self.links.clone();
+        links.extend_from_slice(&other.links);
+        links.sort_unstable();
+        links.dedup();
+        let mut routers = self.routers.clone();
+        routers.extend_from_slice(&other.routers);
+        routers.sort_unstable();
+        routers.dedup();
+        FaultSet { links, routers }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_set_fails_nothing() {
+        let f = FaultSet::empty();
+        assert!(f.is_empty());
+        assert!(!f.link_failed(0, 1));
+        assert!(!f.router_failed(3));
+        let g = Graph::complete(4);
+        assert_eq!(f.degraded_graph(&g).m(), g.m());
+        assert_eq!(f.failed_edge_count(&g), 0);
+    }
+
+    #[test]
+    fn undirected_links_fail_both_directions() {
+        let f = FaultSet::from_links([(2, 5)]);
+        assert!(f.link_failed(2, 5));
+        assert!(f.link_failed(5, 2));
+        assert!(!f.link_failed(2, 4));
+        assert_eq!(f.failed_links().len(), 2);
+    }
+
+    #[test]
+    fn directed_links_fail_one_direction() {
+        let f = FaultSet::from_directed_links([(2, 5)]);
+        assert!(f.link_failed(2, 5));
+        assert!(!f.link_failed(5, 2));
+        // The degraded graph still drops the whole edge.
+        let g = Graph::complete(6);
+        assert_eq!(f.degraded_graph(&g).m(), g.m() - 1);
+        assert_eq!(f.failed_edge_count(&g), 1);
+    }
+
+    #[test]
+    fn router_faults_kill_incident_links() {
+        let g = Graph::complete(5);
+        let f = FaultSet::from_routers([2]);
+        assert!(f.router_failed(2));
+        assert!(f.link_failed(2, 4));
+        assert!(f.link_failed(0, 2));
+        assert!(!f.link_failed(0, 1));
+        let d = f.degraded_graph(&g);
+        assert_eq!(d.degree(2), 0);
+        assert_eq!(d.m(), g.m() - 4);
+        assert_eq!(f.failed_edge_count(&g), 4);
+    }
+
+    #[test]
+    fn random_links_deterministic_and_sized() {
+        let g = Graph::complete(12); // 66 edges
+        let a = FaultSet::random_links(&g, 0.1, 9);
+        let b = FaultSet::random_links(&g, 0.1, 9);
+        assert_eq!(a, b);
+        let c = FaultSet::random_links(&g, 0.1, 10);
+        assert_ne!(a, c, "different seeds draw different faults");
+        assert_eq!(a.failed_edge_count(&g), 7); // round(6.6)
+        assert_eq!(FaultSet::random_links(&g, 0.0, 1), FaultSet::empty());
+        let all = FaultSet::random_links(&g, 1.0, 1);
+        assert_eq!(all.degraded_graph(&g).m(), 0);
+    }
+
+    #[test]
+    fn random_fractions_nest_like_trajectories() {
+        // A larger fraction at the same seed strictly contains the
+        // smaller one (shuffled-prefix sampling).
+        let g = Graph::complete(10);
+        let small = FaultSet::random_links(&g, 0.1, 4);
+        let large = FaultSet::random_links(&g, 0.3, 4);
+        for &l in small.failed_links() {
+            assert!(large.failed_links().contains(&l), "{l:?} not nested");
+        }
+    }
+
+    #[test]
+    fn random_routers_deterministic() {
+        let g = Graph::complete(10);
+        let a = FaultSet::random_routers(&g, 0.2, 3);
+        assert_eq!(a, FaultSet::random_routers(&g, 0.2, 3));
+        assert_eq!(a.failed_routers().len(), 2);
+    }
+
+    #[test]
+    fn union_merges_both_kinds() {
+        let a = FaultSet::from_links([(0, 1)]);
+        let b = FaultSet::from_routers([5]);
+        let u = a.union(&b);
+        assert!(u.link_failed(0, 1) && u.link_failed(1, 0));
+        assert!(u.router_failed(5));
+        assert_eq!(a.union(&a), a);
+    }
+}

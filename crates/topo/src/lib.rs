@@ -32,6 +32,7 @@ pub mod dragonfly;
 pub mod er;
 pub mod error;
 pub mod fattree;
+pub mod fault;
 pub mod hyperx;
 pub mod iq;
 pub mod jellyfish;
@@ -48,5 +49,6 @@ pub mod star;
 pub mod supernode;
 
 pub use error::TopoError;
+pub use fault::FaultSet;
 pub use network::{NetworkSpec, RoutingPolicy};
 pub use supernode::Supernode;

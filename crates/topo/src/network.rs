@@ -2,6 +2,7 @@
 //! which routers carry endpoints, and how routers group into supernodes.
 
 use crate::error::TopoError;
+use crate::fault::FaultSet;
 use polarstar_graph::Graph;
 use std::sync::OnceLock;
 
@@ -53,6 +54,11 @@ pub struct NetworkSpec {
     pub group: Vec<u32>,
     /// Table discipline hint for this topology.
     routing_policy: RoutingPolicy,
+    /// Failed links/routers this network currently carries (empty for a
+    /// pristine network). `graph` always stays the pristine interconnect
+    /// so port numbering is stable; consumers mask it through
+    /// [`NetworkSpec::faults`] / [`NetworkSpec::degraded_graph`].
+    faults: FaultSet,
     /// Lazily-built endpoint prefix sums (length n+1).
     ep_offsets: OnceLock<Vec<usize>>,
 }
@@ -65,6 +71,7 @@ impl Clone for NetworkSpec {
             endpoints: self.endpoints.clone(),
             group: self.group.clone(),
             routing_policy: self.routing_policy,
+            faults: self.faults.clone(),
             // The clone recomputes its offsets on first use.
             ep_offsets: OnceLock::new(),
         }
@@ -85,6 +92,7 @@ impl NetworkSpec {
             endpoints,
             group,
             routing_policy: RoutingPolicy::FlatMinimal,
+            faults: FaultSet::empty(),
             ep_offsets: OnceLock::new(),
         }
     }
@@ -105,6 +113,30 @@ impl NetworkSpec {
     /// The table discipline this topology expects.
     pub fn routing_policy(&self) -> RoutingPolicy {
         self.routing_policy
+    }
+
+    /// Apply a fault mask (builder style). Replaces any previous mask;
+    /// compose masks with [`FaultSet::union`] first if both should apply.
+    pub fn with_faults(mut self, faults: FaultSet) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// The fault mask this network carries (empty for a pristine spec).
+    pub fn faults(&self) -> &FaultSet {
+        &self.faults
+    }
+
+    /// Whether this network carries any faults.
+    pub fn has_faults(&self) -> bool {
+        !self.faults.is_empty()
+    }
+
+    /// The router graph with failed links/routers removed. Returns a copy
+    /// of the pristine graph when no faults are set; vertex ids (and thus
+    /// port numbering on the pristine graph) are preserved.
+    pub fn degraded_graph(&self) -> Graph {
+        self.faults.degraded_graph(&self.graph)
     }
 
     /// Number of routers.
@@ -188,6 +220,18 @@ impl NetworkSpec {
         if self.group.len() != self.graph.n() {
             return Err(TopoError::InvalidSpec("group length mismatch".into()));
         }
+        let n = self.graph.n() as u32;
+        if self
+            .faults
+            .failed_links()
+            .iter()
+            .any(|&(u, v)| u >= n || v >= n)
+            || self.faults.failed_routers().iter().any(|&r| r >= n)
+        {
+            return Err(TopoError::InvalidSpec(
+                "fault set references router ids outside the graph".into(),
+            ));
+        }
         self.graph.validate().map_err(TopoError::InvalidSpec)
     }
 }
@@ -263,6 +307,33 @@ mod tests {
             s.clone().routing_policy(),
             RoutingPolicy::HierarchicalMinimal
         );
+    }
+
+    #[test]
+    fn faults_builder_and_degraded_view() {
+        let s = NetworkSpec::uniform("k4", Graph::complete(4), 1);
+        assert!(!s.has_faults());
+        assert_eq!(s.degraded_graph().m(), 6);
+        let f = FaultSet::from_links([(0, 1), (2, 3)]);
+        let s = s.with_faults(f.clone());
+        assert!(s.has_faults());
+        assert_eq!(s.faults(), &f);
+        let d = s.degraded_graph();
+        assert_eq!(d.m(), 4);
+        assert!(!d.has_edge(0, 1) && !d.has_edge(2, 3));
+        // Clones keep the mask.
+        assert!(s.clone().has_faults());
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_faults() {
+        let s = NetworkSpec::uniform("k3", Graph::complete(3), 1)
+            .with_faults(FaultSet::from_links([(0, 9)]));
+        assert!(s.validate().is_err());
+        let s = NetworkSpec::uniform("k3", Graph::complete(3), 1)
+            .with_faults(FaultSet::from_routers([7]));
+        assert!(s.validate().is_err());
     }
 
     #[test]
