@@ -6,12 +6,15 @@
 //! indirect topologies only distances between routers that carry
 //! endpoints are considered, 100 trajectories are sampled, and the
 //! trajectory with the median disconnection ratio is reported.
+//!
+//! Link failures come from [`polarstar_topo::fault::FaultSet`]'s seeded
+//! shuffled-prefix sampler, shared with the simulators' fault sweeps and
+//! live bursts: a graph-metric trajectory at seed `s` fails exactly the
+//! links a simulated burst at the same seed and fraction does.
 
 use polarstar_graph::csr::{Graph, VertexId};
 use polarstar_graph::traversal;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use polarstar_topo::fault::FaultSet;
 use rayon::prelude::*;
 
 /// Metrics at one failure level.
@@ -37,9 +40,13 @@ pub struct FaultTrajectory {
     pub disconnection_ratio: f64,
 }
 
-/// Run one failure trajectory: shuffle the edge list and remove prefixes
-/// of increasing size (`step_fraction` granularity), measuring restricted
+/// Run one failure trajectory: remove seeded random link prefixes of
+/// increasing size (`step_fraction` granularity), measuring restricted
 /// metrics from up to `max_sources` relevant vertices.
+///
+/// Failures are drawn through [`FaultSet::random_links`] — the same
+/// sampler the simulators' static fault sweeps and live fault bursts
+/// use — so at a shared seed the failed link sets nest across all three.
 pub fn fault_trajectory(
     g: &Graph,
     relevant: &[VertexId],
@@ -48,17 +55,11 @@ pub fn fault_trajectory(
     seed: u64,
 ) -> FaultTrajectory {
     assert!(step_fraction > 0.0 && step_fraction < 1.0);
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let mut edges: Vec<(VertexId, VertexId)> = g.edges().collect();
-    edges.shuffle(&mut rng);
-    let m = edges.len();
-
     let mut steps = Vec::new();
     let mut disconnection = 1.0;
     let mut frac = 0.0;
     loop {
-        let removed = (frac * m as f64).round() as usize;
-        let h = g.without_edges(&edges[..removed.min(m)]);
+        let h = FaultSet::random_links(g, frac, seed).degraded_graph(g);
         let (diam, apl, connected) = restricted_metrics(&h, relevant, max_sources);
         steps.push(FaultStep {
             failed_fraction: frac,

@@ -17,17 +17,11 @@ use polarstar_topo::star::star_product;
 use polarstar_topo::supernode::{complete_supernode, Supernode};
 
 fn supernodes(dprime: usize) -> Vec<(&'static str, Option<Supernode>)> {
+    // Infeasible (family, d') combinations are skipped, not errors.
     vec![
-        ("InductiveQuad", inductive_quad(dprime)),
-        (
-            "Paley",
-            if dprime.is_multiple_of(2) {
-                paley_supernode(2 * dprime as u64 + 1)
-            } else {
-                None
-            },
-        ),
-        ("BDF", bdf_supernode(dprime)),
+        ("InductiveQuad", inductive_quad(dprime).ok()),
+        ("Paley", paley_supernode(2 * dprime as u64 + 1).ok()),
+        ("BDF", bdf_supernode(dprime).ok()),
         ("Complete", Some(complete_supernode(dprime + 1))),
     ]
 }

@@ -1,0 +1,145 @@
+//! Fault recovery transient: inject a failure burst mid-measurement on
+//! the live engine, let the links return, and measure how long the
+//! network takes to re-converge to its baseline latency.
+//!
+//! Where `fault_sweep` degrades the topology *before* the run, this
+//! binary exercises the live-fault subsystem: a [`FaultSchedule`] fails
+//! a seeded random link set at `fail_cycle` (a quarter into the
+//! measurement window) and recovers it at `recover_cycle` (halfway in).
+//! A [`TransientMonitor`] buckets deliveries by cycle; the recovery time
+//! is the first post-recovery bucket whose mean latency re-enters 1.2×
+//! the pre-failure baseline.
+//!
+//! CSV `topology,load,burst_fraction,fail_cycle,recover_cycle,baseline_latency,peak_latency,faulted_in_flight,rerouted,recovery_cycles`
+//! (`recovery_cycles` is empty when the run never settles). `--quick`
+//! shrinks cycles for smoke tests; `--only <key>` restricts topologies;
+//! `--engine-threads <n>` shards each run; `--metrics-dir <path>` writes
+//! one `RunManifest` JSON per topology.
+
+use bench::manifest::file_stem;
+use bench::{
+    engine_threads, metrics_dir, only_filter, quick_mode, table3_network, RunManifest, TABLE3_KEYS,
+};
+use polarstar_netsim::routing::{RouteTable, RoutingKind};
+use polarstar_netsim::stats::recovery_analysis;
+use polarstar_netsim::{
+    simulate_monitored, MetricsMonitor, PairMonitor, Pattern, SimConfig, TransientMonitor,
+};
+use polarstar_topo::FaultSchedule;
+use rayon::prelude::*;
+
+/// Same default subset as `fault_sweep`: the low-diameter fabrics whose
+/// fault behavior the paper contrasts.
+const DEFAULT_KEYS: [&str; 3] = ["PS-IQ", "SF", "DF"];
+
+/// Burst sampling seed, shared with `fault_sweep` so the failed link
+/// sets nest across the two experiments.
+const FAULT_SEED: u64 = 0xFA17;
+
+fn main() {
+    let quick = quick_mode();
+    let keys: Vec<&str> = match only_filter() {
+        Some(only) => TABLE3_KEYS
+            .into_iter()
+            .filter(|k| only.iter().any(|o| k.contains(o.as_str())))
+            .collect(),
+        None => DEFAULT_KEYS.to_vec(),
+    };
+    let cfg = SimConfig {
+        warmup_cycles: if quick { 300 } else { 1_500 },
+        measure_cycles: if quick { 1_200 } else { 8_000 },
+        drain_cycles: if quick { 4_000 } else { 30_000 },
+        seed: 2024,
+        threads: engine_threads(),
+        ..SimConfig::default()
+    };
+    let fail_cycle = cfg.warmup_cycles + cfg.measure_cycles / 4;
+    let recover_cycle = cfg.warmup_cycles + cfg.measure_cycles / 2;
+    let burst_fraction = 0.05;
+    let bucket = if quick { 100 } else { 250 };
+    let load = 0.25;
+
+    println!(
+        "topology,load,burst_fraction,fail_cycle,recover_cycle,\
+         baseline_latency,peak_latency,faulted_in_flight,rerouted,recovery_cycles"
+    );
+    let rows: Vec<Result<(String, RunManifest), String>> = keys
+        .par_iter()
+        .map(|&key| {
+            let spec = table3_network(key).map_err(|e| format!("{key}: {e}"))?;
+            let schedule = FaultSchedule::random_burst(
+                &spec.graph,
+                burst_fraction,
+                FAULT_SEED,
+                fail_cycle,
+                Some(recover_cycle),
+            );
+            let table = RouteTable::for_spec(&spec);
+            let run_cfg = SimConfig {
+                fault_schedule: Some(schedule),
+                ..cfg.clone()
+            };
+            let mut mon = PairMonitor(
+                MetricsMonitor::new(if quick { 64 } else { 256 }),
+                TransientMonitor::new(bucket),
+            );
+            let r = simulate_monitored(
+                &spec,
+                &table,
+                RoutingKind::MinMulti,
+                &Pattern::Uniform,
+                load,
+                &run_cfg,
+                &mut mon,
+            );
+            let a = recovery_analysis(&mon.1.series(), fail_cycle, recover_cycle, 1.2);
+            let recovery = a.recovery_cycles.map(|c| c.to_string()).unwrap_or_default();
+            let row = format!(
+                "{key},{load},{burst_fraction},{fail_cycle},{recover_cycle},\
+                 {:.2},{:.2},{},{},{recovery}",
+                a.baseline_latency, a.peak_latency, r.faulted_in_flight, r.rerouted
+            );
+            let mut m = RunManifest::for_network(key, &spec).with_sim(
+                "MIN",
+                "uniform",
+                load,
+                &run_cfg,
+                mon.0.report(),
+            );
+            m.push_extra("burst_fraction", burst_fraction);
+            m.push_extra("fail_cycle", fail_cycle as f64);
+            m.push_extra("recover_cycle", recover_cycle as f64);
+            m.push_extra("baseline_latency", a.baseline_latency);
+            m.push_extra("peak_latency", a.peak_latency);
+            m.push_extra("faulted_in_flight", r.faulted_in_flight as f64);
+            m.push_extra("rerouted", r.rerouted as f64);
+            m.push_extra(
+                "recovery_cycles",
+                a.recovery_cycles.map(|c| c as f64).unwrap_or(f64::NAN),
+            );
+            Ok((row, m))
+        })
+        .collect();
+    let mut failed = false;
+    for (key, res) in keys.iter().zip(&rows) {
+        match res {
+            Ok((row, m)) => {
+                println!("{row}");
+                if let Some(dir) = metrics_dir() {
+                    let stem = file_stem(&format!("fault_recovery_{key}"));
+                    if let Err(e) = m.write(&dir, &stem) {
+                        eprintln!("fault_recovery: writing manifest for {key}: {e}");
+                        failed = true;
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("fault_recovery: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -64,18 +64,34 @@ fn main() {
     let tol = if quick { 0.1 } else { 0.02 };
     let iters = if quick { 1 } else { 2 };
 
+    // Resolve every topology once up front so a misconfigured key is a
+    // clean diagnostic, not a worker panic mid-sweep.
+    let mut nets = Vec::new();
+    let mut errors: Vec<String> = Vec::new();
+    for &key in &keys {
+        match table3_network(key) {
+            Ok(net) => nets.push((key, net)),
+            Err(e) => errors.push(format!("{key}: {e}")),
+        }
+    }
+    if !errors.is_empty() {
+        for e in &errors {
+            eprintln!("error: {e}");
+        }
+        std::process::exit(1);
+    }
+
     println!("topology,failed_fraction,failed_links,saturation_load,unroutable,allreduce_us");
-    let jobs: Vec<(&str, f64)> = keys
+    let jobs: Vec<(&str, &_, f64)> = nets
         .iter()
-        .flat_map(|&k| fractions.iter().map(move |&f| (k, f)))
+        .flat_map(|(k, net)| fractions.iter().map(move |&f| (*k, net, f)))
         .collect();
     let rows: Vec<(String, RunManifest)> = jobs
         .par_iter()
-        .map(|&(key, fraction)| {
-            let pristine = table3_network(key).expect("Table 3 config");
+        .map(|&(key, pristine, fraction)| {
             let faults = FaultSet::random_links(&pristine.graph, fraction, FAULT_SEED);
             let failed = faults.failed_edge_count(&pristine.graph);
-            let spec = pristine.with_faults(faults);
+            let spec = pristine.clone().with_faults(faults);
             let table = RouteTable::for_spec(&spec);
             let sat = saturation_search(
                 &spec,
@@ -136,7 +152,7 @@ fn main() {
         println!("{row}");
     }
     if let Some(dir) = metrics_dir() {
-        for ((key, fraction), (_, m)) in jobs.iter().zip(&rows) {
+        for ((key, _, fraction), (_, m)) in jobs.iter().zip(&rows) {
             let stem = file_stem(&format!("fault_{key}_{fraction}"));
             m.write(&dir, &stem).expect("write manifest");
         }

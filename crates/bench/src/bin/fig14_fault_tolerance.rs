@@ -10,10 +10,17 @@ fn main() {
     let quick = quick_mode();
     let trials = if quick { 9 } else { 101 };
     let keys = ["PS-IQ", "BF", "DF", "HX", "SF", "MF", "FT"];
+    let mut errors: Vec<String> = Vec::new();
     println!("topology,failed_fraction,diameter,avg_path_length,connected");
     eprintln!("# disconnection ratios (median over {trials} trials):");
     for key in keys {
-        let net = table3_network(key).expect("Table 3 config");
+        let net = match table3_network(key) {
+            Ok(net) => net,
+            Err(e) => {
+                errors.push(format!("{key}: {e}"));
+                continue;
+            }
+        };
         let relevant = net.endpoint_routers();
         let (median, ratios) = median_trajectory(&net.graph, &relevant, 0.05, 48, trials, 1234);
         for step in &median.steps {
@@ -30,5 +37,11 @@ fn main() {
             );
         }
         eprintln!("#   {key}: median {:.2}", ratios[ratios.len() / 2]);
+    }
+    if !errors.is_empty() {
+        for e in &errors {
+            eprintln!("error: {e}");
+        }
+        std::process::exit(1);
     }
 }

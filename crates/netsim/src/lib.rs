@@ -49,9 +49,10 @@ mod sharded;
 pub mod stats;
 pub mod traffic;
 
-pub use engine::{simulate, simulate_monitored, SimConfig, SimResult};
+pub use engine::{simulate, simulate_monitored, FaultResponse, SimConfig, SimResult};
 pub use monitor::{
-    MetricsMonitor, MetricsReport, NoopMonitor, ShardableMonitor, SimMonitor, StallCause,
+    MetricsMonitor, MetricsReport, NoopMonitor, PairMonitor, ShardableMonitor, SimMonitor,
+    StallCause, TransientMonitor, WatchdogDiag,
 };
 pub use routing::{RouteTable, RoutingKind};
 pub use traffic::Pattern;

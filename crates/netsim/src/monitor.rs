@@ -21,6 +21,59 @@ pub enum StallCause {
     VcAllocation,
     /// The output port was still serializing a previous packet.
     Crossbar,
+    /// The chosen output port crosses a link a live fault event killed.
+    /// Only a stale control plane ([`FaultResponse::Stale`]) keeps
+    /// routing packets at dead links, so this counter measures how hard
+    /// an unconverged network grinds against physical reality.
+    ///
+    /// [`FaultResponse::Stale`]: crate::engine::FaultResponse::Stale
+    DeadLink,
+}
+
+/// Diagnostic snapshot the watchdog takes when it terminates a wedged
+/// run: what sat where, for how long, and what starved. In sharded runs
+/// every shard snapshots its own routers and the parts merge (sums,
+/// element-wise VC sums, max age) in ascending shard order — the result
+/// is identical at any thread count.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WatchdogDiag {
+    /// Cycle the watchdog terminated the run at.
+    pub fired_at: u64,
+    /// Consecutive zero-delivery cycles observed with packets buffered.
+    pub stalled_cycles: u64,
+    /// Packets stuck in input queues network-wide.
+    pub buffered_packets: u64,
+    /// Stuck packets per virtual channel (index = VC).
+    pub vc_occupancy: Vec<u64>,
+    /// (port, VC) credit counters at zero — exhausted downstream buffers.
+    pub zero_credit_ports: usize,
+    /// Total (port, VC) credit counters, for scale.
+    pub total_credit_ports: usize,
+    /// Age (cycles since generation) of the oldest buffered packet.
+    pub oldest_packet_age: u64,
+    /// Sample of routers holding stuck traffic (up to 8 per shard,
+    /// ascending router id within each shard).
+    pub stuck_routers: Vec<u32>,
+}
+
+impl WatchdogDiag {
+    /// Fold another shard's snapshot into this one (same firing cycle).
+    pub fn merge(&mut self, other: &WatchdogDiag) {
+        debug_assert_eq!(self.fired_at, other.fired_at);
+        self.stalled_cycles = self.stalled_cycles.max(other.stalled_cycles);
+        self.buffered_packets += other.buffered_packets;
+        for (a, b) in self.vc_occupancy.iter_mut().zip(&other.vc_occupancy) {
+            *a += b;
+        }
+        self.zero_credit_ports += other.zero_credit_ports;
+        self.total_credit_ports += other.total_credit_ports;
+        self.oldest_packet_age = self.oldest_packet_age.max(other.oldest_packet_age);
+        // Keep the sample at the sequential engine's size (the 8 lowest
+        // router ids) so merged shard diags stay bit-identical to it.
+        self.stuck_routers.extend_from_slice(&other.stuck_routers);
+        self.stuck_routers.sort_unstable();
+        self.stuck_routers.truncate(8);
+    }
 }
 
 /// Engine instrumentation hooks. Every method has an empty default, so a
@@ -49,13 +102,17 @@ pub trait SimMonitor {
     /// could not accept this cycle.
     fn on_injection_backpressure(&mut self, _router: u32) {}
 
-    /// A packet reached its destination endpoint.
-    fn on_packet_delivered(&mut self, _latency: u64, _hops: u32, _measured: bool) {}
+    /// A packet reached its destination endpoint at cycle `now`.
+    fn on_packet_delivered(&mut self, _now: u64, _latency: u64, _hops: u32, _measured: bool) {}
 
     /// An endpoint on `router` generated a packet the fault-degraded
     /// network cannot route (dead source/destination router or a
     /// disconnected pair); the packet was dropped at injection.
     fn on_unroutable(&mut self, _router: u32) {}
+
+    /// The watchdog terminated a wedged run; `diag` is this shard's
+    /// snapshot of the stuck state.
+    fn on_watchdog(&mut self, _diag: &WatchdogDiag) {}
 
     /// Called once after the last cycle.
     fn on_run_end(&mut self, _cycles: u64) {}
@@ -112,11 +169,14 @@ impl<M: SimMonitor> SimMonitor for &mut M {
     fn on_injection_backpressure(&mut self, router: u32) {
         (**self).on_injection_backpressure(router)
     }
-    fn on_packet_delivered(&mut self, latency: u64, hops: u32, measured: bool) {
-        (**self).on_packet_delivered(latency, hops, measured)
+    fn on_packet_delivered(&mut self, now: u64, latency: u64, hops: u32, measured: bool) {
+        (**self).on_packet_delivered(now, latency, hops, measured)
     }
     fn on_unroutable(&mut self, router: u32) {
         (**self).on_unroutable(router)
+    }
+    fn on_watchdog(&mut self, diag: &WatchdogDiag) {
+        (**self).on_watchdog(diag)
     }
     fn on_run_end(&mut self, cycles: u64) {
         (**self).on_run_end(cycles)
@@ -220,6 +280,7 @@ pub struct MetricsMonitor {
     stall_credit: u64,
     stall_vc: u64,
     stall_crossbar: u64,
+    stall_dead_link: u64,
     injection_backpressure: u64,
     unroutable: u64,
     delivered: u64,
@@ -227,6 +288,7 @@ pub struct MetricsMonitor {
     latency: LatencyHistogram,
     hops_sum: u64,
     cycles: u64,
+    watchdog: Option<WatchdogDiag>,
 }
 
 impl MetricsMonitor {
@@ -241,6 +303,7 @@ impl MetricsMonitor {
             stall_credit: 0,
             stall_vc: 0,
             stall_crossbar: 0,
+            stall_dead_link: 0,
             injection_backpressure: 0,
             unroutable: 0,
             delivered: 0,
@@ -248,6 +311,7 @@ impl MetricsMonitor {
             latency: LatencyHistogram::default(),
             hops_sum: 0,
             cycles: 0,
+            watchdog: None,
         }
     }
 
@@ -289,6 +353,7 @@ impl MetricsMonitor {
             stall_credit: self.stall_credit,
             stall_vc_alloc: self.stall_vc,
             stall_crossbar: self.stall_crossbar,
+            stall_dead_link: self.stall_dead_link,
             injection_backpressure: self.injection_backpressure,
             unroutable: self.unroutable,
             delivered_packets: self.delivered,
@@ -303,6 +368,7 @@ impl MetricsMonitor {
             latency_p99: self.latency.quantile(0.99),
             latency_p999: self.latency.quantile(0.999),
             vc_occupancy,
+            watchdog: self.watchdog.clone(),
         }
     }
 
@@ -348,6 +414,7 @@ impl SimMonitor for MetricsMonitor {
             StallCause::CreditStarved => self.stall_credit += 1,
             StallCause::VcAllocation => self.stall_vc += 1,
             StallCause::Crossbar => self.stall_crossbar += 1,
+            StallCause::DeadLink => self.stall_dead_link += 1,
         }
     }
 
@@ -355,7 +422,7 @@ impl SimMonitor for MetricsMonitor {
         self.injection_backpressure += 1;
     }
 
-    fn on_packet_delivered(&mut self, latency: u64, hops: u32, measured: bool) {
+    fn on_packet_delivered(&mut self, _now: u64, latency: u64, hops: u32, measured: bool) {
         self.delivered += 1;
         self.hops_sum += hops as u64;
         if measured {
@@ -366,6 +433,13 @@ impl SimMonitor for MetricsMonitor {
 
     fn on_unroutable(&mut self, _router: u32) {
         self.unroutable += 1;
+    }
+
+    fn on_watchdog(&mut self, diag: &WatchdogDiag) {
+        match &mut self.watchdog {
+            Some(d) => d.merge(diag),
+            None => self.watchdog = Some(diag.clone()),
+        }
     }
 
     fn on_run_end(&mut self, cycles: u64) {
@@ -383,6 +457,7 @@ impl ShardableMonitor for MetricsMonitor {
             stall_credit: 0,
             stall_vc: 0,
             stall_crossbar: 0,
+            stall_dead_link: 0,
             injection_backpressure: 0,
             unroutable: 0,
             delivered: 0,
@@ -390,6 +465,7 @@ impl ShardableMonitor for MetricsMonitor {
             latency: LatencyHistogram::default(),
             hops_sum: 0,
             cycles: 0,
+            watchdog: None,
         }
     }
 
@@ -418,6 +494,7 @@ impl ShardableMonitor for MetricsMonitor {
         self.stall_credit += shard.stall_credit;
         self.stall_vc += shard.stall_vc;
         self.stall_crossbar += shard.stall_crossbar;
+        self.stall_dead_link += shard.stall_dead_link;
         self.injection_backpressure += shard.injection_backpressure;
         self.unroutable += shard.unroutable;
         self.delivered += shard.delivered;
@@ -425,6 +502,12 @@ impl ShardableMonitor for MetricsMonitor {
         self.latency.merge(&shard.latency);
         self.hops_sum += shard.hops_sum;
         self.cycles = self.cycles.max(shard.cycles);
+        if let Some(d) = shard.watchdog {
+            match &mut self.watchdog {
+                Some(mine) => mine.merge(&d),
+                None => self.watchdog = Some(d),
+            }
+        }
     }
 }
 
@@ -461,6 +544,9 @@ pub struct MetricsReport {
     pub stall_vc_alloc: u64,
     /// Head-packet stalls: output still serializing.
     pub stall_crossbar: u64,
+    /// Head-packet stalls: chosen output crosses a dead link (stale
+    /// control plane only).
+    pub stall_dead_link: u64,
     /// Generated packets that found a full injection buffer.
     pub injection_backpressure: u64,
     /// Generated packets dropped at injection with no surviving path
@@ -482,6 +568,9 @@ pub struct MetricsReport {
     pub latency_p999: f64,
     /// Per-VC occupancy summaries (index = VC).
     pub vc_occupancy: Vec<VcOccupancy>,
+    /// Present when the watchdog terminated the run: the merged
+    /// diagnostic snapshot of the wedged network.
+    pub watchdog: Option<WatchdogDiag>,
 }
 
 /// Format a float for JSON: finite values as-is, non-finite as `null`.
@@ -508,14 +597,39 @@ impl MetricsReport {
                 )
             })
             .collect();
+        let watchdog = match &self.watchdog {
+            None => "null".to_string(),
+            Some(d) => format!(
+                "{{\"fired_at\":{},\"stalled_cycles\":{},\"buffered_packets\":{},\
+                 \"vc_occupancy\":[{}],\"zero_credit_ports\":{},\
+                 \"total_credit_ports\":{},\"oldest_packet_age\":{},\
+                 \"stuck_routers\":[{}]}}",
+                d.fired_at,
+                d.stalled_cycles,
+                d.buffered_packets,
+                d.vc_occupancy
+                    .iter()
+                    .map(|o| o.to_string())
+                    .collect::<Vec<_>>()
+                    .join(","),
+                d.zero_credit_ports,
+                d.total_credit_ports,
+                d.oldest_packet_age,
+                d.stuck_routers
+                    .iter()
+                    .map(|r| r.to_string())
+                    .collect::<Vec<_>>()
+                    .join(","),
+            ),
+        };
         format!(
             "{{\"cycles\":{},\"links\":{},\"busy_links\":{},\
              \"mean_link_utilization\":{},\"max_link_utilization\":{},\
-             \"stalls\":{{\"credit\":{},\"vc_alloc\":{},\"crossbar\":{}}},\
+             \"stalls\":{{\"credit\":{},\"vc_alloc\":{},\"crossbar\":{},\"dead_link\":{}}},\
              \"injection_backpressure\":{},\"unroutable\":{},\
              \"delivered_packets\":{},\"delivered_measured\":{},\"avg_hops\":{},\
              \"latency\":{{\"mean\":{},\"p50\":{},\"p99\":{},\"p999\":{}}},\
-             \"vc_occupancy\":[{}]}}",
+             \"vc_occupancy\":[{}],\"watchdog\":{}}}",
             self.cycles,
             self.links,
             self.busy_links,
@@ -524,6 +638,7 @@ impl MetricsReport {
             self.stall_credit,
             self.stall_vc_alloc,
             self.stall_crossbar,
+            self.stall_dead_link,
             self.injection_backpressure,
             self.unroutable,
             self.delivered_packets,
@@ -533,8 +648,155 @@ impl MetricsReport {
             json_f64(self.latency_p50),
             json_f64(self.latency_p99),
             json_f64(self.latency_p999),
-            vcs.join(",")
+            vcs.join(","),
+            watchdog
         )
+    }
+}
+
+/// Cycle-bucketed delivery series for transient analysis: how many
+/// packets landed, and at what mean latency, in each window of
+/// `bucket_cycles` — the raw material for fault-recovery curves (latency
+/// spike at the failure burst, decay after links return).
+///
+/// Counts every delivery (warmup, measurement, drain): a transient does
+/// not care about measurement windows. Merging forks is an element-wise
+/// sum, so the series is bit-identical at any engine thread count.
+#[derive(Clone, Debug)]
+pub struct TransientMonitor {
+    bucket_cycles: u64,
+    delivered: Vec<u64>,
+    latency_sum: Vec<u64>,
+    cycles: u64,
+}
+
+impl TransientMonitor {
+    /// Bucket deliveries into windows of `bucket_cycles` cycles.
+    pub fn new(bucket_cycles: u64) -> Self {
+        TransientMonitor {
+            bucket_cycles: bucket_cycles.max(1),
+            delivered: Vec::new(),
+            latency_sum: Vec::new(),
+            cycles: 0,
+        }
+    }
+
+    /// The bucket width in cycles.
+    pub fn bucket_cycles(&self) -> u64 {
+        self.bucket_cycles
+    }
+
+    /// `(bucket_start_cycle, delivered, mean_latency)` per bucket, in
+    /// time order. Empty buckets report a mean latency of 0.
+    pub fn series(&self) -> Vec<(u64, u64, f64)> {
+        self.delivered
+            .iter()
+            .zip(&self.latency_sum)
+            .enumerate()
+            .map(|(b, (&d, &ls))| {
+                let mean = if d == 0 { 0.0 } else { ls as f64 / d as f64 };
+                (b as u64 * self.bucket_cycles, d, mean)
+            })
+            .collect()
+    }
+}
+
+impl SimMonitor for TransientMonitor {
+    fn on_packet_delivered(&mut self, now: u64, latency: u64, _hops: u32, _measured: bool) {
+        let b = (now / self.bucket_cycles) as usize;
+        if b >= self.delivered.len() {
+            self.delivered.resize(b + 1, 0);
+            self.latency_sum.resize(b + 1, 0);
+        }
+        self.delivered[b] += 1;
+        self.latency_sum[b] += latency;
+    }
+
+    fn on_run_end(&mut self, cycles: u64) {
+        self.cycles = cycles;
+    }
+}
+
+impl ShardableMonitor for TransientMonitor {
+    fn fork(&self) -> Self {
+        TransientMonitor::new(self.bucket_cycles)
+    }
+
+    fn absorb(&mut self, shard: Self) {
+        if shard.delivered.len() > self.delivered.len() {
+            self.delivered.resize(shard.delivered.len(), 0);
+            self.latency_sum.resize(shard.latency_sum.len(), 0);
+        }
+        for (b, d) in shard.delivered.iter().enumerate() {
+            self.delivered[b] += d;
+        }
+        for (b, ls) in shard.latency_sum.iter().enumerate() {
+            self.latency_sum[b] += ls;
+        }
+        self.cycles = self.cycles.max(shard.cycles);
+    }
+}
+
+/// Run two monitors side by side in one simulation (e.g. a
+/// [`MetricsMonitor`] for the manifest plus a [`TransientMonitor`] for
+/// the recovery curve). Every hook forwards to both halves; when both
+/// request VC sampling the finer interval wins.
+#[derive(Clone, Debug)]
+pub struct PairMonitor<A, B>(pub A, pub B);
+
+impl<A: SimMonitor, B: SimMonitor> SimMonitor for PairMonitor<A, B> {
+    fn on_run_start(&mut self, spec: &NetworkSpec, cfg: &SimConfig) {
+        self.0.on_run_start(spec, cfg);
+        self.1.on_run_start(spec, cfg);
+    }
+    fn sample_interval(&self) -> Option<u64> {
+        match (self.0.sample_interval(), self.1.sample_interval()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+    fn on_vc_sample(&mut self, now: u64, vc: usize, occupied_packets: u64) {
+        self.0.on_vc_sample(now, vc, occupied_packets);
+        self.1.on_vc_sample(now, vc, occupied_packets);
+    }
+    fn on_link_flit(&mut self, router: u32, port: usize, flits: u32) {
+        self.0.on_link_flit(router, port, flits);
+        self.1.on_link_flit(router, port, flits);
+    }
+    fn on_stall(&mut self, router: u32, cause: StallCause) {
+        self.0.on_stall(router, cause);
+        self.1.on_stall(router, cause);
+    }
+    fn on_injection_backpressure(&mut self, router: u32) {
+        self.0.on_injection_backpressure(router);
+        self.1.on_injection_backpressure(router);
+    }
+    fn on_packet_delivered(&mut self, now: u64, latency: u64, hops: u32, measured: bool) {
+        self.0.on_packet_delivered(now, latency, hops, measured);
+        self.1.on_packet_delivered(now, latency, hops, measured);
+    }
+    fn on_unroutable(&mut self, router: u32) {
+        self.0.on_unroutable(router);
+        self.1.on_unroutable(router);
+    }
+    fn on_watchdog(&mut self, diag: &WatchdogDiag) {
+        self.0.on_watchdog(diag);
+        self.1.on_watchdog(diag);
+    }
+    fn on_run_end(&mut self, cycles: u64) {
+        self.0.on_run_end(cycles);
+        self.1.on_run_end(cycles);
+    }
+}
+
+impl<A: ShardableMonitor, B: ShardableMonitor> ShardableMonitor for PairMonitor<A, B> {
+    fn fork(&self) -> Self {
+        PairMonitor(self.0.fork(), self.1.fork())
+    }
+
+    fn absorb(&mut self, shard: Self) {
+        self.0.absorb(shard.0);
+        self.1.absorb(shard.1);
     }
 }
 
@@ -581,7 +843,7 @@ mod tests {
         m.on_stall(0, StallCause::CreditStarved);
         m.on_injection_backpressure(1);
         m.on_vc_sample(8, 0, 3);
-        m.on_packet_delivered(12, 2, true);
+        m.on_packet_delivered(20, 12, 2, true);
         m.on_run_end(100);
         let rep = m.report();
         assert_eq!(rep.links, 6); // K3: 3 edges, 6 directed ports
@@ -627,11 +889,11 @@ mod tests {
         for &(r, lat) in &events {
             direct.on_link_flit(r, 0, 4);
             direct.on_stall(r, StallCause::VcAllocation);
-            direct.on_packet_delivered(lat, 2, true);
+            direct.on_packet_delivered(100, lat, 2, true);
             let f = &mut forks[(r % 2) as usize];
             f.on_link_flit(r, 0, 4);
             f.on_stall(r, StallCause::VcAllocation);
-            f.on_packet_delivered(lat, 2, true);
+            f.on_packet_delivered(100, lat, 2, true);
         }
         for vc in 0..cfg.vcs {
             direct.on_vc_sample(8, vc, 6);

@@ -174,6 +174,36 @@ impl RouteTable {
         Self::hierarchical_with(g, &degraded, group, |r, nb| !faults.link_failed(r, nb))
     }
 
+    /// Rebuild the distance and minimal-port layers for a new cumulative
+    /// fault set, reusing this table's pristine neighbor CSR — and with
+    /// it the port numbering the engine's flattened state is indexed by.
+    ///
+    /// This is the route-table *epoch* path of live fault schedules: per
+    /// epoch only the BFS layers are recomputed; the CSR is cloned, never
+    /// re-derived from the graph, so port indices stay valid across the
+    /// switch. The policy and group structure come from `spec` (which
+    /// must be the spec this table was built for).
+    pub fn remask(&self, spec: &NetworkSpec, faults: &FaultSet) -> RouteTable {
+        let n = self.n;
+        assert_eq!(spec.graph.n(), n, "spec does not match this table");
+        let csr = (self.nbr_offsets.clone(), self.nbrs.clone());
+        let degraded = faults.degraded_graph(&spec.graph);
+        match spec.routing_policy() {
+            RoutingPolicy::FlatMinimal => {
+                let dists: Vec<Vec<u32>> = (0..n as u32)
+                    .into_par_iter()
+                    .map(|dst| polarstar_graph::traversal::bfs_distances(&degraded, dst))
+                    .collect();
+                Self::assemble_from(csr, &dists, |r, nb| !faults.link_failed(r, nb))
+            }
+            RoutingPolicy::HierarchicalMinimal => {
+                Self::hierarchical_from(csr, &degraded, &spec.group, |r, nb| {
+                    !faults.link_failed(r, nb)
+                })
+            }
+        }
+    }
+
     /// Shared hierarchical assembly: distances over `routed` (the
     /// possibly-degraded view), CSR and port numbering over the pristine
     /// `g`, `alive` masking the minimal-port sets.
@@ -183,10 +213,22 @@ impl RouteTable {
         group: &[u32],
         alive: F,
     ) -> Self {
-        let n = g.n();
+        assert_eq!(routed.n(), g.n());
+        assert!(g.max_degree() < 256, "ports are stored as u8");
+        Self::hierarchical_from(neighbor_csr(g), routed, group, alive)
+    }
+
+    /// Hierarchical assembly over a pre-built (pristine) neighbor CSR —
+    /// the route-table-epoch path reuses an existing table's CSR here.
+    fn hierarchical_from<F: Fn(u32, u32) -> bool + Sync>(
+        (nbr_offsets, nbrs): (Vec<u32>, Vec<u32>),
+        routed: &Graph,
+        group: &[u32],
+        alive: F,
+    ) -> Self {
+        let n = nbr_offsets.len() - 1;
         assert_eq!(group.len(), n);
         assert_eq!(routed.n(), n);
-        assert!(g.max_degree() < 256, "ports are stored as u8");
         let per_dst: Vec<(Vec<u32>, Vec<u32>)> = (0..n as u32)
             .into_par_iter()
             .map(|dst| {
@@ -195,7 +237,6 @@ impl RouteTable {
                 (d0, d1)
             })
             .collect();
-        let (nbr_offsets, nbrs) = neighbor_csr(g);
         let mut dist = vec![0u16; n * n];
         for (dst, (_, d1)) in per_dst.iter().enumerate() {
             for (r, &x) in d1.iter().enumerate() {
@@ -244,7 +285,17 @@ impl RouteTable {
     /// over the pristine neighbor CSR; `alive` masks failed directed
     /// links out of the minimal-port sets.
     fn assemble<F: Fn(u32, u32) -> bool>(g: &Graph, dists: &[Vec<u32>], alive: F) -> Self {
-        let n = g.n();
+        Self::assemble_from(neighbor_csr(g), dists, alive)
+    }
+
+    /// Flat assembly over a pre-built (pristine) neighbor CSR — the
+    /// route-table-epoch path reuses an existing table's CSR here.
+    fn assemble_from<F: Fn(u32, u32) -> bool>(
+        (nbr_offsets, nbrs): (Vec<u32>, Vec<u32>),
+        dists: &[Vec<u32>],
+        alive: F,
+    ) -> Self {
+        let n = nbr_offsets.len() - 1;
         let mut dist = vec![0u16; n * n];
         for (dst, d) in dists.iter().enumerate() {
             for (r, &x) in d.iter().enumerate() {
@@ -252,7 +303,6 @@ impl RouteTable {
             }
         }
         // Minimal ports per (r, dst).
-        let (nbr_offsets, nbrs) = neighbor_csr(g);
         let mut port_offsets = Vec::with_capacity(n * n + 1);
         // Every reachable ordered pair contributes at least one minimal
         // port, so n·(n−1) is a lower bound on the arena size.
@@ -700,6 +750,59 @@ mod tests {
             .with_faults(FaultSet::from_links([(0, 1)]));
         let t = RouteTable::for_spec(&spec);
         assert_eq!(t.distance(0, 1), 7);
+    }
+
+    /// Pointwise table equality (RouteTable deliberately has no PartialEq:
+    /// production code should never compare whole tables).
+    fn assert_tables_equal(a: &RouteTable, b: &RouteTable) {
+        assert_eq!(a.n(), b.n());
+        for r in 0..a.n() as u32 {
+            assert_eq!(a.neighbors(r), b.neighbors(r), "CSR row {r}");
+            for dst in 0..a.n() as u32 {
+                assert_eq!(a.distance(r, dst), b.distance(r, dst), "{r}→{dst}");
+                assert_eq!(a.min_ports(r, dst), b.min_ports(r, dst), "{r}→{dst}");
+            }
+        }
+    }
+
+    #[test]
+    fn remask_matches_fresh_masked_build() {
+        use polarstar_topo::FaultSet;
+        let g = polarstar_graph::random::random_regular(24, 4, 11).unwrap();
+        let spec = polarstar_topo::NetworkSpec::uniform("rr24", g.clone(), 1);
+        let pristine = RouteTable::for_spec(&spec);
+        let f = FaultSet::random_links(&g, 0.1, 5);
+        assert_tables_equal(&pristine.remask(&spec, &f), &RouteTable::new_masked(&g, &f));
+        // Remasking back to the empty set restores the pristine table.
+        assert_tables_equal(&pristine.remask(&spec, &FaultSet::empty()), &pristine);
+    }
+
+    #[test]
+    fn remask_matches_fresh_hierarchical_build() {
+        use polarstar_topo::{FaultSet, RoutingPolicy};
+        let df = polarstar_topo::dragonfly::dragonfly(polarstar_topo::dragonfly::DragonflyParams {
+            a: 4,
+            h: 2,
+            p: 1,
+        });
+        let spec = polarstar_topo::NetworkSpec::new(
+            "df",
+            df.graph.clone(),
+            df.endpoints.clone(),
+            df.group.clone(),
+        )
+        .with_policy(RoutingPolicy::HierarchicalMinimal);
+        let pristine = RouteTable::for_spec(&spec);
+        let (u, v) = df
+            .graph
+            .edges()
+            .find(|&(u, v)| df.group[u as usize] != df.group[v as usize])
+            .unwrap();
+        let f = FaultSet::from_links([(u, v)]);
+        assert_tables_equal(
+            &pristine.remask(&spec, &f),
+            &RouteTable::hierarchical_masked(&df.graph, &df.group, &f),
+        );
     }
 
     #[test]

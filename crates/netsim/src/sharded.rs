@@ -78,6 +78,8 @@ impl SpinBarrier {
 struct Progress {
     generated: AtomicU64,
     ejected: AtomicU64,
+    faulted: AtomicU64,
+    delivered: AtomicU64,
     active: AtomicBool,
 }
 
@@ -118,6 +120,11 @@ pub(crate) fn run<M: ShardableMonitor>(
                     let mut scratch: Vec<(u64, Ev)> = Vec::new();
                     let mut now = 0u64;
                     let mut cycles = ctx.hard_end;
+                    // Watchdog state: every thread derives it from the
+                    // same post-barrier snapshot, so all shards reach
+                    // the same stall verdict at the same cycle.
+                    let mut last_delivered = 0u64;
+                    let mut stalled = 0u64;
                     while now < ctx.hard_end {
                         let parity = (now & 1) as usize;
                         // 1. Drain events published last cycle.
@@ -150,22 +157,52 @@ pub(crate) fn run<M: ShardableMonitor>(
                             .store(shard.stats.measured_generated(), Ordering::Relaxed);
                         p.ejected
                             .store(shard.stats.measured_ejected(), Ordering::Relaxed);
+                        p.faulted
+                            .store(shard.stats.measured_faulted(), Ordering::Relaxed);
+                        p.delivered
+                            .store(shard.stats.delivered_total(), Ordering::Relaxed);
                         p.active.store(!shard.active.is_empty(), Ordering::Relaxed);
                         // 4. Everyone sees everyone's publishes.
                         barrier.wait();
+                        // Watchdog — network-wide deliveries and
+                        // occupancy from the shared snapshot; identical
+                        // inputs mean every shard fires the same cycle.
+                        if let Some(wd) = ctx.cfg.watchdog_cycles {
+                            let mut delivered = 0u64;
+                            let mut any_active = false;
+                            for sid in 0..s {
+                                let p = &progress[parity * s + sid];
+                                delivered += p.delivered.load(Ordering::Relaxed);
+                                any_active |= p.active.load(Ordering::Relaxed);
+                            }
+                            if delivered == last_delivered && any_active {
+                                stalled += 1;
+                                if stalled >= wd {
+                                    mon.on_watchdog(&shard.watchdog_diag(now + 1, stalled));
+                                    shard.stats.set_watchdog_fired();
+                                    cycles = now + 1;
+                                    break;
+                                }
+                            } else {
+                                stalled = 0;
+                                last_delivered = delivered;
+                            }
+                        }
                         // Exit check — same snapshot on every shard, so
                         // every shard breaks at the same cycle.
                         if now + 1 >= ctx.end_measure {
                             let mut gen = 0u64;
                             let mut ej = 0u64;
+                            let mut faulted = 0u64;
                             let mut any_active = false;
                             for sid in 0..s {
                                 let p = &progress[parity * s + sid];
                                 gen += p.generated.load(Ordering::Relaxed);
                                 ej += p.ejected.load(Ordering::Relaxed);
+                                faulted += p.faulted.load(Ordering::Relaxed);
                                 any_active |= p.active.load(Ordering::Relaxed);
                             }
-                            if gen == ej && !any_active {
+                            if gen == ej + faulted && !any_active {
                                 cycles = now + 1;
                                 break;
                             }

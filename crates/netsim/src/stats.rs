@@ -134,6 +134,104 @@ pub fn saturation_search(
     lo
 }
 
+/// Transient analysis of a fault-recovery run, computed from a
+/// [`TransientMonitor`](crate::monitor::TransientMonitor) bucket series
+/// (`(bucket_start, delivered, mean_latency)` tuples in time order).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RecoveryAnalysis {
+    /// Mean delivered latency over the pre-failure baseline window.
+    pub baseline_latency: f64,
+    /// Worst bucket mean latency at or after the failure.
+    pub peak_latency: f64,
+    /// Cycles from the recovery event until the first bucket whose mean
+    /// latency re-enters `tolerance × baseline` (and which delivered at
+    /// least one packet). `None` if the run never settles.
+    pub recovery_cycles: Option<u64>,
+}
+
+/// Measure the latency transient of a fault burst: baseline over the
+/// buckets strictly before `fail_cycle`, peak from `fail_cycle` on, and
+/// time-to-recover after `recover_cycle`. Buckets that delivered nothing
+/// are skipped (their mean is undefined), so a wedged window delays
+/// recovery rather than faking it.
+pub fn recovery_analysis(
+    series: &[(u64, u64, f64)],
+    fail_cycle: u64,
+    recover_cycle: u64,
+    tolerance: f64,
+) -> RecoveryAnalysis {
+    let mut base_sum = 0.0;
+    let mut base_n = 0u64;
+    for &(start, delivered, mean) in series {
+        if start < fail_cycle && delivered > 0 {
+            base_sum += mean * delivered as f64;
+            base_n += delivered;
+        }
+    }
+    let baseline_latency = if base_n == 0 {
+        0.0
+    } else {
+        base_sum / base_n as f64
+    };
+    let peak_latency = series
+        .iter()
+        .filter(|&&(start, delivered, _)| start >= fail_cycle && delivered > 0)
+        .map(|&(_, _, mean)| mean)
+        .fold(baseline_latency, f64::max);
+    let threshold = baseline_latency * tolerance;
+    let recovery_cycles = series
+        .iter()
+        .filter(|&&(start, delivered, mean)| {
+            start >= recover_cycle && delivered > 0 && mean <= threshold
+        })
+        .map(|&(start, _, _)| start.saturating_sub(recover_cycle))
+        .next();
+    RecoveryAnalysis {
+        baseline_latency,
+        peak_latency,
+        recovery_cycles,
+    }
+}
+
+#[cfg(test)]
+mod recovery_tests {
+    use super::*;
+
+    #[test]
+    fn recovery_analysis_finds_transient_shape() {
+        // Baseline ~10, spike to 40 at the failure, settle after the
+        // links return at 300.
+        let series = vec![
+            (0, 50, 10.0),
+            (100, 50, 10.0),
+            (200, 30, 40.0),
+            (300, 40, 25.0),
+            (400, 50, 11.0),
+            (500, 50, 10.0),
+        ];
+        let a = recovery_analysis(&series, 200, 300, 1.2);
+        assert!((a.baseline_latency - 10.0).abs() < 1e-9);
+        assert!((a.peak_latency - 40.0).abs() < 1e-9);
+        assert_eq!(a.recovery_cycles, Some(100));
+    }
+
+    #[test]
+    fn recovery_analysis_reports_no_settle() {
+        let series = vec![(0, 50, 10.0), (100, 10, 90.0), (200, 5, 95.0)];
+        let a = recovery_analysis(&series, 100, 100, 1.2);
+        assert_eq!(a.recovery_cycles, None);
+        assert!(a.peak_latency > 90.0 - 1e-9);
+    }
+
+    #[test]
+    fn recovery_analysis_skips_empty_buckets() {
+        // The wedged window (0 delivered) cannot count as recovered.
+        let series = vec![(0, 50, 10.0), (100, 0, 0.0), (200, 50, 10.5)];
+        let a = recovery_analysis(&series, 100, 100, 1.2);
+        assert_eq!(a.recovery_cycles, Some(100));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

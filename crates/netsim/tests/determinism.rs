@@ -10,10 +10,10 @@ use polarstar::design::best_config;
 use polarstar::network::PolarStarNetwork;
 use polarstar_netsim::routing::{RouteTable, RoutingKind};
 use polarstar_netsim::traffic::Pattern;
-use polarstar_netsim::{simulate, simulate_monitored, MetricsMonitor, SimConfig};
+use polarstar_netsim::{simulate, simulate_monitored, FaultResponse, MetricsMonitor, SimConfig};
 use polarstar_topo::er::ErGraph;
 use polarstar_topo::network::NetworkSpec;
-use polarstar_topo::FaultSet;
+use polarstar_topo::{FaultSchedule, FaultSet};
 
 fn cfg(threads: Option<usize>) -> SimConfig {
     SimConfig {
@@ -149,6 +149,90 @@ fn metrics_monitor_totals_identical_across_thread_counts() {
         (r, mon.report())
     };
     let (base_result, base_report) = run(None);
+    for threads in [1usize, 2, 4] {
+        let (result, report) = run(Some(threads));
+        assert_eq!(base_result, result, "SimResult at threads={threads}");
+        assert_eq!(base_report, report, "MetricsReport at threads={threads}");
+    }
+}
+
+/// Live mid-run faults keep the contract: a failure burst plus recovery
+/// applied at cycle boundaries — with its epoch switches, in-flight
+/// drops, and re-routes — stays bit-identical (SimResult and
+/// MetricsReport) at every thread count.
+#[test]
+fn live_fault_schedule_identical_across_thread_counts() {
+    let spec = er5_spec();
+    let schedule = FaultSchedule::random_burst(&spec.graph, 0.12, 0xFA17, 350, Some(650))
+        .fail_router_at(400, 6)
+        .recover_router_at(700, 6);
+    let table = RouteTable::for_spec(&spec);
+    let run = |threads: Option<usize>| {
+        let mut mon = MetricsMonitor::new(64);
+        let r = simulate_monitored(
+            &spec,
+            &table,
+            RoutingKind::ugal4(),
+            &Pattern::Uniform,
+            0.4,
+            &SimConfig {
+                fault_schedule: Some(schedule.clone()),
+                ..cfg(threads)
+            },
+            &mut mon,
+        );
+        (r, mon.report())
+    };
+    let (base_result, base_report) = run(None);
+    assert!(
+        base_result.faulted_in_flight > 0 || base_result.rerouted > 0,
+        "burst had no observable effect: {base_result:?}"
+    );
+    for threads in [1usize, 2, 4] {
+        let (result, report) = run(Some(threads));
+        assert_eq!(base_result, result, "SimResult at threads={threads}");
+        assert_eq!(base_report, report, "MetricsReport at threads={threads}");
+    }
+}
+
+/// A watchdog-terminated run is deterministic too: every shard reaches
+/// the stall verdict from the same snapshot, so the firing cycle, the
+/// diagnostic snapshot, and the truncated result all match the
+/// sequential engine exactly.
+#[test]
+fn watchdog_fire_identical_across_thread_counts() {
+    let spec = er5_spec();
+    // Cut every link into router 7 with a stale control plane: traffic
+    // aimed at 7 wedges in place and deliveries stop network-wide.
+    let n = spec.graph.n() as u32;
+    let cut = FaultSet::from_links(
+        (0..n)
+            .filter(|&u| u != 7 && spec.graph.has_edge(u, 7))
+            .map(|u| (u, 7)),
+    );
+    let schedule = FaultSchedule::new().fail_at(250, cut);
+    let table = RouteTable::for_spec(&spec);
+    let run = |threads: Option<usize>| {
+        let mut mon = MetricsMonitor::new(64);
+        let r = simulate_monitored(
+            &spec,
+            &table,
+            RoutingKind::MinSingle,
+            &Pattern::Uniform,
+            0.4,
+            &SimConfig {
+                fault_schedule: Some(schedule.clone()),
+                fault_response: FaultResponse::Stale,
+                watchdog_cycles: Some(200),
+                ..cfg(threads)
+            },
+            &mut mon,
+        );
+        (r, mon.report())
+    };
+    let (base_result, base_report) = run(None);
+    assert!(base_result.watchdog_fired, "{base_result:?}");
+    assert!(base_report.watchdog.is_some());
     for threads in [1usize, 2, 4] {
         let (result, report) = run(Some(threads));
         assert_eq!(base_result, result, "SimResult at threads={threads}");

@@ -29,8 +29,7 @@ impl PolarStarNetwork {
     /// Build the network for `config` with `p` endpoints per router.
     pub fn build(config: PolarStarConfig, p: u32) -> Result<Self, TopoError> {
         let er = ErGraph::new(config.q)?;
-        let supernode = build_supernode(config.supernode)
-            .ok_or_else(|| TopoError::InfeasibleSupernode(format!("{:?}", config.supernode)))?;
+        let supernode = build_supernode(config.supernode)?;
         let graph = star_product(&er.graph, &er.quadric_vertices(), &supernode);
         let np = supernode.order();
         let n = graph.n();
@@ -68,14 +67,14 @@ impl PolarStarNetwork {
     }
 }
 
-fn build_supernode(kind: SupernodeKind) -> Option<Supernode> {
+fn build_supernode(kind: SupernodeKind) -> Result<Supernode, TopoError> {
     match kind {
         SupernodeKind::InductiveQuad { degree } => iq::inductive_quad(degree),
         SupernodeKind::Paley { degree } => {
             if degree == 0 {
                 // Degenerate single-vertex supernode: PolarStar reduces to
                 // ER_q itself.
-                Some(Supernode::new("K1", Graph::empty(1), vec![0]))
+                Ok(Supernode::new("K1", Graph::empty(1), vec![0]))
             } else {
                 paley::paley_supernode(2 * degree as u64 + 1)
             }

@@ -12,6 +12,7 @@
 //! its intra-pair matching — the matching spends the per-step slack that
 //! distinguishes order 2d' from IQ's optimal 2d' + 2.
 
+use crate::error::TopoError;
 use crate::iq;
 use crate::supernode::Supernode;
 use polarstar_graph::{Graph, GraphBuilder};
@@ -19,11 +20,19 @@ use polarstar_graph::{Graph, GraphBuilder};
 /// Construct a BDF-style supernode of degree `d ≥ 1` and order `2d`.
 ///
 /// Vertices are paired `{2i, 2i+1}` with `f(2i) = 2i+1`.
-pub fn bdf_supernode(d: usize) -> Option<Supernode> {
+pub fn bdf_supernode(d: usize) -> Result<Supernode, TopoError> {
     if d == 0 {
-        return None; // order would be 0
+        // Order would be 0.
+        return Err(TopoError::InfeasibleSupernode(
+            "BDF(0): degree must be ≥ 1".into(),
+        ));
     }
-    let mut g = base(((d - 1) % 4) + 1)?;
+    let mut g = base(((d - 1) % 4) + 1).ok_or_else(|| {
+        TopoError::InfeasibleSupernode(format!(
+            "BDF({d}): no degree-{} base graph",
+            (d - 1) % 4 + 1
+        ))
+    })?;
     let mut cur = ((d - 1) % 4) + 1;
     while cur < d {
         g = extend_by_iq3_with_matching(&g);
@@ -31,7 +40,7 @@ pub fn bdf_supernode(d: usize) -> Option<Supernode> {
     }
     let n = g.n();
     let f: Vec<u32> = (0..n as u32).map(|v| v ^ 1).collect();
-    Some(Supernode::new(format!("BDF({d})"), g, f))
+    Ok(Supernode::new(format!("BDF({d})"), g, f))
 }
 
 fn base(d: usize) -> Option<Graph> {
@@ -138,7 +147,7 @@ mod tests {
     #[test]
     fn orders_and_degrees() {
         for d in 1..=12usize {
-            let s = bdf_supernode(d).unwrap_or_else(|| panic!("BDF({d}) failed"));
+            let s = bdf_supernode(d).unwrap_or_else(|e| panic!("BDF({d}) failed: {e}"));
             assert_eq!(s.order(), 2 * d, "BDF({d}) order");
             assert!(s.graph.is_regular(), "BDF({d}) regular");
             assert_eq!(s.degree(), d, "BDF({d}) degree");
@@ -166,6 +175,7 @@ mod tests {
 
     #[test]
     fn rejects_degree_zero() {
-        assert!(bdf_supernode(0).is_none());
+        let e = bdf_supernode(0).unwrap_err();
+        assert!(e.to_string().contains("BDF(0)"), "unhelpful error: {e}");
     }
 }

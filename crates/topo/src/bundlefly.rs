@@ -65,9 +65,7 @@ pub fn bundlefly(params: BundleflyParams) -> Result<NetworkSpec, TopoError> {
     let graph = if params.dprime == 0 {
         structure.clone()
     } else {
-        let sn = paley::paley_supernode(2 * params.dprime as u64 + 1).ok_or_else(|| {
-            TopoError::InfeasibleSupernode(format!("Paley({})", 2 * params.dprime + 1))
-        })?;
+        let sn = paley::paley_supernode(2 * params.dprime as u64 + 1)?;
         star_product(&structure, &[], &sn)
     };
     let np = 2 * params.dprime + 1;

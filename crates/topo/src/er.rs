@@ -103,7 +103,7 @@ impl ErGraph {
             // normalized points.
             return None;
         }
-        let wn = normalize(&f, w);
+        let wn = normalize(&f, w)?;
         self.points.iter().position(|&p| p == wn).map(|i| i as u32)
     }
 
@@ -169,11 +169,12 @@ fn cross3(f: &Gf, u: [u64; 3], v: [u64; 3]) -> [u64; 3] {
     ]
 }
 
-/// Left-normalize a nonzero vector (leading nonzero coordinate = 1).
-fn normalize(f: &Gf, v: [u64; 3]) -> [u64; 3] {
-    let lead = v.iter().copied().find(|&c| c != 0).expect("nonzero vector");
-    let inv = f.inv(lead).expect("nonzero element has inverse");
-    [f.mul(v[0], inv), f.mul(v[1], inv), f.mul(v[2], inv)]
+/// Left-normalize a vector (leading nonzero coordinate = 1). `None` for
+/// the zero vector, which names no projective point.
+fn normalize(f: &Gf, v: [u64; 3]) -> Option<[u64; 3]> {
+    let lead = v.iter().copied().find(|&c| c != 0)?;
+    let inv = f.inv(lead)?;
+    Some([f.mul(v[0], inv), f.mul(v[1], inv), f.mul(v[2], inv)])
 }
 
 #[cfg(test)]

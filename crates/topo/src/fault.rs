@@ -2,11 +2,11 @@
 //! degraded network carries.
 //!
 //! A [`FaultSet`] is configuration, not runtime randomness: it is drawn
-//! once (seeded, mirroring `analysis::faults::fault_trajectory`'s
-//! shuffled-edge-prefix sampling) and then applied identically by every
-//! consumer — route-table construction, the cycle engine, and the motif
-//! model all see the same degraded view, so determinism across engine
-//! thread counts is unaffected.
+//! once (seeded, shuffled-edge-prefix sampling) and then applied
+//! identically by every consumer — route-table construction, the cycle
+//! engine, the motif model and `analysis::faults::fault_trajectory` all
+//! draw from this one sampler, so the same seed fails the same links
+//! everywhere and determinism across engine thread counts is unaffected.
 //!
 //! Links fail as directed pairs `(u, v)`. The random and undirected
 //! constructors insert both directions (a cut cable); a single direction
@@ -74,10 +74,10 @@ impl FaultSet {
     /// Fail a uniform random `fraction` of `g`'s undirected links (both
     /// directions), deterministically for a given `seed`.
     ///
-    /// Sampling mirrors `analysis::faults::fault_trajectory`: shuffle the
-    /// edge list with a ChaCha8 stream and take a prefix, so a fault sweep
-    /// at increasing fractions nests its failures exactly like the
-    /// graph-metric trajectories do.
+    /// Shuffles the edge list with a ChaCha8 stream and takes a prefix,
+    /// so a fault sweep at increasing fractions nests its failures; the
+    /// graph-metric trajectories (`analysis::faults::fault_trajectory`)
+    /// draw from this same sampler.
     pub fn random_links(g: &Graph, fraction: f64, seed: u64) -> Self {
         assert!((0.0..=1.0).contains(&fraction), "fraction {fraction}");
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -168,6 +168,190 @@ impl FaultSet {
         routers.sort_unstable();
         routers.dedup();
         FaultSet { links, routers }
+    }
+
+    /// Remove another fault set's entries from this one (recovery).
+    ///
+    /// Directed links listed in `other` come back up, as do routers.
+    /// Only *explicit* faults are stored, so recovering a router does not
+    /// resurrect links that were failed on their own — and vice versa.
+    pub fn difference(&self, other: &FaultSet) -> FaultSet {
+        FaultSet {
+            links: self
+                .links
+                .iter()
+                .copied()
+                .filter(|l| other.links.binary_search(l).is_err())
+                .collect(),
+            routers: self
+                .routers
+                .iter()
+                .copied()
+                .filter(|r| other.routers.binary_search(r).is_err())
+                .collect(),
+        }
+    }
+}
+
+/// What a timed fault event does to the cumulative fault set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// Merge this set into the cumulative faults (links/routers die).
+    Fail(FaultSet),
+    /// Remove this set from the cumulative faults (links/routers return).
+    Recover(FaultSet),
+}
+
+/// A timeline of fault events applied at cycle boundaries during a run.
+///
+/// Like [`FaultSet`], a schedule is *configuration*: it is fully known
+/// before cycle 0, so the cycle engine can materialize every cumulative
+/// fault epoch (and its masked route table) up front and switch between
+/// them deterministically — identical behavior at any thread count.
+///
+/// Events at the same cycle apply in insertion order; the cumulative set
+/// after the last event of a cycle defines that cycle's epoch.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultSchedule {
+    /// `(cycle, event)` pairs, sorted by cycle; insertion order is kept
+    /// among events at the same cycle.
+    events: Vec<(u64, FaultEvent)>,
+}
+
+impl FaultSchedule {
+    /// The empty schedule (no mid-run fault activity).
+    pub fn new() -> Self {
+        FaultSchedule::default()
+    }
+
+    /// Whether the schedule carries no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The timed events, sorted by cycle.
+    pub fn events(&self) -> &[(u64, FaultEvent)] {
+        &self.events
+    }
+
+    fn insert(&mut self, cycle: u64, event: FaultEvent) {
+        // Stable insertion: after every existing event at `cycle`.
+        let pos = self.events.partition_point(|&(c, _)| c <= cycle);
+        self.events.insert(pos, (cycle, event));
+    }
+
+    /// Fail `faults` at `cycle` (builder style).
+    pub fn fail_at(mut self, cycle: u64, faults: FaultSet) -> Self {
+        self.insert(cycle, FaultEvent::Fail(faults));
+        self
+    }
+
+    /// Recover `faults` at `cycle` (builder style).
+    pub fn recover_at(mut self, cycle: u64, faults: FaultSet) -> Self {
+        self.insert(cycle, FaultEvent::Recover(faults));
+        self
+    }
+
+    /// Fail the undirected link `u — v` at `cycle`.
+    pub fn fail_link_at(self, cycle: u64, u: u32, v: u32) -> Self {
+        self.fail_at(cycle, FaultSet::from_links([(u, v)]))
+    }
+
+    /// Recover the undirected link `u — v` at `cycle`.
+    pub fn recover_link_at(self, cycle: u64, u: u32, v: u32) -> Self {
+        self.recover_at(cycle, FaultSet::from_links([(u, v)]))
+    }
+
+    /// Fail router `r` (and with it every incident link) at `cycle`.
+    pub fn fail_router_at(self, cycle: u64, r: u32) -> Self {
+        self.fail_at(cycle, FaultSet::from_routers([r]))
+    }
+
+    /// Recover router `r` at `cycle`.
+    pub fn recover_router_at(self, cycle: u64, r: u32) -> Self {
+        self.recover_at(cycle, FaultSet::from_routers([r]))
+    }
+
+    /// A seeded random failure burst: a `fraction` of `g`'s links dies at
+    /// `fail_cycle` and (optionally) returns at `recover_cycle`.
+    ///
+    /// Uses [`FaultSet::random_links`], so bursts at increasing fractions
+    /// under the same seed nest exactly like static fault sweeps do.
+    pub fn random_burst(
+        g: &Graph,
+        fraction: f64,
+        seed: u64,
+        fail_cycle: u64,
+        recover_cycle: Option<u64>,
+    ) -> Self {
+        let set = FaultSet::random_links(g, fraction, seed);
+        let s = FaultSchedule::new().fail_at(fail_cycle, set.clone());
+        match recover_cycle {
+            Some(t) => s.recover_at(t, set),
+            None => s,
+        }
+    }
+
+    /// The cycle of the last event, if any.
+    pub fn last_change(&self) -> Option<u64> {
+        self.events.last().map(|&(c, _)| c)
+    }
+
+    /// Materialize the cumulative fault epochs, starting from `base` (the
+    /// static mask the network already carries at cycle 0).
+    ///
+    /// Returns `(start_cycle, cumulative_faults)` pairs, ascending and
+    /// starting with `(0, …)`; each epoch's set holds from its start
+    /// cycle until the next epoch begins. Events that leave the
+    /// cumulative set unchanged produce no epoch.
+    pub fn epochs(&self, base: &FaultSet) -> Vec<(u64, FaultSet)> {
+        let mut out: Vec<(u64, FaultSet)> = vec![(0, base.clone())];
+        let mut i = 0;
+        while i < self.events.len() {
+            let cycle = self.events[i].0;
+            let mut cur = out.last().unwrap().1.clone();
+            while i < self.events.len() && self.events[i].0 == cycle {
+                match &self.events[i].1 {
+                    FaultEvent::Fail(f) => cur = cur.union(f),
+                    FaultEvent::Recover(f) => cur = cur.difference(f),
+                }
+                i += 1;
+            }
+            let last = out.last_mut().unwrap();
+            if cur != last.1 {
+                if last.0 == cycle {
+                    last.1 = cur;
+                } else {
+                    out.push((cycle, cur));
+                }
+            }
+        }
+        out
+    }
+
+    /// Check that every event references router ids inside a graph of `n`
+    /// vertices.
+    pub fn validate(&self, n: usize) -> Result<(), crate::error::TopoError> {
+        let n = n as u32;
+        for (cycle, ev) in &self.events {
+            let (set, kind) = match ev {
+                FaultEvent::Fail(f) => (f, "fail"),
+                FaultEvent::Recover(f) => (f, "recover"),
+            };
+            if let Some(&(u, v)) = set.failed_links().iter().find(|&&(u, v)| u >= n || v >= n) {
+                return Err(crate::error::TopoError::InvalidSpec(format!(
+                    "fault schedule: {kind} event at cycle {cycle} references link \
+                     ({u}, {v}) outside a {n}-router graph"
+                )));
+            }
+            if let Some(&r) = set.failed_routers().iter().find(|&&r| r >= n) {
+                return Err(crate::error::TopoError::InvalidSpec(format!(
+                    "fault schedule: {kind} event at cycle {cycle} references router \
+                     {r} outside a {n}-router graph"
+                )));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -262,5 +446,113 @@ mod tests {
         assert!(u.link_failed(0, 1) && u.link_failed(1, 0));
         assert!(u.router_failed(5));
         assert_eq!(a.union(&a), a);
+    }
+
+    #[test]
+    fn difference_recovers_explicit_faults_only() {
+        let a = FaultSet::from_links([(0, 1), (2, 3)]).union(&FaultSet::from_routers([5]));
+        let d = a.difference(&FaultSet::from_links([(0, 1)]));
+        assert!(!d.link_failed(0, 1) && !d.link_failed(1, 0));
+        assert!(d.link_failed(2, 3));
+        assert!(d.router_failed(5));
+        // Recovering router 5 does not resurrect the (2,3) link fault.
+        let d = d.difference(&FaultSet::from_routers([5]));
+        assert!(!d.router_failed(5));
+        assert!(d.link_failed(2, 3));
+        assert_eq!(a.difference(&a), FaultSet::empty());
+        assert_eq!(a.difference(&FaultSet::empty()), a);
+    }
+
+    #[test]
+    fn schedule_epochs_accumulate_and_recover() {
+        let s = FaultSchedule::new()
+            .fail_link_at(100, 0, 1)
+            .fail_router_at(200, 4)
+            .recover_link_at(300, 0, 1)
+            .recover_router_at(300, 4);
+        let epochs = s.epochs(&FaultSet::empty());
+        assert_eq!(epochs.len(), 4);
+        assert_eq!(epochs[0], (0, FaultSet::empty()));
+        assert_eq!(epochs[1].0, 100);
+        assert!(epochs[1].1.link_failed(0, 1));
+        assert_eq!(epochs[2].0, 200);
+        assert!(epochs[2].1.link_failed(0, 1) && epochs[2].1.router_failed(4));
+        // Everything came back: the final epoch is pristine again.
+        assert_eq!(epochs[3], (300, FaultSet::empty()));
+        assert_eq!(s.last_change(), Some(300));
+    }
+
+    #[test]
+    fn schedule_epochs_start_from_base_and_skip_noops() {
+        let base = FaultSet::from_links([(7, 8)]);
+        // Recovering a link that never failed changes nothing: no epoch.
+        let s = FaultSchedule::new()
+            .recover_link_at(50, 0, 1)
+            .fail_link_at(120, 2, 3);
+        let epochs = s.epochs(&base);
+        assert_eq!(epochs.len(), 2);
+        assert_eq!(epochs[0], (0, base.clone()));
+        assert_eq!(epochs[1].0, 120);
+        assert!(epochs[1].1.link_failed(7, 8) && epochs[1].1.link_failed(2, 3));
+    }
+
+    #[test]
+    fn schedule_events_at_cycle_zero_fold_into_first_epoch() {
+        let s = FaultSchedule::new().fail_link_at(0, 1, 2);
+        let epochs = s.epochs(&FaultSet::empty());
+        assert_eq!(epochs.len(), 1);
+        assert_eq!(epochs[0].0, 0);
+        assert!(epochs[0].1.link_failed(1, 2));
+    }
+
+    #[test]
+    fn schedule_same_cycle_events_apply_in_insertion_order() {
+        // Fail then recover the same link at the same cycle: net no-op.
+        let s = FaultSchedule::new()
+            .fail_link_at(10, 0, 1)
+            .recover_link_at(10, 0, 1);
+        assert_eq!(s.epochs(&FaultSet::empty()).len(), 1);
+        // Recover then fail: the link ends the cycle dead.
+        let s = FaultSchedule::new()
+            .recover_link_at(10, 0, 1)
+            .fail_link_at(10, 0, 1);
+        let epochs = s.epochs(&FaultSet::empty());
+        assert_eq!(epochs.len(), 2);
+        assert!(epochs[1].1.link_failed(0, 1));
+    }
+
+    #[test]
+    fn random_burst_nests_and_recovers() {
+        let g = Graph::complete(12);
+        let small = FaultSchedule::random_burst(&g, 0.1, 7, 100, Some(400));
+        let large = FaultSchedule::random_burst(&g, 0.3, 7, 100, Some(400));
+        let se = small.epochs(&FaultSet::empty());
+        let le = large.epochs(&FaultSet::empty());
+        assert_eq!(se.len(), 3);
+        for &l in se[1].1.failed_links() {
+            assert!(le[1].1.failed_links().contains(&l), "{l:?} not nested");
+        }
+        // Both schedules return to pristine after the recovery event.
+        assert_eq!(se[2], (400, FaultSet::empty()));
+        assert_eq!(le[2], (400, FaultSet::empty()));
+        // No recovery: the burst persists to the end of the run.
+        let forever = FaultSchedule::random_burst(&g, 0.1, 7, 100, None);
+        assert_eq!(forever.epochs(&FaultSet::empty()).len(), 2);
+    }
+
+    #[test]
+    fn schedule_validate_rejects_out_of_range_ids() {
+        let s = FaultSchedule::new().fail_link_at(10, 0, 99);
+        let err = s.validate(8).unwrap_err().to_string();
+        assert!(err.contains("cycle 10"), "{err}");
+        assert!(err.contains("(0, 99)"), "{err}");
+        let s = FaultSchedule::new().recover_router_at(20, 42);
+        let err = s.validate(8).unwrap_err().to_string();
+        assert!(err.contains("router 42"), "{err}");
+        assert!(err.contains("recover"), "{err}");
+        assert!(FaultSchedule::new()
+            .fail_link_at(10, 0, 7)
+            .validate(8)
+            .is_ok());
     }
 }

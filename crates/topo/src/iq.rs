@@ -17,6 +17,7 @@
 //! intra-pair edges and exactly one edge from each of the 12 f-orbit
 //! classes of cross-pair vertex pairs, chosen so the result is 3-regular.
 
+use crate::error::TopoError;
 use crate::supernode::Supernode;
 use polarstar_graph::{Graph, GraphBuilder};
 
@@ -25,11 +26,12 @@ pub fn is_feasible_degree(d: usize) -> bool {
     d.is_multiple_of(4) || d % 4 == 3
 }
 
-/// Construct `IQ_{d'}`. Returns `None` when `d'` is infeasible
-/// (d' ≢ 0, 3 mod 4).
-pub fn inductive_quad(d: usize) -> Option<Supernode> {
+/// Construct `IQ_{d'}`. Errs when `d'` is infeasible (d' ≢ 0, 3 mod 4).
+pub fn inductive_quad(d: usize) -> Result<Supernode, TopoError> {
     if !is_feasible_degree(d) {
-        return None;
+        return Err(TopoError::InfeasibleSupernode(format!(
+            "IQ({d}): degree must be ≡ 0 or 3 (mod 4)"
+        )));
     }
     let mut g = base(d % 4);
     let mut cur = d % 4;
@@ -39,7 +41,7 @@ pub fn inductive_quad(d: usize) -> Option<Supernode> {
     }
     let n = g.n();
     let f: Vec<u32> = (0..n as u32).map(|v| v ^ 1).collect();
-    Some(Supernode::new(format!("IQ({d})"), g, f))
+    Ok(Supernode::new(format!("IQ({d})"), g, f))
 }
 
 fn base(d: usize) -> Graph {
@@ -125,10 +127,13 @@ mod tests {
     fn feasible_degrees() {
         let feas: Vec<usize> = (0..20).filter(|&d| is_feasible_degree(d)).collect();
         assert_eq!(feas, vec![0, 3, 4, 7, 8, 11, 12, 15, 16, 19]);
-        assert!(inductive_quad(1).is_none());
-        assert!(inductive_quad(2).is_none());
-        assert!(inductive_quad(5).is_none());
-        assert!(inductive_quad(6).is_none());
+        for d in [1usize, 2, 5, 6] {
+            let e = inductive_quad(d).unwrap_err();
+            assert!(
+                e.to_string().contains(&format!("IQ({d})")),
+                "unhelpful error: {e}"
+            );
+        }
     }
 
     #[test]

@@ -49,6 +49,6 @@ pub mod star;
 pub mod supernode;
 
 pub use error::TopoError;
-pub use fault::FaultSet;
+pub use fault::{FaultEvent, FaultSchedule, FaultSet};
 pub use network::{NetworkSpec, RoutingPolicy};
 pub use supernode::Supernode;

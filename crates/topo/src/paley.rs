@@ -9,6 +9,7 @@
 //! square differences to non-square differences, so E ∪ f(E) covers every
 //! pair, and f² (multiplication by the square α²) is an automorphism.
 
+use crate::error::TopoError;
 use crate::supernode::Supernode;
 use polarstar_gf::Gf;
 use polarstar_graph::{Graph, GraphBuilder};
@@ -43,15 +44,19 @@ pub fn paley_graph(q: u64) -> Option<Graph> {
 
 /// The Paley supernode: graph plus the R1 bijection f(v) = α·v for a
 /// fixed non-square α (the field generator).
-pub fn paley_supernode(q: u64) -> Option<Supernode> {
-    let g = paley_graph(q)?;
-    let field = Gf::new(q).ok()?;
+pub fn paley_supernode(q: u64) -> Result<Supernode, TopoError> {
+    let g = paley_graph(q).ok_or_else(|| {
+        TopoError::InfeasibleSupernode(format!(
+            "Paley({q}): order must be a prime power ≡ 1 (mod 4)"
+        ))
+    })?;
+    let field = Gf::new(q)?;
     // The generator of the multiplicative group is always a non-square
     // (odd discrete log).
     let alpha = field.generator();
     debug_assert!(!field.is_square(alpha));
     let f: Vec<u32> = (0..q).map(|v| field.mul(alpha, v) as u32).collect();
-    Some(Supernode::new(format!("Paley({q})"), g, f))
+    Ok(Supernode::new(format!("Paley({q})"), g, f))
 }
 
 #[cfg(test)]

@@ -16,6 +16,7 @@
 //!   inside that supernode (Fig. 5c), dropping degenerate `f(x') = x'`
 //!   loops.
 
+use crate::error::TopoError;
 use crate::supernode::Supernode;
 use polarstar_graph::{Graph, GraphBuilder};
 
@@ -32,8 +33,13 @@ pub fn vertex_parts(v: u32, supernode_order: usize) -> (u32, u32) {
 }
 
 /// General star product: `bijection(x, y)` returns the map applied across
-/// the arc `x → y` (arcs are the structure edges oriented `x < y`).
-pub fn star_product_with<F>(structure: &Graph, supernode: &Graph, mut bijection: F) -> Graph
+/// the arc `x → y` (arcs are the structure edges oriented `x < y`). Errs
+/// when a bijection does not cover the supernode vertex set.
+pub fn star_product_with<F>(
+    structure: &Graph,
+    supernode: &Graph,
+    mut bijection: F,
+) -> Result<Graph, TopoError>
 where
     F: FnMut(u32, u32) -> Vec<u32>,
 {
@@ -49,12 +55,18 @@ where
     // Condition 2b: bijective inter-supernode links.
     for (x, y) in structure.edges() {
         let f = bijection(x, y);
-        assert_eq!(f.len(), np, "bijection must cover the supernode vertex set");
+        if f.len() != np {
+            return Err(TopoError::InvalidSpec(format!(
+                "star product: bijection across arc ({x}, {y}) has {} entries \
+                 for a {np}-vertex supernode",
+                f.len()
+            )));
+        }
         for xp in 0..np as u32 {
             b.add_edge(vertex_id(x, xp, np), vertex_id(y, f[xp as usize], np));
         }
     }
-    b.build()
+    Ok(b.build())
 }
 
 /// PolarStar-style star product: a single bijection `f` on every arc, and
@@ -109,7 +121,7 @@ pub fn star_product(
 /// bijection is the identity. Used as a baseline in tests.
 pub fn cartesian_product(g: &Graph, h: &Graph) -> Graph {
     let id: Vec<u32> = (0..h.n() as u32).collect();
-    star_product_with(g, h, |_, _| id.clone())
+    star_product_with(g, h, |_, _| id.clone()).expect("identity covers the vertex set")
 }
 
 #[cfg(test)]
@@ -143,9 +155,20 @@ mod tests {
     fn star_l3_c4_matches_figure_2b() {
         // Fig. 2b: same factors, bijection f = (01)(2)(3) on every arc.
         let f = vec![1u32, 0, 2, 3];
-        let p = star_product_with(&Graph::path(3), &Graph::cycle(4), |_, _| f.clone());
+        let p = star_product_with(&Graph::path(3), &Graph::cycle(4), |_, _| f.clone()).unwrap();
         assert_eq!(p.n(), 12);
         assert_eq!(p.m(), 20);
+    }
+
+    #[test]
+    fn short_bijection_is_an_error() {
+        let e =
+            star_product_with(&Graph::path(2), &Graph::cycle(4), |_, _| vec![0, 1]).unwrap_err();
+        let msg = e.to_string();
+        assert!(
+            msg.contains("2 entries") && msg.contains("4-vertex"),
+            "unhelpful error: {msg}"
+        );
     }
 
     #[test]

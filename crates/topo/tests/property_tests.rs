@@ -3,6 +3,7 @@
 
 use polarstar_graph::{traversal, Graph};
 use polarstar_topo::er::ErGraph;
+use polarstar_topo::fault::{FaultSchedule, FaultSet};
 use polarstar_topo::iq::inductive_quad;
 use polarstar_topo::paley::{paley_graph, paley_supernode};
 use polarstar_topo::star::{
@@ -39,7 +40,7 @@ proptest! {
         let h = Graph::cycle(np.max(3));
         let np = h.n();
         let f: Vec<u32> = if f.len() == np { f } else { (0..np as u32).collect() };
-        let p = star_product_with(&g, &h, |_, _| f.clone());
+        let p = star_product_with(&g, &h, |_, _| f.clone()).unwrap();
         prop_assert_eq!(p.n(), ns * np);
         prop_assert!(p.max_degree() <= 2 + 2);
         prop_assert!(p.is_regular());
@@ -128,5 +129,85 @@ proptest! {
         let s = paley_supernode(q).unwrap();
         prop_assert!(s.satisfies_r1());
         prop_assert!(s.f_squared_is_automorphism());
+    }
+
+    #[test]
+    fn fault_fractions_nest(
+        p1 in 0u32..=100,
+        p2 in 0u32..=100,
+        seed in 0u64..500,
+    ) {
+        // Shuffled-prefix sampling: at a fixed seed, a smaller fraction's
+        // fault set is contained in a larger fraction's.
+        let g = Graph::complete(12);
+        let (f1, f2) = (p1 as f64 / 100.0, p2 as f64 / 100.0);
+        let (lo, hi) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };
+        let small = FaultSet::random_links(&g, lo, seed);
+        let large = FaultSet::random_links(&g, hi, seed);
+        for &l in small.failed_links() {
+            prop_assert!(large.failed_links().contains(&l), "{l:?} not nested");
+        }
+        // Containment in set terms: union with the superset is a no-op.
+        prop_assert_eq!(small.union(&large), large);
+    }
+
+    #[test]
+    fn fault_union_degrades_like_both(
+        pa in 0u32..50,
+        pb in 0u32..50,
+        sa in 0u64..100,
+        sb in 0u64..100,
+    ) {
+        // An edge survives the union exactly when it survives both sets,
+        // and the degraded edge count matches failed_edge_count.
+        let g = Graph::complete(9);
+        let a = FaultSet::random_links(&g, pa as f64 / 100.0, sa);
+        let b = FaultSet::random_links(&g, pb as f64 / 100.0, sb);
+        let u = a.union(&b);
+        let du = u.degraded_graph(&g);
+        for (x, y) in g.edges() {
+            let dead = a.link_failed(x, y) || a.link_failed(y, x)
+                || b.link_failed(x, y) || b.link_failed(y, x);
+            prop_assert_eq!(du.has_edge(x, y), !dead, "edge ({x}, {y})");
+        }
+        prop_assert_eq!(du.m(), g.m() - u.failed_edge_count(&g));
+        prop_assert_eq!(du.n(), g.n(), "vertex ids must be preserved");
+    }
+
+    #[test]
+    fn fault_directed_vs_undirected_symmetry(u in 0u32..12, v in 0u32..12) {
+        if u == v {
+            return Ok(());
+        }
+        // A cable cut kills both directions; a directed (laser) fault
+        // kills exactly one — but both drop the undirected edge.
+        let cut = FaultSet::from_links([(u, v)]);
+        prop_assert!(cut.link_failed(u, v) && cut.link_failed(v, u));
+        let laser = FaultSet::from_directed_links([(u, v)]);
+        prop_assert!(laser.link_failed(u, v));
+        prop_assert!(!laser.link_failed(v, u));
+        let g = Graph::complete(12);
+        prop_assert_eq!(laser.degraded_graph(&g).m(), g.m() - 1);
+        prop_assert_eq!(cut.degraded_graph(&g).m(), g.m() - 1);
+        prop_assert_eq!(cut.failed_edge_count(&g), 1);
+    }
+
+    #[test]
+    fn fault_schedule_validate_names_the_offender(
+        n in 2usize..20,
+        over in 0u32..40,
+        cycle in 0u64..1000,
+    ) {
+        let bad = n as u32 + over;
+        let s = FaultSchedule::new().fail_link_at(cycle, 0, bad);
+        let err = s.validate(n).unwrap_err().to_string();
+        prop_assert!(err.contains(&format!("cycle {cycle}")), "{err}");
+        prop_assert!(err.contains(&format!("(0, {bad})")), "{err}");
+        let s = FaultSchedule::new().recover_router_at(cycle, bad);
+        let err = s.validate(n).unwrap_err().to_string();
+        prop_assert!(err.contains(&format!("router {bad}")), "{err}");
+        prop_assert!(err.contains("recover"), "{err}");
+        let ok = FaultSchedule::new().fail_link_at(cycle, 0, n as u32 - 1);
+        prop_assert!(ok.validate(n).is_ok());
     }
 }

@@ -20,7 +20,7 @@ fn main() {
 
     // Fig. 2b: the star product with f = (01)(2)(3) on every arc.
     let f = vec![1u32, 0, 2, 3];
-    let star = star_product_with(&l3, &c4, |_, _| f.clone());
+    let star = star_product_with(&l3, &c4, |_, _| f.clone()).unwrap();
     println!(
         "L3 * C4:  {} vertices, {} edges, diameter {}",
         star.n(),

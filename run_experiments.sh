@@ -24,4 +24,6 @@ run fig09_synthetic
 run fig12_bisection
 run ablation_supernodes
 run ablation_channel_load
+run fault_sweep
+run fault_recovery
 echo ALL_DONE >> results/run.log
