@@ -22,7 +22,7 @@ use bench::{
     engine_threads, metrics_dir, only_filter, quick_mode, table3_network, RunManifest, TABLE3_KEYS,
 };
 use polarstar_motifs::collectives::{allreduce, AllreduceAlgo};
-use polarstar_motifs::netmodel::{MotifConfig, NetModel, RoutingMode};
+use polarstar_motifs::netmodel::{MotifConfig, MotifError, NetModel, RoutingMode};
 use polarstar_netsim::engine::SimConfig;
 use polarstar_netsim::monitor::MetricsMonitor;
 use polarstar_netsim::routing::{RouteTable, RoutingKind};
@@ -126,7 +126,10 @@ fn main() {
                 ) {
                     Ok(t_ns) => t_ns / 1000.0,
                     // A severed rank pair has no finite completion time.
-                    Err(_) => f64::NAN,
+                    Err(MotifError::Disconnected { .. }) => f64::NAN,
+                    // A Table 3 network that cannot host an allreduce is
+                    // a harness bug, not a measurement.
+                    Err(e @ MotifError::InvalidConfig { .. }) => panic!("{key}: {e}"),
                 }
             };
             let row = format!(

@@ -40,7 +40,11 @@ pub fn allreduce(
     mode: RoutingMode,
 ) -> Result<f64, MotifError> {
     let ranks = model.spec().total_endpoints();
-    assert!(ranks >= 2, "allreduce needs at least two ranks");
+    if ranks < 2 {
+        return Err(MotifError::invalid_config(format!(
+            "allreduce needs at least two ranks, network has {ranks}"
+        )));
+    }
     let mut ready: Vec<Time> = vec![0; ranks];
     for _ in 0..iters {
         match algo {
@@ -68,8 +72,12 @@ fn recursive_doubling_round(
     if rem > 0 {
         for r in pow2..p {
             let partner = r - pow2;
-            let t = model.send_endpoints(r as u32, partner as u32, bytes, ready[r], mode)?;
+            let start = ready[r];
+            let t = model.send_endpoints(r as u32, partner as u32, bytes, start, mode)?;
             ready[partner] = ready[partner].max(t);
+            // The sender's NIC stays busy for overhead + serialization;
+            // it cannot inject its post-phase reply request earlier.
+            ready[r] = ready[r].max(start + model.sender_busy(bytes));
         }
     }
     // log2(pow2) pairwise exchange rounds among the first pow2 ranks.
@@ -83,6 +91,10 @@ fn recursive_doubling_round(
             let partner = r ^ k;
             let t = model.send_endpoints(r as u32, partner as u32, bytes, start, mode)?;
             arrived[partner] = arrived[partner].max(t);
+            // Gate the sender on its own NIC, like `ring_round`: its
+            // next-round exchange cannot start before this message
+            // finished injecting.
+            arrived[r] = arrived[r].max(start + model.sender_busy(bytes));
         }
         ready[..pow2].copy_from_slice(&arrived);
         k <<= 1;
@@ -91,8 +103,10 @@ fn recursive_doubling_round(
     if rem > 0 {
         for r in pow2..p {
             let partner = r - pow2;
-            let t = model.send_endpoints(partner as u32, r as u32, bytes, ready[partner], mode)?;
+            let start = ready[partner];
+            let t = model.send_endpoints(partner as u32, r as u32, bytes, start, mode)?;
             ready[r] = ready[r].max(t);
+            ready[partner] = ready[partner].max(start + model.sender_busy(bytes));
         }
     }
     Ok(())
@@ -135,7 +149,16 @@ pub fn sweep3d(
     mode: RoutingMode,
 ) -> Result<f64, MotifError> {
     let ranks = model.spec().total_endpoints();
-    assert!(px * py <= ranks, "grid {px}×{py} exceeds {ranks} endpoints");
+    if px == 0 || py == 0 {
+        return Err(MotifError::invalid_config(format!(
+            "sweep3d grid {px}×{py} must be non-empty"
+        )));
+    }
+    if px * py > ranks {
+        return Err(MotifError::invalid_config(format!(
+            "sweep3d grid {px}×{py} exceeds {ranks} endpoints"
+        )));
+    }
     let idx = |i: usize, j: usize| i + j * px;
     let mut done: Vec<Time> = vec![0; px * py];
     for _ in 0..iters {
@@ -146,20 +169,26 @@ pub fn sweep3d(
             for i in 0..px {
                 let start = recv_time[idx(i, j)];
                 let finish = start + ns(compute_ns);
-                // Send to east and south neighbors.
+                // Send to east and south neighbors. The two injections
+                // serialize on the rank's NIC (overhead + wire time),
+                // exactly like the ring/alltoall sender gating.
+                let mut nic_free = finish;
                 for (ni, nj) in [(i + 1, j), (i, j + 1)] {
                     if ni < px && nj < py {
                         let t = model.send_endpoints(
                             idx(i, j) as u32,
                             idx(ni, nj) as u32,
                             bytes,
-                            finish,
+                            nic_free,
                             mode,
                         )?;
                         recv_time[idx(ni, nj)] = recv_time[idx(ni, nj)].max(t);
+                        nic_free += model.sender_busy(bytes);
                     }
                 }
-                done[idx(i, j)] = finish;
+                // The rank is done once compute finished and its NIC
+                // drained.
+                done[idx(i, j)] = finish.max(nic_free);
             }
         }
         // Next sweep starts after the full wavefront drains.
@@ -273,10 +302,33 @@ mod tests {
     #[test]
     fn sweep3d_rejects_oversized_grid() {
         let mut m = model(2, 1);
-        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            sweep3d(&mut m, 4, 4, 64, 10.0, 1, RoutingMode::Min)
-        }));
-        assert!(r.is_err());
+        let r = sweep3d(&mut m, 4, 4, 64, 10.0, 1, RoutingMode::Min);
+        assert!(
+            matches!(r, Err(MotifError::InvalidConfig { ref reason }) if reason.contains("4×4")),
+            "{r:?}"
+        );
+        let r = sweep3d(&mut m, 0, 3, 64, 10.0, 1, RoutingMode::Min);
+        assert!(matches!(r, Err(MotifError::InvalidConfig { .. })), "{r:?}");
+    }
+
+    #[test]
+    fn undersized_collectives_report_invalid_config() {
+        // One endpoint total: no collective can run, none may panic.
+        let mut m = model(1, 1);
+        let r = allreduce(&mut m, AllreduceAlgo::Ring, 4096, 1, RoutingMode::Min);
+        assert!(matches!(r, Err(MotifError::InvalidConfig { .. })), "{r:?}");
+        let r = allreduce(
+            &mut m,
+            AllreduceAlgo::RecursiveDoubling,
+            4096,
+            1,
+            RoutingMode::Min,
+        );
+        assert!(matches!(r, Err(MotifError::InvalidConfig { .. })), "{r:?}");
+        let r = alltoall(&mut m, 4096, 1, RoutingMode::Min);
+        assert!(matches!(r, Err(MotifError::InvalidConfig { .. })), "{r:?}");
+        let r = tree_broadcast(&mut m, &[], 4096, RoutingMode::Min);
+        assert!(matches!(r, Err(MotifError::InvalidConfig { .. })), "{r:?}");
     }
 
     #[test]
@@ -318,6 +370,63 @@ mod tests {
     }
 
     #[test]
+    fn recursive_doubling_sender_gated_on_serialization() {
+        // 8 ranks, power of two: 3 exchange rounds, each rank injecting
+        // one full message per round back-to-back. Its own NIC
+        // (overhead + serialization per message) lower-bounds the
+        // collective no matter how fast the fabric is.
+        let spec = NetworkSpec::uniform("k8", Graph::complete(8), 1);
+        let mut m = NetModel::new(spec, MotifConfig::default());
+        let bytes: u64 = 1 << 20;
+        let floor = 3.0 * m.sender_busy(bytes) as f64 / 1000.0;
+        let t = allreduce(
+            &mut m,
+            AllreduceAlgo::RecursiveDoubling,
+            bytes,
+            1,
+            RoutingMode::Min,
+        )
+        .unwrap();
+        assert!(t >= floor * 0.99, "t={t} below sender floor {floor}");
+    }
+
+    #[test]
+    fn recursive_doubling_pre_post_phases_gated() {
+        // 3 ranks: rank 2 folds into rank 0 (pre), one exchange round
+        // between 0 and 1, then the result flows back 0 → 2 (post).
+        // Rank 0 injects twice (exchange + post) after receiving the
+        // fold; the fold sender's NIC plus rank 0's two injections give
+        // a 3-message sender-side floor on the critical path.
+        let spec = NetworkSpec::uniform("k3", Graph::complete(3), 1);
+        let mut m = NetModel::new(spec, MotifConfig::default());
+        let bytes: u64 = 1 << 20;
+        let floor = 3.0 * m.sender_busy(bytes) as f64 / 1000.0;
+        let t = allreduce(
+            &mut m,
+            AllreduceAlgo::RecursiveDoubling,
+            bytes,
+            1,
+            RoutingMode::Min,
+        )
+        .unwrap();
+        assert!(t >= floor * 0.99, "t={t} below pre/post sender floor {floor}");
+    }
+
+    #[test]
+    fn sweep3d_sender_gated_on_serialization() {
+        // 2×2 grid: rank (0,0) injects its east and south boundary
+        // messages back-to-back on one NIC, then (0,1) injects the relay
+        // to (1,1) — three serialized NIC occupancies on the critical
+        // path. Ungated injection would finish after only two.
+        let spec = NetworkSpec::uniform("k4", Graph::complete(4), 1);
+        let mut m = NetModel::new(spec, MotifConfig::default());
+        let bytes: u64 = 1 << 20;
+        let floor = 3.0 * m.sender_busy(bytes) as f64 / 1000.0;
+        let t = sweep3d(&mut m, 2, 2, bytes, 0.0, 1, RoutingMode::Min).unwrap();
+        assert!(t >= floor * 0.99, "t={t} below sender floor {floor}");
+    }
+
+    #[test]
     fn faulted_allreduce_reports_disconnection() {
         use polarstar_topo::FaultSet;
         let spec = NetworkSpec::uniform("k4", Graph::complete(4), 1)
@@ -346,7 +455,11 @@ pub fn alltoall(
     mode: RoutingMode,
 ) -> Result<f64, MotifError> {
     let p = model.spec().total_endpoints();
-    assert!(p >= 2);
+    if p < 2 {
+        return Err(MotifError::invalid_config(format!(
+            "alltoall needs at least two ranks, network has {p}"
+        )));
+    }
     let mut ready: Vec<Time> = vec![0; p];
     for _ in 0..iters {
         for k in 1..p {
@@ -375,7 +488,11 @@ pub fn tree_broadcast(
     bytes: u64,
     mode: RoutingMode,
 ) -> Result<f64, MotifError> {
-    assert!(!trees.is_empty(), "need at least one spanning tree");
+    if trees.is_empty() {
+        return Err(MotifError::invalid_config(
+            "tree broadcast needs at least one spanning tree",
+        ));
+    }
     let chunk = (bytes / trees.len() as u64).max(1);
     let (root, _) = model.spec().endpoint_router(0);
     let mut done: Time = 0;

@@ -16,8 +16,8 @@ use std::fmt;
 /// Picoseconds.
 pub type Time = u64;
 
-/// Why a motif-level message could not be modeled.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// Why a motif-level message or collective could not be modeled.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum MotifError {
     /// No surviving path connects the two routers — the pair is
     /// disconnected outright or a fault mask severed/killed one end.
@@ -27,6 +27,21 @@ pub enum MotifError {
         /// Destination router.
         dst: u32,
     },
+    /// The collective's parameters don't fit the network (too few
+    /// ranks, oversized process grid, ...).
+    InvalidConfig {
+        /// Human-readable description of the rejected configuration.
+        reason: String,
+    },
+}
+
+impl MotifError {
+    /// Shorthand constructor for [`MotifError::InvalidConfig`].
+    pub fn invalid_config(reason: impl Into<String>) -> Self {
+        MotifError::InvalidConfig {
+            reason: reason.into(),
+        }
+    }
 }
 
 impl fmt::Display for MotifError {
@@ -34,6 +49,9 @@ impl fmt::Display for MotifError {
         match self {
             MotifError::Disconnected { src, dst } => {
                 write!(f, "no surviving path from router {src} to router {dst}")
+            }
+            MotifError::InvalidConfig { reason } => {
+                write!(f, "invalid motif configuration: {reason}")
             }
         }
     }

@@ -1,0 +1,185 @@
+//! Equivalence pin for the flattened `NetModel` hot path.
+//!
+//! Golden completion times and link-load summaries for a fixed-seed
+//! motif sweep, recorded on the pre-flatten (HashMap-based) model right
+//! after the sender-gating fixes landed. The CSR/edge-id rewrite must
+//! reproduce every number: completion times bit-exactly, utilization
+//! summaries to float tolerance (the HashMap model summed busy times in
+//! nondeterministic iteration order, so the last bits of the mean are
+//! not pinned).
+//!
+//! Regenerate with
+//! `MOTIF_PIN_PRINT=1 cargo test -p polarstar-motifs --test equivalence_pin -- --nocapture`
+//! only when the *model* intentionally changes, never for a pure
+//! performance refactor.
+
+use polarstar_graph::Graph;
+use polarstar_motifs::collectives::{allreduce, alltoall, sweep3d, AllreduceAlgo};
+use polarstar_motifs::netmodel::{ns, MotifConfig, NetModel, RoutingMode};
+use polarstar_topo::er::ErGraph;
+use polarstar_topo::network::NetworkSpec;
+use polarstar_topo::FaultSet;
+
+/// ER_5 polarity graph (31 routers), two endpoints per router: 62 ranks.
+fn er5() -> NetworkSpec {
+    let er = ErGraph::new(5).unwrap();
+    NetworkSpec::uniform("er5", er.graph, 2)
+}
+
+/// A 12-cycle with one severed link: minimal paths must route the long
+/// way round, exercising the fault-masked parent trees.
+fn faulted_cycle() -> NetworkSpec {
+    NetworkSpec::uniform("c12-faulted", Graph::cycle(12), 1)
+        .with_faults(FaultSet::from_links([(0, 1)]))
+}
+
+const MIN: RoutingMode = RoutingMode::Min;
+const UGAL: RoutingMode = RoutingMode::Adaptive { candidates: 4 };
+
+/// One pinned observation: completion time (ns) plus the
+/// [`polarstar_motifs::netmodel::LinkLoadReport`] fields at the
+/// completion-time horizon.
+struct Pin {
+    name: &'static str,
+    time_ns: f64,
+    links_used: usize,
+    messages: u64,
+    mean_utilization: f64,
+    max_utilization: f64,
+}
+
+fn scenarios() -> Vec<(&'static str, NetworkSpec, fn(&mut NetModel) -> f64)> {
+    vec![
+        ("er5_rd_min", er5(), |m| {
+            allreduce(m, AllreduceAlgo::RecursiveDoubling, 64 * 1024, 1, MIN).unwrap()
+        }),
+        ("er5_ring_min", er5(), |m| {
+            allreduce(m, AllreduceAlgo::Ring, 64 * 1024, 1, MIN).unwrap()
+        }),
+        ("er5_rd_ugal", er5(), |m| {
+            allreduce(m, AllreduceAlgo::RecursiveDoubling, 64 * 1024, 1, UGAL).unwrap()
+        }),
+        ("er5_sweep3d_min", er5(), |m| {
+            sweep3d(m, 7, 8, 4 * 1024, 200.0, 2, MIN).unwrap()
+        }),
+        ("er5_alltoall_min", er5(), |m| {
+            alltoall(m, 4 * 1024, 1, MIN).unwrap()
+        }),
+        ("c12_rd_min", faulted_cycle(), |m| {
+            allreduce(m, AllreduceAlgo::RecursiveDoubling, 16 * 1024, 1, MIN).unwrap()
+        }),
+        ("c12_ring_min", faulted_cycle(), |m| {
+            allreduce(m, AllreduceAlgo::Ring, 16 * 1024, 1, MIN).unwrap()
+        }),
+        ("c12_alltoall_ugal", faulted_cycle(), |m| {
+            alltoall(m, 16 * 1024, 1, UGAL).unwrap()
+        }),
+    ]
+}
+
+/// Golden values recorded pre-flatten (see module docs).
+const GOLDENS: &[Pin] = &[
+    Pin {
+        name: "er5_rd_min",
+        time_ns: 230456.0,
+        links_used: 110,
+        messages: 352,
+        mean_utilization: 0.2275002603533859,
+        max_utilization: 0.5687506508834658,
+    },
+    Pin {
+        name: "er5_ring_min",
+        time_ns: 64697.0,
+        links_used: 55,
+        messages: 7198,
+        mean_utilization: 0.5345397496300943,
+        max_utilization: 0.9965995332086496,
+    },
+    Pin {
+        name: "er5_rd_ugal",
+        time_ns: 148756.0,
+        links_used: 170,
+        messages: 515,
+        mean_utilization: 0.33365970013270835,
+        max_utilization: 0.7709806663260642,
+    },
+    Pin {
+        name: "er5_sweep3d_min",
+        time_ns: 71264.0,
+        links_used: 94,
+        messages: 264,
+        mean_utilization: 0.040355788246758756,
+        max_utilization: 0.0862146385271666,
+    },
+    Pin {
+        name: "er5_alltoall_min",
+        time_ns: 158940.0,
+        links_used: 180,
+        messages: 6720,
+        mean_utilization: 0.2405268235392814,
+        max_utilization: 0.257707310934944,
+    },
+    Pin {
+        name: "c12_rd_min",
+        time_ns: 58264.0,
+        links_used: 22,
+        messages: 156,
+        mean_utilization: 0.49849587457715977,
+        max_utilization: 0.7733077028696965,
+    },
+    Pin {
+        name: "c12_ring_min",
+        time_ns: 11387.5,
+        links_used: 22,
+        messages: 484,
+        mean_utilization: 0.6592755214050497,
+        max_utilization: 0.6592755214050494,
+    },
+    Pin {
+        name: "c12_alltoall_ugal",
+        time_ns: 195612.0,
+        links_used: 22,
+        messages: 572,
+        mean_utilization: 0.5444246774226529,
+        max_utilization: 0.7538187841236734,
+    },
+];
+
+#[test]
+fn flattened_model_reproduces_pre_refactor_results() {
+    let print = std::env::var("MOTIF_PIN_PRINT").is_ok();
+    for (name, spec, run) in scenarios() {
+        let mut model = NetModel::new(spec, MotifConfig::default());
+        let t = run(&mut model);
+        let report = model.link_report(ns(t));
+        if print {
+            println!(
+                "Pin {{\n    name: {name:?},\n    time_ns: {:?},\n    links_used: {},\n    \
+                 messages: {},\n    mean_utilization: {:?},\n    max_utilization: {:?},\n}},",
+                t, report.links_used, report.messages, report.mean_utilization,
+                report.max_utilization
+            );
+            continue;
+        }
+        let pin = GOLDENS
+            .iter()
+            .find(|p| p.name == name)
+            .unwrap_or_else(|| panic!("no golden for {name}"));
+        assert_eq!(t, pin.time_ns, "{name}: completion time drifted");
+        assert_eq!(report.links_used, pin.links_used, "{name}: links_used");
+        assert_eq!(report.messages, pin.messages, "{name}: messages");
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * b.abs().max(1.0);
+        assert!(
+            close(report.mean_utilization, pin.mean_utilization),
+            "{name}: mean_utilization {} vs {}",
+            report.mean_utilization,
+            pin.mean_utilization
+        );
+        assert!(
+            close(report.max_utilization, pin.max_utilization),
+            "{name}: max_utilization {} vs {}",
+            report.max_utilization,
+            pin.max_utilization
+        );
+    }
+}

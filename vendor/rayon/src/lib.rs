@@ -12,6 +12,15 @@
 use std::thread;
 
 fn num_threads() -> usize {
+    // Honor upstream rayon's global-pool override so CI can pin the
+    // worker count (e.g. determinism tests at RAYON_NUM_THREADS=1 / =4).
+    if let Some(n) = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
     thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
