@@ -53,23 +53,40 @@ impl ChannelLoad {
 /// Compute shortest-path edge betweenness with uniform pair weights and
 /// even splitting over minimal paths (Brandes, edge variant), in
 /// parallel over sources.
+///
+/// The per-source passes and the reduction run on dense `Vec<f64>`
+/// arrays indexed by the graph's directed edge ids ([`Graph::edge_id`]);
+/// the public per-link map is materialized once at the end.
 pub fn channel_load(g: &Graph) -> ChannelLoad {
     let n = g.n();
-    let maps: Vec<HashMap<(VertexId, VertexId), f64>> = (0..n as VertexId)
+    let edges = g.directed_edge_count();
+    let passes: Vec<Vec<f64>> = (0..n as VertexId)
         .into_par_iter()
         .map(|s| single_source_edge_dependency(g, s))
         .collect();
-    let mut per_link: HashMap<(VertexId, VertexId), f64> = HashMap::new();
-    for m in maps {
-        for (e, w) in m {
-            *per_link.entry(e).or_insert(0.0) += w;
+    let mut dense = vec![0.0f64; edges];
+    for pass in passes {
+        for (e, w) in pass.into_iter().enumerate() {
+            dense[e] += w;
         }
     }
-    let max = per_link.values().copied().fold(0.0, f64::max);
-    let mean = if per_link.is_empty() {
+    let mut per_link: HashMap<(VertexId, VertexId), f64> = HashMap::with_capacity(edges);
+    let mut max = 0.0f64;
+    let mut sum = 0.0f64;
+    for u in 0..n as VertexId {
+        for (e, &v) in g.edge_range(u).zip(g.neighbors(u)) {
+            let w = dense[e as usize];
+            if w > 0.0 {
+                per_link.insert((u, v), w);
+            }
+            max = max.max(w);
+            sum += w;
+        }
+    }
+    let mean = if edges == 0 {
         0.0
     } else {
-        per_link.values().sum::<f64>() / (2.0 * g.m() as f64)
+        sum / (2.0 * g.m() as f64)
     };
     ChannelLoad {
         per_link,
@@ -79,8 +96,9 @@ pub fn channel_load(g: &Graph) -> ChannelLoad {
 }
 
 /// Brandes single-source pass, attributing each pair's unit of flow
-/// evenly across its minimal paths' directed edges.
-fn single_source_edge_dependency(g: &Graph, s: VertexId) -> HashMap<(VertexId, VertexId), f64> {
+/// evenly across its minimal paths' directed edges. Returns the flow per
+/// directed edge id.
+fn single_source_edge_dependency(g: &Graph, s: VertexId) -> Vec<f64> {
     let n = g.n();
     let mut dist = vec![u32::MAX; n];
     let mut sigma = vec![0.0f64; n]; // # shortest paths from s
@@ -104,14 +122,19 @@ fn single_source_edge_dependency(g: &Graph, s: VertexId) -> HashMap<(VertexId, V
     // delta[v] = accumulated dependency of s-pairs on v (each target
     // contributes 1 unit of flow, split by sigma ratios).
     let mut delta = vec![0.0f64; n];
-    let mut out = HashMap::new();
+    let mut out = vec![0.0f64; g.directed_edge_count()];
     for &w in order.iter().rev() {
-        for &v in g.neighbors(w) {
+        // Walk w's incident slots so the predecessor edge v → w is the
+        // reverse of a known slot id — one O(log deg) lookup per
+        // predecessor, no hashing.
+        for (e_wv, &v) in g.edge_range(w).zip(g.neighbors(w)) {
             // v is a predecessor of w iff dist[v] + 1 == dist[w].
             if dist[v as usize] + 1 == dist[w as usize] {
                 let share = sigma[v as usize] / sigma[w as usize] * (1.0 + delta[w as usize]);
                 delta[v as usize] += share;
-                *out.entry((v, w)).or_insert(0.0) += share;
+                let e_vw = g.edge_id(v, w).expect("reverse of slot edge");
+                debug_assert_eq!(g.edge_target(e_wv), v);
+                out[e_vw as usize] += share;
             }
         }
     }

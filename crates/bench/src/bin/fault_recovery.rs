@@ -10,8 +10,10 @@
 //! is the first post-recovery bucket whose mean latency re-enters 1.2×
 //! the pre-failure baseline.
 //!
-//! CSV `topology,load,burst_fraction,fail_cycle,recover_cycle,baseline_latency,peak_latency,faulted_in_flight,rerouted,recovery_cycles`
-//! (`recovery_cycles` is empty when the run never settles). `--quick`
+//! CSV `topology,load,burst_fraction,fail_cycle,recover_cycle,baseline_latency,peak_latency,faulted_in_flight,rerouted,recovery_cycles,allreduce_pristine_us,allreduce_burst_us`
+//! (`recovery_cycles` is empty when the run never settles; the last two
+//! columns are the motif-layer allreduce on the pristine network and on
+//! one with the burst's link set statically failed). `--quick`
 //! shrinks cycles for smoke tests; `--only <key>` restricts topologies;
 //! `--engine-threads <n>` shards each run; `--metrics-dir <path>` writes
 //! one `RunManifest` JSON per topology.
@@ -20,12 +22,16 @@ use bench::manifest::file_stem;
 use bench::{
     engine_threads, metrics_dir, only_filter, quick_mode, table3_network, RunManifest, TABLE3_KEYS,
 };
+use polarstar_motifs::collectives::{allreduce, AllreduceAlgo};
+use polarstar_motifs::netmodel::{MotifConfig, MotifError, NetModel, RoutingMode};
 use polarstar_netsim::routing::{RouteTable, RoutingKind};
 use polarstar_netsim::stats::recovery_analysis;
 use polarstar_netsim::{
     simulate_monitored, MetricsMonitor, PairMonitor, Pattern, SimConfig, TransientMonitor,
 };
+use polarstar_topo::network::NetworkSpec;
 use polarstar_topo::FaultSchedule;
+use polarstar_topo::FaultSet;
 use rayon::prelude::*;
 
 /// Same default subset as `fault_sweep`: the low-diameter fabrics whose
@@ -61,7 +67,8 @@ fn main() {
 
     println!(
         "topology,load,burst_fraction,fail_cycle,recover_cycle,\
-         baseline_latency,peak_latency,faulted_in_flight,rerouted,recovery_cycles"
+         baseline_latency,peak_latency,faulted_in_flight,rerouted,recovery_cycles,\
+         allreduce_pristine_us,allreduce_burst_us"
     );
     let rows: Vec<Result<(String, RunManifest), String>> = keys
         .par_iter()
@@ -94,9 +101,35 @@ fn main() {
             );
             let a = recovery_analysis(&mon.1.series(), fail_cycle, recover_cycle, 1.2);
             let recovery = a.recovery_cycles.map(|c| c.to_string()).unwrap_or_default();
+            // Motif-layer view of the same burst: a 64 KB recursive-
+            // doubling allreduce on the pristine network vs. one with
+            // the burst's link set statically failed (same seed and
+            // fraction, so the sets match the scheduled burst).
+            let motif_point = |s: &NetworkSpec| -> Result<f64, String> {
+                let mut model = NetModel::new(s.clone(), MotifConfig::default());
+                match allreduce(
+                    &mut model,
+                    AllreduceAlgo::RecursiveDoubling,
+                    64 * 1024,
+                    1,
+                    RoutingMode::Min,
+                ) {
+                    Ok(t_ns) => Ok(t_ns / 1000.0),
+                    // The burst may sever a rank pair outright.
+                    Err(MotifError::Disconnected { .. }) => Ok(f64::NAN),
+                    Err(e @ MotifError::InvalidConfig { .. }) => Err(format!("{key}: {e}")),
+                }
+            };
+            let allreduce_pristine_us = motif_point(&spec)?;
+            let burst_spec = spec.clone().with_faults(FaultSet::random_links(
+                &spec.graph,
+                burst_fraction,
+                FAULT_SEED,
+            ));
+            let allreduce_burst_us = motif_point(&burst_spec)?;
             let row = format!(
                 "{key},{load},{burst_fraction},{fail_cycle},{recover_cycle},\
-                 {:.2},{:.2},{},{},{recovery}",
+                 {:.2},{:.2},{},{},{recovery},{allreduce_pristine_us:.1},{allreduce_burst_us:.1}",
                 a.baseline_latency, a.peak_latency, r.faulted_in_flight, r.rerouted
             );
             let mut m = RunManifest::for_network(key, &spec).with_sim(
@@ -117,6 +150,8 @@ fn main() {
                 "recovery_cycles",
                 a.recovery_cycles.map(|c| c as f64).unwrap_or(f64::NAN),
             );
+            m.push_extra("allreduce_pristine_us", allreduce_pristine_us);
+            m.push_extra("allreduce_burst_us", allreduce_burst_us);
             Ok((row, m))
         })
         .collect();

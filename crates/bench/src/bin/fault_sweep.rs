@@ -22,7 +22,7 @@ use bench::{
     engine_threads, metrics_dir, only_filter, quick_mode, table3_network, RunManifest, TABLE3_KEYS,
 };
 use polarstar_motifs::collectives::{allreduce, AllreduceAlgo};
-use polarstar_motifs::netmodel::{MotifConfig, MotifError, NetModel, RoutingMode};
+use polarstar_motifs::netmodel::{ns, MotifConfig, MotifError, NetModel, RoutingMode};
 use polarstar_netsim::engine::SimConfig;
 use polarstar_netsim::monitor::MetricsMonitor;
 use polarstar_netsim::routing::{RouteTable, RoutingKind};
@@ -115,7 +115,7 @@ fn main() {
                 &cfg,
                 &mut mon,
             );
-            let allreduce_us = {
+            let (allreduce_us, hotlist) = {
                 let mut model = NetModel::new(spec.clone(), MotifConfig::default());
                 match allreduce(
                     &mut model,
@@ -124,9 +124,9 @@ fn main() {
                     iters,
                     RoutingMode::Min,
                 ) {
-                    Ok(t_ns) => t_ns / 1000.0,
+                    Ok(t_ns) => (t_ns / 1000.0, model.link_hotlist(ns(t_ns), 5)),
                     // A severed rank pair has no finite completion time.
-                    Err(MotifError::Disconnected { .. }) => f64::NAN,
+                    Err(MotifError::Disconnected { .. }) => (f64::NAN, Vec::new()),
                     // A Table 3 network that cannot host an allreduce is
                     // a harness bug, not a measurement.
                     Err(e @ MotifError::InvalidConfig { .. }) => panic!("{key}: {e}"),
@@ -148,6 +148,16 @@ fn main() {
             m.push_extra("saturation_load", sat);
             m.push_extra("unroutable", r.unroutable as f64);
             m.push_extra("allreduce_us", allreduce_us);
+            // The allreduce's hottest surviving links, utilization at
+            // the completion-time horizon: which cables the collective
+            // leaned on as the fault fraction grew.
+            for (i, h) in hotlist.iter().enumerate() {
+                m.push_extra(format!("hot{i}_{}to{}_util", h.src, h.dst), h.utilization);
+                m.push_extra(
+                    format!("hot{i}_{}to{}_msgs", h.src, h.dst),
+                    h.messages as f64,
+                );
+            }
             (row, m)
         })
         .collect();

@@ -1,49 +1,55 @@
 //! Figure 11: Allreduce and Sweep3D motifs (SST/Ember substitute).
 //!
-//! 64 KB allreduce, 10 iterations, 20 ns latencies, 4 GB/s links, linear
-//! rank mapping (§10.1). CSV `motif,topology,routing,time_us`.
+//! Message sizes × motifs × routing × topologies, 20 ns latencies,
+//! 4 GB/s links, linear rank mapping (§10.1). CSV
+//! `motif,topology,routing,bytes,time_us`.
+//!
+//! The grid fans out over rayon by default; `--sequential` runs it on
+//! one thread and produces a byte-identical CSV (each point is an
+//! independent seeded model). `--quick` shrinks sizes and iterations
+//! for smoke tests; `--only <key>` restricts topologies.
 
-use bench::table3_network;
-use polarstar_motifs::collectives::{allreduce, sweep3d, AllreduceAlgo};
-use polarstar_motifs::netmodel::{MotifConfig, NetModel, RoutingMode};
-use rayon::prelude::*;
+use bench::motif_sweep::{run_sweep, MotifSweep, SWEEP_HEADER};
+use bench::{only_filter, quick_mode, sequential_mode, table3_network, TABLE3_KEYS};
+use polarstar_motifs::netmodel::RoutingMode;
+
+/// Fig. 11's topology subset: PolarStar vs Dragonfly, HyperX, fat tree.
+const DEFAULT_KEYS: [&str; 4] = ["PS-IQ", "DF", "HX", "FT"];
 
 fn main() {
-    let keys = ["PS-IQ", "DF", "HX", "FT"];
+    let keys: Vec<&str> = match only_filter() {
+        Some(only) => TABLE3_KEYS
+            .into_iter()
+            .filter(|k| only.iter().any(|o| k.contains(o.as_str())))
+            .collect(),
+        None => DEFAULT_KEYS.to_vec(),
+    };
+    let mut nets = Vec::new();
+    for key in keys {
+        match table3_network(key) {
+            Ok(net) => nets.push(net),
+            Err(e) => {
+                eprintln!("fig11_motifs: {key}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let sweep = if quick_mode() {
+        MotifSweep::quick()
+    } else {
+        MotifSweep::fig11()
+    };
     let modes = [RoutingMode::Min, RoutingMode::Adaptive { candidates: 4 }];
-    println!("motif,topology,routing,time_us");
-    let jobs: Vec<(&str, RoutingMode, &str)> = keys
-        .iter()
-        .flat_map(|&k| {
-            modes
-                .iter()
-                .flat_map(move |&m| [("allreduce", k, m), ("sweep3d", k, m)])
-        })
-        .map(|(motif, k, m)| (k, m, motif))
-        .collect();
-    let rows: Vec<String> = jobs
-        .par_iter()
-        .map(|&(key, mode, motif)| {
-            let spec = table3_network(key).expect("Table 3 config");
-            let mut model = NetModel::new(spec, MotifConfig::default());
-            let t_ns = match motif {
-                "allreduce" => allreduce(
-                    &mut model,
-                    AllreduceAlgo::RecursiveDoubling,
-                    64 * 1024,
-                    10,
-                    mode,
-                )
-                .expect("Table 3 networks are pristine"),
-                _ => {
-                    // 64×64 rank grid fits every Table 3 configuration.
-                    sweep3d(&mut model, 64, 64, 4 * 1024, 200.0, 10, mode)
-                        .expect("Table 3 networks are pristine")
-                }
-            };
-            format!("{motif},{key},{},{:.1}", mode.label(), t_ns / 1000.0)
-        })
-        .collect();
+    let rows = match run_sweep(&nets, &modes, &sweep, !sequential_mode()) {
+        Ok(rows) => rows,
+        // Table 3 networks are pristine and host every grid point; any
+        // motif error is a harness bug.
+        Err(e) => {
+            eprintln!("fig11_motifs: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("{SWEEP_HEADER}");
     for row in rows {
         println!("{row}");
     }

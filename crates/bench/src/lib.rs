@@ -7,6 +7,7 @@
 //! captures run provenance (config, topology, seed, metrics) as JSON.
 
 pub mod manifest;
+pub mod motif_sweep;
 pub mod sweep_driver;
 
 use polarstar::design::{best_config, best_config_with};
@@ -95,6 +96,13 @@ pub fn table3_networks() -> Vec<NetworkSpec> {
 /// Whether `--quick` was passed (smoke-test mode for the heavy figures).
 pub fn quick_mode() -> bool {
     std::env::args().any(|a| a == "--quick")
+}
+
+/// Whether `--sequential` was passed: run sweep grids on one thread
+/// instead of fanning out over rayon. Output is byte-identical either
+/// way; the flag exists for A/B determinism checks and for profiling.
+pub fn sequential_mode() -> bool {
+    std::env::args().any(|a| a == "--sequential")
 }
 
 /// Topology filter from `--only <key>` (repeatable substring match).

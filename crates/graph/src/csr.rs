@@ -96,6 +96,61 @@ impl Graph {
         self.neighbors(u).binary_search(&v).is_ok()
     }
 
+    /// Number of directed edges (CSR adjacency slots): `2·m`.
+    ///
+    /// Every directed edge `u → v` has a dense id in
+    /// `0..directed_edge_count()`, so per-link state can live in flat
+    /// arrays indexed by [`Graph::edge_id`] instead of hash maps.
+    #[inline]
+    pub fn directed_edge_count(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Dense id of the directed edge `u → v`: the CSR slot holding `v`
+    /// in `u`'s sorted neighbor list (`O(log deg(u))`), or `None` when
+    /// `{u, v}` is not an edge. Ids are stable for a given graph and
+    /// contiguous per source vertex: `edge_id(u, ·)` covers
+    /// `offsets[u]..offsets[u+1]`.
+    #[inline]
+    pub fn edge_id(&self, u: VertexId, v: VertexId) -> Option<u32> {
+        let base = self.offsets[u as usize];
+        self.neighbors[base..self.offsets[u as usize + 1]]
+            .binary_search(&v)
+            .ok()
+            .map(|pos| (base + pos) as u32)
+    }
+
+    /// Target vertex of a directed edge id (the `v` of `u → v`).
+    #[inline]
+    pub fn edge_target(&self, e: u32) -> VertexId {
+        self.neighbors[e as usize]
+    }
+
+    /// Source vertex of a directed edge id (the `u` of `u → v`), by
+    /// binary search over the offset array. `O(log n)` — fine for
+    /// reporting; hot paths should carry the source alongside the id.
+    #[inline]
+    pub fn edge_source(&self, e: u32) -> VertexId {
+        debug_assert!((e as usize) < self.neighbors.len());
+        // partition_point returns the first offset > e; its predecessor
+        // owns the slot.
+        (self.offsets.partition_point(|&o| o <= e as usize) - 1) as VertexId
+    }
+
+    /// Both endpoints `(u, v)` of a directed edge id.
+    #[inline]
+    pub fn edge_endpoints(&self, e: u32) -> (VertexId, VertexId) {
+        (self.edge_source(e), self.edge_target(e))
+    }
+
+    /// The contiguous range of directed-edge ids leaving `u`; zipping it
+    /// with [`Graph::neighbors`]`(u)` pairs each id with its target in
+    /// `O(deg(u))`, with no per-edge lookups.
+    #[inline]
+    pub fn edge_range(&self, u: VertexId) -> std::ops::Range<u32> {
+        self.offsets[u as usize] as u32..self.offsets[u as usize + 1] as u32
+    }
+
     /// Iterator over each undirected edge once, as `(u, v)` with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
         (0..self.n() as VertexId)
@@ -361,5 +416,42 @@ mod tests {
         let g = Graph::cycle(10);
         assert!((g.avg_degree() - 2.0).abs() < 1e-12);
         assert_eq!(Graph::empty(0).avg_degree(), 0.0);
+    }
+
+    #[test]
+    fn edge_ids_are_dense_and_invertible() {
+        let g = Graph::from_edges(5, &[(0, 1), (0, 3), (1, 2), (2, 3), (3, 4)]);
+        assert_eq!(g.directed_edge_count(), 2 * g.m());
+        // Every directed edge gets a unique id; endpoints round-trip.
+        let mut seen = vec![false; g.directed_edge_count()];
+        for u in 0..g.n() as VertexId {
+            for &v in g.neighbors(u) {
+                let e = g.edge_id(u, v).unwrap();
+                assert!(!seen[e as usize], "duplicate id {e}");
+                seen[e as usize] = true;
+                assert_eq!(g.edge_source(e), u);
+                assert_eq!(g.edge_target(e), v);
+                assert_eq!(g.edge_endpoints(e), (u, v));
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "ids not dense");
+        // Non-edges have no id.
+        assert_eq!(g.edge_id(0, 2), None);
+        assert_eq!(g.edge_id(4, 0), None);
+    }
+
+    #[test]
+    fn edge_range_zips_with_neighbors() {
+        let g = Graph::cycle(6);
+        for u in 0..g.n() as VertexId {
+            let r = g.edge_range(u);
+            assert_eq!(r.len(), g.degree(u));
+            for (e, &v) in r.zip(g.neighbors(u)) {
+                assert_eq!(g.edge_id(u, v), Some(e));
+            }
+        }
+        // Isolated vertices get an empty range.
+        let g = Graph::empty(3);
+        assert!(g.edge_range(1).is_empty());
     }
 }

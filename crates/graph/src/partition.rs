@@ -69,7 +69,7 @@ pub fn min_bisection(g: &Graph, restarts: usize, seed: u64) -> Bisection {
 /// replay the restart schedule sequentially.
 fn restart_bisection(g: &Graph, seed: u64, r: usize) -> Bisection {
     let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(r as u64 * 0x9E37_79B9));
-    let init = if r % 2 == 0 {
+    let init = if r.is_multiple_of(2) {
         random_partition(g, &mut rng)
     } else {
         bfs_partition(g, &mut rng)

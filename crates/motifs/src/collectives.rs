@@ -409,7 +409,10 @@ mod tests {
             RoutingMode::Min,
         )
         .unwrap();
-        assert!(t >= floor * 0.99, "t={t} below pre/post sender floor {floor}");
+        assert!(
+            t >= floor * 0.99,
+            "t={t} below pre/post sender floor {floor}"
+        );
     }
 
     #[test]

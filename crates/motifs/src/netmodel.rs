@@ -10,7 +10,6 @@ use polarstar_graph::{traversal, Graph};
 use polarstar_topo::network::NetworkSpec;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use std::collections::HashMap;
 use std::fmt;
 
 /// Picoseconds.
@@ -114,22 +113,44 @@ impl RoutingMode {
     }
 }
 
+/// ECMP parent sets toward one destination, as a flat CSR over the
+/// routed graph: `edges[offsets[r]..offsets[r+1]]` holds the directed
+/// edge ids `r → parent` for every neighbor one hop closer to the
+/// destination, in ascending neighbor order.
+struct ParentCsr {
+    offsets: Vec<u32>,
+    edges: Vec<u32>,
+}
+
+impl ParentCsr {
+    #[inline]
+    fn parents_of(&self, r: u32) -> &[u32] {
+        &self.edges[self.offsets[r as usize] as usize..self.offsets[r as usize + 1] as usize]
+    }
+}
+
 /// The contention-aware network model.
+///
+/// All hot-path state is dense and indexed by the routed graph's
+/// directed edge ids ([`Graph::edge_id`]): paths are `Vec<u32>` of edge
+/// ids, link reservations live in flat arrays, and parent trees are
+/// cached per destination as flat CSR — no hash maps anywhere on the
+/// `send_routers` → `predict`/`reserve` path.
 pub struct NetModel {
-    /// Next-hop parent lists toward each destination, built lazily:
-    /// parents[dst][r] = every neighbor of r one hop closer to dst
-    /// (ECMP set).
-    parents: HashMap<u32, Vec<Vec<u32>>>,
-    /// free_at per directed link (u → v).
-    free_at: HashMap<(u32, u32), Time>,
-    /// Cumulative serialization time reserved per directed link.
-    link_busy: HashMap<(u32, u32), Time>,
-    /// Messages that crossed each directed link.
-    link_msgs: HashMap<(u32, u32), u64>,
+    /// Per-destination parent trees, built lazily and cached for the
+    /// model's lifetime (the fault mask is fixed at construction, so a
+    /// tree never goes stale).
+    parents: Vec<Option<Box<ParentCsr>>>,
+    /// free_at per directed edge id.
+    free_at: Vec<Time>,
+    /// Cumulative serialization time reserved per directed edge id.
+    link_busy: Vec<Time>,
+    /// Messages that crossed each directed edge id.
+    link_msgs: Vec<u64>,
     spec: NetworkSpec,
     /// The routed view: the spec's graph minus its fault mask (equal to
     /// the pristine graph on a healthy network). All parent trees BFS
-    /// over this.
+    /// over this, and all edge ids refer to it.
     routed: Graph,
     cfg: MotifConfig,
     rng: ChaCha8Rng,
@@ -148,16 +169,30 @@ pub struct LinkLoadReport {
     pub max_utilization: f64,
 }
 
+/// One entry of the per-edge hotlist: a directed link and its load.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkHotEntry {
+    /// Source router of the directed link.
+    pub src: u32,
+    /// Destination router of the directed link.
+    pub dst: u32,
+    /// Busy fraction over the report horizon, clamped to 1.
+    pub utilization: f64,
+    /// Messages that crossed the link.
+    pub messages: u64,
+}
+
 impl NetModel {
     /// Build a model over a network.
     pub fn new(spec: NetworkSpec, cfg: MotifConfig) -> Self {
         let rng = ChaCha8Rng::seed_from_u64(cfg.seed);
         let routed = spec.degraded_graph();
+        let edges = routed.directed_edge_count();
         NetModel {
-            parents: HashMap::new(),
-            free_at: HashMap::new(),
-            link_busy: HashMap::new(),
-            link_msgs: HashMap::new(),
+            parents: (0..routed.n()).map(|_| None).collect(),
+            free_at: vec![0; edges],
+            link_busy: vec![0; edges],
+            link_msgs: vec![0; edges],
             spec,
             routed,
             cfg,
@@ -171,24 +206,36 @@ impl NetModel {
     }
 
     /// Reset link reservations and load accounting (between
-    /// iterations/benchmarks).
+    /// iterations/benchmarks). Parent trees stay cached — the fault
+    /// mask cannot change under a live model.
     pub fn reset(&mut self) {
-        self.free_at.clear();
-        self.link_busy.clear();
-        self.link_msgs.clear();
+        self.free_at.fill(0);
+        self.link_busy.fill(0);
+        self.link_msgs.fill(0);
     }
 
     /// Cumulative serialization reserved on a directed link so far.
     pub fn link_busy_time(&self, u: u32, v: u32) -> Time {
-        self.link_busy.get(&(u, v)).copied().unwrap_or(0)
+        self.routed
+            .edge_id(u, v)
+            .map_or(0, |e| self.link_busy[e as usize])
+    }
+
+    /// Expand a path of directed edge ids (as returned by
+    /// [`NetModel::min_path`]/[`NetModel::ecmp_path`]) into router
+    /// pairs.
+    pub fn path_links(&self, path: &[u32]) -> Vec<(u32, u32)> {
+        path.iter()
+            .map(|&e| self.routed.edge_endpoints(e))
+            .collect()
     }
 
     /// Summarize link load relative to a wall-clock `horizon` (e.g. the
     /// motif's completion time). Utilization is busy-time / horizon,
     /// clamped to 1 per link.
     pub fn link_report(&self, horizon: Time) -> LinkLoadReport {
-        let links_used = self.link_busy.len();
-        let messages = self.link_msgs.values().sum();
+        let links_used = self.link_msgs.iter().filter(|&&m| m > 0).count();
+        let messages = self.link_msgs.iter().sum();
         if links_used == 0 || horizon == 0 {
             return LinkLoadReport {
                 links_used,
@@ -199,7 +246,10 @@ impl NetModel {
         }
         let mut sum = 0.0;
         let mut max = 0.0f64;
-        for &busy in self.link_busy.values() {
+        for (&busy, &msgs) in self.link_busy.iter().zip(&self.link_msgs) {
+            if msgs == 0 {
+                continue;
+            }
             let u = (busy as f64 / horizon as f64).min(1.0);
             sum += u;
             max = max.max(u);
@@ -212,42 +262,73 @@ impl NetModel {
         }
     }
 
-    fn ensure_parent_tree(&mut self, dst: u32) {
-        let routed = &self.routed;
-        self.parents.entry(dst).or_insert_with(|| {
-            // BFS from dst over the (possibly fault-degraded) routed
-            // view; parents[r] = all neighbors one hop closer.
-            let dist = traversal::bfs_distances(routed, dst);
-            let mut parent = vec![Vec::new(); routed.n()];
-            for r in 0..routed.n() as u32 {
-                if r == dst || dist[r as usize] == traversal::UNREACHABLE {
-                    continue;
+    /// The `k` most loaded directed links at `horizon`, hottest first
+    /// (ties broken on edge id, so the list is deterministic). Only
+    /// links that carried at least one message appear.
+    pub fn link_hotlist(&self, horizon: Time, k: usize) -> Vec<LinkHotEntry> {
+        let mut used: Vec<u32> = (0..self.link_msgs.len() as u32)
+            .filter(|&e| self.link_msgs[e as usize] > 0)
+            .collect();
+        used.sort_by_key(|&e| (std::cmp::Reverse(self.link_busy[e as usize]), e));
+        used.truncate(k);
+        used.into_iter()
+            .map(|e| {
+                let (src, dst) = self.routed.edge_endpoints(e);
+                let busy = self.link_busy[e as usize];
+                LinkHotEntry {
+                    src,
+                    dst,
+                    utilization: if horizon == 0 {
+                        0.0
+                    } else {
+                        (busy as f64 / horizon as f64).min(1.0)
+                    },
+                    messages: self.link_msgs[e as usize],
                 }
-                for &nb in routed.neighbors(r) {
+            })
+            .collect()
+    }
+
+    fn ensure_parent_tree(&mut self, dst: u32) {
+        if self.parents[dst as usize].is_some() {
+            return;
+        }
+        // BFS from dst over the (possibly fault-degraded) routed view;
+        // parents_of(r) = the edge to every neighbor one hop closer, in
+        // ascending neighbor order (the CSR slot order).
+        let routed = &self.routed;
+        let dist = traversal::bfs_distances(routed, dst);
+        let n = routed.n();
+        let mut offsets = vec![0u32; n + 1];
+        let mut edges = Vec::new();
+        for r in 0..n as u32 {
+            if r != dst && dist[r as usize] != traversal::UNREACHABLE {
+                for (e, &nb) in routed.edge_range(r).zip(routed.neighbors(r)) {
                     if dist[nb as usize] + 1 == dist[r as usize] {
-                        parent[r as usize].push(nb);
+                        edges.push(e);
                     }
                 }
             }
-            parent
-        });
+            offsets[r as usize + 1] = edges.len() as u32;
+        }
+        self.parents[dst as usize] = Some(Box::new(ParentCsr { offsets, edges }));
     }
 
     /// The deterministic minimal router path `src → dst` (first ECMP
-    /// choice at every hop) as a list of directed links, or `None` when
-    /// no surviving path connects the pair.
-    pub fn min_path(&mut self, src: u32, dst: u32) -> Option<Vec<(u32, u32)>> {
+    /// choice at every hop) as directed edge ids, or `None` when no
+    /// surviving path connects the pair.
+    pub fn min_path(&mut self, src: u32, dst: u32) -> Option<Vec<u32>> {
         if src == dst {
             return Some(Vec::new());
         }
         self.ensure_parent_tree(dst);
-        let tree = &self.parents[&dst];
+        let tree = self.parents[dst as usize].as_deref().expect("just built");
         let mut path = Vec::new();
         let mut cur = src;
         while cur != dst {
-            let next = *tree[cur as usize].first()?;
-            path.push((cur, next));
-            cur = next;
+            let &e = tree.parents_of(cur).first()?;
+            path.push(e);
+            cur = self.routed.edge_target(e);
         }
         Some(path)
     }
@@ -255,69 +336,61 @@ impl NetModel {
     /// A uniformly random minimal path (ECMP) — what "MIN" means in the
     /// paper's simulators, which store or enumerate all minimal paths.
     /// `None` when no surviving path connects the pair.
-    pub fn ecmp_path(&mut self, src: u32, dst: u32) -> Option<Vec<(u32, u32)>> {
+    pub fn ecmp_path(&mut self, src: u32, dst: u32) -> Option<Vec<u32>> {
         if src == dst {
             return Some(Vec::new());
         }
         self.ensure_parent_tree(dst);
-        if self.parents[&dst][src as usize].is_empty() {
-            return None;
-        }
-        let mut picks: Vec<usize> = Vec::new();
-        {
-            let tree = &self.parents[&dst];
-            let mut cur = src;
-            while cur != dst {
-                let opts = &tree[cur as usize];
-                let k = if opts.len() == 1 {
-                    0
-                } else {
-                    self.rng.gen_range(0..opts.len())
-                };
-                picks.push(k);
-                cur = opts[k];
-            }
-        }
-        let tree = &self.parents[&dst];
+        // Disjoint field borrows: the tree is read-only while the walk
+        // draws from `self.rng`.
+        let tree = self.parents[dst as usize].as_deref().expect("just built");
         let mut path = Vec::new();
         let mut cur = src;
-        for k in picks {
-            let next = tree[cur as usize][k];
-            path.push((cur, next));
-            cur = next;
+        while cur != dst {
+            let opts = tree.parents_of(cur);
+            if opts.is_empty() {
+                return None;
+            }
+            let k = if opts.len() == 1 {
+                0
+            } else {
+                self.rng.gen_range(0..opts.len())
+            };
+            let e = opts[k];
+            path.push(e);
+            cur = self.routed.edge_target(e);
         }
         Some(path)
     }
 
-    /// Predicted completion of sending `bytes` along `path` starting at
-    /// `start` — without reserving.
-    fn predict(&self, path: &[(u32, u32)], bytes: u64, start: Time) -> Time {
+    /// Predicted completion of sending `bytes` along `path` (directed
+    /// edge ids) starting at `start` — without reserving.
+    fn predict(&self, path: &[u32], bytes: u64, start: Time) -> Time {
         let per_hop = ns(self.cfg.router_latency_ns + self.cfg.link_latency_ns);
         let serial = ns(bytes as f64 / self.cfg.bandwidth_bytes_per_ns);
         let mut head = start + ns(self.cfg.overhead_ns);
         let mut done = head;
-        for link in path {
-            let free = self.free_at.get(link).copied().unwrap_or(0);
-            let begin = head.max(free);
+        for &e in path {
+            let begin = head.max(self.free_at[e as usize]);
             head = begin + per_hop;
             done = begin + per_hop + serial;
         }
         done
     }
 
-    /// Reserve `path` for a `bytes`-sized message starting at `start`;
-    /// returns delivery time.
-    fn reserve(&mut self, path: &[(u32, u32)], bytes: u64, start: Time) -> Time {
+    /// Reserve `path` (directed edge ids) for a `bytes`-sized message
+    /// starting at `start`; returns delivery time.
+    fn reserve(&mut self, path: &[u32], bytes: u64, start: Time) -> Time {
         let per_hop = ns(self.cfg.router_latency_ns + self.cfg.link_latency_ns);
         let serial = ns(bytes as f64 / self.cfg.bandwidth_bytes_per_ns);
         let mut head = start + ns(self.cfg.overhead_ns);
         let mut done = head;
-        for link in path {
-            let free = self.free_at.get(link).copied().unwrap_or(0);
-            let begin = head.max(free);
-            self.free_at.insert(*link, begin + serial);
-            *self.link_busy.entry(*link).or_insert(0) += serial;
-            *self.link_msgs.entry(*link).or_insert(0) += 1;
+        for &e in path {
+            let e = e as usize;
+            let begin = head.max(self.free_at[e]);
+            self.free_at[e] = begin + serial;
+            self.link_busy[e] += serial;
+            self.link_msgs[e] += 1;
             head = begin + per_hop;
             done = begin + per_hop + serial;
         }
@@ -375,7 +448,7 @@ impl NetModel {
                     // The spliced detour may pass through dst on its way
                     // to mid; cut it there so it never reserves links
                     // beyond the destination.
-                    if let Some(pos) = p.iter().position(|&(_, v)| v == dst) {
+                    if let Some(pos) = p.iter().position(|&e| self.routed.edge_target(e) == dst) {
                         p.truncate(pos + 1);
                     }
                     let t = self.predict(&p, bytes, start);
@@ -426,7 +499,7 @@ mod tests {
     fn min_path_follows_bfs() {
         let mut m = model();
         let p = m.min_path(0, 3).unwrap();
-        assert_eq!(p, vec![(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(m.path_links(&p), vec![(0, 1), (1, 2), (2, 3)]);
         assert!(m.min_path(2, 2).unwrap().is_empty());
     }
 

@@ -48,7 +48,9 @@ struct Pin {
     max_utilization: f64,
 }
 
-fn scenarios() -> Vec<(&'static str, NetworkSpec, fn(&mut NetModel) -> f64)> {
+type Scenario = (&'static str, NetworkSpec, fn(&mut NetModel) -> f64);
+
+fn scenarios() -> Vec<Scenario> {
     vec![
         ("er5_rd_min", er5(), |m| {
             allreduce(m, AllreduceAlgo::RecursiveDoubling, 64 * 1024, 1, MIN).unwrap()
@@ -156,7 +158,10 @@ fn flattened_model_reproduces_pre_refactor_results() {
             println!(
                 "Pin {{\n    name: {name:?},\n    time_ns: {:?},\n    links_used: {},\n    \
                  messages: {},\n    mean_utilization: {:?},\n    max_utilization: {:?},\n}},",
-                t, report.links_used, report.messages, report.mean_utilization,
+                t,
+                report.links_used,
+                report.messages,
+                report.mean_utilization,
                 report.max_utilization
             );
             continue;
