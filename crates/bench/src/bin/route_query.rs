@@ -1,0 +1,176 @@
+//! Route-query service benchmark: queries/sec and per-query latency of
+//! the `routed` oracle, pristine and under concurrent fault churn.
+//!
+//! Three phases per topology:
+//!
+//! 1. `single_hop` — a next-hop query storm against the pristine oracle
+//!    through [`measure_query_latency`] (batch-level qps, log2-bucket
+//!    p50/p99);
+//! 2. `batch_paths` — full [`RouteAnswer`] batches (k = 4 alternatives)
+//!    through the rayon-sharded bulk path;
+//! 3. `churn` — the same next-hop storm while a churn thread prepares
+//!    and installs fault-epoch oracles through an [`EpochSwapper`] as
+//!    fast as it can (a seeded burst failing/recovering 5% of links).
+//!    Every batch snapshots the swapper, so no query can observe a torn
+//!    table; the acceptance gate is p99(churn) ≤ 2× p99(pristine).
+//!
+//! CSV `topology,routers,phase,queries,elapsed_ms,qps,p50_ns,p99_ns,epoch_swaps`.
+//! `--quick` shrinks the storm; `--only <key>` adds topologies beyond
+//! the default PS-IQ; `--metrics-dir <path>` writes one `RunManifest`
+//! JSON per topology with the qps/p99 scalars (the `BENCH_routed.json`
+//! criterion baseline comes from `benches/route_query.rs`).
+
+use bench::manifest::file_stem;
+use bench::sweep_driver::{measure_query_latency, QueryLatencyStats};
+use bench::{metrics_dir, only_filter, quick_mode, table3_network, RunManifest, TABLE3_KEYS};
+use polarstar_routed::{EpochSwapper, Oracle, QueryBatch};
+use polarstar_topo::fault::FaultSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Workload seed: the same batch drives every phase.
+const QUERY_SEED: u64 = 0x60E5;
+/// Churn-burst sampling seed (distinct from `fault_sweep`'s so the two
+/// experiments stay independent).
+const CHURN_SEED: u64 = 0xC4A7;
+/// Fraction of links the churn burst fails per odd epoch.
+const CHURN_FRACTION: f64 = 0.05;
+
+fn csv_row(key: &str, routers: usize, phase: &str, s: &QueryLatencyStats, swaps: u64) -> String {
+    format!(
+        "{key},{routers},{phase},{},{:.2},{:.0},{},{},{swaps}",
+        s.queries,
+        s.elapsed_ns as f64 / 1e6,
+        s.qps(),
+        s.p50_ns,
+        s.p99_ns,
+    )
+}
+
+fn main() {
+    let quick = quick_mode();
+    let keys: Vec<&str> = match only_filter() {
+        Some(only) => TABLE3_KEYS
+            .into_iter()
+            .filter(|k| only.iter().any(|o| k.contains(o.as_str())))
+            .collect(),
+        None => vec!["PS-IQ"],
+    };
+    let storm_len = if quick { 200_000 } else { 4_000_000 };
+    let batch_size = 4096;
+    let k_alternatives = 4;
+
+    println!("topology,routers,phase,queries,elapsed_ms,qps,p50_ns,p99_ns,epoch_swaps");
+    let mut failed = false;
+    for key in keys {
+        let spec = match table3_network(key) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("route_query: {key}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let routers = spec.routers();
+        let n = routers as u32;
+        let oracle = Oracle::new(Arc::new(spec));
+        let workload = QueryBatch::random(storm_len, n, k_alternatives, QUERY_SEED);
+        let pairs: Vec<(u32, u32)> = workload.queries.iter().map(|q| (q.src, q.dst)).collect();
+
+        // Phase 1: pristine single-hop storm.
+        let pristine = measure_query_latency(|| oracle.table(), &pairs, batch_size);
+        println!("{}", csv_row(key, routers, "single_hop", &pristine, 0));
+
+        // Phase 2: full answers (paths + k alternatives), sharded.
+        let path_batch = QueryBatch::new(workload.queries[..storm_len / 8].to_vec());
+        let t0 = std::time::Instant::now();
+        let answers = oracle.answer_batch_sharded(&path_batch);
+        let batch_stats = QueryLatencyStats {
+            queries: answers.len() as u64,
+            elapsed_ns: t0.elapsed().as_nanos() as u64,
+            snapshots: 1,
+            ..Default::default()
+        };
+        std::hint::black_box(&answers);
+        println!("{}", csv_row(key, routers, "batch_paths", &batch_stats, 0));
+
+        // Phase 3: the same storm under epoch churn. The churn thread
+        // alternates burst/pristine epochs until the storm finishes.
+        let swapper = EpochSwapper::new(oracle);
+        let burst =
+            FaultSet::random_links(&swapper.base().spec().graph, CHURN_FRACTION, CHURN_SEED);
+        let done = AtomicBool::new(false);
+        let pristine_set = FaultSet::empty();
+        let churn = std::thread::scope(|scope| {
+            let handle = scope.spawn(|| {
+                let mut epoch = 0u64;
+                while !done.load(Ordering::Acquire) {
+                    epoch += 1;
+                    let f = if epoch % 2 == 1 {
+                        &burst
+                    } else {
+                        &pristine_set
+                    };
+                    swapper.advance(f, epoch);
+                }
+                epoch
+            });
+            let stats = measure_query_latency(|| swapper.load(), &pairs, batch_size);
+            done.store(true, Ordering::Release);
+            let epochs = handle.join().expect("churn thread");
+            (stats, epochs)
+        });
+        let (churned, swaps) = churn;
+        println!("{}", csv_row(key, routers, "churn", &churned, swaps));
+
+        // Acceptance gates (ROADMAP: ≥1M single-hop qps on pristine
+        // PS-IQ, churn p99 within 2× of pristine).
+        let qps_ok = key != "PS-IQ" || quick || pristine.qps() >= 1.0e6;
+        let p99_ok = churned.p99_ns <= pristine.p99_ns.saturating_mul(2);
+        if !qps_ok {
+            eprintln!(
+                "route_query: {key}: single-hop qps {:.0} below the 1M floor",
+                pristine.qps()
+            );
+            failed = true;
+        }
+        if !p99_ok {
+            eprintln!(
+                "route_query: {key}: churn p99 {}ns regresses >2x over pristine {}ns",
+                churned.p99_ns, pristine.p99_ns
+            );
+            failed = true;
+        }
+
+        if let Some(dir) = metrics_dir() {
+            let mut m = RunManifest::for_network(key, swapper.base().spec());
+            m.push_extra("storm_queries", pristine.queries as f64);
+            m.push_extra("single_hop_qps", pristine.qps());
+            m.push_extra("single_hop_p50_ns", pristine.p50_ns as f64);
+            m.push_extra("single_hop_p99_ns", pristine.p99_ns as f64);
+            m.push_extra("batch_paths_qps", batch_stats.qps());
+            m.push_extra("churn_qps", churned.qps());
+            m.push_extra("churn_p99_ns", churned.p99_ns as f64);
+            m.push_extra("epoch_swaps", swaps as f64);
+            m.push_extra(
+                "churn_p99_ratio",
+                churned.p99_ns as f64 / pristine.p99_ns.max(1) as f64,
+            );
+            m.push_extra(
+                "symmetry_classes",
+                swapper.base().classes().num_classes() as f64,
+            );
+            let stem = file_stem(&format!("route_query_{key}"));
+            match m.write(&dir, &stem) {
+                Ok(path) => eprintln!("wrote {}", path.display()),
+                Err(e) => {
+                    eprintln!("route_query: writing manifest for {key}: {e}");
+                    failed = true;
+                }
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

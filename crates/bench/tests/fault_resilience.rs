@@ -45,7 +45,7 @@ fn light_faults_keep_sends_routable() {
         assert!(!faults.is_empty(), "{key}: no faults drawn");
         let spec = pristine.with_faults(faults);
 
-        let mut model = NetModel::new(spec.clone(), MotifConfig::default());
+        let model = NetModel::new(spec.clone(), MotifConfig::default());
         for (src, dst) in sample_pairs(spec.graph.n()) {
             assert!(
                 model.min_path(src, dst).is_some(),

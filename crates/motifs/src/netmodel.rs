@@ -8,9 +8,11 @@
 
 use polarstar_graph::{traversal, Graph};
 use polarstar_topo::network::NetworkSpec;
+use polarstar_topo::oracle::{PathOracle, RouteError};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::fmt;
+use std::sync::OnceLock;
 
 /// Picoseconds.
 pub type Time = u64;
@@ -129,6 +131,27 @@ impl ParentCsr {
     }
 }
 
+/// BFS from `dst` over the (possibly fault-degraded) routed view;
+/// `parents_of(r)` = the edge to every neighbor one hop closer, in
+/// ascending neighbor order (the CSR slot order).
+fn build_parent_csr(routed: &Graph, dst: u32) -> Box<ParentCsr> {
+    let dist = traversal::bfs_distances(routed, dst);
+    let n = routed.n();
+    let mut offsets = vec![0u32; n + 1];
+    let mut edges = Vec::new();
+    for r in 0..n as u32 {
+        if r != dst && dist[r as usize] != traversal::UNREACHABLE {
+            for (e, &nb) in routed.edge_range(r).zip(routed.neighbors(r)) {
+                if dist[nb as usize] + 1 == dist[r as usize] {
+                    edges.push(e);
+                }
+            }
+        }
+        offsets[r as usize + 1] = edges.len() as u32;
+    }
+    Box::new(ParentCsr { offsets, edges })
+}
+
 /// The contention-aware network model.
 ///
 /// All hot-path state is dense and indexed by the routed graph's
@@ -139,8 +162,9 @@ impl ParentCsr {
 pub struct NetModel {
     /// Per-destination parent trees, built lazily and cached for the
     /// model's lifetime (the fault mask is fixed at construction, so a
-    /// tree never goes stale).
-    parents: Vec<Option<Box<ParentCsr>>>,
+    /// tree never goes stale). `OnceLock` so shared-reference lookups
+    /// ([`PathOracle`], [`NetModel::min_path`]) can populate the cache.
+    parents: Vec<OnceLock<Box<ParentCsr>>>,
     /// free_at per directed edge id.
     free_at: Vec<Time>,
     /// Cumulative serialization time reserved per directed edge id.
@@ -189,7 +213,7 @@ impl NetModel {
         let routed = spec.degraded_graph();
         let edges = routed.directed_edge_count();
         NetModel {
-            parents: (0..routed.n()).map(|_| None).collect(),
+            parents: (0..routed.n()).map(|_| OnceLock::new()).collect(),
             free_at: vec![0; edges],
             link_busy: vec![0; edges],
             link_msgs: vec![0; edges],
@@ -289,40 +313,20 @@ impl NetModel {
             .collect()
     }
 
-    fn ensure_parent_tree(&mut self, dst: u32) {
-        if self.parents[dst as usize].is_some() {
-            return;
-        }
-        // BFS from dst over the (possibly fault-degraded) routed view;
-        // parents_of(r) = the edge to every neighbor one hop closer, in
-        // ascending neighbor order (the CSR slot order).
+    /// The cached parent tree toward `dst`, building it on first use.
+    fn parent_tree(&self, dst: u32) -> &ParentCsr {
         let routed = &self.routed;
-        let dist = traversal::bfs_distances(routed, dst);
-        let n = routed.n();
-        let mut offsets = vec![0u32; n + 1];
-        let mut edges = Vec::new();
-        for r in 0..n as u32 {
-            if r != dst && dist[r as usize] != traversal::UNREACHABLE {
-                for (e, &nb) in routed.edge_range(r).zip(routed.neighbors(r)) {
-                    if dist[nb as usize] + 1 == dist[r as usize] {
-                        edges.push(e);
-                    }
-                }
-            }
-            offsets[r as usize + 1] = edges.len() as u32;
-        }
-        self.parents[dst as usize] = Some(Box::new(ParentCsr { offsets, edges }));
+        self.parents[dst as usize].get_or_init(|| build_parent_csr(routed, dst))
     }
 
     /// The deterministic minimal router path `src → dst` (first ECMP
     /// choice at every hop) as directed edge ids, or `None` when no
     /// surviving path connects the pair.
-    pub fn min_path(&mut self, src: u32, dst: u32) -> Option<Vec<u32>> {
+    pub fn min_path(&self, src: u32, dst: u32) -> Option<Vec<u32>> {
         if src == dst {
             return Some(Vec::new());
         }
-        self.ensure_parent_tree(dst);
-        let tree = self.parents[dst as usize].as_deref().expect("just built");
+        let tree = self.parent_tree(dst);
         let mut path = Vec::new();
         let mut cur = src;
         while cur != dst {
@@ -340,10 +344,10 @@ impl NetModel {
         if src == dst {
             return Some(Vec::new());
         }
-        self.ensure_parent_tree(dst);
         // Disjoint field borrows: the tree is read-only while the walk
         // draws from `self.rng`.
-        let tree = self.parents[dst as usize].as_deref().expect("just built");
+        let routed = &self.routed;
+        let tree = self.parents[dst as usize].get_or_init(|| build_parent_csr(routed, dst));
         let mut path = Vec::new();
         let mut cur = src;
         while cur != dst {
@@ -483,6 +487,58 @@ impl NetModel {
     pub fn sender_busy(&self, bytes: u64) -> Time {
         ns(self.cfg.overhead_ns) + ns(bytes as f64 / self.cfg.bandwidth_bytes_per_ns)
     }
+
+    #[inline]
+    fn check_router(&self, id: u32) -> Result<(), RouteError> {
+        let routers = self.routed.n() as u32;
+        if id >= routers {
+            return Err(RouteError::OutOfRange { id, routers });
+        }
+        Ok(())
+    }
+}
+
+/// The motif model answers the same oracle queries as `RouteTable`,
+/// straight off its cached ECMP parent forests (which BFS over the
+/// fault-degraded routed view, so faulted answers come for free).
+impl PathOracle for NetModel {
+    fn num_routers(&self) -> usize {
+        self.routed.n()
+    }
+
+    fn distance(&self, src: u32, dst: u32) -> Result<u32, RouteError> {
+        self.check_router(src)?;
+        self.check_router(dst)?;
+        if src == dst {
+            return Ok(0);
+        }
+        let tree = self.parent_tree(dst);
+        let mut cur = src;
+        let mut hops = 0u32;
+        while cur != dst {
+            let &e = tree
+                .parents_of(cur)
+                .first()
+                .ok_or(RouteError::Unreachable { src, dst })?;
+            cur = self.routed.edge_target(e);
+            hops += 1;
+        }
+        Ok(hops)
+    }
+
+    fn min_next_hops(&self, src: u32, dst: u32, out: &mut Vec<u32>) -> Result<(), RouteError> {
+        self.check_router(src)?;
+        self.check_router(dst)?;
+        if src == dst {
+            return Ok(());
+        }
+        let opts = self.parent_tree(dst).parents_of(src);
+        if opts.is_empty() {
+            return Err(RouteError::Unreachable { src, dst });
+        }
+        out.extend(opts.iter().map(|&e| self.routed.edge_target(e)));
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -497,7 +553,7 @@ mod tests {
 
     #[test]
     fn min_path_follows_bfs() {
-        let mut m = model();
+        let m = model();
         let p = m.min_path(0, 3).unwrap();
         assert_eq!(m.path_links(&p), vec![(0, 1), (1, 2), (2, 3)]);
         assert!(m.min_path(2, 2).unwrap().is_empty());
@@ -696,6 +752,35 @@ mod tests {
             .send_routers(0, 1, 10_000, 0, RoutingMode::Adaptive { candidates: 2 })
             .unwrap();
         assert!(t < min_t, "detour not taken: {t} vs min {min_t}");
+    }
+
+    #[test]
+    fn path_oracle_matches_min_path() {
+        let spec = NetworkSpec::uniform("c6", Graph::cycle(6), 1)
+            .with_faults(polarstar_topo::FaultSet::from_links([(0, 1)]));
+        let m = NetModel::new(spec, MotifConfig::default());
+        assert_eq!(m.num_routers(), 6);
+        // The cut cable forces the long way round: 0→5→4→3→2→1.
+        assert_eq!(PathOracle::distance(&m, 0, 1), Ok(5));
+        assert_eq!(m.path(0, 1), Ok(vec![0, 5, 4, 3, 2, 1]));
+        let p = m.min_path(0, 1).unwrap();
+        assert_eq!(
+            m.path_links(&p),
+            vec![(0, 5), (5, 4), (4, 3), (3, 2), (2, 1)]
+        );
+        assert_eq!(
+            PathOracle::distance(&m, 0, 9),
+            Err(RouteError::OutOfRange { id: 9, routers: 6 })
+        );
+        // A severed pair is a typed error, not an empty answer.
+        let split = NetworkSpec::uniform("split", Graph::from_edges(4, &[(0, 1), (2, 3)]), 1);
+        let s = NetModel::new(split, MotifConfig::default());
+        assert_eq!(
+            s.next_hop(0, 2),
+            Err(RouteError::Unreachable { src: 0, dst: 2 })
+        );
+        assert!(!s.is_reachable(0, 3));
+        assert_eq!(s.k_paths(0, 1, 4).unwrap(), vec![vec![0, 1]]);
     }
 
     #[test]

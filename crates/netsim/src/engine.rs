@@ -1847,7 +1847,7 @@ mod tests {
     #[test]
     fn low_load_latency_near_zero_load_baseline() {
         let spec = k8_spec();
-        let table = RouteTable::new(&spec.graph);
+        let table = RouteTable::builder(&spec.graph).build();
         // A longer window than small_cfg: at 5% load only ~2.5 packets
         // arrive per endpoint per 1000 cycles, so short windows make the
         // accepted-throughput criterion a coin flip.
@@ -1877,7 +1877,7 @@ mod tests {
     #[test]
     fn complete_graph_sustains_high_uniform_load() {
         let spec = k8_spec();
-        let table = RouteTable::new(&spec.graph);
+        let table = RouteTable::builder(&spec.graph).build();
         let r = simulate(
             &spec,
             &table,
@@ -1898,7 +1898,7 @@ mod tests {
         // An 8-cycle with 2 endpoints per router has tiny bisection; high
         // uniform load must saturate (latency runaway / undelivered).
         let spec = NetworkSpec::uniform("c8", Graph::cycle(8), 2);
-        let table = RouteTable::new(&spec.graph);
+        let table = RouteTable::builder(&spec.graph).build();
         let hi = simulate(
             &spec,
             &table,
@@ -1926,7 +1926,7 @@ mod tests {
     #[test]
     fn latency_monotone_in_load() {
         let spec = k8_spec();
-        let table = RouteTable::new(&spec.graph);
+        let table = RouteTable::builder(&spec.graph).build();
         let mut last = 0.0;
         for load in [0.1, 0.4, 0.7] {
             let r = simulate(
@@ -1948,7 +1948,7 @@ mod tests {
     #[test]
     fn deterministic_for_seed() {
         let spec = k8_spec();
-        let table = RouteTable::new(&spec.graph);
+        let table = RouteTable::builder(&spec.graph).build();
         let a = simulate(
             &spec,
             &table,
@@ -1971,7 +1971,7 @@ mod tests {
     #[test]
     fn sharded_matches_sequential_on_k8() {
         let spec = k8_spec();
-        let table = RouteTable::new(&spec.graph);
+        let table = RouteTable::builder(&spec.graph).build();
         let seq = simulate(
             &spec,
             &table,
@@ -2000,7 +2000,7 @@ mod tests {
     #[test]
     fn permutation_traffic_runs() {
         let spec = k8_spec();
-        let table = RouteTable::new(&spec.graph);
+        let table = RouteTable::builder(&spec.graph).build();
         let r = simulate(
             &spec,
             &table,
@@ -2024,7 +2024,7 @@ mod tests {
                 h: 2,
                 p: 2,
             });
-        let table = RouteTable::new(&spec.graph);
+        let table = RouteTable::builder(&spec.graph).build();
         // Each group funnels 8 endpoints over a single global link under
         // MIN (throughput cap ≈ 1/8); UGAL spreads over all groups.
         let load = 0.3;
@@ -2056,7 +2056,7 @@ mod tests {
     #[test]
     fn zero_load_produces_no_packets() {
         let spec = k8_spec();
-        let table = RouteTable::new(&spec.graph);
+        let table = RouteTable::builder(&spec.graph).build();
         let r = simulate(
             &spec,
             &table,
@@ -2108,7 +2108,7 @@ mod fault_injection_tests {
         let faulty = full.without_edges(&removed);
         assert!(polarstar_graph::traversal::is_connected(&faulty));
         let spec = NetworkSpec::uniform("faulty", faulty, 2);
-        let table = RouteTable::new(&spec.graph);
+        let table = RouteTable::builder(&spec.graph).build();
         let cfg = SimConfig {
             warmup_cycles: 300,
             measure_cycles: 800,
@@ -2133,7 +2133,7 @@ mod fault_injection_tests {
     fn hop_counts_bounded_by_diameter() {
         let g = Graph::cycle(10);
         let spec = NetworkSpec::uniform("c10", g, 1);
-        let table = RouteTable::new(&spec.graph);
+        let table = RouteTable::builder(&spec.graph).build();
         let cfg = SimConfig {
             warmup_cycles: 200,
             measure_cycles: 600,
@@ -2160,7 +2160,7 @@ mod fault_injection_tests {
     #[test]
     fn valiant_hops_exceed_minimal() {
         let spec = NetworkSpec::uniform("k8", Graph::complete(8), 2);
-        let table = RouteTable::new(&spec.graph);
+        let table = RouteTable::builder(&spec.graph).build();
         let cfg = SimConfig {
             warmup_cycles: 300,
             measure_cycles: 800,

@@ -54,5 +54,5 @@ pub use monitor::{
     MetricsMonitor, MetricsReport, NoopMonitor, PairMonitor, ShardableMonitor, SimMonitor,
     StallCause, TransientMonitor, WatchdogDiag,
 };
-pub use routing::{RouteTable, RoutingKind};
+pub use routing::{RouteTable, RouteTableBuilder, RoutingKind};
 pub use traffic::Pattern;

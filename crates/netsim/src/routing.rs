@@ -14,6 +14,7 @@
 use polarstar_graph::Graph;
 use polarstar_topo::fault::FaultSet;
 use polarstar_topo::network::{NetworkSpec, RoutingPolicy};
+use polarstar_topo::oracle::{PathOracle, RouteError};
 use rayon::prelude::*;
 
 /// How packets pick output ports.
@@ -90,6 +91,27 @@ impl RouteTable {
     /// happens for genuinely unreachable pairs on these topologies).
     pub const UNREACHABLE: u16 = u16::MAX;
 
+    /// The single construction entry point: a [`RouteTableBuilder`] over
+    /// a router graph. Policy, group structure, and fault mask are
+    /// optional refinements:
+    ///
+    /// ```ignore
+    /// let flat = RouteTable::builder(&g).build();
+    /// let masked = RouteTable::builder(&g).faults(&faults).build();
+    /// let df = RouteTable::builder(&df.graph).group(&df.group).build();
+    /// ```
+    ///
+    /// [`RouteTable::for_spec`] / [`RouteTable::build`] are thin wrappers
+    /// over this builder for the spec-carrying hot call sites.
+    pub fn builder(graph: &Graph) -> RouteTableBuilder<'_> {
+        RouteTableBuilder {
+            graph,
+            policy: RoutingPolicy::FlatMinimal,
+            group: None,
+            faults: None,
+        }
+    }
+
     /// Build the table a spec asks for: its [`RoutingPolicy`] hint picks
     /// between flat and hierarchical minimal tables, and its
     /// [`FaultSet`] masks failed links/routers out of both distances and
@@ -106,26 +128,15 @@ impl RouteTable {
     /// port numbering so engine-side port indices stay aligned with the
     /// physical topology.
     pub fn build(spec: &NetworkSpec, policy: RoutingPolicy) -> Self {
-        match policy {
-            RoutingPolicy::FlatMinimal => {
-                if spec.has_faults() {
-                    Self::new_masked(&spec.graph, spec.faults())
-                } else {
-                    Self::new(&spec.graph)
-                }
-            }
-            RoutingPolicy::HierarchicalMinimal => {
-                if spec.has_faults() {
-                    Self::hierarchical_masked(&spec.graph, &spec.group, spec.faults())
-                } else {
-                    Self::hierarchical(&spec.graph, &spec.group)
-                }
-            }
-        }
+        Self::builder(&spec.graph)
+            .group(&spec.group)
+            .policy(policy)
+            .faults(spec.faults())
+            .build()
     }
 
     /// Build the table with one BFS per destination (rayon-parallel).
-    pub fn new(g: &Graph) -> Self {
+    fn new(g: &Graph) -> Self {
         let n = g.n();
         assert!(n > 0);
         assert!(g.max_degree() < 256, "ports are stored as u8");
@@ -141,7 +152,7 @@ impl RouteTable {
     /// therefore port numbering) from the pristine graph. Pairs the fault
     /// set disconnects keep [`RouteTable::UNREACHABLE`] distance and an
     /// empty port set.
-    pub fn new_masked(g: &Graph, faults: &FaultSet) -> Self {
+    fn new_masked(g: &Graph, faults: &FaultSet) -> Self {
         let n = g.n();
         assert!(n > 0);
         assert!(g.max_degree() < 256, "ports are stored as u8");
@@ -162,14 +173,14 @@ impl RouteTable {
     /// Port rule: a local port is minimal if it reduces the ≤1-global
     /// distance d1; a global port is minimal only if the remainder from
     /// its far end is purely local (so no path ever takes two globals).
-    pub fn hierarchical(g: &Graph, group: &[u32]) -> Self {
+    fn hierarchical(g: &Graph, group: &[u32]) -> Self {
         Self::hierarchical_with(g, g, group, |_, _| true)
     }
 
     /// Fault-masked hierarchical table: the ≤1-global BFS runs over the
     /// degraded graph, the port rule skips failed directed links, and the
     /// neighbor CSR keeps pristine port numbering.
-    pub fn hierarchical_masked(g: &Graph, group: &[u32], faults: &FaultSet) -> Self {
+    fn hierarchical_masked(g: &Graph, group: &[u32], faults: &FaultSet) -> Self {
         let degraded = faults.degraded_graph(g);
         Self::hierarchical_with(g, &degraded, group, |r, nb| !faults.link_failed(r, nb))
     }
@@ -401,6 +412,104 @@ impl RouteTable {
     }
 }
 
+/// Staged construction of a [`RouteTable`] — the one entry point that
+/// replaced the former `new` / `new_masked` / `hierarchical` /
+/// `hierarchical_masked` constructor family.
+///
+/// Defaults: [`RoutingPolicy::FlatMinimal`], no group structure, no
+/// faults. Setting a group via [`RouteTableBuilder::group`] switches the
+/// policy to [`RoutingPolicy::HierarchicalMinimal`] (a group structure
+/// exists only to constrain routing); call
+/// [`RouteTableBuilder::policy`] *afterwards* to override — e.g. to
+/// build a flat table for a grouped topology.
+#[must_use = "call .build() to construct the table"]
+pub struct RouteTableBuilder<'a> {
+    graph: &'a Graph,
+    policy: RoutingPolicy,
+    group: Option<&'a [u32]>,
+    faults: Option<&'a FaultSet>,
+}
+
+impl<'a> RouteTableBuilder<'a> {
+    /// Select the table discipline explicitly (overrides the implicit
+    /// switch performed by [`RouteTableBuilder::group`]).
+    pub fn policy(mut self, policy: RoutingPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Attach the group (supernode) structure and switch to
+    /// [`RoutingPolicy::HierarchicalMinimal`]. Required before building
+    /// a hierarchical table; ignored by flat builds.
+    pub fn group(mut self, group: &'a [u32]) -> Self {
+        self.group = Some(group);
+        self.policy = RoutingPolicy::HierarchicalMinimal;
+        self
+    }
+
+    /// Mask a fault set: distances run over the degraded graph, minimal
+    /// ports skip failed links, the neighbor CSR (and so port numbering)
+    /// stays pristine. An empty set builds the pristine table.
+    pub fn faults(mut self, faults: &'a FaultSet) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Construct the table.
+    ///
+    /// # Panics
+    /// If the policy is hierarchical and no group was attached, or the
+    /// group length does not match the graph.
+    pub fn build(self) -> RouteTable {
+        let masked = self.faults.filter(|f| !f.is_empty());
+        match self.policy {
+            RoutingPolicy::FlatMinimal => match masked {
+                Some(f) => RouteTable::new_masked(self.graph, f),
+                None => RouteTable::new(self.graph),
+            },
+            RoutingPolicy::HierarchicalMinimal => {
+                let group = self
+                    .group
+                    .expect("hierarchical routing requires .group(..) on the builder");
+                match masked {
+                    Some(f) => RouteTable::hierarchical_masked(self.graph, group, f),
+                    None => RouteTable::hierarchical(self.graph, group),
+                }
+            }
+        }
+    }
+}
+
+impl PathOracle for RouteTable {
+    fn num_routers(&self) -> usize {
+        self.n
+    }
+
+    /// Typed-error variant of the inherent [`RouteTable::distance`]: the
+    /// [`RouteTable::UNREACHABLE`] sentinel surfaces as
+    /// [`RouteError::Unreachable`] instead of an in-band `u16::MAX`.
+    fn distance(&self, src: u32, dst: u32) -> Result<u32, RouteError> {
+        let n = self.n as u32;
+        for id in [src, dst] {
+            if id >= n {
+                return Err(RouteError::OutOfRange { id, routers: n });
+            }
+        }
+        match RouteTable::distance(self, src, dst) {
+            Self::UNREACHABLE => Err(RouteError::Unreachable { src, dst }),
+            d => Ok(u32::from(d)),
+        }
+    }
+
+    fn min_next_hops(&self, src: u32, dst: u32, out: &mut Vec<u32>) -> Result<(), RouteError> {
+        PathOracle::distance(self, src, dst)?;
+        for &p in self.min_ports(src, dst) {
+            out.push(self.neighbor(src, p));
+        }
+        Ok(())
+    }
+}
+
 /// BFS to `dst` using only intra-group edges (UNREACHABLE-valued outside
 /// dst's group).
 fn local_bfs(g: &Graph, group: &[u32], dst: u32) -> Vec<u32> {
@@ -489,7 +598,7 @@ mod tests {
     #[test]
     fn table_on_cycle() {
         let g = Graph::cycle(6);
-        let t = RouteTable::new(&g);
+        let t = RouteTable::builder(&g).build();
         assert_eq!(t.distance(0, 3), 3);
         assert_eq!(t.distance(0, 1), 1);
         // Opposite vertex: both directions are minimal.
@@ -504,7 +613,7 @@ mod tests {
     #[test]
     fn minimal_ports_reduce_distance() {
         let g = polarstar_graph::random::random_regular(40, 4, 3).unwrap();
-        let t = RouteTable::new(&g);
+        let t = RouteTable::builder(&g).build();
         for r in 0..40u32 {
             for dst in 0..40u32 {
                 if r == dst {
@@ -523,7 +632,7 @@ mod tests {
     #[test]
     fn complete_graph_all_single_hop() {
         let g = Graph::complete(5);
-        let t = RouteTable::new(&g);
+        let t = RouteTable::builder(&g).build();
         for r in 0..5u32 {
             for dst in 0..5u32 {
                 if r != dst {
@@ -541,8 +650,8 @@ mod tests {
             h: 2,
             p: 1,
         });
-        let t = RouteTable::hierarchical(&df.graph, &df.group);
-        let free = RouteTable::new(&df.graph);
+        let t = RouteTable::builder(&df.graph).group(&df.group).build();
+        let free = RouteTable::builder(&df.graph).build();
         for r in 0..df.graph.n() as u32 {
             for dst in 0..df.graph.n() as u32 {
                 // Hierarchical distance dominates unconstrained distance
@@ -560,7 +669,7 @@ mod tests {
             h: 2,
             p: 1,
         });
-        let t = RouteTable::hierarchical(&df.graph, &df.group);
+        let t = RouteTable::builder(&df.graph).group(&df.group).build();
         // Walk every (src, dst) pair greedily along every minimal-port
         // choice at the first hop and the deterministic one after,
         // counting global hops.
@@ -595,7 +704,7 @@ mod tests {
             a: 4,
             p: 1,
         });
-        let t = RouteTable::hierarchical(&mf.graph, &mf.group);
+        let t = RouteTable::builder(&mf.graph).group(&mf.group).build();
         let leaves = mf.endpoint_routers();
         for &a in &leaves {
             for &b in &leaves {
@@ -618,7 +727,7 @@ mod tests {
             .spec;
         let n = net.graph.n();
         assert_eq!(n, 1064);
-        let t = RouteTable::new(&net.graph);
+        let t = RouteTable::builder(&net.graph).build();
         let sum_deg: usize = (0..n as u32).map(|r| net.graph.degree(r)).sum();
         let expect = n * n * 2            // dist: u16 per (r, dst)
             + (n * n + 1) * 4             // port_offsets: u32
@@ -634,7 +743,7 @@ mod tests {
     #[test]
     fn neighbors_slice_matches_graph_adjacency() {
         let g = polarstar_graph::random::random_regular(30, 5, 7).unwrap();
-        let t = RouteTable::new(&g);
+        let t = RouteTable::builder(&g).build();
         for r in 0..30u32 {
             assert_eq!(t.neighbors(r), g.neighbors(r));
             assert_eq!(t.degree(r), g.degree(r));
@@ -652,7 +761,7 @@ mod tests {
         // link never appears as a minimal port.
         let g = Graph::cycle(6);
         let f = FaultSet::from_links([(0, 1)]);
-        let t = RouteTable::new_masked(&g, &f);
+        let t = RouteTable::builder(&g).faults(&f).build();
         assert_eq!(t.distance(0, 1), 5);
         assert!(t.is_reachable(0, 1));
         for &p in t.min_ports(0, 1) {
@@ -668,7 +777,7 @@ mod tests {
         // Path 0-1-2-3: cutting (1, 2) splits the graph in two.
         let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
         let f = FaultSet::from_links([(1, 2)]);
-        let t = RouteTable::new_masked(&g, &f);
+        let t = RouteTable::builder(&g).faults(&f).build();
         assert_eq!(t.distance(0, 3), RouteTable::UNREACHABLE);
         assert!(!t.is_reachable(0, 3));
         assert!(t.min_ports(0, 3).is_empty());
@@ -683,7 +792,7 @@ mod tests {
         use polarstar_topo::FaultSet;
         let g = Graph::complete(5);
         let f = FaultSet::from_routers([2]);
-        let t = RouteTable::new_masked(&g, &f);
+        let t = RouteTable::builder(&g).faults(&f).build();
         for r in 0..5u32 {
             if r != 2 {
                 assert!(!t.is_reachable(r, 2), "{r}→2");
@@ -717,7 +826,10 @@ mod tests {
             .find(|&(u, v)| df.group[u as usize] != df.group[v as usize])
             .unwrap();
         let f = FaultSet::from_links([(u, v)]);
-        let t = RouteTable::hierarchical_masked(&df.graph, &df.group, &f);
+        let t = RouteTable::builder(&df.graph)
+            .group(&df.group)
+            .faults(&f)
+            .build();
         let mut lost = 0usize;
         for src in 0..df.graph.n() as u32 {
             for dst in 0..df.graph.n() as u32 {
@@ -772,7 +884,10 @@ mod tests {
         let spec = polarstar_topo::NetworkSpec::uniform("rr24", g.clone(), 1);
         let pristine = RouteTable::for_spec(&spec);
         let f = FaultSet::random_links(&g, 0.1, 5);
-        assert_tables_equal(&pristine.remask(&spec, &f), &RouteTable::new_masked(&g, &f));
+        assert_tables_equal(
+            &pristine.remask(&spec, &f),
+            &RouteTable::builder(&g).faults(&f).build(),
+        );
         // Remasking back to the empty set restores the pristine table.
         assert_tables_equal(&pristine.remask(&spec, &FaultSet::empty()), &pristine);
     }
@@ -801,15 +916,101 @@ mod tests {
         let f = FaultSet::from_links([(u, v)]);
         assert_tables_equal(
             &pristine.remask(&spec, &f),
-            &RouteTable::hierarchical_masked(&df.graph, &df.group, &f),
+            &RouteTable::builder(&df.graph)
+                .group(&df.group)
+                .faults(&f)
+                .build(),
         );
+    }
+
+    #[test]
+    fn oracle_errors_distinguish_unreachable_from_degree_zero() {
+        use polarstar_topo::oracle::{PathOracle, RouteError};
+        use polarstar_topo::FaultSet;
+        // Path 0-1-2-3 with (1, 2) cut: min_ports(0, 3) and min_ports(3, 3)
+        // are both empty slices — the silent fallback this trait fixes.
+        // The oracle surface tells them apart with a typed error.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let f = FaultSet::from_links([(1, 2)]);
+        let t = RouteTable::builder(&g).faults(&f).build();
+        assert!(t.min_ports(0, 3).is_empty());
+        assert!(t.min_ports(3, 3).is_empty());
+        assert_eq!(
+            PathOracle::distance(&t, 0, 3),
+            Err(RouteError::Unreachable { src: 0, dst: 3 })
+        );
+        assert_eq!(
+            t.next_hop(0, 3),
+            Err(RouteError::Unreachable { src: 0, dst: 3 })
+        );
+        assert_eq!(
+            t.k_paths(0, 3, 2),
+            Err(RouteError::Unreachable { src: 0, dst: 3 })
+        );
+        // The self-pair stays a healthy answer, not an error.
+        assert_eq!(PathOracle::distance(&t, 3, 3), Ok(0));
+        assert_eq!(t.next_hop(3, 3), Ok(3));
+        // Out-of-range ids are their own typed error.
+        assert_eq!(
+            PathOracle::distance(&t, 0, 9),
+            Err(RouteError::OutOfRange { id: 9, routers: 4 })
+        );
+    }
+
+    #[test]
+    fn oracle_walks_match_table_lookups() {
+        use polarstar_topo::oracle::PathOracle;
+        let g = polarstar_graph::random::random_regular(30, 4, 3).unwrap();
+        let t = RouteTable::builder(&g).build();
+        for src in 0..30u32 {
+            for dst in 0..30u32 {
+                let d = PathOracle::distance(&t, src, dst).unwrap();
+                assert_eq!(d as u16, RouteTable::distance(&t, src, dst));
+                let p = t.path(src, dst).unwrap();
+                assert_eq!(p.len() as u32, d + 1);
+                assert_eq!((p[0], *p.last().unwrap()), (src, dst));
+                // Every enumerated alternative is a distinct minimal path.
+                let alts = t.k_paths(src, dst, 4).unwrap();
+                assert!(!alts.is_empty());
+                for (i, a) in alts.iter().enumerate() {
+                    assert_eq!(a.len() as u32, d + 1, "{src}→{dst}");
+                    for w in a.windows(2) {
+                        assert!(g.has_edge(w[0], w[1]), "{src}→{dst} hop {w:?}");
+                    }
+                    for b in &alts[..i] {
+                        assert_ne!(a, b, "{src}→{dst} duplicate path");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn builder_group_implies_hierarchical_policy() {
+        let df = polarstar_topo::dragonfly::dragonfly(polarstar_topo::dragonfly::DragonflyParams {
+            a: 4,
+            h: 2,
+            p: 1,
+        });
+        let implicit = RouteTable::builder(&df.graph).group(&df.group).build();
+        let explicit = RouteTable::builder(&df.graph)
+            .group(&df.group)
+            .policy(RoutingPolicy::HierarchicalMinimal)
+            .build();
+        assert_tables_equal(&implicit, &explicit);
+        // .policy after .group overrides back to flat.
+        let flat = RouteTable::builder(&df.graph)
+            .group(&df.group)
+            .policy(RoutingPolicy::FlatMinimal)
+            .build();
+        assert_tables_equal(&flat, &RouteTable::builder(&df.graph).build());
     }
 
     #[test]
     fn storage_scales_with_path_diversity() {
         // HyperX-like graphs have more minimal ports than a cycle.
         let hx = polarstar_topo::hyperx::hyperx(&[4, 4], 1);
-        let t = RouteTable::new(&hx.graph);
+        let t = RouteTable::builder(&hx.graph).build();
         // For routers differing in both coordinates there are 2 minimal
         // first hops.
         assert!(t.storage_entries() > 16 * 15);

@@ -1,0 +1,33 @@
+//! `routed` — the path-oracle query service over the reproduction's
+//! route tables.
+//!
+//! The paper's evaluation treats routing as a per-run artifact; a
+//! production system serves it. This crate packages the minimal-path
+//! machinery ([`polarstar_netsim::RouteTable`]) as a queryable layer:
+//!
+//! * [`Oracle`] — one immutable serving snapshot: a (possibly
+//!   fault-masked) route table plus the topology's supernode
+//!   [`SymmetryClasses`], which canonicalize ordered (src, dst) pairs
+//!   into `G²` cells so per-class aggregates ([`ClassProfile`]) replace
+//!   per-pair state;
+//! * [`QueryBatch`] / [`RouteAnswer`] — the batched query surface:
+//!   next hop, hop distance, the deterministic minimal path, up to `k`
+//!   ECMP alternatives, and typed reachability
+//!   ([`polarstar_topo::oracle::RouteError`]). Sequential and
+//!   rayon-sharded batch paths are byte-identical for a fixed (seed,
+//!   batch) at any thread count;
+//! * [`EpochSwapper`] — epoch-aware serving: the next fault epoch's
+//!   oracle is prepared off-thread (`RouteTable::remask` reuses the
+//!   pristine neighbor CSR) and atomically published arc-swap style, so
+//!   queries never block on re-masking and never observe a torn table.
+//!
+//! Throughput on a pristine Table-3 PS-IQ (1064 routers): millions of
+//! single-hop queries/sec per core — see `bench/src/bin/route_query`.
+
+pub mod batch;
+pub mod oracle;
+pub mod swap;
+
+pub use batch::{Query, QueryBatch, RouteAnswer};
+pub use oracle::{ClassProfile, Oracle, SymmetryClasses};
+pub use swap::EpochSwapper;

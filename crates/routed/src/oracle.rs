@@ -1,0 +1,248 @@
+//! The serving oracle: a [`RouteTable`] snapshot plus supernode
+//! symmetry classes, packaged for concurrent query answering.
+
+use polarstar_netsim::RouteTable;
+use polarstar_topo::fault::FaultSet;
+use polarstar_topo::network::NetworkSpec;
+use polarstar_topo::oracle::{PathOracle, RouteError};
+use std::sync::Arc;
+
+/// Canonicalization of ordered (src, dst) router pairs through the
+/// topology's supernode structure.
+///
+/// Two pairs share a class when their endpoints sit in the same ordered
+/// (group, group) cell — on a vertex-transitive star product every pair
+/// of a class sees the same inter-supernode route shape, so per-class
+/// aggregates (G² cells) stand in for per-pair state (n² cells). On
+/// PS-IQ (1064 routers, 56 supernodes) that is a 361× reduction.
+#[derive(Clone, Debug)]
+pub struct SymmetryClasses {
+    /// Supernode id per router (shared with the spec).
+    group: Vec<u32>,
+    /// Number of supernodes `G`; classes are `G²` ordered cells plus the
+    /// implicit diagonal refinement below.
+    num_groups: u32,
+}
+
+impl SymmetryClasses {
+    /// Derive the classes from a spec's group structure.
+    pub fn new(spec: &NetworkSpec) -> Self {
+        SymmetryClasses {
+            group: spec.group.clone(),
+            num_groups: spec.num_groups() as u32,
+        }
+    }
+
+    /// Number of classes (`G²`: ordered supernode cells).
+    pub fn num_classes(&self) -> usize {
+        (self.num_groups as usize).pow(2)
+    }
+
+    /// The canonical class of an ordered router pair: the ordered
+    /// (supernode, supernode) cell index `g_src · G + g_dst`.
+    #[inline]
+    pub fn class_of(&self, src: u32, dst: u32) -> u32 {
+        self.group[src as usize] * self.num_groups + self.group[dst as usize]
+    }
+
+    /// Supernode id of one router.
+    #[inline]
+    pub fn group_of(&self, r: u32) -> u32 {
+        self.group[r as usize]
+    }
+}
+
+/// Per-class route aggregates: what the service stores *per symmetry
+/// class* instead of per pair.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClassProfile {
+    /// Ordered pairs in the class (src ≠ dst).
+    pub pairs: u64,
+    /// Pairs no surviving path connects.
+    pub unreachable: u64,
+    /// Minimum hop distance over reachable pairs (0 when none).
+    pub min_dist: u16,
+    /// Maximum hop distance over reachable pairs (0 when none).
+    pub max_dist: u16,
+    /// Sum of hop distances over reachable pairs.
+    pub dist_sum: u64,
+}
+
+impl ClassProfile {
+    /// Mean hop distance over the class's reachable pairs.
+    pub fn mean_dist(&self) -> f64 {
+        let reach = self.pairs - self.unreachable;
+        if reach == 0 {
+            0.0
+        } else {
+            self.dist_sum as f64 / reach as f64
+        }
+    }
+}
+
+/// One immutable serving snapshot: a masked [`RouteTable`] plus the
+/// symmetry classes and the epoch it serves.
+///
+/// An `Oracle` is built once (or re-masked from a base oracle per fault
+/// epoch) and then only read — cloning the [`Arc`]s it hands out is the
+/// whole synchronization story, so query threads never lock.
+pub struct Oracle {
+    spec: Arc<NetworkSpec>,
+    table: Arc<RouteTable>,
+    classes: SymmetryClasses,
+    /// Fault epoch this snapshot serves (0 = the construction mask).
+    epoch: u64,
+}
+
+impl Oracle {
+    /// Build the serving oracle for a network (honoring the fault mask
+    /// the spec already carries).
+    pub fn new(spec: Arc<NetworkSpec>) -> Self {
+        let table = Arc::new(RouteTable::for_spec(&spec));
+        let classes = SymmetryClasses::new(&spec);
+        Oracle {
+            spec,
+            table,
+            classes,
+            epoch: 0,
+        }
+    }
+
+    /// Re-mask this oracle for a new cumulative fault set, reusing the
+    /// base table's pristine neighbor CSR (`RouteTable::remask`) — the
+    /// per-epoch path of [`crate::EpochSwapper`]. Only the BFS layers
+    /// are recomputed; spec and classes are shared.
+    pub fn remask(&self, faults: &FaultSet, epoch: u64) -> Oracle {
+        Oracle {
+            spec: Arc::clone(&self.spec),
+            table: Arc::new(self.table.remask(&self.spec, faults)),
+            classes: self.classes.clone(),
+            epoch,
+        }
+    }
+
+    /// The network this oracle serves.
+    pub fn spec(&self) -> &NetworkSpec {
+        &self.spec
+    }
+
+    /// The underlying route table snapshot.
+    pub fn table(&self) -> &RouteTable {
+        &self.table
+    }
+
+    /// The supernode symmetry classes.
+    pub fn classes(&self) -> &SymmetryClasses {
+        &self.classes
+    }
+
+    /// The fault epoch this snapshot serves.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Aggregate every ordered pair into its symmetry class — the
+    /// compact `G²` profile array the service keeps instead of per-pair
+    /// state. One pass over the distance arena.
+    pub fn class_profiles(&self) -> Vec<ClassProfile> {
+        let mut out = vec![ClassProfile::default(); self.classes.num_classes()];
+        let n = self.table.n() as u32;
+        for src in 0..n {
+            for dst in 0..n {
+                if src == dst {
+                    continue;
+                }
+                let c = &mut out[self.classes.class_of(src, dst) as usize];
+                c.pairs += 1;
+                let d = self.table.distance(src, dst);
+                if d == RouteTable::UNREACHABLE {
+                    c.unreachable += 1;
+                } else {
+                    if c.pairs - c.unreachable == 1 {
+                        c.min_dist = d;
+                    } else {
+                        c.min_dist = c.min_dist.min(d);
+                    }
+                    c.max_dist = c.max_dist.max(d);
+                    c.dist_sum += u64::from(d);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl PathOracle for Oracle {
+    fn num_routers(&self) -> usize {
+        self.table.n()
+    }
+
+    fn distance(&self, src: u32, dst: u32) -> Result<u32, RouteError> {
+        PathOracle::distance(&*self.table, src, dst)
+    }
+
+    fn min_next_hops(&self, src: u32, dst: u32, out: &mut Vec<u32>) -> Result<(), RouteError> {
+        self.table.min_next_hops(src, dst, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polarstar_graph::Graph;
+
+    fn grouped_spec() -> Arc<NetworkSpec> {
+        // Two 2-router groups on a 4-cycle.
+        let mut spec = NetworkSpec::uniform("c4", Graph::cycle(4), 1);
+        spec.group = vec![0, 0, 1, 1];
+        Arc::new(spec)
+    }
+
+    #[test]
+    fn classes_canonicalize_by_ordered_group_cell() {
+        let spec = grouped_spec();
+        let sc = SymmetryClasses::new(&spec);
+        assert_eq!(sc.num_classes(), 4);
+        assert_eq!(sc.class_of(0, 1), 0); // (0,0) cell
+        assert_eq!(sc.class_of(0, 2), 1); // (0,1) cell
+        assert_eq!(sc.class_of(2, 0), 2); // (1,0) cell
+        assert_eq!(sc.class_of(3, 2), 3); // (1,1) cell
+        assert_eq!(sc.group_of(3), 1);
+    }
+
+    #[test]
+    fn profiles_aggregate_whole_classes() {
+        let o = Oracle::new(grouped_spec());
+        let ps = o.class_profiles();
+        assert_eq!(ps.len(), 4);
+        // Each diagonal cell: 2 ordered pairs at distance 1.
+        assert_eq!(ps[0].pairs, 2);
+        assert_eq!((ps[0].min_dist, ps[0].max_dist), (1, 1));
+        // Off-diagonal cells: 4 ordered pairs, distances {1, 1, 2, 2}.
+        assert_eq!(ps[1].pairs, 4);
+        assert_eq!((ps[1].min_dist, ps[1].max_dist), (1, 2));
+        assert_eq!(ps[1].mean_dist(), 1.5);
+        assert_eq!(ps[1].unreachable, 0);
+    }
+
+    #[test]
+    fn remask_shares_spec_and_tracks_epoch() {
+        let base = Oracle::new(grouped_spec());
+        assert_eq!(base.epoch(), 0);
+        let cut = FaultSet::from_links([(0, 1)]);
+        let masked = base.remask(&cut, 3);
+        assert_eq!(masked.epoch(), 3);
+        // The cut forces the long way round.
+        assert_eq!(PathOracle::distance(&masked, 0, 1), Ok(3));
+        assert_eq!(PathOracle::distance(&base, 0, 1), Ok(1), "base untouched");
+        // Unreachable after severing both of router 0's links.
+        let dead = cut.union(&FaultSet::from_links([(0, 3)]));
+        let sealed = base.remask(&dead, 4);
+        assert_eq!(
+            PathOracle::distance(&sealed, 0, 2),
+            Err(RouteError::Unreachable { src: 0, dst: 2 })
+        );
+        let ps = sealed.class_profiles();
+        assert_eq!(ps[1].unreachable, 2, "(0,1)-cell pairs from router 0");
+    }
+}

@@ -1,0 +1,76 @@
+//! Determinism pins for the batched query paths: the rayon-sharded bulk
+//! path must be byte-identical to the sequential path, for a fixed
+//! (seed, batch), at any `RAYON_NUM_THREADS` — CI runs this file at
+//! RAYON_NUM_THREADS=1 and =4 and compares nothing *between* runs
+//! precisely because each run pins sharded == sequential internally and
+//! the sequential path cannot depend on the pool size.
+
+use polarstar::design::best_config;
+use polarstar::network::PolarStarNetwork;
+use polarstar_routed::{EpochSwapper, Oracle, QueryBatch};
+use polarstar_topo::fault::{FaultSchedule, FaultSet};
+use std::sync::Arc;
+
+fn oracle() -> Oracle {
+    let net = PolarStarNetwork::build(best_config(9).unwrap(), 1).unwrap();
+    Oracle::new(Arc::new(net.spec))
+}
+
+#[test]
+fn sharded_batch_is_byte_identical_to_sequential() {
+    let o = oracle();
+    let n = o.spec().routers() as u32;
+    for seed in [0u64, 1, 0xDEAD] {
+        let batch = QueryBatch::random(512, n, 4, seed);
+        let seq = o.answer_batch(&batch);
+        let par = o.answer_batch_sharded(&batch);
+        assert_eq!(seq, par, "seed {seed}");
+        // And stable across repeated evaluation.
+        assert_eq!(par, o.answer_batch_sharded(&batch), "seed {seed} rerun");
+    }
+}
+
+#[test]
+fn masked_batches_stay_deterministic() {
+    let base = oracle();
+    let n = base.spec().routers() as u32;
+    let faults = FaultSet::random_links(&base.spec().graph, 0.1, 7);
+    let masked = base.remask(&faults, 1);
+    let batch = QueryBatch::random(256, n, 3, 99);
+    assert_eq!(
+        masked.answer_batch(&batch),
+        masked.answer_batch_sharded(&batch)
+    );
+    // Re-masking again from the same base reproduces the same answers.
+    let again = base.remask(&faults, 1);
+    assert_eq!(
+        masked.answer_batch_sharded(&batch),
+        again.answer_batch_sharded(&batch)
+    );
+}
+
+#[test]
+fn swapped_epochs_answer_like_directly_built_oracles() {
+    let swapper = EpochSwapper::new(oracle());
+    let n = swapper.base().spec().routers() as u32;
+    let g = swapper.base().spec().graph.clone();
+    let sched = FaultSchedule::random_burst(&g, 0.1, 21, 100, Some(400));
+    let batch = QueryBatch::random(256, n, 2, 5);
+    // After serving the whole schedule the network recovered: the live
+    // snapshot answers exactly like the pristine base.
+    swapper.serve_schedule(&sched);
+    let live = swapper.load();
+    assert_eq!(live.epoch(), 400);
+    assert_eq!(
+        live.answer_batch_sharded(&batch),
+        swapper
+            .base()
+            .answer_batch(&batch)
+            .into_iter()
+            .map(|mut a| {
+                a.epoch = 400;
+                a
+            })
+            .collect::<Vec<_>>()
+    );
+}

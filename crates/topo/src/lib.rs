@@ -41,6 +41,7 @@ pub mod lps;
 pub mod megafly;
 pub mod mms;
 pub mod network;
+pub mod oracle;
 pub mod paley;
 pub mod polarfly;
 pub mod properties;
@@ -51,4 +52,5 @@ pub mod supernode;
 pub use error::TopoError;
 pub use fault::{FaultEvent, FaultSchedule, FaultSet};
 pub use network::{NetworkSpec, RoutingPolicy};
+pub use oracle::{PathOracle, RouteError};
 pub use supernode::Supernode;

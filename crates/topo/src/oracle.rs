@@ -1,0 +1,264 @@
+//! The query surface shared by every routing oracle in the workspace.
+//!
+//! A *path oracle* answers shortest-path queries on a (possibly
+//! fault-degraded) router graph: next hop, hop distance, reachability,
+//! and up to `k` distinct minimal paths. The cycle simulator's
+//! `RouteTable`, the motif model's ECMP parent forest, and the `routed`
+//! serving oracle all implement [`PathOracle`], so analysis code,
+//! benchmarks, and the query service are generic over *how* the answers
+//! are precomputed.
+//!
+//! Unreachable pairs answer with a typed [`RouteError::Unreachable`]
+//! instead of an empty port slice — callers can no longer mistake a
+//! severed pair for a degree-0 router.
+
+use std::fmt;
+
+/// Why a routing query could not be answered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RouteError {
+    /// No surviving path connects the pair: the routers sit in different
+    /// components outright, or a fault mask severed every minimal route.
+    Unreachable {
+        /// Source router.
+        src: u32,
+        /// Destination router.
+        dst: u32,
+    },
+    /// A router id outside the topology.
+    OutOfRange {
+        /// The offending router id.
+        id: u32,
+        /// Number of routers in the topology.
+        routers: u32,
+    },
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::Unreachable { src, dst } => {
+                write!(f, "no surviving path from router {src} to router {dst}")
+            }
+            RouteError::OutOfRange { id, routers } => {
+                write!(f, "router id {id} outside a {routers}-router topology")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+/// A shortest-path query oracle over a router graph.
+///
+/// Implementors provide [`PathOracle::num_routers`],
+/// [`PathOracle::distance`], and [`PathOracle::min_next_hops`]; the
+/// derived answers (first next hop, a full minimal path, `k` distinct
+/// minimal paths) come from provided methods and are therefore
+/// identical across implementations by construction — the equivalence
+/// tests in `crates/routed` pin this.
+///
+/// Determinism contract: `min_next_hops` must return candidates in a
+/// stable order (ascending router id unless documented otherwise), so
+/// the provided walks are pure functions of the oracle's state.
+pub trait PathOracle {
+    /// Number of routers the oracle answers for.
+    fn num_routers(&self) -> usize;
+
+    /// Hop distance from `src` to `dst` (0 for `src == dst`).
+    fn distance(&self, src: u32, dst: u32) -> Result<u32, RouteError>;
+
+    /// Every neighbor of `src` that lies on a minimal surviving path to
+    /// `dst`, appended to `out` in the oracle's stable order. Empty iff
+    /// `src == dst`.
+    fn min_next_hops(&self, src: u32, dst: u32, out: &mut Vec<u32>) -> Result<(), RouteError>;
+
+    /// Whether any surviving path connects the pair (true for
+    /// `src == dst`, false for out-of-range ids).
+    fn is_reachable(&self, src: u32, dst: u32) -> bool {
+        self.distance(src, dst).is_ok()
+    }
+
+    /// The first minimal next hop out of `src` toward `dst` (`dst`
+    /// itself for `src == dst`: deliver locally).
+    fn next_hop(&self, src: u32, dst: u32) -> Result<u32, RouteError> {
+        if src == dst {
+            self.distance(src, dst)?; // bounds/liveness check
+            return Ok(dst);
+        }
+        let mut hops = Vec::with_capacity(4);
+        self.min_next_hops(src, dst, &mut hops)?;
+        hops.first()
+            .copied()
+            .ok_or(RouteError::Unreachable { src, dst })
+    }
+
+    /// The deterministic minimal router path `[src, …, dst]` (first
+    /// next-hop choice at every hop). `[src]` when `src == dst`.
+    fn path(&self, src: u32, dst: u32) -> Result<Vec<u32>, RouteError> {
+        let mut path = vec![src];
+        let mut cur = src;
+        let mut hops = Vec::with_capacity(4);
+        while cur != dst {
+            hops.clear();
+            self.min_next_hops(cur, dst, &mut hops)?;
+            cur = *hops.first().ok_or(RouteError::Unreachable { src, dst })?;
+            path.push(cur);
+        }
+        Ok(path)
+    }
+
+    /// Up to `k` distinct minimal router paths `src → dst`, in
+    /// lexicographic next-hop order (the ECMP alternative set a service
+    /// hands out for multipath spreading). `src == dst` answers one
+    /// zero-length path `[src]`.
+    fn k_paths(&self, src: u32, dst: u32, k: usize) -> Result<Vec<Vec<u32>>, RouteError> {
+        self.distance(src, dst)?;
+        if k == 0 {
+            return Ok(Vec::new());
+        }
+        if src == dst {
+            return Ok(vec![vec![src]]);
+        }
+        // Iterative DFS over the minimal-path DAG (acyclic toward dst:
+        // every hop strictly decreases the distance), branching in the
+        // oracle's stable next-hop order.
+        let mut out: Vec<Vec<u32>> = Vec::with_capacity(k);
+        let mut prefix = vec![src];
+        // Per-depth alternative stacks: alts[d] = remaining next hops out
+        // of prefix[d].
+        let mut alts: Vec<Vec<u32>> = Vec::new();
+        let mut first = Vec::with_capacity(4);
+        self.min_next_hops(src, dst, &mut first)?;
+        first.reverse(); // pop() explores in stable (ascending) order
+        alts.push(first);
+        while let Some(top) = alts.last_mut() {
+            match top.pop() {
+                None => {
+                    alts.pop();
+                    prefix.pop();
+                }
+                Some(next) => {
+                    prefix.push(next);
+                    if next == dst {
+                        out.push(prefix.clone());
+                        if out.len() == k {
+                            return Ok(out);
+                        }
+                        prefix.pop();
+                    } else {
+                        let mut hops = Vec::with_capacity(4);
+                        self.min_next_hops(next, dst, &mut hops)?;
+                        hops.reverse();
+                        alts.push(hops);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A hand-rolled oracle over a fixed diamond 0–{1,2}–3 plus an
+    /// isolated router 4, exercising every provided method.
+    struct Diamond;
+
+    impl Diamond {
+        fn check(&self, r: u32) -> Result<(), RouteError> {
+            if r >= 5 {
+                return Err(RouteError::OutOfRange { id: r, routers: 5 });
+            }
+            Ok(())
+        }
+    }
+
+    impl PathOracle for Diamond {
+        fn num_routers(&self) -> usize {
+            5
+        }
+
+        fn distance(&self, src: u32, dst: u32) -> Result<u32, RouteError> {
+            self.check(src)?;
+            self.check(dst)?;
+            if src == dst {
+                return Ok(0);
+            }
+            if src == 4 || dst == 4 {
+                return Err(RouteError::Unreachable { src, dst });
+            }
+            Ok(match (src.min(dst), src.max(dst)) {
+                (0, 3) => 2,
+                (1, 2) => 2,
+                _ => 1,
+            })
+        }
+
+        fn min_next_hops(&self, src: u32, dst: u32, out: &mut Vec<u32>) -> Result<(), RouteError> {
+            let d = self.distance(src, dst)?;
+            if d == 0 {
+                return Ok(());
+            }
+            let nbrs: &[u32] = match src {
+                0 => &[1, 2],
+                1 | 2 => &[0, 3],
+                3 => &[1, 2],
+                _ => &[],
+            };
+            for &nb in nbrs {
+                if self.distance(nb, dst)? + 1 == d {
+                    out.push(nb);
+                }
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn provided_walks_agree() {
+        let o = Diamond;
+        assert_eq!(o.next_hop(0, 3), Ok(1));
+        assert_eq!(o.next_hop(3, 3), Ok(3));
+        assert_eq!(o.path(0, 3), Ok(vec![0, 1, 3]));
+        assert_eq!(o.path(2, 2), Ok(vec![2]));
+        assert!(o.is_reachable(0, 3));
+        assert!(!o.is_reachable(0, 4));
+        assert!(!o.is_reachable(0, 9));
+    }
+
+    #[test]
+    fn k_paths_enumerates_lexicographically() {
+        let o = Diamond;
+        let ps = o.k_paths(0, 3, 8).unwrap();
+        assert_eq!(ps, vec![vec![0, 1, 3], vec![0, 2, 3]]);
+        // Capped at k, first-k prefix preserved.
+        assert_eq!(o.k_paths(0, 3, 1).unwrap(), vec![vec![0, 1, 3]]);
+        assert_eq!(o.k_paths(0, 3, 0).unwrap(), Vec::<Vec<u32>>::new());
+        assert_eq!(o.k_paths(1, 1, 3).unwrap(), vec![vec![1]]);
+    }
+
+    #[test]
+    fn unreachable_is_a_typed_error() {
+        let o = Diamond;
+        assert_eq!(
+            o.distance(0, 4),
+            Err(RouteError::Unreachable { src: 0, dst: 4 })
+        );
+        assert_eq!(
+            o.k_paths(4, 2, 3),
+            Err(RouteError::Unreachable { src: 4, dst: 2 })
+        );
+        assert_eq!(
+            o.next_hop(0, 7),
+            Err(RouteError::OutOfRange { id: 7, routers: 5 })
+        );
+        let msg = RouteError::Unreachable { src: 1, dst: 4 }.to_string();
+        assert!(
+            msg.contains("router 1") && msg.contains("router 4"),
+            "{msg}"
+        );
+    }
+}

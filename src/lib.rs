@@ -12,7 +12,9 @@
 //!   routing and layout;
 //! * [`netsim`] — the cycle-level network simulator;
 //! * [`motifs`] — the message-level motif simulator;
-//! * [`analysis`] — bisection and fault-tolerance studies.
+//! * [`analysis`] — bisection and fault-tolerance studies;
+//! * [`routed`] — the path-oracle query service (batched k-path/ECMP
+//!   answers with epoch-swapped fault masking).
 
 pub use polarstar;
 pub use polarstar_analysis as analysis;
@@ -20,4 +22,5 @@ pub use polarstar_gf as gf;
 pub use polarstar_graph as graph;
 pub use polarstar_motifs as motifs;
 pub use polarstar_netsim as netsim;
+pub use polarstar_routed as routed;
 pub use polarstar_topo as topo;
