@@ -9,7 +9,7 @@ use polarstar_netsim::routing::RouteTable;
 
 fn bench_analytic_route(c: &mut Criterion) {
     let net = PolarStarNetwork::build(best_config(15).unwrap(), 1).unwrap();
-    let router = AnalyticRouter::new(&net);
+    let router = AnalyticRouter::new(net.clone());
     let n = net.spec.routers() as u32;
     let mut g = c.benchmark_group("analytic_route");
     g.sample_size(20);

@@ -1,0 +1,514 @@
+//! Flow-level fast-path benchmark: cross-validate the max-min flow
+//! simulator against the cycle engine, then run the table-free scale
+//! demo the cycle engine cannot reach.
+//!
+//! Two phases:
+//!
+//! 1. `xval` — small PolarStar configs where both models are cheap,
+//!    on the *same* resolved traffic (the flow side reuses the engine's
+//!    pattern seed via [`engine_resolve_seed`]). Both models use one
+//!    matched saturation definition — the offered load where delivered
+//!    fraction falls below [`THETA`] — because the two natural notions
+//!    differ: [`FlowNetwork::saturation_load`] is the *first-link-
+//!    capacity* onset (where the cycle engine's latency knee starts),
+//!    while throughput loss only becomes material once enough flows
+//!    cross saturated links. The cycle side bisects on measured
+//!    `accepted/offered` (`RoutingKind::MinMulti`, whose fluid limit is
+//!    ECMP splitting); the fluid side bisects
+//!    `FlowNetwork::solve(load).delivered_fraction`. Gates: relative
+//!    saturation agreement within [`XVAL_GATE`], and pointwise
+//!    delivered-fraction agreement within [`DELIVERED_GATE`] at a
+//!    1.5×-overload probe.
+//! 2. `scale` — a ≥100k-endpoint PolarStar routed entirely through the
+//!    table-free `AnalyticOracle` (no CSR route table anywhere), timing
+//!    flow construction (flows/sec) and the max-min solve, and recording
+//!    peak RSS and endpoints-per-GB. The gates are ≥100k endpoints and
+//!    peak RSS < 8 GB (full mode only; `--quick` shrinks the config to
+//!    smoke-test the path).
+//!
+//! CSV to stdout:
+//! `phase,topology,pattern,routers,endpoints,flows,exact_sat,cycle_sat,flow_sat,rel_err,delivered_err,solve_ms`.
+//! `--metrics-dir <path>` writes one `RunManifest` per config;
+//! `--bench-json <path>` writes the `BENCH_flow.json` rows
+//! (`{"group","bench","value","unit"}` per line; see EXPERIMENTS.md).
+
+use bench::manifest::file_stem;
+use bench::{metrics_dir, quick_mode, RunManifest};
+use polarstar::design::{best_config, PolarStarConfig, SupernodeKind};
+use polarstar::network::PolarStarNetwork;
+use polarstar_netsim::engine::simulate;
+use polarstar_netsim::traffic::engine_resolve_seed;
+use polarstar_netsim::{FlowNetwork, FlowRouting, Pattern, RouteTable, RoutingKind, SimConfig};
+use polarstar_routed::AnalyticOracle;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Shared simulator seed: the flow model resolves its pattern map with
+/// `engine_resolve_seed(TRAFFIC_SEED)`, so the two sides route
+/// identical source→destination pairs.
+const TRAFFIC_SEED: u64 = 0xF10;
+
+/// Cycle-vs-flow saturation agreement gate (acceptance criterion: 10%).
+const XVAL_GATE: f64 = 0.10;
+
+/// Delivered-fraction threshold defining throughput saturation on both
+/// models (fraction of offered demand actually carried).
+const THETA: f64 = 0.97;
+
+/// Pointwise cycle-vs-fluid delivered-fraction agreement gate at the
+/// overload probe (observed agreement is ~0.005).
+const DELIVERED_GATE: f64 = 0.02;
+
+/// Scale-demo RSS ceiling (acceptance criterion: < 8 GB).
+const RSS_GATE_BYTES: u64 = 8 << 30;
+
+/// Scale-demo endpoint floor.
+const SCALE_ENDPOINT_FLOOR: usize = 100_000;
+
+/// Peak resident set (VmHWM) in bytes; 0 off-Linux.
+fn peak_rss_bytes() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines().find(|l| l.starts_with("VmHWM:")).and_then(|l| {
+                l.split_whitespace()
+                    .nth(1)
+                    .and_then(|kb| kb.parse::<u64>().ok())
+            })
+        })
+        .map(|kb| kb * 1024)
+        .unwrap_or(0)
+}
+
+/// `--bench-json <path>`: append BENCH_flow.json rows there.
+fn bench_json_path() -> Option<std::path::PathBuf> {
+    let args: Vec<String> = std::env::args().collect();
+    args.windows(2)
+        .find(|w| w[0] == "--bench-json")
+        .map(|w| std::path::PathBuf::from(&w[1]))
+}
+
+/// One `BENCH_flow.json` line.
+fn bench_row(out: &mut String, group: &str, bench: &str, value: f64, unit: &str) {
+    writeln!(
+        out,
+        "{{\"group\":\"{group}\",\"bench\":\"{bench}\",\"value\":{value},\"unit\":\"{unit}\"}}"
+    )
+    .expect("string write");
+}
+
+/// Small cross-validation configs: both factor kinds, both cheap enough
+/// for the cycle engine's binary search.
+fn xval_configs(quick: bool) -> Vec<(&'static str, PolarStarConfig, u32)> {
+    let mut v = vec![(
+        "PS-q3-IQ3",
+        PolarStarConfig {
+            q: 3,
+            supernode: SupernodeKind::InductiveQuad { degree: 3 },
+        },
+        4,
+    )];
+    if !quick {
+        v.push((
+            "PS-q5-Pal2",
+            PolarStarConfig {
+                q: 5,
+                supernode: SupernodeKind::Paley { degree: 2 },
+            },
+            4,
+        ));
+    }
+    v
+}
+
+/// Smallest load where the fluid delivered fraction drops below
+/// [`THETA`] (bisection; `delivered_fraction` is non-increasing in
+/// load).
+fn fluid_throughput_sat(fnet: &FlowNetwork) -> f64 {
+    if fnet.solve(1.0).delivered_fraction >= THETA {
+        return 1.0;
+    }
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    while hi - lo > 1e-3 {
+        let mid = 0.5 * (lo + hi);
+        if fnet.solve(mid).delivered_fraction >= THETA {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Cycle-engine counterpart: smallest load where measured
+/// `accepted/offered` drops below [`THETA`].
+#[allow(clippy::too_many_arguments)]
+fn cycle_throughput_sat(
+    spec: &polarstar_topo::network::NetworkSpec,
+    table: &RouteTable,
+    pattern: &Pattern,
+    cfg: &SimConfig,
+    tol: f64,
+) -> f64 {
+    let ratio = |load: f64| {
+        let r = simulate(spec, table, RoutingKind::MinMulti, pattern, load, cfg);
+        r.accepted / load
+    };
+    if ratio(1.0) >= THETA {
+        return 1.0;
+    }
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    while hi - lo > tol {
+        let mid = 0.5 * (lo + hi);
+        if ratio(mid) >= THETA {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+fn main() {
+    let quick = quick_mode();
+    let mut failed = false;
+    let mut bench_rows = String::new();
+
+    println!("phase,topology,pattern,routers,endpoints,flows,exact_sat,cycle_sat,flow_sat,rel_err,delivered_err,solve_ms");
+
+    // Phase 1: cycle-vs-flow cross-validation on small configs.
+    let tol = if quick { 0.02 } else { 0.01 };
+    let patterns: &[Pattern] = if quick {
+        &[Pattern::Permutation]
+    } else {
+        &[Pattern::Permutation, Pattern::AdversarialGroup]
+    };
+    let mut cfg = SimConfig {
+        seed: TRAFFIC_SEED,
+        ..Default::default()
+    };
+    if quick {
+        cfg.warmup_cycles = 2_000;
+        cfg.measure_cycles = 5_000;
+        cfg.drain_cycles = 20_000;
+    } else {
+        cfg.warmup_cycles = 4_000;
+        cfg.measure_cycles = 20_000;
+        cfg.drain_cycles = 80_000;
+    }
+    for (key, ps_cfg, h) in xval_configs(quick) {
+        let net = match PolarStarNetwork::build(ps_cfg, h) {
+            Ok(n) => n,
+            Err(e) => {
+                eprintln!("flow_sweep: {key}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let spec = &net.spec;
+        let table = RouteTable::for_spec(spec);
+        let mut manifest = RunManifest::for_network(key, spec);
+        for pattern in patterns {
+            let fnet = FlowNetwork::build(
+                spec,
+                &table,
+                pattern,
+                engine_resolve_seed(cfg.seed),
+                FlowRouting::EcmpSplit,
+            );
+            let exact_sat = fnet.saturation_load();
+            let flow_sat = fluid_throughput_sat(&fnet);
+            let cycle_sat = cycle_throughput_sat(spec, &table, pattern, &cfg, tol);
+            let rel_err = (cycle_sat - flow_sat).abs() / flow_sat.max(1e-12);
+            // Pointwise check at 1.5× the first-link-saturation onset:
+            // the fluid allocation must predict the engine's measured
+            // throughput loss, not just the crossing point.
+            let overload = (1.5 * exact_sat).min(1.0);
+            let cycle_probe =
+                simulate(spec, &table, RoutingKind::MinMulti, pattern, overload, &cfg);
+            let fluid_probe = fnet.solve(overload);
+            let delivered_err =
+                (cycle_probe.accepted / overload - fluid_probe.delivered_fraction).abs();
+            // Sub-saturation sanity: the fluid model must carry every
+            // demand strictly below its own saturation point.
+            let probe = fnet.solve(0.5 * exact_sat);
+            let t0 = Instant::now();
+            let at_full = fnet.solve(1.0);
+            let solve_ms = t0.elapsed().as_secs_f64() * 1e3;
+            println!(
+                "xval,{key},{},{},{},{},{exact_sat:.4},{cycle_sat:.4},{flow_sat:.4},{rel_err:.4},{delivered_err:.4},{solve_ms:.2}",
+                pattern.label(),
+                spec.routers(),
+                spec.total_endpoints(),
+                fnet.num_flows(),
+            );
+            std::hint::black_box(&at_full);
+            if fnet.unroutable() > 0 {
+                eprintln!(
+                    "flow_sweep: {key}/{}: unroutable flows on a pristine network",
+                    pattern.label()
+                );
+                failed = true;
+            }
+            if !probe.stable || probe.delivered_fraction < 1.0 - 1e-9 {
+                eprintln!(
+                    "flow_sweep: {key}/{}: sub-saturation probe not fully delivered ({:.4})",
+                    pattern.label(),
+                    probe.delivered_fraction
+                );
+                failed = true;
+            }
+            if rel_err > XVAL_GATE {
+                eprintln!(
+                    "flow_sweep: {key}/{}: cycle sat {cycle_sat:.4} vs flow sat {flow_sat:.4} \
+                     disagree by {:.1}% (> {:.0}% gate)",
+                    pattern.label(),
+                    rel_err * 100.0,
+                    XVAL_GATE * 100.0
+                );
+                failed = true;
+            }
+            if delivered_err > DELIVERED_GATE {
+                eprintln!(
+                    "flow_sweep: {key}/{}: delivered fraction at {overload:.3} load disagrees \
+                     by {delivered_err:.4} (> {DELIVERED_GATE} gate)",
+                    pattern.label()
+                );
+                failed = true;
+            }
+            let p = pattern.label();
+            manifest.push_extra(format!("exact_sat_{p}"), exact_sat);
+            manifest.push_extra(format!("cycle_sat_{p}"), cycle_sat);
+            manifest.push_extra(format!("flow_sat_{p}"), flow_sat);
+            manifest.push_extra(format!("xval_rel_err_{p}"), rel_err);
+            manifest.push_extra(format!("xval_delivered_err_{p}"), delivered_err);
+            let slug = format!("{}_{p}", key.to_lowercase().replace('-', "_"));
+            bench_row(
+                &mut bench_rows,
+                "flow_xval",
+                &format!("cycle_sat_{slug}"),
+                cycle_sat,
+                "load",
+            );
+            bench_row(
+                &mut bench_rows,
+                "flow_xval",
+                &format!("flow_sat_{slug}"),
+                flow_sat,
+                "load",
+            );
+            bench_row(
+                &mut bench_rows,
+                "flow_xval",
+                &format!("rel_err_{slug}"),
+                rel_err,
+                "ratio",
+            );
+            bench_row(
+                &mut bench_rows,
+                "flow_xval",
+                &format!("delivered_err_{slug}"),
+                delivered_err,
+                "ratio",
+            );
+        }
+        manifest.push_extra("xval_search_tol", tol);
+        manifest.push_extra("xval_theta", THETA);
+        if let Some(dir) = metrics_dir() {
+            let stem = file_stem(&format!("flow_sweep_{key}"));
+            match manifest.write(&dir, &stem) {
+                Ok(path) => eprintln!("wrote {}", path.display()),
+                Err(e) => {
+                    eprintln!("flow_sweep: writing manifest for {key}: {e}");
+                    failed = true;
+                }
+            }
+        }
+    }
+
+    // Phase 2: table-free scale demo through the analytic oracle.
+    let (scale_key, scale_cfg, h) = if quick {
+        // Smoke-test the path on the Table 3 PS-IQ size.
+        ("PS-IQ", best_config(15).expect("radix-15 config"), 5u32)
+    } else {
+        let cfg = best_config(32).expect("radix-32 config");
+        let h = SCALE_ENDPOINT_FLOOR.div_ceil(cfg.order()) as u32;
+        ("PS-scale32", cfg, h)
+    };
+    match PolarStarNetwork::build(scale_cfg, h) {
+        Err(e) => {
+            eprintln!("flow_sweep: {scale_key}: {e}");
+            failed = true;
+        }
+        Ok(net) => {
+            let net = Arc::new(net);
+            let endpoints = net.spec.total_endpoints();
+            let routers = net.spec.routers();
+            let oracle = AnalyticOracle::new(net.clone());
+            let oracle_bytes = oracle.memory_bytes();
+            let t0 = Instant::now();
+            let fnet = FlowNetwork::build(
+                &net.spec,
+                &oracle,
+                &Pattern::Uniform,
+                TRAFFIC_SEED,
+                FlowRouting::EcmpSplit,
+            );
+            let build_s = t0.elapsed().as_secs_f64();
+            let flows = fnet.num_flows();
+            let flows_per_sec = flows as f64 / build_s.max(1e-12);
+            let flow_sat = fnet.saturation_load();
+            let t0 = Instant::now();
+            let at_sat = fnet.solve(1.0);
+            let solve_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let rss = peak_rss_bytes();
+            let endpoints_per_gb = if rss > 0 {
+                endpoints as f64 / (rss as f64 / (1u64 << 30) as f64)
+            } else {
+                0.0
+            };
+            println!(
+                "scale,{scale_key},uniform,{routers},{endpoints},{flows},{flow_sat:.4},,,,,{solve_ms:.2}"
+            );
+            std::hint::black_box(at_sat.delivered_fraction);
+            eprintln!(
+                "flow_sweep: {scale_key}: {endpoints} endpoints, {flows} flows routed \
+                 table-free in {:.2}s ({:.0} flows/sec), peak RSS {:.2} GB \
+                 ({:.0} endpoints/GB), oracle {} B + flow state {} B",
+                build_s,
+                flows_per_sec,
+                rss as f64 / (1u64 << 30) as f64,
+                endpoints_per_gb,
+                oracle_bytes,
+                fnet.memory_bytes(),
+            );
+            if oracle.router().fallbacks() > 0 {
+                eprintln!(
+                    "flow_sweep: {scale_key}: {} pristine backstop routes",
+                    oracle.router().fallbacks()
+                );
+                failed = true;
+            }
+            if !quick {
+                if endpoints < SCALE_ENDPOINT_FLOOR {
+                    eprintln!(
+                        "flow_sweep: {scale_key}: {endpoints} endpoints below the 100k floor"
+                    );
+                    failed = true;
+                }
+                if rss == 0 || rss >= RSS_GATE_BYTES {
+                    eprintln!(
+                        "flow_sweep: {scale_key}: peak RSS {rss} bytes outside the <8 GB gate"
+                    );
+                    failed = true;
+                }
+            }
+            bench_row(
+                &mut bench_rows,
+                "flow_scale",
+                "endpoints",
+                endpoints as f64,
+                "count",
+            );
+            bench_row(
+                &mut bench_rows,
+                "flow_scale",
+                "routers",
+                routers as f64,
+                "count",
+            );
+            bench_row(
+                &mut bench_rows,
+                "flow_scale",
+                "flows",
+                flows as f64,
+                "count",
+            );
+            bench_row(
+                &mut bench_rows,
+                "flow_scale",
+                "build_ms",
+                build_s * 1e3,
+                "ms",
+            );
+            bench_row(
+                &mut bench_rows,
+                "flow_scale",
+                "flows_per_sec",
+                flows_per_sec,
+                "hz",
+            );
+            bench_row(&mut bench_rows, "flow_scale", "solve_ms", solve_ms, "ms");
+            bench_row(
+                &mut bench_rows,
+                "flow_scale",
+                "saturation_load",
+                flow_sat,
+                "load",
+            );
+            bench_row(
+                &mut bench_rows,
+                "flow_scale",
+                "oracle_bytes",
+                oracle_bytes as f64,
+                "bytes",
+            );
+            bench_row(
+                &mut bench_rows,
+                "flow_scale",
+                "flow_state_bytes",
+                fnet.memory_bytes() as f64,
+                "bytes",
+            );
+            bench_row(
+                &mut bench_rows,
+                "flow_scale",
+                "peak_rss_bytes",
+                rss as f64,
+                "bytes",
+            );
+            bench_row(
+                &mut bench_rows,
+                "flow_scale",
+                "endpoints_per_gb",
+                endpoints_per_gb,
+                "count",
+            );
+            if let Some(dir) = metrics_dir() {
+                let mut m = RunManifest::for_network(scale_key, &net.spec);
+                m.push_extra("flows", flows as f64);
+                m.push_extra("build_ms", build_s * 1e3);
+                m.push_extra("flows_per_sec", flows_per_sec);
+                m.push_extra("solve_ms", solve_ms);
+                m.push_extra("saturation_load", flow_sat);
+                m.push_extra("oracle_bytes", oracle_bytes as f64);
+                m.push_extra("flow_state_bytes", fnet.memory_bytes() as f64);
+                m.push_extra("peak_rss_bytes", rss as f64);
+                m.push_extra("endpoints_per_gb", endpoints_per_gb);
+                m.push_extra("analytic_fallbacks", oracle.router().fallbacks() as f64);
+                m.push_extra("analytic_fallback_rate", oracle.router().fallback_rate());
+                let stem = file_stem(&format!("flow_sweep_scale_{scale_key}"));
+                match m.write(&dir, &stem) {
+                    Ok(path) => eprintln!("wrote {}", path.display()),
+                    Err(e) => {
+                        eprintln!("flow_sweep: writing scale manifest: {e}");
+                        failed = true;
+                    }
+                }
+            }
+        }
+    }
+
+    if let Some(path) = bench_json_path() {
+        if let Err(e) = std::fs::write(&path, &bench_rows) {
+            eprintln!("flow_sweep: writing {}: {e}", path.display());
+            failed = true;
+        } else {
+            eprintln!("wrote {}", path.display());
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -85,6 +85,44 @@ pub fn table3_network(key: &str) -> Result<NetworkSpec, TopoError> {
     Ok(net)
 }
 
+/// Build one Table 3 *PolarStar* network by key, keeping the factor
+/// structure (the `NetworkSpec` inside matches [`table3_network`]).
+/// The analytic routing backend needs the factors, not just the product
+/// graph, so only the `PS-*` keys qualify.
+pub fn table3_polarstar(key: &str) -> Result<PolarStarNetwork, TopoError> {
+    let cfg = match key {
+        "PS-IQ" => best_config(15)
+            .ok_or_else(|| TopoError::infeasible("PolarStar", "no radix-15 config"))?,
+        "PS-Pal" => best_config_with(15, false)
+            .ok_or_else(|| TopoError::infeasible("PolarStar", "no radix-15 Paley config"))?,
+        other => {
+            return Err(TopoError::infeasible(
+                "AnalyticOracle",
+                format!("{other} is not a PolarStar key"),
+            ))
+        }
+    };
+    let mut net = PolarStarNetwork::build(cfg, 5)?;
+    net.spec.name = key.into();
+    Ok(net)
+}
+
+/// Serving backend from `--oracle <table|analytic>` (default `table`):
+/// the CSR route table or the table-free §9.2 analytic router.
+pub fn oracle_mode() -> String {
+    let args: Vec<String> = std::env::args().collect();
+    let mode = args
+        .windows(2)
+        .find(|w| w[0] == "--oracle")
+        .map(|w| w[1].clone())
+        .unwrap_or_else(|| "table".into());
+    assert!(
+        mode == "table" || mode == "analytic",
+        "--oracle expects table|analytic, got {mode:?}"
+    );
+    mode
+}
+
 /// All Table 3 networks (expensive: constructs every topology).
 pub fn table3_networks() -> Vec<NetworkSpec> {
     TABLE3_KEYS

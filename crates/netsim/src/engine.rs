@@ -277,7 +277,7 @@ pub fn simulate_monitored<M: ShardableMonitor>(
     monitor: &mut M,
 ) -> SimResult {
     assert!((0.0..=1.0).contains(&load));
-    let resolved = resolve(pattern, spec, cfg.seed ^ 0x7a11);
+    let resolved = resolve(pattern, spec, crate::traffic::engine_resolve_seed(cfg.seed));
     let ctx = Ctx::new(spec, table, kind, resolved, load, cfg.clone());
     monitor.on_run_start(spec, &ctx.cfg);
     let sample_every = monitor.sample_interval();

@@ -1,0 +1,698 @@
+//! Flow-level fast path: max-min fair rate sharing over flows instead of
+//! per-flit cycles.
+//!
+//! The cycle engine models every flit of every packet, which caps one
+//! machine at a few thousand routers. The flow model drops time
+//! entirely: each (source endpoint → destination endpoint) pair becomes
+//! a *flow* with a demand (the offered load, as a fraction of endpoint
+//! injection bandwidth), routed once over a [`PathOracle`], and the
+//! steady-state rate of every flow is the unique **max-min fair**
+//! allocation under per-link capacities. That collapses a simulation to
+//! one routing pass plus a water-filling solve — a 100k+ endpoint
+//! PolarStar fits in memory once the oracle is the table-free analytic
+//! backend (`polarstar-routed`'s `AnalyticOracle`), because nothing in
+//! this module is O(routers²).
+//!
+//! Model correspondence with the cycle engine (cross-validated by
+//! `bench/src/bin/flow_sweep`):
+//!
+//! * every directed router-router link has capacity 1 flit/cycle, as do
+//!   the per-endpoint injection and ejection (NIC) links — the same
+//!   normalization the cycle engine uses for `offered`/`accepted`;
+//! * [`FlowRouting::EcmpSplit`] spreads each flow over the minimal-path
+//!   DAG with equal per-hop splits, mirroring the engine's uniform
+//!   choice among minimal output ports; [`FlowRouting::SinglePath`]
+//!   pins each flow to the oracle's deterministic first minimal path;
+//! * a configuration is *stable* at an offered load iff every flow
+//!   receives its full demand, and [`FlowNetwork::saturation_load`] is
+//!   the exact load where the most-loaded link reaches capacity. In the
+//!   cycle engine that onset is where the latency knee begins; measured
+//!   *throughput* loss only becomes material once enough flows cross
+//!   saturated links, so cross-validation compares a matched
+//!   delivered-fraction threshold on both models (see
+//!   `bench/src/bin/flow_sweep`), where the two agree to a few percent.
+//!
+//! The solve ([`FlowNetwork::solve`]) is progressive filling with lazy
+//! heap repair: levels `residual/weight` only rise as flows freeze, so
+//! popping links in level order and re-pushing stale entries converges
+//! to the exact max-min allocation in `O((F·|path| + L) log L)`. It is
+//! sequential and allocation-order free, hence byte-identical at any
+//! rayon pool size (only [`FlowNetwork::build`] fans out, and it
+//! collects in flow order).
+
+use crate::traffic::{resolve, Pattern};
+use polarstar_topo::network::NetworkSpec;
+use polarstar_topo::oracle::PathOracle;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// How a flow maps onto router links.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FlowRouting {
+    /// Spread each flow over its minimal-path DAG with equal splits at
+    /// every hop — the fluid limit of the cycle engine's uniform
+    /// minimal-port choice.
+    #[default]
+    EcmpSplit,
+    /// Pin each flow to the oracle's deterministic first minimal path.
+    SinglePath,
+}
+
+impl FlowRouting {
+    /// Display label used by the benchmark harness.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FlowRouting::EcmpSplit => "ecmp",
+            FlowRouting::SinglePath => "single",
+        }
+    }
+}
+
+/// Steady-state answer of one max-min solve at a fixed offered load.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FlowResult {
+    /// Demand per flow (fraction of endpoint injection bandwidth).
+    pub offered: f64,
+    /// Mean allocated rate per active flow.
+    pub accepted: f64,
+    /// Smallest allocated rate over active flows (`== offered` iff the
+    /// network carries every demand).
+    pub min_rate: f64,
+    /// Aggregate delivered fraction: Σ rates / Σ demands.
+    pub delivered_fraction: f64,
+    /// Every flow received its full demand (fluid stability — the
+    /// analogue of a stable cycle-engine run).
+    pub stable: bool,
+    /// Links pinned at capacity by the allocation.
+    pub bottleneck_links: usize,
+    /// Highest link utilization (1.0 = a saturated link).
+    pub max_link_utilization: f64,
+    /// Progressive-filling freeze rounds the solve needed (0 when the
+    /// fast sub-saturation path proved every demand fits).
+    pub rounds: u64,
+    /// Active flows in the solve.
+    pub flows: usize,
+    /// Flows dropped at build time because the oracle reports no
+    /// surviving path (mirrors `SimResult::unroutable`).
+    pub unroutable: u64,
+}
+
+/// A routed flow set over a network: per-flow link incidence (with ECMP
+/// split weights), its transpose, and per-link unit loads.
+///
+/// Built once per (spec, oracle, pattern, seed, routing) — the routing
+/// pass is the expensive part and fans out over rayon — then solved at
+/// any number of offered loads.
+pub struct FlowNetwork {
+    name: String,
+    /// Directed router-router links (graph CSR slots); injection links
+    /// occupy `net_links..net_links+endpoints`, ejection links
+    /// `net_links+endpoints..net_links+2·endpoints`.
+    net_links: usize,
+    /// Total link count including NIC links.
+    links: usize,
+    /// Per-flow CSR offsets into `flow_link`/`flow_weight`.
+    flow_off: Vec<u32>,
+    /// Link ids each flow crosses.
+    flow_link: Vec<u32>,
+    /// This flow's traffic fraction on that link (1.0 on a single path;
+    /// DAG split fractions under ECMP).
+    flow_weight: Vec<f32>,
+    /// Transposed incidence: per-link CSR of flow ids.
+    link_off: Vec<u32>,
+    link_flow: Vec<u32>,
+    /// Σ flow weights per link: link load at unit demand.
+    unit_load: Vec<f64>,
+    /// Endpoints in the spec (active flows ≤ endpoints).
+    endpoints: usize,
+    /// Flows dropped because the oracle reports the pair unreachable.
+    unroutable: u64,
+}
+
+/// Internal outcome of one progressive filling.
+struct Filling {
+    /// Max-min rate per flow.
+    rate: Vec<f64>,
+    /// Per-link capacity left over (NIC + network links).
+    residual: Vec<f64>,
+    /// Freeze rounds (bottleneck links processed).
+    rounds: u64,
+}
+
+impl FlowNetwork {
+    /// Route one flow per active endpoint of `pattern` through `oracle`.
+    ///
+    /// The uniform pattern draws one destination per endpoint from a
+    /// ChaCha8 stream seeded by `seed` (a sampled snapshot of uniform
+    /// traffic — flow models have no per-packet redraws); map patterns
+    /// (permutation, bit-shuffle/-reverse, adversarial) use their exact
+    /// resolved destination maps, so cross-validation runs see the
+    /// identical traffic the cycle engine simulates. Unreachable pairs
+    /// (fault-degraded oracles) are counted, not routed.
+    pub fn build<O: PathOracle + Sync>(
+        spec: &NetworkSpec,
+        oracle: &O,
+        pattern: &Pattern,
+        seed: u64,
+        routing: FlowRouting,
+    ) -> FlowNetwork {
+        let resolved = resolve(pattern, spec, seed);
+        let total = resolved.total;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let pairs: Vec<(u32, u32)> = (0..total as u32)
+            .filter_map(|src| Some((src, resolved.destination(src, &mut rng)?)))
+            .collect();
+
+        let graph = &spec.graph;
+        let net_links = graph.directed_edge_count();
+        let links = net_links + 2 * total;
+        let inject_base = net_links as u32;
+        let eject_base = (net_links + total) as u32;
+
+        // Route every flow independently (order-preserving collect keeps
+        // the result byte-identical at any rayon pool size).
+        let routed: Vec<Option<Vec<(u32, f32)>>> = pairs
+            .par_iter()
+            .map(|&(src_ep, dst_ep)| {
+                let (rs, _) = spec.endpoint_router(src_ep as usize);
+                let (rd, _) = spec.endpoint_router(dst_ep as usize);
+                let mut out: Vec<(u32, f32)> = Vec::with_capacity(8);
+                out.push((inject_base + src_ep, 1.0));
+                if rs != rd {
+                    match routing {
+                        FlowRouting::SinglePath => {
+                            let path = oracle.path(rs, rd).ok()?;
+                            for w in path.windows(2) {
+                                let e = graph.edge_id(w[0], w[1]).expect("path follows edges");
+                                out.push((e, 1.0));
+                            }
+                        }
+                        FlowRouting::EcmpSplit => {
+                            let d = oracle.distance(rs, rd).ok()?;
+                            // Walk the minimal-path DAG level by level,
+                            // splitting each router's incoming fraction
+                            // equally over its minimal next hops. Levels
+                            // hold few routers (diameter ≤ 3 here), so
+                            // linear-scan merging beats hashing.
+                            let mut level: Vec<(u32, f64)> = vec![(rs, 1.0)];
+                            let mut next: Vec<(u32, f64)> = Vec::new();
+                            let mut hops: Vec<u32> = Vec::with_capacity(8);
+                            for _ in 0..d {
+                                next.clear();
+                                for &(v, frac) in &level {
+                                    hops.clear();
+                                    oracle.min_next_hops(v, rd, &mut hops).ok()?;
+                                    let share = frac / hops.len() as f64;
+                                    for &nb in &hops {
+                                        let e = graph.edge_id(v, nb).expect("hop follows edge");
+                                        out.push((e, share as f32));
+                                        match next.iter_mut().find(|(r, _)| *r == nb) {
+                                            Some((_, f)) => *f += share,
+                                            None => next.push((nb, share)),
+                                        }
+                                    }
+                                }
+                                std::mem::swap(&mut level, &mut next);
+                            }
+                        }
+                    }
+                } else if oracle.distance(rs, rd).is_err() {
+                    // Same-router pair on a failed router.
+                    return None;
+                }
+                out.push((eject_base + dst_ep, 1.0));
+                Some(out)
+            })
+            .collect();
+
+        let unroutable = routed.iter().filter(|r| r.is_none()).count() as u64;
+        let active: Vec<&Vec<(u32, f32)>> = routed.iter().flatten().collect();
+
+        // Flow-side CSR.
+        let entries: usize = active.iter().map(|f| f.len()).sum();
+        let mut flow_off = Vec::with_capacity(active.len() + 1);
+        flow_off.push(0u32);
+        let mut flow_link = Vec::with_capacity(entries);
+        let mut flow_weight = Vec::with_capacity(entries);
+        for f in &active {
+            for &(l, w) in f.iter() {
+                flow_link.push(l);
+                flow_weight.push(w);
+            }
+            flow_off.push(flow_link.len() as u32);
+        }
+
+        // Transpose to link-side CSR by counting sort.
+        let mut counts = vec![0u32; links + 1];
+        for &l in &flow_link {
+            counts[l as usize + 1] += 1;
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let link_off = counts.clone();
+        let mut cursor = counts;
+        let mut link_flow = vec![0u32; entries];
+        for f in 0..active.len() {
+            for &fl in &flow_link[flow_off[f] as usize..flow_off[f + 1] as usize] {
+                let l = fl as usize;
+                link_flow[cursor[l] as usize] = f as u32;
+                cursor[l] += 1;
+            }
+        }
+
+        let mut unit_load = vec![0f64; links];
+        for i in 0..entries {
+            unit_load[flow_link[i] as usize] += f64::from(flow_weight[i]);
+        }
+
+        FlowNetwork {
+            name: spec.name.clone(),
+            net_links,
+            links,
+            flow_off,
+            flow_link,
+            flow_weight,
+            link_off,
+            link_flow,
+            unit_load,
+            endpoints: total,
+            unroutable,
+        }
+    }
+
+    /// Topology label the flows were routed on.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Active flows (routable active endpoints of the pattern).
+    pub fn num_flows(&self) -> usize {
+        self.flow_off.len() - 1
+    }
+
+    /// Endpoints in the underlying spec.
+    pub fn num_endpoints(&self) -> usize {
+        self.endpoints
+    }
+
+    /// Links (directed router links plus per-endpoint NIC links).
+    pub fn num_links(&self) -> usize {
+        self.links
+    }
+
+    /// Number of directed router-router links (NIC links excluded).
+    pub fn num_net_links(&self) -> usize {
+        self.net_links
+    }
+
+    /// Flows dropped at build time as unreachable.
+    pub fn unroutable(&self) -> u64 {
+        self.unroutable
+    }
+
+    /// The exact offered load at which the most-loaded link reaches
+    /// capacity — the fluid saturation point. Demands are met iff
+    /// `offered ≤ saturation_load()` (capped at 1.0: injection links
+    /// saturate at unit demand by construction).
+    pub fn saturation_load(&self) -> f64 {
+        let max = self.unit_load.iter().copied().fold(0.0, f64::max);
+        if max <= 1.0 {
+            1.0
+        } else {
+            1.0 / max
+        }
+    }
+
+    /// Resident bytes of the routed flow state (both incidence CSRs and
+    /// the unit-load array) — what the scale benchmark divides into
+    /// endpoints-per-GB alongside the oracle's own footprint.
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.flow_off.capacity() * 4
+            + self.flow_link.capacity() * 4
+            + self.flow_weight.capacity() * 4
+            + self.link_off.capacity() * 4
+            + self.link_flow.capacity() * 4
+            + self.unit_load.capacity() * 8
+    }
+
+    /// Progressive filling at one demand level. `None` when the fast
+    /// capacity check proves every demand fits (no per-flow state
+    /// needed).
+    fn fill(&self, offered: f64) -> Option<Filling> {
+        assert!(
+            offered > 0.0 && offered <= 1.0,
+            "offered load must be in (0, 1], got {offered}"
+        );
+        let flows = self.num_flows();
+        let max_unit = self.unit_load.iter().copied().fold(0.0, f64::max);
+        if offered * max_unit <= 1.0 + 1e-12 {
+            return None;
+        }
+
+        let mut rate = vec![0f64; flows];
+        let mut frozen = vec![false; flows];
+        let mut residual = vec![1f64; self.links];
+        let mut weight = self.unit_load.clone();
+        let mut rounds = 0u64;
+
+        // Min-heap over (level bits, link). Levels are finite and
+        // non-negative, so the IEEE bit pattern orders them; links whose
+        // initial fair share already covers the demand can never bind
+        // (levels only rise) and stay out of the heap.
+        let mut heap: BinaryHeap<Reverse<(u64, u32)>> = (0..self.links as u32)
+            .filter(|&l| {
+                let w = self.unit_load[l as usize];
+                w > 0.0 && 1.0 / w < offered
+            })
+            .map(|l| Reverse(((1.0 / self.unit_load[l as usize]).to_bits(), l)))
+            .collect();
+
+        while let Some(Reverse((bits, l))) = heap.pop() {
+            let li = l as usize;
+            if weight[li] <= 1e-12 {
+                continue; // every flow through l already froze
+            }
+            let level = residual[li] / weight[li];
+            if level >= offered {
+                continue; // no longer binds below the demand
+            }
+            if level > f64::from_bits(bits) * (1.0 + 1e-12) {
+                heap.push(Reverse((level.to_bits(), l)));
+                continue; // stale entry — re-queue at the risen level
+            }
+            rounds += 1;
+            for i in self.link_off[li] as usize..self.link_off[li + 1] as usize {
+                let f = self.link_flow[i] as usize;
+                if frozen[f] {
+                    continue;
+                }
+                frozen[f] = true;
+                rate[f] = level;
+                for j in self.flow_off[f] as usize..self.flow_off[f + 1] as usize {
+                    let k = self.flow_link[j] as usize;
+                    let w = f64::from(self.flow_weight[j]);
+                    weight[k] -= w;
+                    residual[k] -= w * level;
+                }
+            }
+        }
+        for (f, r) in rate.iter_mut().enumerate() {
+            if !frozen[f] {
+                *r = offered;
+            }
+        }
+        // Fold unfrozen (demand-limited) flows into the residuals so
+        // `residual` reflects the final allocation on every link.
+        for (k, w) in weight.iter().enumerate() {
+            residual[k] -= w * offered;
+        }
+        Some(Filling {
+            rate,
+            residual,
+            rounds,
+        })
+    }
+
+    /// Max-min fair rates at one offered load, by progressive filling.
+    ///
+    /// Every active flow demands `offered`. Below saturation the solve
+    /// is a single O(links) capacity check; above it, links freeze in
+    /// ascending fair-share order (`residual / unfrozen weight`) with
+    /// lazy heap repair — levels only rise as flows freeze, so stale
+    /// entries are re-pushed on pop and the first valid minimum is the
+    /// true bottleneck. Flows still unfrozen when no link binds below
+    /// their demand freeze at the demand itself.
+    pub fn solve(&self, offered: f64) -> FlowResult {
+        let flows = self.num_flows();
+        match self.fill(offered) {
+            None => {
+                let max_unit = self.unit_load.iter().copied().fold(0.0, f64::max);
+                FlowResult {
+                    offered,
+                    accepted: if flows == 0 { 0.0 } else { offered },
+                    min_rate: if flows == 0 { 0.0 } else { offered },
+                    delivered_fraction: 1.0,
+                    stable: flows > 0,
+                    bottleneck_links: self
+                        .unit_load
+                        .iter()
+                        .filter(|&&u| offered * u >= 1.0 - 1e-9)
+                        .count(),
+                    max_link_utilization: offered * max_unit,
+                    rounds: 0,
+                    flows,
+                    unroutable: self.unroutable,
+                }
+            }
+            Some(fill) => {
+                let sum: f64 = fill.rate.iter().sum();
+                let min_rate = fill.rate.iter().copied().fold(f64::INFINITY, f64::min);
+                let mut max_util = 0f64;
+                let mut bottlenecks = 0usize;
+                for &res in &fill.residual {
+                    let used = 1.0 - res;
+                    if used >= 1.0 - 1e-9 {
+                        bottlenecks += 1;
+                    }
+                    max_util = max_util.max(used);
+                }
+                FlowResult {
+                    offered,
+                    accepted: if flows == 0 { 0.0 } else { sum / flows as f64 },
+                    min_rate: if flows == 0 { 0.0 } else { min_rate },
+                    delivered_fraction: if flows == 0 {
+                        0.0
+                    } else {
+                        sum / (offered * flows as f64)
+                    },
+                    stable: flows > 0 && min_rate >= offered * (1.0 - 1e-9),
+                    bottleneck_links: bottlenecks,
+                    max_link_utilization: max_util,
+                    rounds: fill.rounds,
+                    flows,
+                    unroutable: self.unroutable,
+                }
+            }
+        }
+    }
+
+    /// The full max-min rate vector at one offered load (flow order =
+    /// active-endpoint order).
+    pub fn rates(&self, offered: f64) -> Vec<f64> {
+        match self.fill(offered) {
+            None => vec![offered; self.num_flows()],
+            Some(fill) => fill.rate,
+        }
+    }
+
+    /// Per-link utilization under the allocation at `offered` (network
+    /// links first, then injection, then ejection NIC links) — the
+    /// flow-level counterpart of the cycle monitor's link-load report.
+    pub fn link_utilization(&self, offered: f64) -> Vec<f64> {
+        match self.fill(offered) {
+            None => self.unit_load.iter().map(|u| u * offered).collect(),
+            Some(fill) => fill.residual.iter().map(|r| 1.0 - r).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::RouteTable;
+    use polarstar_graph::Graph;
+
+    /// 4 routers in a ring, 1 endpoint each.
+    fn ring_spec() -> NetworkSpec {
+        NetworkSpec::uniform("ring4", Graph::cycle(4), 1)
+    }
+
+    #[test]
+    fn sub_saturation_meets_every_demand() {
+        let spec = ring_spec();
+        let table = RouteTable::for_spec(&spec);
+        let fnet = FlowNetwork::build(
+            &spec,
+            &table,
+            &Pattern::Permutation,
+            7,
+            FlowRouting::EcmpSplit,
+        );
+        // Self-pairs in the sampled permutation stay inactive, so the
+        // flow count is at most one per endpoint and nothing is severed.
+        assert!(
+            fnet.num_flows() >= 1 && fnet.num_flows() <= 4,
+            "{}",
+            fnet.num_flows()
+        );
+        assert_eq!(fnet.unroutable(), 0);
+        let r = fnet.solve(0.2);
+        assert!(r.stable, "{r:?}");
+        assert_eq!(r.delivered_fraction, 1.0);
+        assert_eq!(r.rounds, 0);
+        assert_eq!(r.accepted, 0.2);
+    }
+
+    #[test]
+    fn ecmp_splits_over_both_ring_arms() {
+        // On a 4-cycle, opposite pairs have two 2-hop minimal paths;
+        // ECMP must put weight 1/2 on each first hop.
+        let spec = ring_spec();
+        let table = RouteTable::for_spec(&spec);
+        let fnet = FlowNetwork::build(
+            &spec,
+            &table,
+            &Pattern::BitReverse,
+            0,
+            FlowRouting::EcmpSplit,
+        );
+        // BitReverse on 4 endpoints: 0→0 (inactive), 1→2, 2→1, 3→3.
+        assert_eq!(fnet.num_flows(), 2);
+        let g = &spec.graph;
+        // 1→2 is an adjacent pair: single 1-hop path, weight 1 on edge
+        // (1,2); 2→1 likewise on (2,1).
+        let e12 = g.edge_id(1, 2).unwrap() as usize;
+        let e21 = g.edge_id(2, 1).unwrap() as usize;
+        assert_eq!(fnet.unit_load[e12], 1.0);
+        assert_eq!(fnet.unit_load[e21], 1.0);
+        assert_eq!(fnet.saturation_load(), 1.0);
+    }
+
+    #[test]
+    fn overload_is_max_min_fair() {
+        // Two endpoints on router 0 of a path graph 0–1, both sending to
+        // endpoints on router 1: the (0,1) link carries 2 flows and
+        // bottlenecks at rate 1/2 each.
+        let spec = NetworkSpec::uniform("p2", Graph::path(2), 2);
+        let table = RouteTable::for_spec(&spec);
+        // Permutation could map within-router; force cross-router flows
+        // with BitReverse on 4 endpoints: 1→2, 2→1 cross the link.
+        let fnet = FlowNetwork::build(
+            &spec,
+            &table,
+            &Pattern::BitReverse,
+            0,
+            FlowRouting::EcmpSplit,
+        );
+        assert_eq!(fnet.num_flows(), 2);
+        // Each flow crosses one direction of the link: saturation at 1.0.
+        assert_eq!(fnet.saturation_load(), 1.0);
+        let r = fnet.solve(1.0);
+        assert!(r.stable);
+
+        // Now 4 endpoints per router: bit-reverse on 8 endpoints maps
+        // 1→4, 3→6, 4→1, 6→3 … several flows share each direction.
+        let spec = NetworkSpec::uniform("p2w", Graph::path(2), 4);
+        let table = RouteTable::for_spec(&spec);
+        let fnet = FlowNetwork::build(
+            &spec,
+            &table,
+            &Pattern::BitReverse,
+            0,
+            FlowRouting::EcmpSplit,
+        );
+        let g = &spec.graph;
+        let e01 = g.edge_id(0, 1).unwrap() as usize;
+        let fwd = fnet.unit_load[e01];
+        assert!(fwd >= 2.0, "expected ≥2 forward flows, got {fwd}");
+        let sat = fnet.saturation_load();
+        assert!((sat - 1.0 / fwd).abs() < 1e-12);
+        // Above saturation the shared link splits evenly.
+        let r = fnet.solve(1.0);
+        assert!(!r.stable);
+        assert!(r.rounds > 0);
+        assert!((r.min_rate - 1.0 / fwd).abs() < 1e-9, "{r:?}");
+        assert!(r.bottleneck_links >= 1);
+        assert!((r.max_link_utilization - 1.0).abs() < 1e-9);
+        // Rates at the boundary are exact demands.
+        let rb = fnet.solve(sat);
+        assert!(rb.stable, "{rb:?}");
+    }
+
+    #[test]
+    fn rates_and_utilization_are_consistent() {
+        let spec = NetworkSpec::uniform("p2w", Graph::path(2), 4);
+        let table = RouteTable::for_spec(&spec);
+        let fnet = FlowNetwork::build(
+            &spec,
+            &table,
+            &Pattern::BitReverse,
+            0,
+            FlowRouting::EcmpSplit,
+        );
+        let offered = 0.9;
+        let rates = fnet.rates(offered);
+        let util = fnet.link_utilization(offered);
+        assert_eq!(rates.len(), fnet.num_flows());
+        assert_eq!(util.len(), fnet.num_links());
+        // Recompute utilization from rates and compare.
+        let mut expect = vec![0f64; fnet.num_links()];
+        for (f, &rate) in rates.iter().enumerate() {
+            for j in fnet.flow_off[f] as usize..fnet.flow_off[f + 1] as usize {
+                expect[fnet.flow_link[j] as usize] += f64::from(fnet.flow_weight[j]) * rate;
+            }
+        }
+        for (l, (&u, &e)) in util.iter().zip(expect.iter()).enumerate() {
+            assert!((u - e).abs() < 1e-9, "link {l}: {u} vs {e}");
+            assert!(u <= 1.0 + 1e-9, "link {l} over capacity: {u}");
+        }
+    }
+
+    #[test]
+    fn single_path_matches_oracle_path() {
+        let spec = ring_spec();
+        let table = RouteTable::for_spec(&spec);
+        let fnet = FlowNetwork::build(
+            &spec,
+            &table,
+            &Pattern::Permutation,
+            3,
+            FlowRouting::SinglePath,
+        );
+        // Every flow's weights are exactly 1.0 and its link count is
+        // inject + hops + eject.
+        for f in 0..fnet.num_flows() {
+            for j in fnet.flow_off[f] as usize..fnet.flow_off[f + 1] as usize {
+                assert_eq!(fnet.flow_weight[j], 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn faulted_oracle_marks_unroutable() {
+        use polarstar_topo::fault::FaultSet;
+        // Path 0–1–2, sever (1,2): router-2 endpoints unreachable.
+        let spec = NetworkSpec::uniform("p3", Graph::path(3), 1)
+            .with_faults(FaultSet::from_links([(1, 2)]));
+        let table = RouteTable::for_spec(&spec);
+        let seed = 1;
+        let fnet = FlowNetwork::build(
+            &spec,
+            &table,
+            &Pattern::Permutation,
+            seed,
+            FlowRouting::EcmpSplit,
+        );
+        // Expected: re-resolve the permutation and count severed pairs.
+        let resolved = resolve(&Pattern::Permutation, &spec, seed);
+        let map = resolved.dest.as_ref().unwrap();
+        let mut active = 0u64;
+        let mut severed = 0u64;
+        for (src, &dst) in map.iter().enumerate() {
+            if dst == src as u32 {
+                continue;
+            }
+            active += 1;
+            if !table.is_reachable(src as u32, dst) {
+                severed += 1;
+            }
+        }
+        assert_eq!(fnet.unroutable(), severed);
+        assert_eq!(fnet.num_flows() as u64, active - severed);
+    }
+}

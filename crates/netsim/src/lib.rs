@@ -38,11 +38,16 @@
 //! * [`traffic`] — the synthetic patterns of §9.4 and the adversarial
 //!   pattern of §9.6;
 //! * [`engine`] — the cycle loop;
+//! * [`flow`] — the flow-level fast path: max-min fair rate sharing over
+//!   per-endpoint flows routed through any
+//!   [`PathOracle`](polarstar_topo::oracle::PathOracle), for 100k+
+//!   endpoint scale studies the cycle loop cannot reach;
 //! * [`monitor`] — observability hooks: link utilization, VC occupancy,
 //!   stall causes, latency histograms (zero-cost when unused);
 //! * [`stats`] — load sweeps, saturation detection, latency summaries.
 
 pub mod engine;
+pub mod flow;
 pub mod monitor;
 pub mod routing;
 mod sharded;
@@ -50,6 +55,7 @@ pub mod stats;
 pub mod traffic;
 
 pub use engine::{simulate, simulate_monitored, FaultResponse, SimConfig, SimResult};
+pub use flow::{FlowNetwork, FlowResult, FlowRouting};
 pub use monitor::{
     MetricsMonitor, MetricsReport, NoopMonitor, PairMonitor, ShardableMonitor, SimMonitor,
     StallCause, TransientMonitor, WatchdogDiag,

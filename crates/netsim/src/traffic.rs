@@ -76,6 +76,16 @@ impl ResolvedPattern {
     }
 }
 
+/// The traffic-resolution seed the cycle engine derives from
+/// [`SimConfig::seed`](crate::engine::SimConfig::seed). Resolving a
+/// pattern with `engine_resolve_seed(cfg.seed)` reproduces the exact
+/// pattern map a `simulate(.., cfg)` run routes — how the flow-level
+/// model ([`crate::flow`]) cross-validates against the engine on
+/// identical traffic.
+pub fn engine_resolve_seed(sim_seed: u64) -> u64 {
+    sim_seed ^ 0x7a11
+}
+
 /// Resolve a pattern against a network (deterministic in `seed`).
 pub fn resolve(pattern: &Pattern, spec: &NetworkSpec, seed: u64) -> ResolvedPattern {
     let total = spec.total_endpoints();

@@ -23,20 +23,26 @@
 
 use crate::network::PolarStarNetwork;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Analytic router over a PolarStar network.
+///
+/// Owns its network behind an [`Arc`], so it can be embedded in
+/// long-lived serving structures (oracles, epoch swappers) without
+/// self-referential lifetimes; cloning the `Arc` before construction is
+/// cheap relative to the middle-list precompute.
 ///
 /// ```
 /// use polarstar::{design::best_config, network::PolarStarNetwork};
 /// use polarstar::routing::AnalyticRouter;
 /// let net = PolarStarNetwork::build(best_config(9).unwrap(), 1).unwrap();
-/// let router = AnalyticRouter::new(&net);
+/// let router = AnalyticRouter::new(net.clone());
 /// let path = router.route(0, 100);
 /// assert!(path.len() <= 3);                 // diameter-3 guarantee
 /// assert_eq!(*path.last().unwrap(), 100);
 /// ```
-pub struct AnalyticRouter<'a> {
-    net: &'a PolarStarNetwork,
+pub struct AnalyticRouter {
+    net: Arc<PolarStarNetwork>,
     /// middles[x][y] = structure vertices w completing a ≤2-path x–w–y,
     /// where w == x or w == y encodes a self-loop hop at a quadric vertex.
     middles: Vec<Vec<Vec<u32>>>,
@@ -44,11 +50,15 @@ pub struct AnalyticRouter<'a> {
     finv: Vec<u32>,
     /// Number of routes that needed the bounded local-search backstop.
     fallback_count: AtomicU64,
+    /// Total [`AnalyticRouter::route`] calls, the denominator of
+    /// [`AnalyticRouter::fallback_rate`].
+    route_count: AtomicU64,
 }
 
-impl<'a> AnalyticRouter<'a> {
+impl AnalyticRouter {
     /// Precompute middle lists and f⁻¹.
-    pub fn new(net: &'a PolarStarNetwork) -> Self {
+    pub fn new(net: impl Into<Arc<PolarStarNetwork>>) -> Self {
+        let net = net.into();
         let er = &net.er;
         let n = er.graph.n();
         let mut middles = vec![vec![Vec::new(); n]; n];
@@ -96,13 +106,51 @@ impl<'a> AnalyticRouter<'a> {
             middles,
             finv,
             fallback_count: AtomicU64::new(0),
+            route_count: AtomicU64::new(0),
         }
+    }
+
+    /// The network this router answers for.
+    pub fn network(&self) -> &Arc<PolarStarNetwork> {
+        &self.net
     }
 
     /// How many routes used the local-search backstop instead of a §9.2
     /// template.
     pub fn fallbacks(&self) -> u64 {
         self.fallback_count.load(Ordering::Relaxed)
+    }
+
+    /// Total [`AnalyticRouter::route`] invocations so far.
+    pub fn routes_computed(&self) -> u64 {
+        self.route_count.load(Ordering::Relaxed)
+    }
+
+    /// Fraction of routes that needed the backstop (0.0 when no routes
+    /// have been computed). The figure benchmarks surface through their
+    /// run manifests; 0 on every inductive-quad config.
+    pub fn fallback_rate(&self) -> f64 {
+        let routes = self.routes_computed();
+        if routes == 0 {
+            0.0
+        } else {
+            self.fallbacks() as f64 / routes as f64
+        }
+    }
+
+    /// Resident bytes of the factor-graph routing state (middle lists,
+    /// f⁻¹) — the whole per-router storage cost of analytic routing,
+    /// compared against `RouteTable::memory_bytes` in the scale benches.
+    pub fn memory_bytes(&self) -> usize {
+        let mut bytes = std::mem::size_of::<Self>();
+        bytes += self.middles.capacity() * std::mem::size_of::<Vec<Vec<u32>>>();
+        for row in &self.middles {
+            bytes += row.capacity() * std::mem::size_of::<Vec<u32>>();
+            for list in row {
+                bytes += list.capacity() * std::mem::size_of::<u32>();
+            }
+        }
+        bytes + self.finv.capacity() * std::mem::size_of::<u32>()
     }
 
     /// Supernode coordinate after crossing the structure edge `x → y`
@@ -163,6 +211,7 @@ impl<'a> AnalyticRouter<'a> {
         if s == t {
             return Vec::new();
         }
+        self.route_count.fetch_add(1, Ordering::Relaxed);
         if let Some(p) = self.try_one_hop(s, t) {
             return p;
         }
@@ -173,6 +222,18 @@ impl<'a> AnalyticRouter<'a> {
             return p;
         }
         self.fallback_count.fetch_add(1, Ordering::Relaxed);
+        // Theorem 4's case analysis covers every pair whose supernodes
+        // coincide or are adjacent in the structure graph; only the
+        // distance-2 alternating-path cases have known Paley corner
+        // holes. A backstop on an adjacent-supernode pair would mean the
+        // (a)–(d) templates themselves are broken.
+        debug_assert!(
+            {
+                let (x, y) = (self.net.structure_of(s), self.net.structure_of(t));
+                x != y && !self.net.er.graph.has_edge(x, y)
+            },
+            "pristine template miss on an adjacent-supernode pair {s}→{t}"
+        );
         self.bounded_search(s, t)
             .unwrap_or_else(|| panic!("no path of length ≤ 4 from {s} to {t}"))
     }
@@ -210,7 +271,7 @@ impl<'a> AnalyticRouter<'a> {
     }
 
     fn try_two_hops(&self, s: u32, t: u32) -> Option<Vec<u32>> {
-        let net = self.net;
+        let net = &self.net;
         let (x, xp) = (net.structure_of(s), net.local_of(s));
         let (y, yp) = (net.structure_of(t), net.local_of(t));
         if x == y {
@@ -255,7 +316,7 @@ impl<'a> AnalyticRouter<'a> {
     }
 
     fn try_three_hops(&self, s: u32, t: u32) -> Option<Vec<u32>> {
-        let net = self.net;
+        let net = &self.net;
         let er = &net.er.graph;
         let (x, xp) = (net.structure_of(s), net.local_of(s));
         let (y, yp) = (net.structure_of(t), net.local_of(t));
@@ -383,7 +444,7 @@ impl<'a> AnalyticRouter<'a> {
 
     /// All product neighbors of a router, computed from factor state.
     pub fn local_neighbors(&self, v: u32) -> Vec<u32> {
-        let net = self.net;
+        let net = &self.net;
         let (x, xp) = (net.structure_of(v), net.local_of(v));
         let mut out: Vec<u32> = self
             .copy_neighbors(x, xp)
@@ -417,7 +478,7 @@ mod tests {
     }
 
     fn check_all_pairs_minimal(net: &PolarStarNetwork) -> u64 {
-        let router = AnalyticRouter::new(net);
+        let router = AnalyticRouter::new(net.clone());
         let n = net.spec.routers() as u32;
         for s in 0..n {
             let dist = traversal::bfs_distances(net.graph(), s);
@@ -495,7 +556,7 @@ mod tests {
         // PS-IQ at Table 3 scale: sample sources, verify minimality.
         let cfg = best_config(15).unwrap();
         let net = PolarStarNetwork::build(cfg, 1).unwrap();
-        let router = AnalyticRouter::new(&net);
+        let router = AnalyticRouter::new(net.clone());
         let n = net.spec.routers() as u32;
         for s in (0..n).step_by(97) {
             let dist = traversal::bfs_distances(net.graph(), s);
@@ -512,7 +573,7 @@ mod tests {
     fn paley_variant_at_scale() {
         let cfg = best_config_with(12, false).unwrap();
         let net = PolarStarNetwork::build(cfg, 1).unwrap();
-        let router = AnalyticRouter::new(&net);
+        let router = AnalyticRouter::new(net.clone());
         let n = net.spec.routers() as u32;
         for s in (0..n).step_by(41) {
             let dist = traversal::bfs_distances(net.graph(), s);
@@ -528,7 +589,7 @@ mod tests {
     fn local_neighbors_match_graph() {
         let cfg = best_config(9).unwrap();
         let net = PolarStarNetwork::build(cfg, 1).unwrap();
-        let router = AnalyticRouter::new(&net);
+        let router = AnalyticRouter::new(net.clone());
         for v in 0..net.spec.routers() as u32 {
             let mut computed = router.local_neighbors(v);
             computed.sort_unstable();
@@ -544,7 +605,7 @@ mod tests {
         // source must reach the destination in exactly the BFS distance.
         let cfg = best_config(10).unwrap();
         let net = PolarStarNetwork::build(cfg, 1).unwrap();
-        let router = AnalyticRouter::new(&net);
+        let router = AnalyticRouter::new(net.clone());
         let n = net.spec.routers() as u32;
         for s in (0..n).step_by(11) {
             let dist = traversal::bfs_distances(net.graph(), s);

@@ -1,0 +1,323 @@
+//! Table-free serving backend: the §9.2 analytic router as a
+//! [`PathOracle`].
+//!
+//! A [`RouteTable`](polarstar_netsim::RouteTable) answers queries from a
+//! per-destination arena that costs O(n²) bytes to hold and one BFS per
+//! destination to rebuild on every fault epoch. The analytic backend
+//! keeps only factor-graph state (the [`AnalyticRouter`]'s middle lists
+//! and bijection) plus the current [`FaultSet`], and reconstructs
+//! answers per query:
+//!
+//! * **pristine** (no faults): distance is the length of the §9.2
+//!   template path; minimal next hops are the neighbors whose template
+//!   distance is one less. O(1) memory per query.
+//! * **faulted, minimal path survives**: a depth-≤3 walk over the
+//!   pristine minimal-path DAG checks that some template-length path
+//!   avoids the fault mask; if so the pristine distance still holds and
+//!   next hops are filtered by the mask. Still O(1) memory.
+//! * **faulted, minimal DAG severed**: the query escalates to one exact
+//!   BFS over the degraded product graph (O(n) transient, nothing
+//!   cached), reproducing the masked table's answer bit for bit.
+//!
+//! Because the fault mask is the *only* per-epoch state, an epoch switch
+//! is an `Arc` clone plus a `FaultSet` swap — no BFS sweep, which is
+//! what collapses the ~196 ms `RouteTable::remask` epoch-install cost
+//! (BENCH_routed.json) to microseconds.
+//!
+//! Equivalence contract (pinned by `tests/analytic_vs_table.rs`):
+//! distances and the full minimal next-hop sets equal a freshly masked
+//! `RouteTable`'s on every config and fault mask. [`PathOracle::path`]
+//! is overridden on the pristine path to return the template route in
+//! one shot (it is still minimal and deterministic, but may pick a
+//! different tie among equally minimal paths than the hop-by-hop
+//! first-next-hop walk that [`PathOracle::k_paths`] enumerates).
+
+use polarstar::network::PolarStarNetwork;
+use polarstar::routing::AnalyticRouter;
+use polarstar_topo::fault::FaultSet;
+use polarstar_topo::oracle::{PathOracle, RouteError};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// A table-free [`PathOracle`] over a PolarStar network: §9.2 analytic
+/// routing plus a fault mask.
+///
+/// Cloning is O(1) (the router is shared behind an [`Arc`]); so is
+/// [`AnalyticOracle::remask`], which makes fault epochs nearly free.
+#[derive(Clone)]
+pub struct AnalyticOracle {
+    router: Arc<AnalyticRouter>,
+    faults: FaultSet,
+}
+
+impl AnalyticOracle {
+    /// Build the oracle for a network, honoring the static fault mask
+    /// its spec already carries.
+    pub fn new(net: impl Into<Arc<PolarStarNetwork>>) -> Self {
+        let router = Arc::new(AnalyticRouter::new(net));
+        let faults = router.network().spec.faults().clone();
+        AnalyticOracle { router, faults }
+    }
+
+    /// Wrap an already-built router (shares its middle lists).
+    pub fn from_router(router: Arc<AnalyticRouter>) -> Self {
+        let faults = router.network().spec.faults().clone();
+        AnalyticOracle { router, faults }
+    }
+
+    /// The oracle for a new cumulative fault set. O(1): clones the
+    /// shared router `Arc` and swaps the mask — the whole per-epoch
+    /// cost of the table-free backend.
+    pub fn remask(&self, faults: &FaultSet) -> AnalyticOracle {
+        AnalyticOracle {
+            router: Arc::clone(&self.router),
+            faults: faults.clone(),
+        }
+    }
+
+    /// The underlying analytic router (fallback counters live there).
+    pub fn router(&self) -> &AnalyticRouter {
+        &self.router
+    }
+
+    /// The network this oracle answers for.
+    pub fn network(&self) -> &Arc<PolarStarNetwork> {
+        self.router.network()
+    }
+
+    /// The fault mask this oracle serves.
+    pub fn faults(&self) -> &FaultSet {
+        &self.faults
+    }
+
+    /// Resident bytes of the routing state (factor-graph middles + the
+    /// fault mask) — the table-free counterpart of
+    /// `RouteTable::memory_bytes`.
+    pub fn memory_bytes(&self) -> usize {
+        self.router.memory_bytes()
+            + std::mem::size_of_val(self.faults.failed_links())
+            + std::mem::size_of_val(self.faults.failed_routers())
+    }
+
+    fn check(&self, r: u32) -> Result<(), RouteError> {
+        let n = self.num_routers() as u32;
+        if r >= n {
+            return Err(RouteError::OutOfRange { id: r, routers: n });
+        }
+        Ok(())
+    }
+
+    /// Whether the undirected edge `u – v` is out of the *distance*
+    /// relation (`RouteTable` BFS runs on the degraded graph, where an
+    /// edge dies when either direction or either endpoint fails).
+    #[inline]
+    fn edge_dead(&self, u: u32, v: u32) -> bool {
+        self.faults.link_failed(u, v) || self.faults.link_failed(v, u)
+    }
+
+    #[inline]
+    fn pristine_distance(&self, src: u32, dst: u32) -> u32 {
+        self.router.route(src, dst).len() as u32
+    }
+
+    /// Whether some pristine-minimal path of length `r` from `v` to
+    /// `dst` survives the fault mask. Depth-bounded (diameter ≤ 3) walk
+    /// over the minimal-path DAG; every path of pristine-minimal length
+    /// in the degraded graph lies on this DAG, so a `false` here proves
+    /// the degraded distance strictly exceeds the pristine one.
+    fn survives(&self, v: u32, dst: u32, r: u32) -> bool {
+        if r == 0 {
+            return true;
+        }
+        for &nb in self.network().graph().neighbors(v) {
+            if self.edge_dead(v, nb) {
+                continue;
+            }
+            if self.pristine_distance(nb, dst) == r - 1 && self.survives(nb, dst, r - 1) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Exact degraded-graph BFS distances from `dst` — the escalation
+    /// path for queries whose minimal DAG the mask severed. O(n)
+    /// transient, nothing cached.
+    fn degraded_distances_from(&self, dst: u32) -> Vec<u32> {
+        let g = self.network().graph();
+        let mut dist = vec![u32::MAX; g.n()];
+        dist[dst as usize] = 0;
+        let mut queue = VecDeque::new();
+        queue.push_back(dst);
+        while let Some(v) = queue.pop_front() {
+            let dv = dist[v as usize];
+            for &nb in g.neighbors(v) {
+                if dist[nb as usize] != u32::MAX || self.edge_dead(v, nb) {
+                    continue;
+                }
+                dist[nb as usize] = dv + 1;
+                queue.push_back(nb);
+            }
+        }
+        dist
+    }
+}
+
+impl PathOracle for AnalyticOracle {
+    fn num_routers(&self) -> usize {
+        self.network().spec.routers()
+    }
+
+    fn distance(&self, src: u32, dst: u32) -> Result<u32, RouteError> {
+        self.check(src)?;
+        self.check(dst)?;
+        if src == dst {
+            return Ok(0);
+        }
+        let unreachable = RouteError::Unreachable { src, dst };
+        if self.faults.is_empty() {
+            return Ok(self.pristine_distance(src, dst));
+        }
+        if self.faults.router_failed(src) || self.faults.router_failed(dst) {
+            return Err(unreachable);
+        }
+        let d = self.pristine_distance(src, dst);
+        if self.survives(src, dst, d) {
+            return Ok(d);
+        }
+        match self.degraded_distances_from(dst)[src as usize] {
+            u32::MAX => Err(unreachable),
+            dd => Ok(dd),
+        }
+    }
+
+    fn min_next_hops(&self, src: u32, dst: u32, out: &mut Vec<u32>) -> Result<(), RouteError> {
+        let d = self.distance(src, dst)?;
+        if d == 0 {
+            return Ok(());
+        }
+        // Pristine neighbor order is ascending router id — the same
+        // port order `RouteTable` stores, so the sets match verbatim.
+        let nbrs = self.network().graph().neighbors(src);
+        if self.faults.is_empty() {
+            for &nb in nbrs {
+                if self.pristine_distance(nb, dst) + 1 == d {
+                    out.push(nb);
+                }
+            }
+            return Ok(());
+        }
+        if self.pristine_distance(src, dst) == d {
+            // The minimal DAG survives: a neighbor is a port iff its
+            // *directed* link is alive (the table's port rule) and a
+            // surviving minimal continuation exists.
+            for &nb in nbrs {
+                if !self.faults.link_failed(src, nb)
+                    && self.pristine_distance(nb, dst) + 1 == d
+                    && self.survives(nb, dst, d - 1)
+                {
+                    out.push(nb);
+                }
+            }
+        } else {
+            let dist = self.degraded_distances_from(dst);
+            for &nb in nbrs {
+                if !self.faults.link_failed(src, nb)
+                    && dist[nb as usize] != u32::MAX
+                    && dist[nb as usize] + 1 == dist[src as usize]
+                {
+                    out.push(nb);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Pristine queries answer with the §9.2 template path directly —
+    /// one template search instead of a min-next-hop scan per hop,
+    /// which is what lets the flow simulator route a million flows
+    /// without a table. Faulted queries fall back to the standard
+    /// first-next-hop walk so the masked-table semantics hold exactly.
+    fn path(&self, src: u32, dst: u32) -> Result<Vec<u32>, RouteError> {
+        if self.faults.is_empty() {
+            self.check(src)?;
+            self.check(dst)?;
+            let mut path = vec![src];
+            path.extend(self.router.route(src, dst));
+            return Ok(path);
+        }
+        let mut path = vec![src];
+        let mut cur = src;
+        let mut hops = Vec::with_capacity(4);
+        while cur != dst {
+            hops.clear();
+            self.min_next_hops(cur, dst, &mut hops)?;
+            cur = *hops.first().ok_or(RouteError::Unreachable { src, dst })?;
+            path.push(cur);
+        }
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polarstar::design::{PolarStarConfig, SupernodeKind};
+
+    fn small_net() -> PolarStarNetwork {
+        let cfg = PolarStarConfig {
+            q: 3,
+            supernode: SupernodeKind::InductiveQuad { degree: 3 },
+        };
+        PolarStarNetwork::build(cfg, 1).unwrap()
+    }
+
+    #[test]
+    fn pristine_answers_are_minimal_and_o1() {
+        let net = small_net();
+        let o = AnalyticOracle::new(net.clone());
+        let n = o.num_routers() as u32;
+        for s in 0..n {
+            for t in 0..n {
+                let d = o.distance(s, t).unwrap();
+                assert!(d <= 3, "{s}→{t}");
+                let p = o.path(s, t).unwrap();
+                assert_eq!(p.len() as u32, d + 1);
+                assert_eq!((p[0], *p.last().unwrap()), (s, t));
+                for w in p.windows(2) {
+                    assert!(net.graph().has_edge(w[0], w[1]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn remask_is_arc_shallow_and_masks() {
+        let o = AnalyticOracle::new(small_net());
+        // Sever every minimal continuation of some edge and check the
+        // distance grows while the base oracle is untouched.
+        let cut = FaultSet::from_links([(0, 1)]);
+        let masked = o.remask(&cut);
+        assert!(Arc::ptr_eq(&o.router, &masked.router), "router shared");
+        if o.network().graph().has_edge(0, 1) {
+            assert_eq!(o.distance(0, 1), Ok(1));
+            assert!(masked.distance(0, 1).unwrap() > 1);
+        }
+        // Router failure seals the router off.
+        let dead = o.remask(&FaultSet::from_routers([2]));
+        assert_eq!(dead.distance(2, 2), Ok(0));
+        assert!(dead.distance(2, 0).is_err());
+        assert!(dead.distance(0, 2).is_err());
+    }
+
+    #[test]
+    fn out_of_range_is_typed() {
+        let o = AnalyticOracle::new(small_net());
+        let n = o.num_routers() as u32;
+        assert_eq!(
+            o.distance(n, 0),
+            Err(RouteError::OutOfRange { id: n, routers: n })
+        );
+        assert!(o.path(0, n).is_err());
+    }
+}

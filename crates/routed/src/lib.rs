@@ -5,11 +5,15 @@
 //! production system serves it. This crate packages the minimal-path
 //! machinery ([`polarstar_netsim::RouteTable`]) as a queryable layer:
 //!
-//! * [`Oracle`] — one immutable serving snapshot: a (possibly
-//!   fault-masked) route table plus the topology's supernode
-//!   [`SymmetryClasses`], which canonicalize ordered (src, dst) pairs
-//!   into `G²` cells so per-class aggregates ([`ClassProfile`]) replace
-//!   per-pair state;
+//! * [`Oracle`] — one immutable serving snapshot: a routing backend
+//!   plus the topology's supernode [`SymmetryClasses`], which
+//!   canonicalize ordered (src, dst) pairs into `G²` cells so per-class
+//!   aggregates ([`ClassProfile`]) replace per-pair state. Two backends:
+//!   a (possibly fault-masked) CSR route table, or the table-free
+//!   [`AnalyticOracle`] that reconstructs §9.2 paths from factor-graph
+//!   state per query — O(1) memory per query and O(1) fault epochs
+//!   ([`AnalyticOracle::remask`] swaps a fault mask instead of rerunning
+//!   one BFS per destination);
 //! * [`QueryBatch`] / [`RouteAnswer`] — the batched query surface:
 //!   next hop, hop distance, the deterministic minimal path, up to `k`
 //!   ECMP alternatives, and typed reachability
@@ -24,10 +28,12 @@
 //! Throughput on a pristine Table-3 PS-IQ (1064 routers): millions of
 //! single-hop queries/sec per core — see `bench/src/bin/route_query`.
 
+pub mod analytic;
 pub mod batch;
 pub mod oracle;
 pub mod swap;
 
+pub use analytic::AnalyticOracle;
 pub use batch::{Query, QueryBatch, RouteAnswer};
 pub use oracle::{ClassProfile, Oracle, SymmetryClasses};
 pub use swap::EpochSwapper;

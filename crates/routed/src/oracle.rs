@@ -1,6 +1,9 @@
-//! The serving oracle: a [`RouteTable`] snapshot plus supernode
-//! symmetry classes, packaged for concurrent query answering.
+//! The serving oracle: a routing backend (CSR [`RouteTable`] snapshot or
+//! the table-free [`AnalyticOracle`]) plus supernode symmetry classes,
+//! packaged for concurrent query answering.
 
+use crate::analytic::AnalyticOracle;
+use polarstar::network::PolarStarNetwork;
 use polarstar_netsim::RouteTable;
 use polarstar_topo::fault::FaultSet;
 use polarstar_topo::network::NetworkSpec;
@@ -80,15 +83,27 @@ impl ClassProfile {
     }
 }
 
-/// One immutable serving snapshot: a masked [`RouteTable`] plus the
-/// symmetry classes and the epoch it serves.
+/// The routing state behind an [`Oracle`]: either a materialized CSR
+/// table or the table-free analytic backend.
+enum Backend {
+    /// Per-destination BFS arenas (`RouteTable`): O(n²) memory, O(1)
+    /// query, one BFS sweep per fault epoch.
+    Table(Arc<RouteTable>),
+    /// §9.2 analytic routing over factor-graph state: O(structure²)
+    /// memory, per-query path reconstruction, O(1) fault epochs.
+    Analytic(AnalyticOracle),
+}
+
+/// One immutable serving snapshot: a routing backend (masked
+/// [`RouteTable`] or [`AnalyticOracle`]) plus the symmetry classes and
+/// the epoch it serves.
 ///
 /// An `Oracle` is built once (or re-masked from a base oracle per fault
 /// epoch) and then only read — cloning the [`Arc`]s it hands out is the
 /// whole synchronization story, so query threads never lock.
 pub struct Oracle {
     spec: Arc<NetworkSpec>,
-    table: Arc<RouteTable>,
+    backend: Backend,
     classes: SymmetryClasses,
     /// Fault epoch this snapshot serves (0 = the construction mask).
     epoch: u64,
@@ -102,20 +117,41 @@ impl Oracle {
         let classes = SymmetryClasses::new(&spec);
         Oracle {
             spec,
-            table,
+            backend: Backend::Table(table),
             classes,
             epoch: 0,
         }
     }
 
-    /// Re-mask this oracle for a new cumulative fault set, reusing the
-    /// base table's pristine neighbor CSR (`RouteTable::remask`) — the
-    /// per-epoch path of [`crate::EpochSwapper`]. Only the BFS layers
-    /// are recomputed; spec and classes are shared.
+    /// Build a table-free serving oracle over a PolarStar network: §9.2
+    /// analytic routing instead of a materialized table, so construction
+    /// skips the per-destination BFS sweep and fault epochs cost an
+    /// `Arc` clone ([`AnalyticOracle::remask`]).
+    pub fn new_analytic(net: impl Into<Arc<PolarStarNetwork>>) -> Self {
+        let analytic = AnalyticOracle::new(net);
+        let spec = Arc::new(analytic.network().spec.clone());
+        let classes = SymmetryClasses::new(&spec);
+        Oracle {
+            spec,
+            backend: Backend::Analytic(analytic),
+            classes,
+            epoch: 0,
+        }
+    }
+
+    /// Re-mask this oracle for a new cumulative fault set — the
+    /// per-epoch path of [`crate::EpochSwapper`]. The table backend
+    /// reruns its BFS layers over the pristine neighbor CSR
+    /// (`RouteTable::remask`); the analytic backend just swaps the fault
+    /// mask. Spec and classes are shared either way.
     pub fn remask(&self, faults: &FaultSet, epoch: u64) -> Oracle {
+        let backend = match &self.backend {
+            Backend::Table(t) => Backend::Table(Arc::new(t.remask(&self.spec, faults))),
+            Backend::Analytic(a) => Backend::Analytic(a.remask(faults)),
+        };
         Oracle {
             spec: Arc::clone(&self.spec),
-            table: Arc::new(self.table.remask(&self.spec, faults)),
+            backend,
             classes: self.classes.clone(),
             epoch,
         }
@@ -126,9 +162,37 @@ impl Oracle {
         &self.spec
     }
 
-    /// The underlying route table snapshot.
-    pub fn table(&self) -> &RouteTable {
-        &self.table
+    /// The route table snapshot, when this oracle runs on the table
+    /// backend (`None` for the table-free analytic backend).
+    pub fn table(&self) -> Option<&RouteTable> {
+        match &self.backend {
+            Backend::Table(t) => Some(t),
+            Backend::Analytic(_) => None,
+        }
+    }
+
+    /// The analytic backend, when this oracle is table-free.
+    pub fn analytic(&self) -> Option<&AnalyticOracle> {
+        match &self.backend {
+            Backend::Table(_) => None,
+            Backend::Analytic(a) => Some(a),
+        }
+    }
+
+    /// Backend label for manifests and logs.
+    pub fn backend_name(&self) -> &'static str {
+        match &self.backend {
+            Backend::Table(_) => "table",
+            Backend::Analytic(_) => "analytic",
+        }
+    }
+
+    /// Resident bytes of the routing state this snapshot queries.
+    pub fn memory_bytes(&self) -> usize {
+        match &self.backend {
+            Backend::Table(t) => t.memory_bytes(),
+            Backend::Analytic(a) => a.memory_bytes(),
+        }
     }
 
     /// The supernode symmetry classes.
@@ -146,7 +210,7 @@ impl Oracle {
     /// state. One pass over the distance arena.
     pub fn class_profiles(&self) -> Vec<ClassProfile> {
         let mut out = vec![ClassProfile::default(); self.classes.num_classes()];
-        let n = self.table.n() as u32;
+        let n = self.num_routers() as u32;
         for src in 0..n {
             for dst in 0..n {
                 if src == dst {
@@ -154,17 +218,31 @@ impl Oracle {
                 }
                 let c = &mut out[self.classes.class_of(src, dst) as usize];
                 c.pairs += 1;
-                let d = self.table.distance(src, dst);
-                if d == RouteTable::UNREACHABLE {
-                    c.unreachable += 1;
-                } else {
-                    if c.pairs - c.unreachable == 1 {
-                        c.min_dist = d;
-                    } else {
-                        c.min_dist = c.min_dist.min(d);
+                // The table backend reads its arena directly; the
+                // analytic backend reconstructs per pair.
+                let d = match &self.backend {
+                    Backend::Table(t) => {
+                        let d = t.distance(src, dst);
+                        if d == RouteTable::UNREACHABLE {
+                            None
+                        } else {
+                            Some(u32::from(d))
+                        }
                     }
-                    c.max_dist = c.max_dist.max(d);
-                    c.dist_sum += u64::from(d);
+                    Backend::Analytic(a) => a.distance(src, dst).ok(),
+                };
+                match d {
+                    None => c.unreachable += 1,
+                    Some(d) => {
+                        let d = d.min(u16::MAX as u32) as u16;
+                        if c.pairs - c.unreachable == 1 {
+                            c.min_dist = d;
+                        } else {
+                            c.min_dist = c.min_dist.min(d);
+                        }
+                        c.max_dist = c.max_dist.max(d);
+                        c.dist_sum += u64::from(d);
+                    }
                 }
             }
         }
@@ -174,15 +252,31 @@ impl Oracle {
 
 impl PathOracle for Oracle {
     fn num_routers(&self) -> usize {
-        self.table.n()
+        match &self.backend {
+            Backend::Table(t) => t.n(),
+            Backend::Analytic(a) => a.num_routers(),
+        }
     }
 
     fn distance(&self, src: u32, dst: u32) -> Result<u32, RouteError> {
-        PathOracle::distance(&*self.table, src, dst)
+        match &self.backend {
+            Backend::Table(t) => PathOracle::distance(&**t, src, dst),
+            Backend::Analytic(a) => a.distance(src, dst),
+        }
     }
 
     fn min_next_hops(&self, src: u32, dst: u32, out: &mut Vec<u32>) -> Result<(), RouteError> {
-        self.table.min_next_hops(src, dst, out)
+        match &self.backend {
+            Backend::Table(t) => t.min_next_hops(src, dst, out),
+            Backend::Analytic(a) => a.min_next_hops(src, dst, out),
+        }
+    }
+
+    fn path(&self, src: u32, dst: u32) -> Result<Vec<u32>, RouteError> {
+        match &self.backend {
+            Backend::Table(t) => t.path(src, dst),
+            Backend::Analytic(a) => a.path(src, dst),
+        }
     }
 }
 

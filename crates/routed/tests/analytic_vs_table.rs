@@ -1,0 +1,163 @@
+//! Equivalence pins for the table-free backend: [`AnalyticOracle`] must
+//! answer exactly like the CSR `RouteTable` backend — equal distances
+//! (or equally unreachable) and the same full ascending minimal
+//! next-hop sets — on the degenerate ER(5) PolarStar, the Table 3 PS-IQ
+//! config, and proptest-drawn fault masks. The batched query paths stay
+//! byte-identical between the sequential and rayon-sharded routes with
+//! the analytic backend, at any `RAYON_NUM_THREADS` (CI runs this file
+//! at 1 and 4).
+
+use polarstar::design::{best_config, PolarStarConfig, SupernodeKind};
+use polarstar::network::PolarStarNetwork;
+use polarstar_routed::{AnalyticOracle, Oracle, QueryBatch};
+use polarstar_topo::fault::FaultSet;
+use polarstar_topo::oracle::{PathOracle, RouteError};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// q=3 Inductive-Quad PolarStar: 104 routers, cheap enough for
+/// exhaustive all-pairs comparison under proptest fault masks.
+fn small_config() -> PolarStarConfig {
+    PolarStarConfig {
+        q: 3,
+        supernode: SupernodeKind::InductiveQuad { degree: 3 },
+    }
+}
+
+/// Assert analytic and table answers match on the given pairs: equal
+/// distances (or both unreachable) and identical ascending next-hop
+/// sets. Returns how many pairs were reachable, so callers can assert
+/// the comparison wasn't vacuous.
+fn check_pairs(
+    analytic: &AnalyticOracle,
+    table: &Oracle,
+    pairs: impl Iterator<Item = (u32, u32)>,
+) -> usize {
+    let mut reachable = 0;
+    let (mut ah, mut th) = (Vec::new(), Vec::new());
+    for (src, dst) in pairs {
+        let want = PathOracle::distance(table, src, dst);
+        let got = analytic.distance(src, dst);
+        match (&got, &want) {
+            (Ok(a), Ok(b)) => assert_eq!(a, b, "distance {src}->{dst}"),
+            (Err(RouteError::Unreachable { .. }), Err(RouteError::Unreachable { .. })) => continue,
+            _ => panic!("distance {src}->{dst}: analytic {got:?} vs table {want:?}"),
+        }
+        reachable += 1;
+        if src == dst {
+            continue;
+        }
+        ah.clear();
+        th.clear();
+        analytic.min_next_hops(src, dst, &mut ah).unwrap();
+        table.min_next_hops(src, dst, &mut th).unwrap();
+        assert_eq!(ah, th, "next hops {src}->{dst}");
+        assert!(ah.windows(2).all(|w| w[0] < w[1]), "ascending {src}->{dst}");
+        // The analytic path must be minimal and walk real edges; its
+        // tie-break may differ from the table's, so no byte compare.
+        let p = analytic.path(src, dst).unwrap();
+        assert_eq!(p.len() as u32, got.unwrap() + 1, "path length {src}->{dst}");
+        assert_eq!((p[0], *p.last().unwrap()), (src, dst));
+        let g = &analytic.network().spec.graph;
+        for w in p.windows(2) {
+            assert!(
+                g.has_edge(w[0], w[1]),
+                "edge {}-{} {src}->{dst}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+    reachable
+}
+
+/// Deterministic pseudo-random pair sample (Weyl sequence over n²).
+fn sampled_pairs(n: u32, count: u64) -> impl Iterator<Item = (u32, u32)> {
+    (0..count).map(move |i| {
+        let x = i.wrapping_mul(0x9E3779B97F4A7C15).rotate_left(17);
+        ((x % u64::from(n)) as u32, ((x >> 32) % u64::from(n)) as u32)
+    })
+}
+
+#[test]
+fn er5_degenerate_polarstar_matches_table_exhaustively() {
+    // Paley degree 0 is the single-vertex supernode: the product
+    // collapses to the ER(5) polarity graph itself, so this pins the
+    // analytic router's structure-graph (Brown-graph) templates alone.
+    let cfg = PolarStarConfig {
+        q: 5,
+        supernode: SupernodeKind::Paley { degree: 0 },
+    };
+    let net = PolarStarNetwork::build(cfg, 1).unwrap();
+    let table = Oracle::new(Arc::new(net.spec.clone()));
+    let analytic = AnalyticOracle::new(net);
+    let n = analytic.num_routers() as u32;
+    assert_eq!(n, 31);
+    let all = (0..n).flat_map(|s| (0..n).map(move |d| (s, d)));
+    assert_eq!(check_pairs(&analytic, &table, all), (n * n) as usize);
+    assert_eq!(analytic.router().fallbacks(), 0, "pristine backstop");
+}
+
+#[test]
+fn ps_iq_matches_table_on_sampled_pairs() {
+    let net = PolarStarNetwork::build(best_config(15).unwrap(), 1).unwrap();
+    let table = Oracle::new(Arc::new(net.spec.clone()));
+    let analytic = AnalyticOracle::new(net);
+    let n = analytic.num_routers() as u32;
+    assert_eq!(n, 1064);
+    let checked = check_pairs(&analytic, &table, sampled_pairs(n, 1500));
+    assert_eq!(checked, 1500, "pristine PS-IQ has no unreachable pairs");
+    assert_eq!(analytic.router().fallbacks(), 0, "pristine backstop");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn faulted_polarstar_matches_masked_table(
+        seed in 0u64..1_000_000,
+        frac_pct in 2u32..25,
+    ) {
+        let net = PolarStarNetwork::build(small_config(), 1).unwrap();
+        let faults = FaultSet::random_links(&net.spec.graph, f64::from(frac_pct) / 100.0, seed);
+        let table = Oracle::new(Arc::new(net.spec.clone())).remask(&faults, 1);
+        let analytic = AnalyticOracle::new(net).remask(&faults);
+        let n = analytic.num_routers() as u32;
+        let all = (0..n).flat_map(|s| (0..n).map(move |d| (s, d)));
+        let reachable = check_pairs(&analytic, &table, all);
+        prop_assert!(reachable > 0);
+    }
+}
+
+#[test]
+fn analytic_sharded_batch_is_byte_identical_to_sequential() {
+    let net = PolarStarNetwork::build(best_config(9).unwrap(), 1).unwrap();
+    let o = Oracle::new_analytic(net);
+    let n = o.spec().routers() as u32;
+    for seed in [0u64, 1, 0xDEAD] {
+        let batch = QueryBatch::random(512, n, 4, seed);
+        let seq = o.answer_batch(&batch);
+        let par = o.answer_batch_sharded(&batch);
+        assert_eq!(seq, par, "seed {seed}");
+        assert_eq!(par, o.answer_batch_sharded(&batch), "seed {seed} rerun");
+    }
+}
+
+#[test]
+fn analytic_masked_batches_stay_deterministic() {
+    let net = PolarStarNetwork::build(best_config(9).unwrap(), 1).unwrap();
+    let base = Oracle::new_analytic(net);
+    let n = base.spec().routers() as u32;
+    let faults = FaultSet::random_links(&base.spec().graph, 0.1, 7);
+    let masked = base.remask(&faults, 1);
+    let batch = QueryBatch::random(256, n, 3, 99);
+    assert_eq!(
+        masked.answer_batch(&batch),
+        masked.answer_batch_sharded(&batch)
+    );
+    let again = base.remask(&faults, 1);
+    assert_eq!(
+        masked.answer_batch_sharded(&batch),
+        again.answer_batch_sharded(&batch)
+    );
+}

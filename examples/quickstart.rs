@@ -45,7 +45,7 @@ fn main() {
     assert!(diam <= 3);
 
     // 4. Route analytically — no routing tables, only factor-graph state.
-    let router = AnalyticRouter::new(&net);
+    let router = AnalyticRouter::new(net.clone());
     let (s, t) = (0u32, net.spec.routers() as u32 - 1);
     let path = router.route(s, t);
     println!("analytic route {s} → {t}: {} hops via {path:?}", path.len());

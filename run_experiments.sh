@@ -26,4 +26,8 @@ run ablation_supernodes
 run ablation_channel_load
 run fault_sweep
 run fault_recovery
+run route_query
+"$B/route_query" --oracle analytic --metrics-dir metrics/ \
+  > results/route_query_analytic.csv 2> results/route_query_analytic.log
+run flow_sweep --metrics-dir metrics/ --bench-json BENCH_flow.json
 echo ALL_DONE >> results/run.log

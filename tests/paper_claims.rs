@@ -82,7 +82,7 @@ fn theorem5_diameter_three_integration() {
 fn analytic_routing_is_minimal_across_families() {
     for cfg in [best_config(11).unwrap(), best_config(13).unwrap()] {
         let net = PolarStarNetwork::build(cfg, 1).unwrap();
-        let router = AnalyticRouter::new(&net);
+        let router = AnalyticRouter::new(net.clone());
         let n = net.spec.routers() as u32;
         for s in (0..n).step_by(17) {
             let dist = traversal::bfs_distances(net.graph(), s);
