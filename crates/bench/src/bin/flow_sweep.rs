@@ -21,10 +21,25 @@
 //!    1.5×-overload probe.
 //! 2. `scale` — a ≥100k-endpoint PolarStar routed entirely through the
 //!    table-free `AnalyticOracle` (no CSR route table anywhere), timing
-//!    flow construction (flows/sec) and the max-min solve, and recording
-//!    peak RSS and endpoints-per-GB. The gates are ≥100k endpoints and
-//!    peak RSS < 8 GB (full mode only; `--quick` shrinks the config to
-//!    smoke-test the path).
+//!    the class-batched flow construction (flows/sec) and the max-min
+//!    solve, and recording peak RSS and endpoints-per-GB. RSS is
+//!    sampled immediately after the flow build so the manifest records
+//!    build-attributable memory, before solve scratch allocates. The
+//!    gates are ≥100k endpoints and peak RSS < 8 GB (full mode only;
+//!    `--quick` shrinks the config to smoke-test the path).
+//!
+//! Scale-phase extras:
+//!
+//! * `--million` — run the demo at the 1M-endpoint design point
+//!   (radix-32 PolarStar, 101 endpoints/router ≈ 1.005M endpoints) and
+//!   raise the endpoint floor to 1M;
+//! * `--weighted` — add a weighted-foreground + scaled-background
+//!   traffic overlay run ([`FlowDemand::PerSource`] stacked with a
+//!   [`FlowDemand::Scaled`] uniform component) with its own bench rows;
+//! * `--epochs <n>` — walk an n-epoch nested link-fault schedule
+//!   through `AnalyticOracle::remask` + [`FlowPlan::advance_epoch`],
+//!   reporting per-epoch DAG reuse, then pin the final epoch against a
+//!   fresh batched build.
 //!
 //! CSV to stdout:
 //! `phase,topology,pattern,routers,endpoints,flows,exact_sat,cycle_sat,flow_sat,rel_err,delivered_err,solve_ms`.
@@ -38,8 +53,12 @@ use polarstar::design::{best_config, PolarStarConfig, SupernodeKind};
 use polarstar::network::PolarStarNetwork;
 use polarstar_netsim::engine::simulate;
 use polarstar_netsim::traffic::engine_resolve_seed;
-use polarstar_netsim::{FlowNetwork, FlowRouting, Pattern, RouteTable, RoutingKind, SimConfig};
-use polarstar_routed::AnalyticOracle;
+use polarstar_netsim::{
+    FlowDemand, FlowNetwork, FlowPlan, FlowRouting, Pattern, RouteTable, RoutingKind, SimConfig,
+    TrafficComponent,
+};
+use polarstar_routed::{AnalyticOracle, SymmetryClasses};
+use polarstar_topo::fault::{FaultSchedule, FaultSet};
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
@@ -87,6 +106,25 @@ fn bench_json_path() -> Option<std::path::PathBuf> {
     args.windows(2)
         .find(|w| w[0] == "--bench-json")
         .map(|w| std::path::PathBuf::from(&w[1]))
+}
+
+/// `--weighted`: add the weighted-demand overlay run to the scale phase.
+fn weighted_mode() -> bool {
+    std::env::args().any(|a| a == "--weighted")
+}
+
+/// `--million`: run the scale demo at the 1M-endpoint design point.
+fn million_mode() -> bool {
+    std::env::args().any(|a| a == "--million")
+}
+
+/// `--epochs <n>`: walk an n-epoch fault schedule through the plan.
+fn epochs_arg() -> Option<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    args.windows(2)
+        .find(|w| w[0] == "--epochs")
+        .and_then(|w| w[1].parse().ok())
+        .filter(|&n| n > 0)
 }
 
 /// One `BENCH_flow.json` line.
@@ -328,12 +366,22 @@ fn main() {
     }
 
     // Phase 2: table-free scale demo through the analytic oracle.
-    let (scale_key, scale_cfg, h) = if quick {
+    let million = million_mode();
+    let endpoint_floor = if million {
+        1_000_000
+    } else {
+        SCALE_ENDPOINT_FLOOR
+    };
+    let (scale_key, scale_cfg, h) = if million {
+        let cfg = best_config(32).expect("radix-32 config");
+        let h = endpoint_floor.div_ceil(cfg.order()) as u32;
+        ("PS-million", cfg, h)
+    } else if quick {
         // Smoke-test the path on the Table 3 PS-IQ size.
         ("PS-IQ", best_config(15).expect("radix-15 config"), 5u32)
     } else {
         let cfg = best_config(32).expect("radix-32 config");
-        let h = SCALE_ENDPOINT_FLOOR.div_ceil(cfg.order()) as u32;
+        let h = endpoint_floor.div_ceil(cfg.order()) as u32;
         ("PS-scale32", cfg, h)
     };
     match PolarStarNetwork::build(scale_cfg, h) {
@@ -347,22 +395,22 @@ fn main() {
             let routers = net.spec.routers();
             let oracle = AnalyticOracle::new(net.clone());
             let oracle_bytes = oracle.memory_bytes();
+            let comps = [TrafficComponent::new(Pattern::Uniform, TRAFFIC_SEED)];
             let t0 = Instant::now();
-            let fnet = FlowNetwork::build(
-                &net.spec,
-                &oracle,
-                &Pattern::Uniform,
-                TRAFFIC_SEED,
-                FlowRouting::EcmpSplit,
-            );
+            let plan = FlowPlan::build(&net.spec, &oracle, &comps, FlowRouting::EcmpSplit);
+            let fnet = plan.network();
             let build_s = t0.elapsed().as_secs_f64();
+            // Sample the high-water mark right after the build: the
+            // manifest must record build-attributable memory, not the
+            // solve's scratch on top of it.
+            let rss = peak_rss_bytes();
+            let census = SymmetryClasses::new(&net.spec).pair_census(plan.pairs().iter().copied());
             let flows = fnet.num_flows();
             let flows_per_sec = flows as f64 / build_s.max(1e-12);
             let flow_sat = fnet.saturation_load();
             let t0 = Instant::now();
             let at_sat = fnet.solve(1.0);
             let solve_ms = t0.elapsed().as_secs_f64() * 1e3;
-            let rss = peak_rss_bytes();
             let endpoints_per_gb = if rss > 0 {
                 endpoints as f64 / (rss as f64 / (1u64 << 30) as f64)
             } else {
@@ -373,9 +421,13 @@ fn main() {
             );
             std::hint::black_box(at_sat.delivered_fraction);
             eprintln!(
-                "flow_sweep: {scale_key}: {endpoints} endpoints, {flows} flows routed \
-                 table-free in {:.2}s ({:.0} flows/sec), peak RSS {:.2} GB \
-                 ({:.0} endpoints/GB), oracle {} B + flow state {} B",
+                "flow_sweep: {scale_key}: {endpoints} endpoints, {flows} flows over \
+                 {} unique pairs ({} of {} classes hit) routed table-free in {:.2}s \
+                 ({:.0} flows/sec), post-build RSS {:.2} GB ({:.0} endpoints/GB), \
+                 oracle {} B + flow state {} B",
+                census.unique_pairs,
+                census.classes_hit,
+                census.num_classes,
                 build_s,
                 flows_per_sec,
                 rss as f64 / (1u64 << 30) as f64,
@@ -390,16 +442,18 @@ fn main() {
                 );
                 failed = true;
             }
-            if !quick {
-                if endpoints < SCALE_ENDPOINT_FLOOR {
+            if !quick || million {
+                if endpoints < endpoint_floor {
                     eprintln!(
-                        "flow_sweep: {scale_key}: {endpoints} endpoints below the 100k floor"
+                        "flow_sweep: {scale_key}: {endpoints} endpoints below the \
+                         {endpoint_floor} floor"
                     );
                     failed = true;
                 }
                 if rss == 0 || rss >= RSS_GATE_BYTES {
                     eprintln!(
-                        "flow_sweep: {scale_key}: peak RSS {rss} bytes outside the <8 GB gate"
+                        "flow_sweep: {scale_key}: post-build RSS {rss} bytes outside the \
+                         <8 GB gate"
                     );
                     failed = true;
                 }
@@ -475,6 +529,169 @@ fn main() {
                 endpoints_per_gb,
                 "count",
             );
+            bench_row(
+                &mut bench_rows,
+                "flow_scale",
+                "unique_pairs",
+                census.unique_pairs as f64,
+                "count",
+            );
+            bench_row(
+                &mut bench_rows,
+                "flow_scale",
+                "classes_hit",
+                census.classes_hit as f64,
+                "count",
+            );
+
+            // Weighted-demand overlay: a hot foreground (every fourth
+            // endpoint at 4× demand) stacked with a 0.25× uniform
+            // background component, solved progressively.
+            if weighted_mode() {
+                let mut weights = vec![1.0f64; endpoints];
+                for (e, w) in weights.iter_mut().enumerate() {
+                    if e % 4 == 0 {
+                        *w = 4.0;
+                    }
+                }
+                let wcomps = [
+                    TrafficComponent::with_demand(
+                        Pattern::Permutation,
+                        TRAFFIC_SEED,
+                        FlowDemand::PerSource(weights),
+                    ),
+                    TrafficComponent::with_demand(
+                        Pattern::Uniform,
+                        TRAFFIC_SEED + 1,
+                        FlowDemand::Scaled(0.25),
+                    ),
+                ];
+                let t0 = Instant::now();
+                let wplan = FlowPlan::build(&net.spec, &oracle, &wcomps, FlowRouting::EcmpSplit);
+                let wnet = wplan.network();
+                let wbuild_s = t0.elapsed().as_secs_f64();
+                let wflows = wnet.num_flows();
+                let t0 = Instant::now();
+                let wsol = wnet.solve(0.5);
+                let wsolve_ms = t0.elapsed().as_secs_f64() * 1e3;
+                println!(
+                    "scale,{scale_key},weighted,{routers},{endpoints},{wflows},,,,,,{wsolve_ms:.2}"
+                );
+                eprintln!(
+                    "flow_sweep: {scale_key}: weighted overlay: {wflows} flows over {} \
+                     pairs built in {:.2}s, delivered {:.4} at 0.5 load",
+                    wplan.num_pairs(),
+                    wbuild_s,
+                    wsol.delivered_fraction,
+                );
+                if wnet.demands().is_none() {
+                    eprintln!("flow_sweep: {scale_key}: weighted build lost its demand vector");
+                    failed = true;
+                }
+                if !(wsol.delivered_fraction > 0.0 && wsol.delivered_fraction <= 1.0 + 1e-9) {
+                    eprintln!(
+                        "flow_sweep: {scale_key}: weighted delivered fraction {} out of range",
+                        wsol.delivered_fraction
+                    );
+                    failed = true;
+                }
+                bench_row(
+                    &mut bench_rows,
+                    "flow_weighted",
+                    "flows",
+                    wflows as f64,
+                    "count",
+                );
+                bench_row(
+                    &mut bench_rows,
+                    "flow_weighted",
+                    "build_ms",
+                    wbuild_s * 1e3,
+                    "ms",
+                );
+                bench_row(
+                    &mut bench_rows,
+                    "flow_weighted",
+                    "flows_per_sec",
+                    wflows as f64 / wbuild_s.max(1e-12),
+                    "hz",
+                );
+                bench_row(
+                    &mut bench_rows,
+                    "flow_weighted",
+                    "delivered_at_half_load",
+                    wsol.delivered_fraction,
+                    "ratio",
+                );
+            }
+
+            // Fault-epoch sweep: nested link-failure bursts walked
+            // through the mask-swap oracle; untouched pair DAGs are
+            // reused, and the final epoch is pinned against a fresh
+            // batched build.
+            if let Some(n_epochs) = epochs_arg() {
+                let mut sched = FaultSchedule::new();
+                for i in 1..=n_epochs as u64 {
+                    // Same seed + growing fraction = shuffled-prefix
+                    // nesting, so every epoch is monotone growth until
+                    // the implicit recovery check below.
+                    let frac = 0.005 * i as f64;
+                    sched =
+                        sched.fail_at(i * 100, FaultSet::random_links(&net.spec.graph, frac, 17));
+                }
+                let epochs = sched.epochs(&FaultSet::empty());
+                let mut eplan = plan.clone();
+                let mut prev = FaultSet::empty();
+                let mut rerouted_total = 0usize;
+                let mut last: Option<(FaultSet, AnalyticOracle)> = None;
+                let t0 = Instant::now();
+                for (cycle, fs) in &epochs {
+                    let epoch_oracle = oracle.remask(fs);
+                    let rerouted = eplan.advance_epoch(&net.spec, &epoch_oracle, &prev, fs);
+                    eprintln!(
+                        "flow_sweep: {scale_key}: epoch @{cycle}: {} failed links, \
+                         rerouted {rerouted}/{} pairs",
+                        fs.failed_links().len(),
+                        eplan.num_pairs(),
+                    );
+                    rerouted_total += rerouted;
+                    prev = fs.clone();
+                    last = Some((fs.clone(), epoch_oracle));
+                }
+                let epoch_walk_s = t0.elapsed().as_secs_f64();
+                if let Some((fs, final_oracle)) = last {
+                    let fresh = FlowPlan::build(&net.spec, &final_oracle, &comps, plan.routing());
+                    if eplan.network() != fresh.network() {
+                        eprintln!(
+                            "flow_sweep: {scale_key}: epoch walk diverged from a fresh \
+                             build at {} failed links",
+                            fs.failed_links().len()
+                        );
+                        failed = true;
+                    }
+                }
+                bench_row(
+                    &mut bench_rows,
+                    "flow_epochs",
+                    "epochs",
+                    epochs.len() as f64,
+                    "count",
+                );
+                bench_row(
+                    &mut bench_rows,
+                    "flow_epochs",
+                    "rerouted_pairs",
+                    rerouted_total as f64,
+                    "count",
+                );
+                bench_row(
+                    &mut bench_rows,
+                    "flow_epochs",
+                    "walk_ms",
+                    epoch_walk_s * 1e3,
+                    "ms",
+                );
+            }
             if let Some(dir) = metrics_dir() {
                 let mut m = RunManifest::for_network(scale_key, &net.spec);
                 m.push_extra("flows", flows as f64);
@@ -486,6 +703,12 @@ fn main() {
                 m.push_extra("flow_state_bytes", fnet.memory_bytes() as f64);
                 m.push_extra("peak_rss_bytes", rss as f64);
                 m.push_extra("endpoints_per_gb", endpoints_per_gb);
+                m.push_extra("unique_pairs", census.unique_pairs as f64);
+                m.push_extra("classes_hit", census.classes_hit as f64);
+                m.push_extra(
+                    "pairs_per_class",
+                    census.unique_pairs as f64 / census.classes_hit.max(1) as f64,
+                );
                 m.push_extra("analytic_fallbacks", oracle.router().fallbacks() as f64);
                 m.push_extra("analytic_fallback_rate", oracle.router().fallback_rate());
                 let stem = file_stem(&format!("flow_sweep_scale_{scale_key}"));

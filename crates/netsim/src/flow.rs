@@ -13,6 +13,19 @@
 //! backend (`polarstar-routed`'s `AnalyticOracle`), because nothing in
 //! this module is O(routers²).
 //!
+//! Routing is **class-batched**: [`FlowPlan::build`] first reduces the
+//! resolved traffic to unique `(src_router, dst_router)` pairs, queries
+//! the oracle once per unique pair (rayon-sharded by destination router,
+//! deterministic order), and materializes one shared ECMP-split DAG per
+//! pair that flows reference by index with a demand weight — O(unique
+//! router pairs) oracle work instead of O(flows). Pairs sharing a
+//! destination router additionally share one bulk
+//! [`PathOracle::distance_column`] when the oracle supports it, so the
+//! per-pair DAG is reconstructed from plain array scans instead of
+//! per-hop template queries. [`FlowNetwork::build_reference`] keeps the
+//! naive per-flow build alive purely as an equivalence baseline: the two
+//! are byte-identical by construction and CI pins it.
+//!
 //! Model correspondence with the cycle engine (cross-validated by
 //! `bench/src/bin/flow_sweep`):
 //!
@@ -32,19 +45,27 @@
 //!   delivered-fraction threshold on both models (see
 //!   `bench/src/bin/flow_sweep`), where the two agree to a few percent.
 //!
+//! Beyond a single uniform demand, a plan accepts several
+//! [`TrafficComponent`]s (e.g. a foreground pattern plus a scaled
+//! background overlay), each with a [`FlowDemand`] weighting; weighted
+//! demands flow through the progressive filling, so flow `f` receives
+//! `level · demand_f` when its bottleneck freezes. Fault-epoch sweeps
+//! walk [`FlowPlan::advance_epoch`]: under monotone fault growth only
+//! pairs whose cached DAG touches a newly failed link are re-routed.
+//!
 //! The solve ([`FlowNetwork::solve`]) is progressive filling with lazy
 //! heap repair: levels `residual/weight` only rise as flows freeze, so
 //! popping links in level order and re-pushing stale entries converges
 //! to the exact max-min allocation in `O((F·|path| + L) log L)`. It is
 //! sequential and allocation-order free, hence byte-identical at any
-//! rayon pool size (only [`FlowNetwork::build`] fans out, and it
-//! collects in flow order).
+//! rayon pool size (only the routing pass fans out, and it collects in
+//! deterministic pair order).
 
-use crate::traffic::{resolve, Pattern};
+use crate::traffic::{resolve_flows, Pattern};
+use polarstar_graph::Graph;
+use polarstar_topo::fault::FaultSet;
 use polarstar_topo::network::NetworkSpec;
 use polarstar_topo::oracle::PathOracle;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -71,6 +92,543 @@ impl FlowRouting {
     }
 }
 
+/// Per-flow demand weighting of one traffic component.
+///
+/// A flow's demand at offered load `o` is `o · weight`, and the max-min
+/// allocation shares bottlenecks proportionally to the weights (weighted
+/// max-min fairness). Weights must be positive and finite.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FlowDemand {
+    /// Every flow demands the offered load (weight 1) — the classic
+    /// uniform-demand model, byte-identical to the historical solver.
+    Uniform,
+    /// Every flow's demand is scaled by one factor — e.g. a background
+    /// overlay at half the foreground intensity.
+    Scaled(f64),
+    /// One weight per *source endpoint* (global endpoint id), modelling
+    /// an arbitrary traffic-matrix row intensity.
+    PerSource(Vec<f64>),
+}
+
+impl FlowDemand {
+    /// The demand weight of a flow sourced at endpoint `src_ep`.
+    pub fn weight(&self, src_ep: u32) -> f64 {
+        match self {
+            FlowDemand::Uniform => 1.0,
+            FlowDemand::Scaled(s) => *s,
+            FlowDemand::PerSource(w) => w[src_ep as usize],
+        }
+    }
+}
+
+/// One traffic component of a flow plan: a resolved pattern plus a
+/// demand weighting. A plan may stack several (foreground matrix plus
+/// background overlay); their flows concatenate in component order.
+#[derive(Clone, Debug)]
+pub struct TrafficComponent {
+    /// The synthetic pattern to resolve.
+    pub pattern: Pattern,
+    /// Resolution seed (use `traffic::engine_resolve_seed` to match a
+    /// cycle-engine run).
+    pub seed: u64,
+    /// Per-flow demand weighting.
+    pub demand: FlowDemand,
+}
+
+impl TrafficComponent {
+    /// A unit-demand component (the classic single-pattern build).
+    pub fn new(pattern: Pattern, seed: u64) -> Self {
+        TrafficComponent {
+            pattern,
+            seed,
+            demand: FlowDemand::Uniform,
+        }
+    }
+
+    /// A component with an explicit demand weighting.
+    pub fn with_demand(pattern: Pattern, seed: u64, demand: FlowDemand) -> Self {
+        TrafficComponent {
+            pattern,
+            seed,
+            demand,
+        }
+    }
+}
+
+/// One planned flow: endpoints, the unique router-pair index whose
+/// shared DAG it rides, and its demand weight.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PlannedFlow {
+    /// Source endpoint (global id).
+    pub src_ep: u32,
+    /// Destination endpoint (global id).
+    pub dst_ep: u32,
+    /// Index into [`FlowPlan::pairs`] of this flow's router pair.
+    pub pair: u32,
+    /// Demand weight (multiplies the offered load).
+    pub demand: f64,
+}
+
+/// A class-batched routed traffic plan: the unique router pairs of the
+/// resolved traffic, one shared ECMP/single-path DAG per pair, and the
+/// per-flow references into them.
+///
+/// Build once per (spec, oracle, components, routing); materialize a
+/// solvable [`FlowNetwork`] with [`FlowPlan::network`]; walk fault
+/// epochs with [`FlowPlan::advance_epoch`], which re-routes only the
+/// pairs a new fault epoch can affect.
+#[derive(Clone)]
+pub struct FlowPlan {
+    name: String,
+    net_links: usize,
+    endpoints: usize,
+    routing: FlowRouting,
+    /// All demand weights are exactly 1.0 (keeps the materialized
+    /// network on the demand-free fast path, byte-identical to the
+    /// historical uniform build).
+    uniform: bool,
+    flows: Vec<PlannedFlow>,
+    /// Unique `(src_router, dst_router)` pairs, sorted lexicographically.
+    pairs: Vec<(u32, u32)>,
+    /// Per-pair shared DAG: network-link `(edge id, split fraction)`
+    /// entries in walk order (`None` = pair unroutable; empty = same
+    /// router, NIC links only).
+    dags: Vec<Option<Vec<(u32, f32)>>>,
+}
+
+impl FlowPlan {
+    /// Resolve `components` against `spec`, reduce to unique router
+    /// pairs, and route each unique pair once through `oracle`.
+    ///
+    /// The routing pass shards over destination-router groups with
+    /// rayon and scatters results by pair index, so the plan is
+    /// byte-identical at any thread count.
+    pub fn build<O: PathOracle + Sync>(
+        spec: &NetworkSpec,
+        oracle: &O,
+        components: &[TrafficComponent],
+        routing: FlowRouting,
+    ) -> FlowPlan {
+        let (mut flows, rpairs) = plan_flows(spec, components);
+        let mut pairs = rpairs.clone();
+        pairs.sort_unstable();
+        pairs.dedup();
+        for (f, rp) in flows.iter_mut().zip(&rpairs) {
+            f.pair = pairs.binary_search(rp).expect("pair was inserted") as u32;
+        }
+        let uniform = flows.iter().all(|f| f.demand == 1.0);
+        let mut dags: Vec<Option<Vec<(u32, f32)>>> = vec![None; pairs.len()];
+        let subset: Vec<u32> = (0..pairs.len() as u32).collect();
+        route_pairs(&spec.graph, oracle, &pairs, routing, &subset, &mut dags);
+        FlowPlan {
+            name: spec.name.clone(),
+            net_links: spec.graph.directed_edge_count(),
+            endpoints: spec.total_endpoints(),
+            routing,
+            uniform,
+            flows,
+            pairs,
+            dags,
+        }
+    }
+
+    /// Materialize the solvable flow network (CSR incidence, transpose,
+    /// unit loads) from the cached per-pair DAGs.
+    pub fn network(&self) -> FlowNetwork {
+        assemble_network(
+            &self.name,
+            self.net_links,
+            self.endpoints,
+            &self.flows,
+            |f| self.dags[self.flows[f].pair as usize].as_deref(),
+            self.uniform,
+        )
+    }
+
+    /// Re-route the plan from fault epoch `prev` to `next` (the oracle
+    /// must already answer for `next`, e.g. after `remask`). Returns the
+    /// number of unique pairs re-routed.
+    ///
+    /// Under monotone growth (`next ⊇ prev`, symmetric link faults,
+    /// ECMP routing) only pairs whose cached DAG crosses a newly failed
+    /// link are re-routed: a DAG none of whose edges die is provably
+    /// unchanged (its paths keep certifying the old distances, and the
+    /// triangle inequality rules out new minimal next hops). Recovery
+    /// epochs, one-direction link faults, and single-path routing fall
+    /// back to a full re-route — single-path fault walks need not follow
+    /// the pristine template even when the old path survives, and
+    /// asymmetric faults let the DAG use edges outside the undirected
+    /// degraded graph, which breaks the reuse lemma.
+    pub fn advance_epoch<O: PathOracle + Sync>(
+        &mut self,
+        spec: &NetworkSpec,
+        oracle: &O,
+        prev: &FaultSet,
+        next: &FaultSet,
+    ) -> usize {
+        let added = next.difference(prev);
+        let removed = prev.difference(next);
+        if added.is_empty() && removed.is_empty() {
+            return 0;
+        }
+        let graph = &spec.graph;
+        let full = !removed.is_empty()
+            || self.routing == FlowRouting::SinglePath
+            || has_asymmetric_links(next);
+        let subset: Vec<u32> = if full {
+            (0..self.pairs.len() as u32).collect()
+        } else {
+            let mut dirty = vec![false; self.net_links];
+            {
+                let mut mark = |u: u32, v: u32| {
+                    if let Some(e) = graph.edge_id(u, v) {
+                        dirty[e as usize] = true;
+                    }
+                };
+                for &(u, v) in added.failed_links() {
+                    mark(u, v);
+                    mark(v, u);
+                }
+                for &r in added.failed_routers() {
+                    for &nb in graph.neighbors(r) {
+                        mark(r, nb);
+                        mark(nb, r);
+                    }
+                }
+            }
+            // Unroutable pairs stay unroutable under monotone fault
+            // growth; clean DAGs are reused verbatim.
+            (0..self.pairs.len() as u32)
+                .filter(|&i| match &self.dags[i as usize] {
+                    None => false,
+                    Some(dag) => dag.iter().any(|&(e, _)| dirty[e as usize]),
+                })
+                .collect()
+        };
+        route_pairs(
+            graph,
+            oracle,
+            &self.pairs,
+            self.routing,
+            &subset,
+            &mut self.dags,
+        );
+        subset.len()
+    }
+
+    /// The planned flows, in component/endpoint order.
+    pub fn flows(&self) -> &[PlannedFlow] {
+        &self.flows
+    }
+
+    /// The unique `(src_router, dst_router)` pairs, sorted.
+    pub fn pairs(&self) -> &[(u32, u32)] {
+        &self.pairs
+    }
+
+    /// Number of unique router pairs (the oracle-query count of the
+    /// batched build).
+    pub fn num_pairs(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Total endpoints in the underlying spec.
+    pub fn num_endpoints(&self) -> usize {
+        self.endpoints
+    }
+
+    /// The routing mode the plan was built with.
+    pub fn routing(&self) -> FlowRouting {
+        self.routing
+    }
+}
+
+/// Resolve every component into planned flows plus their router pairs.
+fn plan_flows(
+    spec: &NetworkSpec,
+    components: &[TrafficComponent],
+) -> (Vec<PlannedFlow>, Vec<(u32, u32)>) {
+    let mut flows = Vec::new();
+    let mut rpairs = Vec::new();
+    for comp in components {
+        for (src_ep, dst_ep) in resolve_flows(&comp.pattern, spec, comp.seed) {
+            let demand = comp.demand.weight(src_ep);
+            assert!(
+                demand.is_finite() && demand > 0.0,
+                "flow demand weights must be positive and finite, got {demand} for endpoint {src_ep}"
+            );
+            let (rs, _) = spec.endpoint_router(src_ep as usize);
+            let (rd, _) = spec.endpoint_router(dst_ep as usize);
+            flows.push(PlannedFlow {
+                src_ep,
+                dst_ep,
+                pair: u32::MAX,
+                demand,
+            });
+            rpairs.push((rs, rd));
+        }
+    }
+    (flows, rpairs)
+}
+
+/// Whether any explicit link fault is one-directional (laser/port
+/// failures from `FaultSet::from_directed_links`).
+fn has_asymmetric_links(f: &FaultSet) -> bool {
+    f.failed_links()
+        .iter()
+        .any(|&(u, v)| f.failed_links().binary_search(&(v, u)).is_err())
+}
+
+/// Route every pair in `subset` (indices into `pairs`), scattering the
+/// DAGs into `dags` by index. Groups pairs by destination router so one
+/// bulk distance column serves the whole group when the oracle has one.
+fn route_pairs<O: PathOracle + Sync>(
+    graph: &Graph,
+    oracle: &O,
+    pairs: &[(u32, u32)],
+    routing: FlowRouting,
+    subset: &[u32],
+    dags: &mut [Option<Vec<(u32, f32)>>],
+) {
+    let mut order: Vec<u32> = subset.to_vec();
+    order.sort_unstable_by_key(|&i| {
+        let (rs, rd) = pairs[i as usize];
+        (rd, rs)
+    });
+    let mut groups: Vec<&[u32]> = Vec::new();
+    let mut start = 0usize;
+    for i in 1..=order.len() {
+        if i == order.len() || pairs[order[i] as usize].1 != pairs[order[start] as usize].1 {
+            groups.push(&order[start..i]);
+            start = i;
+        }
+    }
+    type RoutedGroup = Vec<(u32, Option<Vec<(u32, f32)>>)>;
+    let results: Vec<RoutedGroup> = groups
+        .par_iter()
+        .map(|idxs: &&[u32]| {
+            // Scratch buffers live for the whole destination group, so
+            // the per-pair walk is allocation-free.
+            let mut col = Vec::<u32>::new();
+            let mut level = Vec::<(u32, f64)>::new();
+            let mut next = Vec::<(u32, f64)>::new();
+            let mut hops = Vec::<u32>::new();
+            let rd = pairs[idxs[0] as usize].1;
+            // The column fast path needs the oracle and the graph to
+            // agree on the router id space; otherwise fall back to
+            // per-pair queries (which bounds-check per query).
+            let col_ok = routing == FlowRouting::EcmpSplit
+                && oracle.num_routers() == graph.n()
+                && oracle.distance_column(rd, &mut col)
+                && col.len() == graph.n();
+            let c: Option<&[u32]> = if col_ok { Some(&col) } else { None };
+            idxs.iter()
+                .map(|&i| {
+                    let (rs, _) = pairs[i as usize];
+                    (
+                        i,
+                        route_one_pair(
+                            graph, oracle, rs, rd, routing, c, &mut level, &mut next, &mut hops,
+                        ),
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    for group in results {
+        for (i, dag) in group {
+            dags[i as usize] = dag;
+        }
+    }
+}
+
+/// Route one router pair into its network-link DAG entries.
+///
+/// `None` = unroutable (severed pair, or an oracle path crossing an
+/// edge the graph does not carry — a mismatched oracle/graph pair used
+/// to panic here). `Some(vec![])` = same-router pair (NIC links only).
+/// With a distance column, minimal next hops come from the
+/// `distance_column` reconstruction contract; the walk itself is the
+/// exact per-flow walk, so the entries are bitwise identical either way.
+#[allow(clippy::too_many_arguments)]
+fn route_one_pair<O: PathOracle + ?Sized>(
+    graph: &Graph,
+    oracle: &O,
+    rs: u32,
+    rd: u32,
+    routing: FlowRouting,
+    col: Option<&[u32]>,
+    level: &mut Vec<(u32, f64)>,
+    next: &mut Vec<(u32, f64)>,
+    hops: &mut Vec<u32>,
+) -> Option<Vec<(u32, f32)>> {
+    if rs == rd {
+        // Same-router flows are delivered over NIC links alone; they
+        // only sever when the oracle rejects the router outright.
+        if oracle.distance(rs, rd).is_err() {
+            return None;
+        }
+        return Some(Vec::new());
+    }
+    let mut out: Vec<(u32, f32)> = Vec::with_capacity(8);
+    match routing {
+        FlowRouting::SinglePath => {
+            let path = oracle.path(rs, rd).ok()?;
+            for w in path.windows(2) {
+                let e = graph.edge_id(w[0], w[1])?;
+                out.push((e, 1.0));
+            }
+        }
+        FlowRouting::EcmpSplit => {
+            let d = match col {
+                Some(c) => {
+                    let d = c[rs as usize];
+                    if d == u32::MAX {
+                        return None;
+                    }
+                    d
+                }
+                None => oracle.distance(rs, rd).ok()?,
+            };
+            // Walk the minimal-path DAG level by level, splitting each
+            // router's incoming fraction equally over its minimal next
+            // hops. Levels hold few routers (diameter ≤ 3 here), so
+            // linear-scan merging beats hashing.
+            level.clear();
+            level.push((rs, 1.0));
+            for _ in 0..d {
+                next.clear();
+                for &(v, frac) in level.iter() {
+                    hops.clear();
+                    match col {
+                        Some(c) => {
+                            let dv = c[v as usize];
+                            for &nb in graph.neighbors(v) {
+                                let dn = c[nb as usize];
+                                if dn != u32::MAX && dn + 1 == dv && oracle.link_usable(v, nb) {
+                                    hops.push(nb);
+                                }
+                            }
+                        }
+                        None => oracle.min_next_hops(v, rd, hops).ok()?,
+                    }
+                    if hops.is_empty() {
+                        return None;
+                    }
+                    let share = frac / hops.len() as f64;
+                    for &nb in hops.iter() {
+                        let e = graph.edge_id(v, nb)?;
+                        out.push((e, share as f32));
+                        match next.iter_mut().find(|(r, _)| *r == nb) {
+                            Some((_, f)) => *f += share,
+                            None => next.push((nb, share)),
+                        }
+                    }
+                }
+                std::mem::swap(level, next);
+            }
+        }
+    }
+    Some(out)
+}
+
+/// Materialize a [`FlowNetwork`] from planned flows plus a per-flow DAG
+/// lookup — shared by the batched and reference builds so their CSR
+/// layout is identical by construction.
+fn assemble_network<'a, F>(
+    name: &str,
+    net_links: usize,
+    endpoints: usize,
+    flows: &[PlannedFlow],
+    dag_of: F,
+    uniform: bool,
+) -> FlowNetwork
+where
+    F: Fn(usize) -> Option<&'a [(u32, f32)]>,
+{
+    let links = net_links + 2 * endpoints;
+    let inject_base = net_links as u32;
+    let eject_base = (net_links + endpoints) as u32;
+
+    let mut unroutable = 0u64;
+    let mut active_count = 0usize;
+    let mut entries = 0usize;
+    for f in 0..flows.len() {
+        match dag_of(f) {
+            None => unroutable += 1,
+            Some(dag) => {
+                active_count += 1;
+                entries += dag.len() + 2;
+            }
+        }
+    }
+
+    let mut flow_off = Vec::with_capacity(active_count + 1);
+    flow_off.push(0u32);
+    let mut flow_link = Vec::with_capacity(entries);
+    let mut flow_weight = Vec::with_capacity(entries);
+    let mut demand: Vec<f64> = Vec::new();
+    for (f, pf) in flows.iter().enumerate() {
+        let Some(dag) = dag_of(f) else { continue };
+        flow_link.push(inject_base + pf.src_ep);
+        flow_weight.push(1.0f32);
+        for &(l, w) in dag {
+            flow_link.push(l);
+            flow_weight.push(w);
+        }
+        flow_link.push(eject_base + pf.dst_ep);
+        flow_weight.push(1.0f32);
+        flow_off.push(flow_link.len() as u32);
+        if !uniform {
+            demand.push(pf.demand);
+        }
+    }
+
+    // Transpose to link-side CSR by counting sort.
+    let mut counts = vec![0u32; links + 1];
+    for &l in &flow_link {
+        counts[l as usize + 1] += 1;
+    }
+    for i in 1..counts.len() {
+        counts[i] += counts[i - 1];
+    }
+    let link_off = counts.clone();
+    let mut cursor = counts;
+    let mut link_flow = vec![0u32; entries];
+    for f in 0..active_count {
+        for &fl in &flow_link[flow_off[f] as usize..flow_off[f + 1] as usize] {
+            let l = fl as usize;
+            link_flow[cursor[l] as usize] = f as u32;
+            cursor[l] += 1;
+        }
+    }
+
+    // Unit loads carry the demand weights (×1.0 is exact, so the
+    // uniform case stays bitwise identical to the unweighted build).
+    let mut unit_load = vec![0f64; links];
+    for f in 0..active_count {
+        let df = if uniform { 1.0 } else { demand[f] };
+        for j in flow_off[f] as usize..flow_off[f + 1] as usize {
+            unit_load[flow_link[j] as usize] += f64::from(flow_weight[j]) * df;
+        }
+    }
+
+    FlowNetwork {
+        name: name.to_string(),
+        net_links,
+        links,
+        flow_off,
+        flow_link,
+        flow_weight,
+        link_off,
+        link_flow,
+        unit_load,
+        endpoints,
+        unroutable,
+        demand: if uniform { None } else { Some(demand) },
+    }
+}
+
 /// Steady-state answer of one max-min solve at a fixed offered load.
 #[derive(Clone, Debug, PartialEq)]
 pub struct FlowResult {
@@ -79,7 +637,7 @@ pub struct FlowResult {
     /// Mean allocated rate per active flow.
     pub accepted: f64,
     /// Smallest allocated rate over active flows (`== offered` iff the
-    /// network carries every demand).
+    /// network carries every demand, for unit demand weights).
     pub min_rate: f64,
     /// Aggregate delivered fraction: Σ rates / Σ demands.
     pub delivered_fraction: f64,
@@ -103,9 +661,12 @@ pub struct FlowResult {
 /// A routed flow set over a network: per-flow link incidence (with ECMP
 /// split weights), its transpose, and per-link unit loads.
 ///
-/// Built once per (spec, oracle, pattern, seed, routing) — the routing
-/// pass is the expensive part and fans out over rayon — then solved at
-/// any number of offered loads.
+/// Built once per (spec, oracle, traffic, routing) — the routing pass is
+/// the expensive part and fans out over rayon — then solved at any
+/// number of offered loads. [`FlowNetwork::build`] is the class-batched
+/// path via [`FlowPlan`]; [`FlowNetwork::build_reference`] is the naive
+/// per-flow baseline kept for equivalence pinning.
+#[derive(Clone, PartialEq)]
 pub struct FlowNetwork {
     name: String,
     /// Directed router-router links (graph CSR slots); injection links
@@ -124,12 +685,16 @@ pub struct FlowNetwork {
     /// Transposed incidence: per-link CSR of flow ids.
     link_off: Vec<u32>,
     link_flow: Vec<u32>,
-    /// Σ flow weights per link: link load at unit demand.
+    /// Σ (flow weight × demand weight) per link: link load at unit
+    /// offered load.
     unit_load: Vec<f64>,
-    /// Endpoints in the spec (active flows ≤ endpoints).
+    /// Endpoints in the spec (active flows ≤ endpoints per component).
     endpoints: usize,
     /// Flows dropped because the oracle reports the pair unreachable.
     unroutable: u64,
+    /// Per-active-flow demand weights (`None` = all exactly 1.0 — the
+    /// historical uniform model, solved on the identical code path).
+    demand: Option<Vec<f64>>,
 }
 
 /// Internal outcome of one progressive filling.
@@ -143,7 +708,9 @@ struct Filling {
 }
 
 impl FlowNetwork {
-    /// Route one flow per active endpoint of `pattern` through `oracle`.
+    /// Route one flow per active endpoint of `pattern` through `oracle`
+    /// with the class-batched build (one oracle query per unique router
+    /// pair).
     ///
     /// The uniform pattern draws one destination per endpoint from a
     /// ChaCha8 stream seeded by `seed` (a sampled snapshot of uniform
@@ -159,129 +726,48 @@ impl FlowNetwork {
         seed: u64,
         routing: FlowRouting,
     ) -> FlowNetwork {
-        let resolved = resolve(pattern, spec, seed);
-        let total = resolved.total;
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let pairs: Vec<(u32, u32)> = (0..total as u32)
-            .filter_map(|src| Some((src, resolved.destination(src, &mut rng)?)))
-            .collect();
+        FlowPlan::build(
+            spec,
+            oracle,
+            &[TrafficComponent::new(pattern.clone(), seed)],
+            routing,
+        )
+        .network()
+    }
 
+    /// The naive per-flow build: every flow pays its own oracle queries,
+    /// no pair dedup, no distance columns. Kept as the equivalence
+    /// baseline the batched build is pinned against (CI runs the
+    /// comparison at 1 and 4 rayon threads) — prefer [`FlowNetwork::build`]
+    /// or [`FlowPlan::build`] everywhere else.
+    pub fn build_reference<O: PathOracle + Sync>(
+        spec: &NetworkSpec,
+        oracle: &O,
+        components: &[TrafficComponent],
+        routing: FlowRouting,
+    ) -> FlowNetwork {
+        let (flows, rpairs) = plan_flows(spec, components);
         let graph = &spec.graph;
-        let net_links = graph.directed_edge_count();
-        let links = net_links + 2 * total;
-        let inject_base = net_links as u32;
-        let eject_base = (net_links + total) as u32;
-
-        // Route every flow independently (order-preserving collect keeps
-        // the result byte-identical at any rayon pool size).
-        let routed: Vec<Option<Vec<(u32, f32)>>> = pairs
+        let routed: Vec<Option<Vec<(u32, f32)>>> = rpairs
             .par_iter()
-            .map(|&(src_ep, dst_ep)| {
-                let (rs, _) = spec.endpoint_router(src_ep as usize);
-                let (rd, _) = spec.endpoint_router(dst_ep as usize);
-                let mut out: Vec<(u32, f32)> = Vec::with_capacity(8);
-                out.push((inject_base + src_ep, 1.0));
-                if rs != rd {
-                    match routing {
-                        FlowRouting::SinglePath => {
-                            let path = oracle.path(rs, rd).ok()?;
-                            for w in path.windows(2) {
-                                let e = graph.edge_id(w[0], w[1]).expect("path follows edges");
-                                out.push((e, 1.0));
-                            }
-                        }
-                        FlowRouting::EcmpSplit => {
-                            let d = oracle.distance(rs, rd).ok()?;
-                            // Walk the minimal-path DAG level by level,
-                            // splitting each router's incoming fraction
-                            // equally over its minimal next hops. Levels
-                            // hold few routers (diameter ≤ 3 here), so
-                            // linear-scan merging beats hashing.
-                            let mut level: Vec<(u32, f64)> = vec![(rs, 1.0)];
-                            let mut next: Vec<(u32, f64)> = Vec::new();
-                            let mut hops: Vec<u32> = Vec::with_capacity(8);
-                            for _ in 0..d {
-                                next.clear();
-                                for &(v, frac) in &level {
-                                    hops.clear();
-                                    oracle.min_next_hops(v, rd, &mut hops).ok()?;
-                                    let share = frac / hops.len() as f64;
-                                    for &nb in &hops {
-                                        let e = graph.edge_id(v, nb).expect("hop follows edge");
-                                        out.push((e, share as f32));
-                                        match next.iter_mut().find(|(r, _)| *r == nb) {
-                                            Some((_, f)) => *f += share,
-                                            None => next.push((nb, share)),
-                                        }
-                                    }
-                                }
-                                std::mem::swap(&mut level, &mut next);
-                            }
-                        }
-                    }
-                } else if oracle.distance(rs, rd).is_err() {
-                    // Same-router pair on a failed router.
-                    return None;
-                }
-                out.push((eject_base + dst_ep, 1.0));
-                Some(out)
+            .map(|&(rs, rd)| {
+                let mut level = Vec::<(u32, f64)>::new();
+                let mut next = Vec::<(u32, f64)>::new();
+                let mut hops = Vec::<u32>::new();
+                route_one_pair(
+                    graph, oracle, rs, rd, routing, None, &mut level, &mut next, &mut hops,
+                )
             })
             .collect();
-
-        let unroutable = routed.iter().filter(|r| r.is_none()).count() as u64;
-        let active: Vec<&Vec<(u32, f32)>> = routed.iter().flatten().collect();
-
-        // Flow-side CSR.
-        let entries: usize = active.iter().map(|f| f.len()).sum();
-        let mut flow_off = Vec::with_capacity(active.len() + 1);
-        flow_off.push(0u32);
-        let mut flow_link = Vec::with_capacity(entries);
-        let mut flow_weight = Vec::with_capacity(entries);
-        for f in &active {
-            for &(l, w) in f.iter() {
-                flow_link.push(l);
-                flow_weight.push(w);
-            }
-            flow_off.push(flow_link.len() as u32);
-        }
-
-        // Transpose to link-side CSR by counting sort.
-        let mut counts = vec![0u32; links + 1];
-        for &l in &flow_link {
-            counts[l as usize + 1] += 1;
-        }
-        for i in 1..counts.len() {
-            counts[i] += counts[i - 1];
-        }
-        let link_off = counts.clone();
-        let mut cursor = counts;
-        let mut link_flow = vec![0u32; entries];
-        for f in 0..active.len() {
-            for &fl in &flow_link[flow_off[f] as usize..flow_off[f + 1] as usize] {
-                let l = fl as usize;
-                link_flow[cursor[l] as usize] = f as u32;
-                cursor[l] += 1;
-            }
-        }
-
-        let mut unit_load = vec![0f64; links];
-        for i in 0..entries {
-            unit_load[flow_link[i] as usize] += f64::from(flow_weight[i]);
-        }
-
-        FlowNetwork {
-            name: spec.name.clone(),
-            net_links,
-            links,
-            flow_off,
-            flow_link,
-            flow_weight,
-            link_off,
-            link_flow,
-            unit_load,
-            endpoints: total,
-            unroutable,
-        }
+        let uniform = flows.iter().all(|f| f.demand == 1.0);
+        assemble_network(
+            &spec.name,
+            graph.directed_edge_count(),
+            spec.total_endpoints(),
+            &flows,
+            |f| routed[f].as_deref(),
+            uniform,
+        )
     }
 
     /// Topology label the flows were routed on.
@@ -314,10 +800,23 @@ impl FlowNetwork {
         self.unroutable
     }
 
+    /// Per-active-flow demand weights (`None` = uniform unit demand).
+    pub fn demands(&self) -> Option<&[f64]> {
+        self.demand.as_deref()
+    }
+
+    #[inline]
+    fn demand_of(&self, f: usize) -> f64 {
+        match &self.demand {
+            None => 1.0,
+            Some(d) => d[f],
+        }
+    }
+
     /// The exact offered load at which the most-loaded link reaches
     /// capacity — the fluid saturation point. Demands are met iff
     /// `offered ≤ saturation_load()` (capped at 1.0: injection links
-    /// saturate at unit demand by construction).
+    /// saturate at unit demand by construction under unit weights).
     pub fn saturation_load(&self) -> f64 {
         let max = self.unit_load.iter().copied().fold(0.0, f64::max);
         if max <= 1.0 {
@@ -338,6 +837,7 @@ impl FlowNetwork {
             + self.link_off.capacity() * 4
             + self.link_flow.capacity() * 4
             + self.unit_load.capacity() * 8
+            + self.demand.as_ref().map_or(0, |d| d.capacity() * 8)
     }
 
     /// Progressive filling at one demand level. `None` when the fast
@@ -392,10 +892,11 @@ impl FlowNetwork {
                     continue;
                 }
                 frozen[f] = true;
-                rate[f] = level;
+                let df = self.demand_of(f);
+                rate[f] = level * df;
                 for j in self.flow_off[f] as usize..self.flow_off[f + 1] as usize {
                     let k = self.flow_link[j] as usize;
-                    let w = f64::from(self.flow_weight[j]);
+                    let w = f64::from(self.flow_weight[j]) * df;
                     weight[k] -= w;
                     residual[k] -= w * level;
                 }
@@ -403,7 +904,7 @@ impl FlowNetwork {
         }
         for (f, r) in rate.iter_mut().enumerate() {
             if !frozen[f] {
-                *r = offered;
+                *r = offered * self.demand_of(f);
             }
         }
         // Fold unfrozen (demand-limited) flows into the residuals so
@@ -420,22 +921,40 @@ impl FlowNetwork {
 
     /// Max-min fair rates at one offered load, by progressive filling.
     ///
-    /// Every active flow demands `offered`. Below saturation the solve
-    /// is a single O(links) capacity check; above it, links freeze in
-    /// ascending fair-share order (`residual / unfrozen weight`) with
-    /// lazy heap repair — levels only rise as flows freeze, so stale
-    /// entries are re-pushed on pop and the first valid minimum is the
-    /// true bottleneck. Flows still unfrozen when no link binds below
-    /// their demand freeze at the demand itself.
+    /// Flow `f` demands `offered · demand_f` (all weights 1.0 in the
+    /// uniform model). Below saturation the solve is a single O(links)
+    /// capacity check; above it, links freeze in ascending fair-share
+    /// order (`residual / unfrozen weight`) with lazy heap repair —
+    /// levels only rise as flows freeze, so stale entries are re-pushed
+    /// on pop and the first valid minimum is the true bottleneck. Flows
+    /// still unfrozen when no link binds below their demand freeze at
+    /// the demand itself. Weighted demands receive `level · demand_f` at
+    /// their bottleneck (weighted max-min fairness); stability compares
+    /// per-flow rate/demand ratios, so it still means "every demand
+    /// fully met".
     pub fn solve(&self, offered: f64) -> FlowResult {
         let flows = self.num_flows();
+        // Σ demand weights and their minimum; `dsum / flows == 1.0`
+        // exactly in the uniform model, keeping every uniform-path
+        // expression bitwise identical to the unweighted solver.
+        let (dsum, min_d) = match &self.demand {
+            None => (flows as f64, 1.0),
+            Some(d) => (
+                d.iter().sum(),
+                d.iter().copied().fold(f64::INFINITY, f64::min),
+            ),
+        };
         match self.fill(offered) {
             None => {
                 let max_unit = self.unit_load.iter().copied().fold(0.0, f64::max);
                 FlowResult {
                     offered,
-                    accepted: if flows == 0 { 0.0 } else { offered },
-                    min_rate: if flows == 0 { 0.0 } else { offered },
+                    accepted: if flows == 0 {
+                        0.0
+                    } else {
+                        offered * (dsum / flows as f64)
+                    },
+                    min_rate: if flows == 0 { 0.0 } else { offered * min_d },
                     delivered_fraction: 1.0,
                     stable: flows > 0,
                     bottleneck_links: self
@@ -452,6 +971,15 @@ impl FlowNetwork {
             Some(fill) => {
                 let sum: f64 = fill.rate.iter().sum();
                 let min_rate = fill.rate.iter().copied().fold(f64::INFINITY, f64::min);
+                let min_ratio = match &self.demand {
+                    None => min_rate,
+                    Some(d) => fill
+                        .rate
+                        .iter()
+                        .zip(d.iter())
+                        .map(|(r, dd)| r / dd)
+                        .fold(f64::INFINITY, f64::min),
+                };
                 let mut max_util = 0f64;
                 let mut bottlenecks = 0usize;
                 for &res in &fill.residual {
@@ -468,9 +996,9 @@ impl FlowNetwork {
                     delivered_fraction: if flows == 0 {
                         0.0
                     } else {
-                        sum / (offered * flows as f64)
+                        sum / (offered * dsum)
                     },
-                    stable: flows > 0 && min_rate >= offered * (1.0 - 1e-9),
+                    stable: flows > 0 && min_ratio >= offered * (1.0 - 1e-9),
                     bottleneck_links: bottlenecks,
                     max_link_utilization: max_util,
                     rounds: fill.rounds,
@@ -482,10 +1010,13 @@ impl FlowNetwork {
     }
 
     /// The full max-min rate vector at one offered load (flow order =
-    /// active-endpoint order).
+    /// active-flow order).
     pub fn rates(&self, offered: f64) -> Vec<f64> {
         match self.fill(offered) {
-            None => vec![offered; self.num_flows()],
+            None => match &self.demand {
+                None => vec![offered; self.num_flows()],
+                Some(d) => d.iter().map(|dd| offered * dd).collect(),
+            },
             Some(fill) => fill.rate,
         }
     }
@@ -679,7 +1210,7 @@ mod tests {
             FlowRouting::EcmpSplit,
         );
         // Expected: re-resolve the permutation and count severed pairs.
-        let resolved = resolve(&Pattern::Permutation, &spec, seed);
+        let resolved = crate::traffic::resolve(&Pattern::Permutation, &spec, seed);
         let map = resolved.dest.as_ref().unwrap();
         let mut active = 0u64;
         let mut severed = 0u64;
@@ -694,5 +1225,205 @@ mod tests {
         }
         assert_eq!(fnet.unroutable(), severed);
         assert_eq!(fnet.num_flows() as u64, active - severed);
+    }
+
+    #[test]
+    fn same_router_flows_deliver_at_full_rate() {
+        // BitShuffle on path(2) with 4 endpoints per router (3 bits):
+        // 1→2, 2→4, 3→6, 4→1, 5→3, 6→5; endpoints 0 and 7 are rotation
+        // fixed points (inactive). Flows 1→2 and 6→5 never leave their
+        // router: NIC links only, delivered at full rate and counted.
+        let spec = NetworkSpec::uniform("p2x4", Graph::path(2), 4);
+        let table = RouteTable::for_spec(&spec);
+        let fnet = FlowNetwork::build(
+            &spec,
+            &table,
+            &Pattern::BitShuffle,
+            0,
+            FlowRouting::EcmpSplit,
+        );
+        assert_eq!(fnet.num_flows(), 6);
+        assert_eq!(fnet.unroutable(), 0);
+        // Cross-router flows pair up on each link direction (rate 1/2 at
+        // full offered load); same-router flows keep rate 1.0.
+        let rates = fnet.rates(1.0);
+        assert_eq!(rates, vec![1.0, 0.5, 0.5, 0.5, 0.5, 1.0]);
+        let r = fnet.solve(1.0);
+        assert_eq!(r.flows, 6);
+        assert_eq!(r.min_rate, 0.5);
+        assert!(!r.stable);
+        assert!((r.delivered_fraction - 4.0 / 6.0).abs() < 1e-12, "{r:?}");
+    }
+
+    #[test]
+    fn mismatched_oracle_and_graph_mark_flows_unroutable() {
+        // The oracle routes on the 4-cycle, but the spec graph is
+        // missing edge (1,2) — oracle paths cross a nonexistent edge.
+        // This used to panic via `expect("path follows edges")` /
+        // `expect("hop follows edge")`; now the flow is unroutable.
+        let cycle_spec = NetworkSpec::uniform("c4", Graph::cycle(4), 1);
+        let table = RouteTable::for_spec(&cycle_spec);
+        let broken = NetworkSpec::uniform(
+            "c4-broken",
+            Graph::from_edges(4, &[(0, 1), (2, 3), (3, 0)]),
+            1,
+        );
+        for routing in [FlowRouting::EcmpSplit, FlowRouting::SinglePath] {
+            // BitReverse on 4 endpoints: flows 1→2 and 2→1, both of
+            // whose oracle paths use the missing edge.
+            let fnet = FlowNetwork::build(&broken, &table, &Pattern::BitReverse, 0, routing);
+            assert_eq!(fnet.unroutable(), 2, "{}", routing.label());
+            assert_eq!(fnet.num_flows(), 0, "{}", routing.label());
+            let reference = FlowNetwork::build_reference(
+                &broken,
+                &table,
+                &[TrafficComponent::new(Pattern::BitReverse, 0)],
+                routing,
+            );
+            assert!(fnet == reference, "{}", routing.label());
+        }
+    }
+
+    #[test]
+    fn weighted_demands_get_weighted_max_min_shares() {
+        // Same BitShuffle traffic as the same-router test, but endpoint
+        // 2's flow (2→4) demands 3× the baseline. The forward link
+        // carries weight 3 + 1, so it saturates at offered 1/4 and
+        // splits 3:1 between the two flows crossing it.
+        let spec = NetworkSpec::uniform("p2x4", Graph::path(2), 4);
+        let table = RouteTable::for_spec(&spec);
+        let mut w = vec![1.0; 8];
+        w[2] = 3.0;
+        let comps = [TrafficComponent::with_demand(
+            Pattern::BitShuffle,
+            0,
+            FlowDemand::PerSource(w),
+        )];
+        let plan = FlowPlan::build(&spec, &table, &comps, FlowRouting::EcmpSplit);
+        // 6 flows over 4 unique router pairs: (0,0), (0,1), (1,0), (1,1).
+        assert_eq!(plan.flows().len(), 6);
+        assert_eq!(plan.num_pairs(), 4);
+        let fnet = plan.network();
+        assert_eq!(fnet.num_flows(), 6);
+        assert_eq!(fnet.saturation_load(), 0.25);
+        let rates = fnet.rates(1.0);
+        assert_eq!(rates, vec![1.0, 0.75, 0.25, 0.5, 0.5, 1.0]);
+        let r = fnet.solve(1.0);
+        assert!(!r.stable);
+        assert_eq!(r.min_rate, 0.25);
+        // Σ rates / Σ demands = 4 / 8.
+        assert!((r.delivered_fraction - 0.5).abs() < 1e-12, "{r:?}");
+        // At the saturation load every weighted demand is exactly met.
+        let rb = fnet.solve(0.25);
+        assert!(rb.stable, "{rb:?}");
+        assert_eq!(rb.delivered_fraction, 1.0);
+    }
+
+    #[test]
+    fn background_overlay_scales_unit_load() {
+        // A half-intensity background copy of the foreground pattern
+        // doubles the flow count and scales every link load by 1.5×.
+        let spec = NetworkSpec::uniform("p2x4", Graph::path(2), 4);
+        let table = RouteTable::for_spec(&spec);
+        let base = [TrafficComponent::new(Pattern::BitShuffle, 0)];
+        let overlay = [
+            TrafficComponent::new(Pattern::BitShuffle, 0),
+            TrafficComponent::with_demand(Pattern::BitShuffle, 0, FlowDemand::Scaled(0.5)),
+        ];
+        let plain = FlowPlan::build(&spec, &table, &base, FlowRouting::EcmpSplit).network();
+        let both = FlowPlan::build(&spec, &table, &overlay, FlowRouting::EcmpSplit).network();
+        assert_eq!(both.num_flows(), 2 * plain.num_flows());
+        assert!(both.demands().is_some() && plain.demands().is_none());
+        for l in 0..both.num_links() {
+            assert!(
+                (both.unit_load[l] - 1.5 * plain.unit_load[l]).abs() < 1e-12,
+                "link {l}"
+            );
+        }
+        assert!((both.saturation_load() - plain.saturation_load() / 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batched_build_matches_reference_build() {
+        // The in-crate spot check of the byte-identity pin (the full
+        // cross-oracle matrix lives in crates/routed/tests).
+        let specs = [
+            NetworkSpec::uniform("ring5", Graph::cycle(5), 3),
+            NetworkSpec::uniform("k4", Graph::complete(4), 4),
+        ];
+        for spec in &specs {
+            let table = RouteTable::for_spec(spec);
+            for pattern in [
+                Pattern::Uniform,
+                Pattern::Permutation,
+                Pattern::BitShuffle,
+                Pattern::BitReverse,
+            ] {
+                for routing in [FlowRouting::EcmpSplit, FlowRouting::SinglePath] {
+                    let comps = [TrafficComponent::new(pattern.clone(), 11)];
+                    let batched = FlowPlan::build(spec, &table, &comps, routing).network();
+                    let reference = FlowNetwork::build_reference(spec, &table, &comps, routing);
+                    assert!(
+                        batched == reference,
+                        "{} {} {}",
+                        spec.name,
+                        pattern.label(),
+                        routing.label()
+                    );
+                    assert_eq!(batched.solve(0.8), reference.solve(0.8));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_advance_matches_fresh_build() {
+        use polarstar_topo::fault::FaultSet;
+        // Walk a fault schedule: monotone symmetric growth (cached-DAG
+        // reuse path), a monotone step with a one-direction failure
+        // (asymmetry fallback), then a recovery (full re-route).
+        let spec = NetworkSpec::uniform("ring4x2", Graph::cycle(4), 2);
+        let pristine = RouteTable::for_spec(&spec);
+        let comps = [TrafficComponent::new(Pattern::BitReverse, 0)];
+        let epochs = [
+            FaultSet::empty(),
+            FaultSet::from_links([(0, 1)]),
+            FaultSet::from_links([(0, 1), (2, 3)]),
+            FaultSet::from_links([(0, 1), (2, 3)]).union(&FaultSet::from_directed_links([(1, 2)])),
+            FaultSet::from_links([(2, 3)]),
+        ];
+        for routing in [FlowRouting::EcmpSplit, FlowRouting::SinglePath] {
+            let mut plan = FlowPlan::build(&spec, &pristine, &comps, routing);
+            let mut prev = FaultSet::empty();
+            for fs in &epochs {
+                let oracle = pristine.remask(&spec, fs);
+                plan.advance_epoch(&spec, &oracle, &prev, fs);
+                let fresh = FlowPlan::build(&spec, &oracle, &comps, routing);
+                assert!(
+                    plan.network() == fresh.network(),
+                    "{} diverged at epoch {fs:?}",
+                    routing.label()
+                );
+                prev = fs.clone();
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_advance_reroutes_only_dirty_pairs() {
+        use polarstar_topo::fault::FaultSet;
+        // BitReverse on cycle(4)×2 endpoints yields only opposite-router
+        // pairs (0,2), (1,3), (2,0), (3,1). Failing (0,1) touches the
+        // ring arms of all four; failing nothing new re-routes nothing.
+        let spec = NetworkSpec::uniform("ring4x2", Graph::cycle(4), 2);
+        let pristine = RouteTable::for_spec(&spec);
+        let comps = [TrafficComponent::new(Pattern::BitReverse, 0)];
+        let mut plan = FlowPlan::build(&spec, &pristine, &comps, FlowRouting::EcmpSplit);
+        let f1 = FaultSet::from_links([(0, 1)]);
+        let oracle = pristine.remask(&spec, &f1);
+        let rerouted = plan.advance_epoch(&spec, &oracle, &FaultSet::empty(), &f1);
+        assert!(rerouted >= 1 && rerouted <= plan.num_pairs(), "{rerouted}");
+        // No-op epoch transition re-routes nothing.
+        assert_eq!(plan.advance_epoch(&spec, &oracle, &f1, &f1), 0);
     }
 }

@@ -55,7 +55,9 @@ pub mod stats;
 pub mod traffic;
 
 pub use engine::{simulate, simulate_monitored, FaultResponse, SimConfig, SimResult};
-pub use flow::{FlowNetwork, FlowResult, FlowRouting};
+pub use flow::{
+    FlowDemand, FlowNetwork, FlowPlan, FlowResult, FlowRouting, PlannedFlow, TrafficComponent,
+};
 pub use monitor::{
     MetricsMonitor, MetricsReport, NoopMonitor, PairMonitor, ShardableMonitor, SimMonitor,
     StallCause, TransientMonitor, WatchdogDiag,

@@ -86,6 +86,23 @@ pub fn engine_resolve_seed(sim_seed: u64) -> u64 {
     sim_seed ^ 0x7a11
 }
 
+/// The per-flow `(src, dst)` endpoint pairs a flow-level build routes:
+/// one flow per active endpoint, destinations drawn exactly as
+/// [`ResolvedPattern::destination`] draws them (a single sequential
+/// ChaCha8 stream for the uniform pattern, the resolved map otherwise).
+///
+/// This is the flow model's traffic contract with the cycle engine:
+/// called with `engine_resolve_seed(cfg.seed)`, the pair list matches
+/// the engine's resolved destination map endpoint for endpoint (pinned
+/// by `resolve_flows_pins_the_engine_seed_contract`).
+pub fn resolve_flows(pattern: &Pattern, spec: &NetworkSpec, seed: u64) -> Vec<(u32, u32)> {
+    let resolved = resolve(pattern, spec, seed);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..resolved.total as u32)
+        .filter_map(|src| Some((src, resolved.destination(src, &mut rng)?)))
+        .collect()
+}
+
 /// Resolve a pattern against a network (deterministic in `seed`).
 pub fn resolve(pattern: &Pattern, spec: &NetworkSpec, seed: u64) -> ResolvedPattern {
     let total = spec.total_endpoints();
@@ -366,6 +383,51 @@ mod tests {
                 !targets.contains(&(g as u32)),
                 "group {g} must not self-target"
             );
+        }
+    }
+
+    #[test]
+    fn resolve_flows_pins_the_engine_seed_contract() {
+        // The seed derivation itself is part of the contract: the cycle
+        // engine resolves traffic at `sim_seed ^ 0x7a11`.
+        assert_eq!(engine_resolve_seed(0), 0x7a11);
+        assert_eq!(engine_resolve_seed(0x7a11), 0);
+        let spec = toy_spec();
+        let patterns = [
+            Pattern::Uniform,
+            Pattern::Permutation,
+            Pattern::BitShuffle,
+            Pattern::BitReverse,
+            Pattern::AdversarialGroup,
+        ];
+        for pattern in &patterns {
+            for sim_seed in [0u64, 9, 77] {
+                let seed = engine_resolve_seed(sim_seed);
+                let flows = resolve_flows(pattern, &spec, seed);
+                let resolved = resolve(pattern, &spec, seed);
+                let expect: Vec<(u32, u32)> = match &resolved.dest {
+                    // Map patterns: exactly the engine's resolved map,
+                    // self-maps (inactive sources) filtered out.
+                    Some(map) => map
+                        .iter()
+                        .enumerate()
+                        .filter(|&(s, &d)| d != s as u32)
+                        .map(|(s, &d)| (s as u32, d))
+                        .collect(),
+                    // Uniform: one sequential ChaCha8 draw per endpoint
+                    // (the flow model's sampled snapshot).
+                    None => {
+                        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+                        (0..resolved.total as u32)
+                            .map(|s| (s, resolved.destination(s, &mut rng).unwrap()))
+                            .collect()
+                    }
+                };
+                // (No `active` comparison: Permutation counts every
+                // endpoint active even when τ fixes its router, and
+                // those self-maps are filtered at draw time.)
+                assert_eq!(flows, expect, "{} seed {sim_seed}", pattern.label());
+            }
         }
     }
 

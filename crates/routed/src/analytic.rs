@@ -146,6 +146,14 @@ impl AnalyticOracle {
     fn degraded_distances_from(&self, dst: u32) -> Vec<u32> {
         let g = self.network().graph();
         let mut dist = vec![u32::MAX; g.n()];
+        self.degraded_distances_into(dst, &mut dist);
+        dist
+    }
+
+    /// [`AnalyticOracle::degraded_distances_from`] into a caller buffer
+    /// (already sized `n` and filled with `u32::MAX`).
+    fn degraded_distances_into(&self, dst: u32, dist: &mut [u32]) {
+        let g = self.network().graph();
         dist[dst as usize] = 0;
         let mut queue = VecDeque::new();
         queue.push_back(dst);
@@ -159,7 +167,6 @@ impl AnalyticOracle {
                 queue.push_back(nb);
             }
         }
-        dist
     }
 }
 
@@ -231,6 +238,68 @@ impl PathOracle for AnalyticOracle {
             }
         }
         Ok(())
+    }
+
+    /// Bulk per-destination distances for the class-batched flow build.
+    ///
+    /// Pristine columns exploit the diameter-≤3 guarantee (§4; the
+    /// routing tests pin template route lengths to BFS distances on
+    /// every config): a BFS that expands only depths 0 and 1 labels the
+    /// whole column, because any router it never reaches sits at
+    /// distance exactly 3. That is ~deg² work per destination instead
+    /// of O(E), which is what turns per-flow template queries into
+    /// per-destination array scans. Faulted columns run the exact
+    /// degraded-graph BFS the per-query escalation path uses, so the
+    /// column equals per-query [`AnalyticOracle::distance`] answers in
+    /// every epoch.
+    fn distance_column(&self, dst: u32, out: &mut Vec<u32>) -> bool {
+        let g = self.network().graph();
+        let n = g.n();
+        out.clear();
+        if dst as usize >= n {
+            // Per-query answers are OutOfRange errors; the column
+            // equivalent is an all-unreachable destination.
+            out.resize(n, u32::MAX);
+            return true;
+        }
+        if !self.faults.is_empty() {
+            out.resize(n, u32::MAX);
+            self.degraded_distances_into(dst, out);
+            return true;
+        }
+        out.resize(n, 3);
+        out[dst as usize] = 0;
+        for &nb in g.neighbors(dst) {
+            out[nb as usize] = 1;
+        }
+        for &nb in g.neighbors(dst) {
+            for &nb2 in g.neighbors(nb) {
+                if out[nb2 as usize] == 3 {
+                    out[nb2 as usize] = 2;
+                }
+            }
+        }
+        #[cfg(debug_assertions)]
+        {
+            // Debug builds verify the diameter-≤3 shortcut against the
+            // full BFS, column by column — `cargo test` exercises every
+            // column the flow build asks for.
+            let exact = polarstar_graph::traversal::bfs_distances(g, dst);
+            for (v, &d) in exact.iter().enumerate() {
+                debug_assert_eq!(
+                    out[v], d,
+                    "pristine distance column {dst}: router {v} off the \
+                     diameter-3 envelope"
+                );
+            }
+        }
+        true
+    }
+
+    /// The masked table's directed port rule: a link carries traffic
+    /// unless this epoch failed it (or either endpoint router).
+    fn link_usable(&self, u: u32, v: u32) -> bool {
+        !self.faults.link_failed(u, v)
     }
 
     /// Pristine queries answer with the §9.2 template path directly —
@@ -308,6 +377,48 @@ mod tests {
         assert_eq!(dead.distance(2, 2), Ok(0));
         assert!(dead.distance(2, 0).is_err());
         assert!(dead.distance(0, 2).is_err());
+    }
+
+    #[test]
+    fn distance_column_matches_per_query_answers() {
+        let net = small_net();
+        let o = AnalyticOracle::new(net.clone());
+        let n = o.num_routers() as u32;
+        let check = |o: &AnalyticOracle| {
+            let mut col = Vec::new();
+            for dst in 0..n {
+                assert!(o.distance_column(dst, &mut col));
+                assert_eq!(col.len(), n as usize);
+                for v in 0..n {
+                    let expect = o.distance(v, dst).unwrap_or(u32::MAX);
+                    assert_eq!(col[v as usize], expect, "col[{v}] for dst {dst}");
+                }
+            }
+        };
+        check(&o);
+        // Faulted columns take the degraded-BFS path; a router failure
+        // must read back as an all-MAX column (except the self entry).
+        let masked = o.remask(&FaultSet::from_links([(0, 1), (2, 5)]));
+        check(&masked);
+        let dead = o.remask(&FaultSet::from_routers([3]));
+        check(&dead);
+        // Out-of-range destinations answer all-unreachable, mirroring
+        // the typed per-query error.
+        let mut col = Vec::new();
+        assert!(o.distance_column(n, &mut col));
+        assert!(col.iter().all(|&d| d == u32::MAX));
+    }
+
+    #[test]
+    fn link_usable_mirrors_the_directed_port_rule() {
+        let o = AnalyticOracle::new(small_net());
+        assert!(o.link_usable(0, 1));
+        let masked = o.remask(&FaultSet::from_directed_links([(0, 1)]));
+        assert!(!masked.link_usable(0, 1));
+        assert!(masked.link_usable(1, 0), "reverse direction stays up");
+        let dead = o.remask(&FaultSet::from_routers([2]));
+        assert!(!dead.link_usable(2, 0));
+        assert!(!dead.link_usable(0, 2));
     }
 
     #[test]

@@ -35,5 +35,5 @@ pub mod swap;
 
 pub use analytic::AnalyticOracle;
 pub use batch::{Query, QueryBatch, RouteAnswer};
-pub use oracle::{ClassProfile, Oracle, SymmetryClasses};
+pub use oracle::{ClassProfile, Oracle, PairCensus, SymmetryClasses};
 pub use swap::EpochSwapper;

@@ -53,6 +53,57 @@ impl SymmetryClasses {
     pub fn group_of(&self, r: u32) -> u32 {
         self.group[r as usize]
     }
+
+    /// Canonicalize a set of ordered router pairs into class-level
+    /// occupancy counts — the compression the class-batched flow build
+    /// rides on (`FlowNetwork` dedups to unique pairs; this reports how
+    /// those pairs collapse further onto `G²` supernode cells).
+    ///
+    /// Duplicate pairs in the input count once: the census describes
+    /// the *unique* pair set, matching the build's dedup.
+    pub fn pair_census(&self, pairs: impl IntoIterator<Item = (u32, u32)>) -> PairCensus {
+        let mut unique: Vec<(u32, u32)> = pairs.into_iter().collect();
+        unique.sort_unstable();
+        unique.dedup();
+        let mut per_class = vec![0u64; self.num_classes()];
+        for &(s, d) in &unique {
+            per_class[self.class_of(s, d) as usize] += 1;
+        }
+        let classes_hit = per_class.iter().filter(|&&c| c > 0).count();
+        let max_class_pairs = per_class.iter().copied().max().unwrap_or(0);
+        PairCensus {
+            unique_pairs: unique.len(),
+            classes_hit,
+            num_classes: self.num_classes(),
+            max_class_pairs,
+        }
+    }
+}
+
+/// How a set of router pairs occupies the `G²` symmetry cells (from
+/// [`SymmetryClasses::pair_census`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PairCensus {
+    /// Distinct ordered (src, dst) router pairs in the input.
+    pub unique_pairs: usize,
+    /// Classes with at least one pair.
+    pub classes_hit: usize,
+    /// Total classes (`G²`).
+    pub num_classes: usize,
+    /// Pairs in the most-occupied class.
+    pub max_class_pairs: u64,
+}
+
+impl PairCensus {
+    /// Mean unique pairs per occupied class — the batching factor the
+    /// supernode structure offers over per-pair state.
+    pub fn pairs_per_class(&self) -> f64 {
+        if self.classes_hit == 0 {
+            0.0
+        } else {
+            self.unique_pairs as f64 / self.classes_hit as f64
+        }
+    }
 }
 
 /// Per-class route aggregates: what the service stores *per symmetry
@@ -278,6 +329,23 @@ impl PathOracle for Oracle {
             Backend::Analytic(a) => a.path(src, dst),
         }
     }
+
+    fn distance_column(&self, dst: u32, out: &mut Vec<u32>) -> bool {
+        match &self.backend {
+            // The table backend keeps policy-dependent port arenas (a
+            // hierarchical table's ports are not reconstructible from
+            // distances alone), so it stays on the per-pair path.
+            Backend::Table(_) => false,
+            Backend::Analytic(a) => a.distance_column(dst, out),
+        }
+    }
+
+    fn link_usable(&self, u: u32, v: u32) -> bool {
+        match &self.backend {
+            Backend::Table(_) => true,
+            Backend::Analytic(a) => a.link_usable(u, v),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -302,6 +370,20 @@ mod tests {
         assert_eq!(sc.class_of(2, 0), 2); // (1,0) cell
         assert_eq!(sc.class_of(3, 2), 3); // (1,1) cell
         assert_eq!(sc.group_of(3), 1);
+    }
+
+    #[test]
+    fn pair_census_canonicalizes_unique_pairs() {
+        let spec = grouped_spec();
+        let sc = SymmetryClasses::new(&spec);
+        // Duplicates collapse; two pairs in the (0,1) cell, one in (1,0).
+        let census = sc.pair_census([(0, 2), (0, 2), (1, 3), (2, 1)]);
+        assert_eq!(census.unique_pairs, 3);
+        assert_eq!(census.classes_hit, 2);
+        assert_eq!(census.num_classes, 4);
+        assert_eq!(census.max_class_pairs, 2);
+        assert_eq!(census.pairs_per_class(), 1.5);
+        assert_eq!(sc.pair_census([]).pairs_per_class(), 0.0);
     }
 
     #[test]

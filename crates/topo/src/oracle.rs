@@ -73,6 +73,37 @@ pub trait PathOracle {
     /// `src == dst`.
     fn min_next_hops(&self, src: u32, dst: u32, out: &mut Vec<u32>) -> Result<(), RouteError>;
 
+    /// Bulk per-destination distances: overwrite `out` with one entry
+    /// per router, where `out[v]` is the hop distance from `v` to `dst`
+    /// (`u32::MAX` when no surviving path connects the pair, including
+    /// when `v` or `dst` is a failed router). Returns `false` when the
+    /// oracle has no bulk path — `out` is then unspecified and callers
+    /// fall back to per-pair queries.
+    ///
+    /// Contract when returning `true`: entries equal per-query
+    /// [`PathOracle::distance`] answers exactly (with `u32::MAX`
+    /// standing in for [`RouteError::Unreachable`]), and together with
+    /// [`PathOracle::link_usable`] the column reconstructs
+    /// [`PathOracle::min_next_hops`] without further queries: `nb` is a
+    /// minimal next hop of `(v, dst)` iff `nb` is a graph neighbor of
+    /// `v` with `link_usable(v, nb) && out[nb] != u32::MAX &&
+    /// out[nb] + 1 == out[v]`, scanned in the oracle's stable neighbor
+    /// order. The batched flow build (`polarstar-netsim`'s
+    /// `FlowNetwork`) leans on this to route one shared ECMP DAG per
+    /// unique router pair instead of querying per flow.
+    fn distance_column(&self, _dst: u32, _out: &mut Vec<u32>) -> bool {
+        false
+    }
+
+    /// Whether the directed link `u → v` may carry traffic under the
+    /// oracle's current fault mask — `false` exactly when
+    /// [`PathOracle::min_next_hops`] would exclude `v` at `u` for fault
+    /// reasons rather than distance reasons. Pristine oracles keep the
+    /// default (everything usable).
+    fn link_usable(&self, _u: u32, _v: u32) -> bool {
+        true
+    }
+
     /// Whether any surviving path connects the pair (true for
     /// `src == dst`, false for out-of-range ids).
     fn is_reachable(&self, src: u32, dst: u32) -> bool {
@@ -238,6 +269,18 @@ mod tests {
         assert_eq!(o.k_paths(0, 3, 1).unwrap(), vec![vec![0, 1, 3]]);
         assert_eq!(o.k_paths(0, 3, 0).unwrap(), Vec::<Vec<u32>>::new());
         assert_eq!(o.k_paths(1, 1, 3).unwrap(), vec![vec![1]]);
+    }
+
+    #[test]
+    fn bulk_queries_default_to_unsupported() {
+        // Oracles that don't opt in answer `false` (callers fall back to
+        // per-pair queries) and report every directed link usable.
+        let o = Diamond;
+        let mut col = vec![7u32; 3];
+        assert!(!o.distance_column(0, &mut col));
+        assert_eq!(col, vec![7, 7, 7], "unsupported column leaves out alone");
+        assert!(o.link_usable(0, 1));
+        assert!(o.link_usable(4, 0), "default is fault-free");
     }
 
     #[test]

@@ -29,5 +29,5 @@ run fault_recovery
 run route_query
 "$B/route_query" --oracle analytic --metrics-dir metrics/ \
   > results/route_query_analytic.csv 2> results/route_query_analytic.log
-run flow_sweep --metrics-dir metrics/ --bench-json BENCH_flow.json
+run flow_sweep --metrics-dir metrics/ --bench-json BENCH_flow.json --weighted --epochs 4
 echo ALL_DONE >> results/run.log
