@@ -2,103 +2,28 @@
 //! the paper's related work (Dawkins et al., "Edge-Disjoint Spanning
 //! Trees on Star-Product Networks") builds on PolarStar's structure.
 //!
-//! A graph with k edge-disjoint spanning trees can run k independent
-//! reduction/broadcast trees concurrently, so the count is a direct
-//! measure of collective bandwidth. We extract trees greedily (DFS over
-//! unused edges, preferring edge-rich neighbors), which lower-bounds the
-//! Nash-Williams/Tutte optimum; the validator checks any claimed
-//! packing exactly.
+//! The extraction itself now lives in [`polarstar_graph::edst`] (dense
+//! edge-id marks instead of hash sets, plus residual peeling and
+//! replacement-edge search for the fault-tolerant striped collectives
+//! in `crates/motifs`); this module keeps the original analysis-facing
+//! names as thin delegates. For PolarStar/Bundlefly, the star-product-
+//! aware constructor in `polarstar_topo::edst` composes factor-graph
+//! packings and typically beats this generic greedy.
 
 use polarstar_graph::csr::{Graph, VertexId};
 
 /// Greedily extract edge-disjoint spanning trees; returns each tree as
 /// an edge list. Stops when the unused edges no longer connect the
-/// graph.
+/// graph. Delegates to [`polarstar_graph::edst::greedy_edst`].
 pub fn edge_disjoint_spanning_trees(g: &Graph) -> Vec<Vec<(VertexId, VertexId)>> {
-    let n = g.n();
-    if n <= 1 {
-        return Vec::new();
-    }
-    let mut used: std::collections::HashSet<(VertexId, VertexId)> =
-        std::collections::HashSet::new();
-    let mut trees = Vec::new();
-    let mut root = 0u32;
-    loop {
-        // Depth-first search over unused edges: DFS trees are path-heavy
-        // (low tree-degree), so they spread the edge budget across
-        // vertices instead of exhausting one hub the way BFS stars do.
-        let mut visited = vec![false; n];
-        let mut tree: Vec<(VertexId, VertexId)> = Vec::with_capacity(n - 1);
-        let mut stack = vec![root];
-        visited[root as usize] = true;
-        while let Some(&u) = stack.last() {
-            // Prefer the neighbor with the most unused edges remaining,
-            // which empirically deepens the path further.
-            let next = g
-                .neighbors(u)
-                .iter()
-                .copied()
-                .filter(|&v| {
-                    let key = if u < v { (u, v) } else { (v, u) };
-                    !visited[v as usize] && !used.contains(&key)
-                })
-                .max_by_key(|&v| {
-                    g.neighbors(v)
-                        .iter()
-                        .filter(|&&w| {
-                            let key = if v < w { (v, w) } else { (w, v) };
-                            !used.contains(&key)
-                        })
-                        .count()
-                });
-            match next {
-                Some(v) => {
-                    visited[v as usize] = true;
-                    tree.push((u, v));
-                    stack.push(v);
-                }
-                None => {
-                    stack.pop();
-                }
-            }
-        }
-        if tree.len() != n - 1 {
-            break; // no further spanning tree in the leftover edges
-        }
-        for &(u, v) in &tree {
-            used.insert(if u < v { (u, v) } else { (v, u) });
-        }
-        trees.push(tree);
-        root = (root + 1) % n as u32;
-    }
-    trees
+    polarstar_graph::edst::greedy_edst(g)
 }
 
 /// Verify a claimed spanning-tree packing: trees are spanning, acyclic
-/// (n−1 edges + connected), and pairwise edge-disjoint.
+/// (n−1 edges + connected), and pairwise edge-disjoint. Delegates to
+/// [`polarstar_graph::edst::validate_edst`].
 pub fn validate_packing(g: &Graph, trees: &[Vec<(VertexId, VertexId)>]) -> Result<(), String> {
-    let n = g.n();
-    let mut seen: std::collections::HashSet<(VertexId, VertexId)> =
-        std::collections::HashSet::new();
-    for (i, tree) in trees.iter().enumerate() {
-        if tree.len() != n - 1 {
-            return Err(format!("tree {i} has {} edges, want {}", tree.len(), n - 1));
-        }
-        let sub = Graph::from_edges(n, tree);
-        if !polarstar_graph::traversal::is_connected(&sub) {
-            return Err(format!("tree {i} is not spanning"));
-        }
-        for &(u, v) in tree {
-            if !g.has_edge(u, v) {
-                return Err(format!("tree {i} uses non-edge ({u},{v})"));
-            }
-            let key = if u < v { (u, v) } else { (v, u) };
-            if !seen.insert(key) {
-                return Err(format!("edge ({u},{v}) reused across trees"));
-            }
-        }
-    }
-    Ok(())
+    polarstar_graph::edst::validate_edst(g, trees)
 }
 
 #[cfg(test)]

@@ -10,10 +10,13 @@
 //! is the first post-recovery bucket whose mean latency re-enters 1.2×
 //! the pre-failure baseline.
 //!
-//! CSV `topology,load,burst_fraction,fail_cycle,recover_cycle,baseline_latency,peak_latency,faulted_in_flight,rerouted,recovery_cycles,allreduce_pristine_us,allreduce_burst_us`
-//! (`recovery_cycles` is empty when the run never settles; the last two
-//! columns are the motif-layer allreduce on the pristine network and on
-//! one with the burst's link set statically failed). `--quick`
+//! CSV `topology,load,burst_fraction,fail_cycle,recover_cycle,baseline_latency,peak_latency,faulted_in_flight,rerouted,recovery_cycles,allreduce_pristine_us,allreduce_burst_us,edst_trees,edst_pristine_us,edst_burst_us`
+//! (`recovery_cycles` is empty when the run never settles;
+//! `allreduce_*` are the motif-layer allreduce on the pristine network
+//! and on one with the burst's link set statically failed; `edst_*` are
+//! the striped multi-tree broadcast over the network's edge-disjoint
+//! spanning-tree packing, pristine vs. re-striping through the same
+//! burst). `--quick`
 //! shrinks cycles for smoke tests; `--only <key>` restricts topologies;
 //! `--engine-threads <n>` shards each run; `--metrics-dir <path>` writes
 //! one `RunManifest` JSON per topology.
@@ -23,6 +26,7 @@ use bench::{
     engine_threads, metrics_dir, only_filter, quick_mode, table3_network, RunManifest, TABLE3_KEYS,
 };
 use polarstar_motifs::collectives::{allreduce, AllreduceAlgo};
+use polarstar_motifs::multitree::{striped_broadcast, FaultEpochs, RepairPolicy};
 use polarstar_motifs::netmodel::{MotifConfig, MotifError, NetModel, RoutingMode};
 use polarstar_netsim::routing::{RouteTable, RoutingKind};
 use polarstar_netsim::stats::recovery_analysis;
@@ -68,7 +72,7 @@ fn main() {
     println!(
         "topology,load,burst_fraction,fail_cycle,recover_cycle,\
          baseline_latency,peak_latency,faulted_in_flight,rerouted,recovery_cycles,\
-         allreduce_pristine_us,allreduce_burst_us"
+         allreduce_pristine_us,allreduce_burst_us,edst_trees,edst_pristine_us,edst_burst_us"
     );
     let rows: Vec<Result<(String, RunManifest), String>> = keys
         .par_iter()
@@ -115,22 +119,47 @@ fn main() {
                     RoutingMode::Min,
                 ) {
                     Ok(t_ns) => Ok(t_ns / 1000.0),
-                    // The burst may sever a rank pair outright.
-                    Err(MotifError::Disconnected { .. }) => Ok(f64::NAN),
+                    // The burst may sever a rank pair outright; the
+                    // error names the pair and the motif it broke.
+                    Err(e @ MotifError::Disconnected { .. }) => {
+                        eprintln!("fault_recovery: {key}: {e}");
+                        Ok(f64::NAN)
+                    }
                     Err(e @ MotifError::InvalidConfig { .. }) => Err(format!("{key}: {e}")),
                 }
             };
             let allreduce_pristine_us = motif_point(&spec)?;
-            let burst_spec = spec.clone().with_faults(FaultSet::random_links(
-                &spec.graph,
-                burst_fraction,
-                FAULT_SEED,
-            ));
+            let burst_links = FaultSet::random_links(&spec.graph, burst_fraction, FAULT_SEED);
+            let burst_spec = spec.clone().with_faults(burst_links.clone());
             let allreduce_burst_us = motif_point(&burst_spec)?;
+            // Multi-tree view of the same burst: an 8 MB broadcast
+            // striped over the network's EDST packing, pristine vs.
+            // repairing/re-striping around the burst mask from time
+            // zero (a 5% burst clips every tree, so survival hinges on
+            // edge replacement, not just re-striping).
+            let trees = bench::table3_edst(key, &spec);
+            let edst_point = |epochs: &FaultEpochs| -> f64 {
+                let mut model = NetModel::new(spec.clone(), MotifConfig::default());
+                match striped_broadcast(&mut model, &trees, 8 << 20, epochs, RepairPolicy::Replace)
+                {
+                    Ok(out) => out.completion_ns / 1000.0,
+                    Err(e) => {
+                        eprintln!("fault_recovery: {key}: striped broadcast: {e}");
+                        f64::NAN
+                    }
+                }
+            };
+            let edst_pristine_us = edst_point(&FaultEpochs::pristine());
+            let edst_burst_us = edst_point(&FaultEpochs::at_time_zero(burst_links));
             let row = format!(
                 "{key},{load},{burst_fraction},{fail_cycle},{recover_cycle},\
-                 {:.2},{:.2},{},{},{recovery},{allreduce_pristine_us:.1},{allreduce_burst_us:.1}",
-                a.baseline_latency, a.peak_latency, r.faulted_in_flight, r.rerouted
+                 {:.2},{:.2},{},{},{recovery},{allreduce_pristine_us:.1},{allreduce_burst_us:.1},\
+                 {},{edst_pristine_us:.1},{edst_burst_us:.1}",
+                a.baseline_latency,
+                a.peak_latency,
+                r.faulted_in_flight,
+                r.rerouted,
+                trees.len()
             );
             let mut m = RunManifest::for_network(key, &spec).with_sim(
                 "MIN",
@@ -152,6 +181,9 @@ fn main() {
             );
             m.push_extra("allreduce_pristine_us", allreduce_pristine_us);
             m.push_extra("allreduce_burst_us", allreduce_burst_us);
+            m.push_extra("edst_trees", trees.len() as f64);
+            m.push_extra("edst_pristine_us", edst_pristine_us);
+            m.push_extra("edst_burst_us", edst_burst_us);
             Ok((row, m))
         })
         .collect();

@@ -125,8 +125,12 @@ fn main() {
                     RoutingMode::Min,
                 ) {
                     Ok(t_ns) => (t_ns / 1000.0, model.link_hotlist(ns(t_ns), 5)),
-                    // A severed rank pair has no finite completion time.
-                    Err(MotifError::Disconnected { .. }) => (f64::NAN, Vec::new()),
+                    // A severed rank pair has no finite completion time;
+                    // the error names the pair and the motif it broke.
+                    Err(e @ MotifError::Disconnected { .. }) => {
+                        eprintln!("fault_sweep: {key}@{fraction}: {e}");
+                        (f64::NAN, Vec::new())
+                    }
                     // A Table 3 network that cannot host an allreduce is
                     // a harness bug, not a measurement.
                     Err(e @ MotifError::InvalidConfig { .. }) => panic!("{key}: {e}"),

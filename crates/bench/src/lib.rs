@@ -12,7 +12,7 @@ pub mod sweep_driver;
 
 use polarstar::design::{best_config, best_config_with};
 use polarstar::network::PolarStarNetwork;
-use polarstar_topo::bundlefly::{bundlefly, BundleflyParams};
+use polarstar_topo::bundlefly::{bundlefly, bundlefly_factors, BundleflyParams};
 use polarstar_topo::dragonfly::{dragonfly, DragonflyParams};
 use polarstar_topo::error::TopoError;
 use polarstar_topo::fattree::fattree;
@@ -105,6 +105,31 @@ pub fn table3_polarstar(key: &str) -> Result<PolarStarNetwork, TopoError> {
     let mut net = PolarStarNetwork::build(cfg, 5)?;
     net.spec.name = key.into();
     Ok(net)
+}
+
+/// Edge-disjoint spanning trees for a Table 3 network — the substrate
+/// for the striped multi-tree collectives. The star-product keys
+/// (`PS-*`, `BF`) use the factor-aware composition of
+/// [`polarstar_topo::edst::star_product_edst`], which packs more trees
+/// than peeling the product graph blind; everything else gets the
+/// generic greedy packing. `spec` must be the network
+/// [`table3_network`] builds for `key`.
+pub fn table3_edst(key: &str, spec: &NetworkSpec) -> Vec<Vec<(u32, u32)>> {
+    match key {
+        "PS-IQ" | "PS-Pal" => table3_polarstar(key)
+            .map(|net| net.edst_trees())
+            .expect("PS factors"),
+        "BF" => {
+            let (structure, sn) = bundlefly_factors(BundleflyParams {
+                q: 7,
+                dprime: 4,
+                p: 5,
+            })
+            .expect("BF factors");
+            polarstar_topo::edst::star_product_edst(&spec.graph, &structure, &sn)
+        }
+        _ => polarstar_graph::edst::greedy_edst(&spec.graph),
+    }
 }
 
 /// Serving backend from `--oracle <table|analytic>` (default `table`):

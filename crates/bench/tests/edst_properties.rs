@@ -1,0 +1,135 @@
+//! EDST packing properties over the full Table 3 registry, the
+//! multi-tree resilience acceptance criterion on the star-product
+//! configs, and a property-based sweep: a random single-tree loss never
+//! breaks the striped collective.
+
+use bench::{table3_edst, table3_network, TABLE3_KEYS};
+use polarstar::design::best_config;
+use polarstar::network::PolarStarNetwork;
+use polarstar_graph::edst::{packing_upper_bound, validate_edst};
+use polarstar_motifs::multitree::{striped_broadcast, FaultEpochs, RepairPolicy};
+use polarstar_motifs::netmodel::{MotifConfig, NetModel};
+use polarstar_topo::network::NetworkSpec;
+use polarstar_topo::FaultSet;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// Regression floors for the deterministic packer: tree counts must not
+/// silently shrink (upper bounds per Nash-Williams/degree: PS-IQ 7,
+/// PS-Pal 7, BF 7, HX 11, DF 8, SF 12, MF 6, FT 12).
+const TREE_FLOORS: [(&str, usize); 8] = [
+    ("PS-IQ", 6),
+    ("PS-Pal", 5),
+    ("BF", 6),
+    ("HX", 10),
+    ("DF", 7),
+    ("SF", 10),
+    ("MF", 4),
+    ("FT", 6),
+];
+
+#[test]
+fn table3_edst_disjoint_spanning_and_plural() {
+    for (key, floor) in TREE_FLOORS {
+        assert!(TABLE3_KEYS.contains(&key));
+        let spec = table3_network(key).expect(key);
+        let trees = table3_edst(key, &spec);
+        validate_edst(&spec.graph, &trees).expect(key);
+        assert!(
+            trees.len() >= floor,
+            "{key}: packed {} trees, floor {floor}",
+            trees.len()
+        );
+        assert!(
+            trees.len() <= packing_upper_bound(&spec.graph),
+            "{key}: {} trees exceed the packing bound",
+            trees.len()
+        );
+    }
+}
+
+/// The ISSUE acceptance criterion: on the PS-IQ and Bundlefly Table 3
+/// configs, the striped broadcast survives the loss of *any* single
+/// tree — never panicking, never `Disconnected` — and still delivers
+/// bandwidth of at least (T−1)/T × pristine within 10%, i.e. completes
+/// within 1.1 × T/(T−1) × the pristine time.
+#[test]
+fn star_products_survive_any_single_tree_loss() {
+    for key in ["PS-IQ", "BF"] {
+        let spec = table3_network(key).expect(key);
+        let trees = table3_edst(key, &spec);
+        let t = trees.len();
+        assert!(t >= 2, "{key}: need plural trees");
+        let bytes = 8u64 << 20;
+        let run = |epochs: &FaultEpochs| {
+            let mut model = NetModel::new(spec.clone(), MotifConfig::default());
+            striped_broadcast(&mut model, &trees, bytes, epochs, RepairPolicy::None)
+        };
+        let pristine = run(&FaultEpochs::pristine()).expect(key);
+        let bound = 1.1 * (t as f64 / (t - 1) as f64) * pristine.completion_ns;
+        for (i, tree) in trees.iter().enumerate() {
+            let burst = FaultEpochs::at_time_zero(FaultSet::from_links([tree[0]]));
+            let out =
+                run(&burst).unwrap_or_else(|e| panic!("{key}: losing tree {i} disconnected: {e}"));
+            // A tree too deep to earn a waterfilled chunk never sends,
+            // so losing it goes undetected — and costs nothing.
+            assert!(out.trees_lost <= 1, "{key}: tree {i}");
+            assert_eq!(
+                out.delivered_bytes.iter().sum::<u64>(),
+                bytes,
+                "{key}: tree {i} lost bytes"
+            );
+            assert!(
+                out.completion_ns <= bound,
+                "{key}: losing tree {i} took {} ns > bound {} ns",
+                out.completion_ns,
+                bound
+            );
+        }
+    }
+}
+
+type NetFixture = (NetworkSpec, Vec<Vec<(u32, u32)>>);
+
+/// Shared fixture for the property sweep: the degree-9 PolarStar and
+/// its factor-composed EDST packing.
+fn small_net() -> &'static NetFixture {
+    static NET: OnceLock<NetFixture> = OnceLock::new();
+    NET.get_or_init(|| {
+        let cfg = best_config(9).expect("degree-9 config");
+        let net = PolarStarNetwork::build(cfg, 1).expect("PS d9");
+        let trees = net.edst_trees();
+        (net.spec, trees)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Killing any one edge of any one tree, at any point of the
+    /// collective (including mid-flight), never panics and never
+    /// disconnects: exactly that tree dies (or nothing does, when the
+    /// fault lands after its chunk finished) and every byte arrives.
+    #[test]
+    fn random_single_tree_loss_never_breaks_striping(
+        tree_idx in 0usize..64,
+        edge_idx in 0usize..4096,
+        fail_ns in 0u64..40_000,
+        repair in 0u32..2,
+    ) {
+        let (spec, trees) = small_net();
+        let tree = &trees[tree_idx % trees.len()];
+        let edge = tree[edge_idx % tree.len()];
+        let sched = polarstar_topo::FaultSchedule::new()
+            .fail_link_at(fail_ns, edge.0, edge.1);
+        let epochs = FaultEpochs::from_schedule(&sched, &FaultSet::default());
+        let policy = if repair == 1 { RepairPolicy::Replace } else { RepairPolicy::None };
+        let bytes = 4u64 << 20;
+        let mut model = NetModel::new(spec.clone(), MotifConfig::default());
+        let out = striped_broadcast(&mut model, trees, bytes, &epochs, policy)
+            .expect("single-tree loss must degrade, not disconnect");
+        prop_assert!(out.trees_lost + out.trees_repaired <= 1);
+        prop_assert_eq!(out.delivered_bytes.iter().sum::<u64>(), bytes);
+        prop_assert!(out.completion_ns.is_finite() && out.completion_ns > 0.0);
+    }
+}

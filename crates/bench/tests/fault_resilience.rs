@@ -88,7 +88,8 @@ fn heavy_faults_error_and_terminate_cleanly() {
             model.send_routers(other, victim, 4096, 0, RoutingMode::Min),
             Err(MotifError::Disconnected {
                 src: other,
-                dst: victim
+                dst: victim,
+                motif: None
             }),
             "{key}: send into failed router must error"
         );

@@ -11,7 +11,10 @@
 //!   connectivity and components (rayon-parallel all-pairs sweeps);
 //! * [`partition`] — a Fiduccia–Mattheyses bisection estimator with random
 //!   restarts, standing in for METIS in the paper's Figures 12–13;
-//! * [`random`] — seeded random regular graphs (Jellyfish) and G(n, m).
+//! * [`random`] — seeded random regular graphs (Jellyfish) and G(n, m);
+//! * [`edst`] — edge-disjoint spanning-tree packings (greedy peeling,
+//!   validation, replacement-edge search) backing the striped multi-tree
+//!   collectives in `crates/motifs`.
 //!
 //! # Example
 //!
@@ -27,6 +30,7 @@
 //! ```
 
 pub mod csr;
+pub mod edst;
 pub mod export;
 pub mod partition;
 pub mod random;

@@ -49,9 +49,12 @@ pub fn allreduce(
     for _ in 0..iters {
         match algo {
             AllreduceAlgo::RecursiveDoubling => {
-                recursive_doubling_round(model, &mut ready, bytes, mode)?
+                recursive_doubling_round(model, &mut ready, bytes, mode)
+                    .map_err(|e| e.with_motif("allreduce"))?
             }
-            AllreduceAlgo::Ring => ring_round(model, &mut ready, bytes, mode)?,
+            AllreduceAlgo::Ring => {
+                ring_round(model, &mut ready, bytes, mode).map_err(|e| e.with_motif("allreduce"))?
+            }
         }
     }
     let end = ready.iter().copied().max().unwrap_or(0);
@@ -175,13 +178,15 @@ pub fn sweep3d(
                 let mut nic_free = finish;
                 for (ni, nj) in [(i + 1, j), (i, j + 1)] {
                     if ni < px && nj < py {
-                        let t = model.send_endpoints(
-                            idx(i, j) as u32,
-                            idx(ni, nj) as u32,
-                            bytes,
-                            nic_free,
-                            mode,
-                        )?;
+                        let t = model
+                            .send_endpoints(
+                                idx(i, j) as u32,
+                                idx(ni, nj) as u32,
+                                bytes,
+                                nic_free,
+                                mode,
+                            )
+                            .map_err(|e| e.with_motif("sweep3d"))?;
                         recv_time[idx(ni, nj)] = recv_time[idx(ni, nj)].max(t);
                         nic_free += model.sender_busy(bytes);
                     }
@@ -469,7 +474,9 @@ pub fn alltoall(
             let starts: Vec<Time> = ready.clone();
             for (r, &start) in starts.iter().enumerate() {
                 let dst = (r + k) % p;
-                let t = model.send_endpoints(r as u32, dst as u32, bytes, start, mode)?;
+                let t = model
+                    .send_endpoints(r as u32, dst as u32, bytes, start, mode)
+                    .map_err(|e| e.with_motif("alltoall"))?;
                 ready[dst] = ready[dst].max(t);
                 // Gate the sender on its own NIC: next round's send
                 // cannot start until this message finished injecting.
@@ -519,7 +526,9 @@ pub fn tree_broadcast(
                 if !visited[v as usize] {
                     visited[v as usize] = true;
                     children[u as usize].push(v);
-                    let t = model.send_routers(u, v, chunk, arrive[u as usize], mode)?;
+                    let t = model
+                        .send_routers(u, v, chunk, arrive[u as usize], mode)
+                        .map_err(|e| e.with_motif("tree_broadcast"))?;
                     arrive[v as usize] = t;
                     done = done.max(t);
                     queue.push_back(v);

@@ -13,7 +13,10 @@
 //!
 //! * [`collectives::allreduce`] — recursive-doubling or ring allreduce;
 //! * [`collectives::sweep3d`] — the diagonal wavefront over a 2-D
-//!   process grid.
+//!   process grid;
+//! * [`multitree::striped_broadcast`] / [`multitree::striped_allreduce`]
+//!   — fault-tolerant collectives striping chunks across edge-disjoint
+//!   spanning trees, re-striping over survivors when faults kill trees.
 //!
 //! "Adaptive" (UGAL-like) routing is modelled by choosing, per message,
 //! the candidate path (minimal, or through a random intermediate) with
@@ -21,7 +24,11 @@
 //! the message-level analogue of §9.3's adaptive selection.
 
 pub mod collectives;
+pub mod multitree;
 pub mod netmodel;
 
 pub use collectives::{allreduce, alltoall, sweep3d, tree_broadcast, AllreduceAlgo};
+pub use multitree::{
+    striped_allreduce, striped_broadcast, tree_depth, FaultEpochs, RepairPolicy, StripedOutcome,
+};
 pub use netmodel::{MotifConfig, MotifError, NetModel, RoutingMode};

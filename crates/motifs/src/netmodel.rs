@@ -7,6 +7,7 @@
 //! per-hop router + link latency (virtual cut-through).
 
 use polarstar_graph::{traversal, Graph};
+use polarstar_topo::fault::FaultSet;
 use polarstar_topo::network::NetworkSpec;
 use polarstar_topo::oracle::{PathOracle, RouteError};
 use rand::{Rng, SeedableRng};
@@ -27,6 +28,10 @@ pub enum MotifError {
         src: u32,
         /// Destination router.
         dst: u32,
+        /// The collective that hit the dead pair (tagged at the motif
+        /// boundary via [`MotifError::with_motif`]); `None` for raw
+        /// point-to-point sends.
+        motif: Option<&'static str>,
     },
     /// The collective's parameters don't fit the network (too few
     /// ranks, oversized process grid, ...).
@@ -43,13 +48,44 @@ impl MotifError {
             reason: reason.into(),
         }
     }
+
+    /// Tag a [`MotifError::Disconnected`] with the collective it
+    /// surfaced from, so fault-run diagnostics name the motif and not
+    /// just the dead pair. Keeps an existing tag (the innermost motif
+    /// wins) and passes other variants through.
+    pub fn with_motif(self, name: &'static str) -> Self {
+        match self {
+            MotifError::Disconnected {
+                src,
+                dst,
+                motif: None,
+            } => MotifError::Disconnected {
+                src,
+                dst,
+                motif: Some(name),
+            },
+            other => other,
+        }
+    }
+
+    /// The motif tag of a [`MotifError::Disconnected`], if any.
+    pub fn motif(&self) -> Option<&'static str> {
+        match self {
+            MotifError::Disconnected { motif, .. } => *motif,
+            MotifError::InvalidConfig { .. } => None,
+        }
+    }
 }
 
 impl fmt::Display for MotifError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MotifError::Disconnected { src, dst } => {
-                write!(f, "no surviving path from router {src} to router {dst}")
+            MotifError::Disconnected { src, dst, motif } => {
+                write!(f, "no surviving path from router {src} to router {dst}")?;
+                if let Some(name) = motif {
+                    write!(f, " (in {name})")?;
+                }
+                Ok(())
             }
             MotifError::InvalidConfig { reason } => {
                 write!(f, "invalid motif configuration: {reason}")
@@ -131,18 +167,36 @@ impl ParentCsr {
     }
 }
 
-/// BFS from `dst` over the (possibly fault-degraded) routed view;
-/// `parents_of(r)` = the edge to every neighbor one hop closer, in
+/// BFS from `dst` over the pristine routed graph with `faults` applied
+/// as a mask (identical distances and parent sets to a BFS over the
+/// degraded graph, but edge ids stay stable across fault epochs);
+/// `parents_of(r)` = the edge to every live neighbor one hop closer, in
 /// ascending neighbor order (the CSR slot order).
-fn build_parent_csr(routed: &Graph, dst: u32) -> Box<ParentCsr> {
-    let dist = traversal::bfs_distances(routed, dst);
+fn build_parent_csr(routed: &Graph, dst: u32, faults: &FaultSet) -> Box<ParentCsr> {
+    // An edge is routable only when neither direction is failed —
+    // matching `FaultSet::degraded_graph`, which treats a half-dead
+    // cable as dead.
+    let alive = |a: u32, b: u32| !faults.link_failed(a, b) && !faults.link_failed(b, a);
     let n = routed.n();
+    let mut dist = vec![traversal::UNREACHABLE; n];
+    let mut queue = std::collections::VecDeque::new();
+    dist[dst as usize] = 0;
+    queue.push_back(dst);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for &v in routed.neighbors(u) {
+            if dist[v as usize] == traversal::UNREACHABLE && alive(u, v) {
+                dist[v as usize] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
     let mut offsets = vec![0u32; n + 1];
     let mut edges = Vec::new();
     for r in 0..n as u32 {
         if r != dst && dist[r as usize] != traversal::UNREACHABLE {
             for (e, &nb) in routed.edge_range(r).zip(routed.neighbors(r)) {
-                if dist[nb as usize] + 1 == dist[r as usize] {
+                if alive(r, nb) && dist[nb as usize] + 1 == dist[r as usize] {
                     edges.push(e);
                 }
             }
@@ -160,9 +214,10 @@ fn build_parent_csr(routed: &Graph, dst: u32) -> Box<ParentCsr> {
 /// cached per destination as flat CSR — no hash maps anywhere on the
 /// `send_routers` → `predict`/`reserve` path.
 pub struct NetModel {
-    /// Per-destination parent trees, built lazily and cached for the
-    /// model's lifetime (the fault mask is fixed at construction, so a
-    /// tree never goes stale). `OnceLock` so shared-reference lookups
+    /// Per-destination parent trees, built lazily and cached until the
+    /// fault mask changes ([`NetModel::set_faults`] drops every entry,
+    /// so a model reused across fault epochs never routes on stale
+    /// parents). `OnceLock` so shared-reference lookups
     /// ([`PathOracle`], [`NetModel::min_path`]) can populate the cache.
     parents: Vec<OnceLock<Box<ParentCsr>>>,
     /// free_at per directed edge id.
@@ -172,10 +227,13 @@ pub struct NetModel {
     /// Messages that crossed each directed edge id.
     link_msgs: Vec<u64>,
     spec: NetworkSpec,
-    /// The routed view: the spec's graph minus its fault mask (equal to
-    /// the pristine graph on a healthy network). All parent trees BFS
-    /// over this, and all edge ids refer to it.
+    /// The routed view: the spec's PRISTINE graph. Faults are applied
+    /// as a mask during parent construction instead of by rebuilding
+    /// the graph, so directed edge ids — and with them `free_at` /
+    /// `link_busy` accounting — stay stable across fault epochs.
     routed: Graph,
+    /// The live fault mask (seeded from the spec's static faults).
+    faults: FaultSet,
     cfg: MotifConfig,
     rng: ChaCha8Rng,
 }
@@ -210,7 +268,8 @@ impl NetModel {
     /// Build a model over a network.
     pub fn new(spec: NetworkSpec, cfg: MotifConfig) -> Self {
         let rng = ChaCha8Rng::seed_from_u64(cfg.seed);
-        let routed = spec.degraded_graph();
+        let routed = spec.graph.clone();
+        let faults = spec.faults().clone();
         let edges = routed.directed_edge_count();
         NetModel {
             parents: (0..routed.n()).map(|_| OnceLock::new()).collect(),
@@ -219,6 +278,7 @@ impl NetModel {
             link_msgs: vec![0; edges],
             spec,
             routed,
+            faults,
             cfg,
             rng,
         }
@@ -230,12 +290,34 @@ impl NetModel {
     }
 
     /// Reset link reservations and load accounting (between
-    /// iterations/benchmarks). Parent trees stay cached — the fault
-    /// mask cannot change under a live model.
+    /// iterations/benchmarks). Parent trees stay cached — they only go
+    /// stale when the fault mask changes, which
+    /// [`NetModel::set_faults`] handles by dropping them.
     pub fn reset(&mut self) {
         self.free_at.fill(0);
         self.link_busy.fill(0);
         self.link_msgs.fill(0);
+    }
+
+    /// The live fault mask routing currently applies.
+    pub fn faults(&self) -> &FaultSet {
+        &self.faults
+    }
+
+    /// Install a new fault mask (e.g. the next [`FaultSchedule`] epoch)
+    /// and invalidate every cached per-destination parent tree, so
+    /// subsequent routing cannot use stale parents. Edge ids — and the
+    /// in-flight `free_at` / `link_busy` accounting keyed by them —
+    /// refer to the pristine graph and stay valid across the swap.
+    /// No-op when the mask is unchanged.
+    pub fn set_faults(&mut self, faults: FaultSet) {
+        if self.faults == faults {
+            return;
+        }
+        self.faults = faults;
+        for slot in &mut self.parents {
+            slot.take();
+        }
     }
 
     /// Cumulative serialization reserved on a directed link so far.
@@ -316,7 +398,8 @@ impl NetModel {
     /// The cached parent tree toward `dst`, building it on first use.
     fn parent_tree(&self, dst: u32) -> &ParentCsr {
         let routed = &self.routed;
-        self.parents[dst as usize].get_or_init(|| build_parent_csr(routed, dst))
+        let faults = &self.faults;
+        self.parents[dst as usize].get_or_init(|| build_parent_csr(routed, dst, faults))
     }
 
     /// The deterministic minimal router path `src → dst` (first ECMP
@@ -347,7 +430,8 @@ impl NetModel {
         // Disjoint field borrows: the tree is read-only while the walk
         // draws from `self.rng`.
         let routed = &self.routed;
-        let tree = self.parents[dst as usize].get_or_init(|| build_parent_csr(routed, dst));
+        let faults = &self.faults;
+        let tree = self.parents[dst as usize].get_or_init(|| build_parent_csr(routed, dst, faults));
         let mut path = Vec::new();
         let mut cur = src;
         while cur != dst {
@@ -412,8 +496,12 @@ impl NetModel {
         start: Time,
         mode: RoutingMode,
     ) -> Result<Time, MotifError> {
-        let disconnected = MotifError::Disconnected { src, dst };
-        if self.spec.faults().router_failed(src) || self.spec.faults().router_failed(dst) {
+        let disconnected = MotifError::Disconnected {
+            src,
+            dst,
+            motif: None,
+        };
+        if self.faults.router_failed(src) || self.faults.router_failed(dst) {
             return Err(disconnected);
         }
         if src == dst {
@@ -467,6 +555,33 @@ impl NetModel {
         Ok(self.reserve(&path, bytes, start))
     }
 
+    /// Send `bytes` across the single directed link `u → v` at `start`;
+    /// returns delivery time. The primitive for tree-structured
+    /// collectives whose edges the caller chose (EDST striping): no
+    /// path search, just the link reservation plus per-hop latency.
+    /// Errs with [`MotifError::Disconnected`] when `{u, v}` is not an
+    /// edge of the pristine graph or is currently failed.
+    pub fn send_link(
+        &mut self,
+        u: u32,
+        v: u32,
+        bytes: u64,
+        start: Time,
+    ) -> Result<Time, MotifError> {
+        let disconnected = MotifError::Disconnected {
+            src: u,
+            dst: v,
+            motif: None,
+        };
+        let Some(e) = self.routed.edge_id(u, v) else {
+            return Err(disconnected);
+        };
+        if self.faults.link_failed(u, v) || self.faults.link_failed(v, u) {
+            return Err(disconnected);
+        }
+        Ok(self.reserve(&[e], bytes, start))
+    }
+
     /// Send between ENDPOINTS (ranks map linearly onto endpoints, §10.1).
     pub fn send_endpoints(
         &mut self,
@@ -486,6 +601,11 @@ impl NetModel {
     /// by the collectives to gate a rank's next send.
     pub fn sender_busy(&self, bytes: u64) -> Time {
         ns(self.cfg.overhead_ns) + ns(bytes as f64 / self.cfg.bandwidth_bytes_per_ns)
+    }
+
+    /// The timing parameters this model runs with.
+    pub fn config(&self) -> &MotifConfig {
+        &self.cfg
     }
 
     #[inline]
@@ -676,11 +796,19 @@ mod tests {
         assert!(m.ecmp_path(0, 3).is_none());
         assert_eq!(
             m.send_routers(0, 2, 1000, 0, RoutingMode::Min),
-            Err(MotifError::Disconnected { src: 0, dst: 2 })
+            Err(MotifError::Disconnected {
+                src: 0,
+                dst: 2,
+                motif: None
+            })
         );
         assert_eq!(
             m.send_routers(0, 2, 1000, 0, RoutingMode::Adaptive { candidates: 4 }),
-            Err(MotifError::Disconnected { src: 0, dst: 2 })
+            Err(MotifError::Disconnected {
+                src: 0,
+                dst: 2,
+                motif: None
+            })
         );
         // Connected halves still work.
         assert!(m.send_routers(0, 1, 1000, 0, RoutingMode::Min).is_ok());
@@ -781,6 +909,58 @@ mod tests {
         );
         assert!(!s.is_reachable(0, 3));
         assert_eq!(s.k_paths(0, 1, 4).unwrap(), vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn set_faults_invalidates_cached_parents() {
+        // Regression: a NetModel reused across fault epochs must not
+        // route on parent trees built under the previous mask.
+        let spec = NetworkSpec::uniform("c6", Graph::cycle(6), 1);
+        let mut m = NetModel::new(spec, MotifConfig::default());
+        assert_eq!(m.min_path(0, 1).unwrap().len(), 1); // caches dst 1
+        m.set_faults(polarstar_topo::FaultSet::from_links([(0, 1)]));
+        assert_eq!(
+            m.min_path(0, 1).unwrap().len(),
+            5,
+            "stale parent tree survived the epoch swap"
+        );
+        assert!(!m.faults().is_empty());
+        // Clearing the mask restores the short path.
+        m.set_faults(polarstar_topo::FaultSet::default());
+        assert_eq!(m.min_path(0, 1).unwrap().len(), 1);
+        // Failing a router epoch-wise cuts its traffic off.
+        m.set_faults(polarstar_topo::FaultSet::from_routers([3]));
+        assert!(m.send_routers(0, 3, 1000, 0, RoutingMode::Min).is_err());
+        assert!(m.min_path(2, 4).unwrap().len() == 4);
+    }
+
+    #[test]
+    fn send_link_reserves_one_edge() {
+        let mut m = model();
+        // One hop, no path search: overhead + per-hop + serialization.
+        let t = m.send_link(1, 2, 4000, 0).unwrap();
+        assert_eq!(t, ns(100.0 + 40.0 + 1000.0));
+        assert_eq!(m.link_busy_time(1, 2), ns(1000.0));
+        assert_eq!(m.link_busy_time(2, 1), 0);
+        // Matches send_routers for a single-hop message.
+        let mut m2 = model();
+        let t2 = m2.send_routers(1, 2, 4000, 0, RoutingMode::Min).unwrap();
+        assert_eq!(t, t2);
+        // Contention applies like any other reservation.
+        let t3 = m.send_link(1, 2, 4000, t).unwrap();
+        assert!(t3 > t + ns(1000.0));
+        // Non-edges and failed links are typed errors.
+        assert!(matches!(
+            m.send_link(0, 3, 8, 0),
+            Err(MotifError::Disconnected {
+                src: 0,
+                dst: 3,
+                motif: None
+            })
+        ));
+        m.set_faults(polarstar_topo::FaultSet::from_links([(1, 2)]));
+        assert!(m.send_link(1, 2, 8, 0).is_err());
+        assert!(m.send_link(2, 3, 8, 0).is_ok());
     }
 
     #[test]

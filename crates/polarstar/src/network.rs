@@ -65,6 +65,14 @@ impl PolarStarNetwork {
     pub fn router_id(&self, x: u32, xp: u32) -> u32 {
         x * self.supernode.order() as u32 + xp
     }
+
+    /// Edge-disjoint spanning trees of the router graph, composed from
+    /// the retained factor graphs (Dawkins et al., arXiv 2403.12231)
+    /// with a residual greedy top-up — the substrate for the striped
+    /// multi-tree collectives in `crates/motifs`.
+    pub fn edst_trees(&self) -> Vec<Vec<(u32, u32)>> {
+        polarstar_topo::edst::star_product_edst(self.graph(), &self.er.graph, &self.supernode)
+    }
 }
 
 fn build_supernode(kind: SupernodeKind) -> Result<Supernode, TopoError> {
@@ -125,6 +133,15 @@ mod tests {
             assert_eq!(net.router_id(x, xp), v);
             assert_eq!(net.spec.group[v as usize], x);
         }
+    }
+
+    #[test]
+    fn edst_trees_are_valid_and_plural() {
+        let cfg = best_config(9).unwrap();
+        let net = PolarStarNetwork::build(cfg, 1).unwrap();
+        let trees = net.edst_trees();
+        polarstar_graph::edst::validate_edst(net.graph(), &trees).unwrap();
+        assert!(trees.len() >= 3, "found {}", trees.len());
     }
 
     #[test]

@@ -16,7 +16,9 @@ use crate::mms;
 use crate::network::NetworkSpec;
 use crate::paley;
 use crate::star::star_product;
+use crate::supernode::Supernode;
 use polarstar_gf::primes;
+use polarstar_graph::Graph;
 
 /// Parameters of a Bundlefly network.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -47,9 +49,12 @@ impl BundleflyParams {
     }
 }
 
-/// Build a Bundlefly network. Errs when parameters are infeasible or the
-/// MMS set search fails (large q with δ ≠ 1).
-pub fn bundlefly(params: BundleflyParams) -> Result<NetworkSpec, TopoError> {
+/// The Bundlefly factor graphs: the MMS structure graph and the Paley
+/// supernode (a single-vertex `K1` supernode when `d' = 0`). Exposed so
+/// star-product-aware consumers — notably the EDST composition in
+/// [`crate::edst::star_product_edst`] — can work from the factors the
+/// product was built with.
+pub fn bundlefly_factors(params: BundleflyParams) -> Result<(Graph, Supernode), TopoError> {
     if !params.is_feasible() {
         return Err(TopoError::infeasible(
             "Bundlefly",
@@ -62,10 +67,21 @@ pub fn bundlefly(params: BundleflyParams) -> Result<NetworkSpec, TopoError> {
     let structure = mms::mms_graph(params.q).ok_or_else(|| {
         TopoError::infeasible("Bundlefly", format!("MMS({}) set search failed", params.q))
     })?;
-    let graph = if params.dprime == 0 {
-        structure.clone()
+    let supernode = if params.dprime == 0 {
+        Supernode::new("K1", Graph::empty(1), vec![0])
     } else {
-        let sn = paley::paley_supernode(2 * params.dprime as u64 + 1)?;
+        paley::paley_supernode(2 * params.dprime as u64 + 1)?
+    };
+    Ok((structure, supernode))
+}
+
+/// Build a Bundlefly network. Errs when parameters are infeasible or the
+/// MMS set search fails (large q with δ ≠ 1).
+pub fn bundlefly(params: BundleflyParams) -> Result<NetworkSpec, TopoError> {
+    let (structure, sn) = bundlefly_factors(params)?;
+    let graph = if params.dprime == 0 {
+        structure
+    } else {
         star_product(&structure, &[], &sn)
     };
     let np = 2 * params.dprime + 1;

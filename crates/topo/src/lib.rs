@@ -24,11 +24,16 @@
 //! Every construction returns a [`NetworkSpec`] (router graph + endpoint
 //! placement + group structure) or a plain [`polarstar_graph::Graph`] for
 //! pure factor graphs.
+//!
+//! [`edst`] lifts factor-graph spanning-tree packings to star products
+//! (Dawkins et al., arXiv 2403.12231), backing the striped multi-tree
+//! collectives in `crates/motifs`.
 
 pub mod bdf;
 pub mod bundlefly;
 pub mod classic;
 pub mod dragonfly;
+pub mod edst;
 pub mod er;
 pub mod error;
 pub mod fattree;
