@@ -13,8 +13,10 @@
 //! CSV `topology,routers,trees,motif,bytes_mb,lost,completion_us,slowdown,ideal_slowdown`
 //! — `slowdown` is completion over the topology's pristine striped
 //! time; `ideal_slowdown` (striped rows only) is the bandwidth-loss
-//! bound T/(T−k) — the waterfilled striper should land within 10% of
-//! it; `lost` counts
+//! bound E/(E−k_eff) over the *effective* (byte-earning) trees — a tree
+//! too deep to win a waterfilled chunk carries no bytes, so killing it
+//! costs no bandwidth and it never counts toward the bound. The
+//! waterfilled striper should land within 10% of it; `lost` counts
 //! trees killed at time zero (first edge of each victim fails; the
 //! `striped_bcast_repair` row instead patches the tree via
 //! [`RepairPolicy::Replace`]). Every row is exact-replay deterministic:
@@ -55,8 +57,9 @@ struct Row {
 
 /// A topology's spec and its EDST packing.
 type Built = (NetworkSpec, Vec<Vec<(u32, u32)>>);
-/// One topology's sweep output: rows, spec, tree count.
-type Sweep = (Vec<Row>, NetworkSpec, usize);
+/// One topology's sweep output: rows, spec, tree count, effective
+/// (byte-earning) tree count.
+type Sweep = (Vec<Row>, NetworkSpec, usize, usize);
 
 fn build(key: &str) -> Result<Built, String> {
     if key == "PS-d9" {
@@ -93,6 +96,10 @@ fn sweep_one(key: &str, quick: bool, bytes: u64) -> Result<Sweep, String> {
     let mut rows = Vec::new();
 
     let pristine = bcast(&trees, &FaultEpochs::pristine(), RepairPolicy::None)?;
+    // Trees too deep to earn a waterfilled chunk carry no bytes; they
+    // must not count toward the T/(T−k) bandwidth-loss bound.
+    let effective_mask: Vec<bool> = pristine.delivered_bytes.iter().map(|&b| b > 0).collect();
+    let effective = effective_mask.iter().filter(|&&e| e).count();
     rows.push(Row {
         motif: "striped_bcast",
         lost: 0,
@@ -115,11 +122,16 @@ fn sweep_one(key: &str, quick: bool, bytes: u64) -> Result<Sweep, String> {
         // A killed tree too deep to earn a waterfilled chunk never
         // sends, so its death goes undetected (and costs nothing).
         assert!(out.trees_lost <= k, "{key}: more than {k} dead trees");
+        // The ideal bound is over *effective* trees: killing a zero-byte
+        // tree costs no bandwidth, so only the byte-earning casualties
+        // shrink the stripe.
+        let k_eff = effective_mask.iter().take(k).filter(|&&e| e).count();
         rows.push(Row {
             motif: "striped_bcast",
             lost: k,
             completion_us: out.completion_ns / 1000.0,
-            ideal_slowdown: Some(t as f64 / (t - k) as f64),
+            ideal_slowdown: (effective > k_eff)
+                .then(|| effective as f64 / (effective - k_eff) as f64),
         });
     }
     // Same single-tree kill, but with edge replacement: the tree is
@@ -181,7 +193,7 @@ fn sweep_one(key: &str, quick: bool, bytes: u64) -> Result<Sweep, String> {
             spec.total_endpoints()
         );
     }
-    Ok((rows, spec, t))
+    Ok((rows, spec, t, effective))
 }
 
 fn bench_json_path() -> Option<std::path::PathBuf> {
@@ -212,7 +224,7 @@ fn main() {
     let mut bench_lines: Vec<String> = Vec::new();
     let mut failed = false;
     for (key, res) in keys.iter().zip(results) {
-        let (rows, spec, t) = match res {
+        let (rows, spec, t, effective) = match res {
             Ok(v) => v,
             Err(e) => {
                 eprintln!("edst_sweep: {e}");
@@ -224,6 +236,7 @@ fn main() {
         let mb = bytes as f64 / (1 << 20) as f64;
         let mut manifest = RunManifest::for_network(key, &spec);
         manifest.push_extra("edst_trees", t as f64);
+        manifest.push_extra("effective_trees", effective as f64);
         manifest.push_extra("bytes_mb", mb);
         for r in &rows {
             let slowdown = r.completion_us / pristine_us;
@@ -257,6 +270,9 @@ fn main() {
         }
         bench_lines.push(format!(
             "{{\"group\":\"edst_sweep\",\"bench\":\"{key}/edst_trees\",\"value\":{t},\"unit\":\"trees\"}}"
+        ));
+        bench_lines.push(format!(
+            "{{\"group\":\"edst_sweep\",\"bench\":\"{key}/effective_trees\",\"value\":{effective},\"unit\":\"trees\"}}"
         ));
         if let Some(dir) = metrics_dir() {
             let stem = file_stem(&format!("edst_sweep_{key}"));

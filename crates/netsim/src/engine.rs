@@ -38,10 +38,12 @@
 //! not allocate.
 
 use crate::monitor::{NoopMonitor, ShardableMonitor, SimMonitor, StallCause, WatchdogDiag};
+use crate::negotiate::NegotiatedRoutes;
 use crate::routing::{RouteTable, RoutingKind};
 use crate::traffic::{resolve, Pattern, ResolvedPattern};
 use polarstar_topo::fault::FaultSchedule;
 use polarstar_topo::network::NetworkSpec;
+use polarstar_topo::oracle::PathOracle as _;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::collections::VecDeque;
@@ -106,6 +108,82 @@ pub struct SimConfig {
     /// queue bounds. Panics on violation. `None` (the default) skips it;
     /// it is a debugging/CI tool, not a production-path feature.
     pub invariant_check_every: Option<u64>,
+}
+
+/// A [`SimConfig`] the engine arena cannot represent. Checked by
+/// [`SimConfig::validate`] and at `Ctx` construction (the entry points
+/// panic with this error's message rather than silently corrupting
+/// state).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimConfigError {
+    /// `packet_flits == 0`: zero-length packets would deliver events in
+    /// the same cycle they are sent.
+    ZeroPacketFlits,
+    /// `vcs == 0`: every port needs at least one virtual channel.
+    ZeroVcs,
+    /// The per-VC queue capacity (`buf_flits_per_port / vcs /
+    /// packet_flits` packets) exceeds what the `u16` queue/credit
+    /// arena fields can count — enqueueing would silently wrap.
+    QueueCapacityOverflow {
+        /// The capacity the config implies, in packets per VC.
+        cap_pkts: u32,
+        /// The largest representable capacity.
+        max: u32,
+    },
+    /// `Ugal { candidates }` beyond the fixed scoring scratch.
+    TooManyUgalCandidates { candidates: usize, max: usize },
+}
+
+impl std::fmt::Display for SimConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimConfigError::ZeroPacketFlits => {
+                write!(f, "packet_flits must be >= 1 (zero-length packets would deliver events in the same cycle)")
+            }
+            SimConfigError::ZeroVcs => write!(f, "vcs must be >= 1"),
+            SimConfigError::QueueCapacityOverflow { cap_pkts, max } => write!(
+                f,
+                "per-VC queue capacity of {cap_pkts} packets exceeds the u16 arena limit of {max} \
+                 (shrink buf_flits_per_port or raise vcs/packet_flits)"
+            ),
+            SimConfigError::TooManyUgalCandidates { candidates, max } => {
+                write!(
+                    f,
+                    "Ugal {{ candidates: {candidates} }} exceeds the scoring scratch ({max})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimConfigError {}
+
+impl SimConfig {
+    /// The per-VC input queue capacity this config implies, in packets.
+    pub fn queue_capacity_pkts(&self) -> u32 {
+        (self.buf_flits_per_port / (self.vcs.max(1) as u32) / self.packet_flits.max(1)).max(1)
+    }
+
+    /// Check the arena can represent this config. The queue length,
+    /// head pointer, and credit counters are `u16`, so a per-VC
+    /// capacity ≥ 65 536 packets would silently wrap on enqueue — it
+    /// is rejected here instead.
+    pub fn validate(&self) -> Result<(), SimConfigError> {
+        if self.packet_flits < 1 {
+            return Err(SimConfigError::ZeroPacketFlits);
+        }
+        if self.vcs < 1 {
+            return Err(SimConfigError::ZeroVcs);
+        }
+        let cap_pkts = self.queue_capacity_pkts();
+        if cap_pkts > u16::MAX as u32 {
+            return Err(SimConfigError::QueueCapacityOverflow {
+                cap_pkts,
+                max: u16::MAX as u32,
+            });
+        }
+        Ok(())
+    }
 }
 
 impl Default for SimConfig {
@@ -176,6 +254,9 @@ pub struct SimResult {
 
 const EJECT: u8 = u8::MAX;
 const NO_INTERMEDIATE: u32 = u32::MAX;
+/// `Packet::pair` when the packet's (src, dst) router pair is not part
+/// of the negotiated overlay (or no overlay is attached).
+const NO_PAIR: u32 = u32::MAX;
 /// Largest `Ugal { candidates }` the fixed scoring scratch supports.
 const MAX_UGAL_CANDIDATES: usize = 16;
 
@@ -187,6 +268,10 @@ pub(crate) struct Packet {
     dst_router: u32,
     dst_slot: u16,
     intermediate: u32, // NO_INTERMEDIATE = none
+    /// Index into the negotiated overlay's pair table (NO_PAIR = none):
+    /// lets [`Shard::route_at`] follow the negotiated path without a
+    /// per-hop binary search.
+    pair: u32,
     phase: u8,
     hops: u8,
     cur_port: u8, // routed output at current router (EJECT = ejection)
@@ -201,6 +286,7 @@ impl Packet {
             dst_router: u32::MAX,
             dst_slot: 0,
             intermediate: NO_INTERMEDIATE,
+            pair: NO_PAIR,
             phase: 0,
             hops: 0,
             cur_port: 0,
@@ -276,9 +362,76 @@ pub fn simulate_monitored<M: ShardableMonitor>(
     cfg: &SimConfig,
     monitor: &mut M,
 ) -> SimResult {
+    simulate_overlay_monitored(spec, table, kind, None, pattern, load, cfg, monitor)
+}
+
+/// Simulate with an offline-negotiated route overlay attached
+/// ([`RoutingKind::Negotiated`] forwards along the overlay's per-pair
+/// paths, falling back to the first minimal port when a fault kills a
+/// negotiated hop).
+pub fn simulate_negotiated(
+    spec: &NetworkSpec,
+    table: &RouteTable,
+    neg: &NegotiatedRoutes,
+    pattern: &Pattern,
+    load: f64,
+    cfg: &SimConfig,
+) -> SimResult {
+    simulate_overlay_monitored(
+        spec,
+        table,
+        RoutingKind::Negotiated,
+        Some(neg),
+        pattern,
+        load,
+        cfg,
+        &mut NoopMonitor,
+    )
+}
+
+/// Simulate any routing kind with a negotiated overlay attached: under
+/// [`RoutingKind::Negotiated`] packets follow the overlay's paths; under
+/// every other kind the overlay's accumulated historic congestion costs
+/// are added to [`Shard::port_cost`], so `Ugal` scores its candidates
+/// with offline knowledge of persistent contention (historic-cost-
+/// informed UGAL).
+pub fn simulate_overlay(
+    spec: &NetworkSpec,
+    table: &RouteTable,
+    kind: RoutingKind,
+    neg: &NegotiatedRoutes,
+    pattern: &Pattern,
+    load: f64,
+    cfg: &SimConfig,
+) -> SimResult {
+    simulate_overlay_monitored(
+        spec,
+        table,
+        kind,
+        Some(neg),
+        pattern,
+        load,
+        cfg,
+        &mut NoopMonitor,
+    )
+}
+
+/// [`simulate_monitored`] with an optional negotiated overlay — the
+/// common entry every public `simulate*` front-end delegates to.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_overlay_monitored<M: ShardableMonitor>(
+    spec: &NetworkSpec,
+    table: &RouteTable,
+    kind: RoutingKind,
+    neg: Option<&NegotiatedRoutes>,
+    pattern: &Pattern,
+    load: f64,
+    cfg: &SimConfig,
+    monitor: &mut M,
+) -> SimResult {
     assert!((0.0..=1.0).contains(&load));
     let resolved = resolve(pattern, spec, crate::traffic::engine_resolve_seed(cfg.seed));
-    let ctx = Ctx::new(spec, table, kind, resolved, load, cfg.clone());
+    let ctx = Ctx::new(spec, table, kind, neg, resolved, load, cfg.clone());
     monitor.on_run_start(spec, &ctx.cfg);
     let sample_every = monitor.sample_interval();
     let (stats, cycles) = if ctx.shards() == 1 {
@@ -290,12 +443,99 @@ pub fn simulate_monitored<M: ShardableMonitor>(
     ctx.finalize(stats)
 }
 
+/// Precomputed per-run view of a [`NegotiatedRoutes`] table: the pair
+/// list for injection-time lookup, each pair's hop sequence flattened
+/// to (router, port) steps, and the historic congestion costs scaled
+/// into [`Shard::port_cost`] units.
+pub(crate) struct NegotiatedOverlay {
+    /// Sorted (src, dst) router pairs of the negotiated matrix.
+    pairs: Vec<(u32, u32)>,
+    /// CSR offsets into `hop_router`/`hop_port` per pair.
+    hop_off: Vec<u32>,
+    /// Router each hop leaves from.
+    hop_router: Vec<u32>,
+    /// Output port taken at that router.
+    hop_port: Vec<u8>,
+    /// Historic congestion cost per directed output port
+    /// (`deg_off`-indexed), in `port_cost` units (flit-cycles).
+    hist_port: Vec<u64>,
+}
+
+impl NegotiatedOverlay {
+    fn build(spec: &NetworkSpec, neg: &NegotiatedRoutes, cfg: &SimConfig) -> NegotiatedOverlay {
+        let n = spec.graph.n();
+        assert_eq!(
+            neg.num_routers(),
+            n,
+            "negotiated routes built for a different graph"
+        );
+        let mut hop_off = Vec::with_capacity(neg.num_pairs() + 1);
+        hop_off.push(0u32);
+        let mut hop_router = Vec::new();
+        let mut hop_port = Vec::new();
+        for i in 0..neg.num_pairs() {
+            for w in neg.path_of(i).windows(2) {
+                let port = spec
+                    .graph
+                    .neighbors(w[0])
+                    .binary_search(&w[1])
+                    .expect("negotiated path hop is not a graph edge");
+                hop_router.push(w[0]);
+                hop_port.push(port as u8);
+            }
+            hop_off.push(hop_router.len() as u32);
+        }
+        // Historic costs are unit-less multiples of the base path cost;
+        // scale by packet_flits so one unit matches one buffered packet
+        // in the credit-occupancy proxy.
+        let links = neg.net_links() as u32;
+        let hist_port: Vec<u64> = (0..links)
+            .map(|e| (neg.historic_cost(e) * cfg.packet_flits as f64).round() as u64)
+            .collect();
+        NegotiatedOverlay {
+            pairs: neg.pairs().to_vec(),
+            hop_off,
+            hop_router,
+            hop_port,
+            hist_port,
+        }
+    }
+
+    /// Overlay pair index of (src, dst), or NO_PAIR.
+    #[inline]
+    fn pair_index(&self, src: u32, dst: u32) -> u32 {
+        match self.pairs.binary_search(&(src, dst)) {
+            Ok(i) => i as u32,
+            Err(_) => NO_PAIR,
+        }
+    }
+
+    /// The negotiated output port at router `r` for overlay pair `pair`
+    /// (None when off-path — e.g. after a fault-epoch re-route).
+    #[inline]
+    fn port_after(&self, pair: u32, r: u32) -> Option<u8> {
+        if pair == NO_PAIR {
+            return None;
+        }
+        let lo = self.hop_off[pair as usize] as usize;
+        let hi = self.hop_off[pair as usize + 1] as usize;
+        self.hop_router[lo..hi]
+            .iter()
+            .position(|&h| h == r)
+            .map(|i| self.hop_port[lo + i])
+    }
+}
+
 /// Immutable per-run state shared by every shard: the topology, routing
 /// table, resolved traffic, config, and the precomputed flat index maps
 /// (degree/endpoint prefix sums, reverse-port CSR, shard boundaries).
 pub(crate) struct Ctx<'a> {
     table: &'a RouteTable,
     kind: RoutingKind,
+    /// Negotiated route overlay: required for
+    /// [`RoutingKind::Negotiated`]; under any other kind its historic
+    /// costs feed [`Shard::port_cost`] (historic-informed UGAL).
+    negotiated: Option<NegotiatedOverlay>,
     pattern: ResolvedPattern,
     /// Endpoints that transmit under the pattern (self-maps are idle).
     active_src: Vec<bool>,
@@ -346,20 +586,33 @@ impl<'a> Ctx<'a> {
         spec: &'a NetworkSpec,
         table: &'a RouteTable,
         kind: RoutingKind,
+        neg: Option<&NegotiatedRoutes>,
         pattern: ResolvedPattern,
         load: f64,
         cfg: SimConfig,
     ) -> Self {
         let n = spec.graph.n();
         assert_eq!(table.n(), n, "route table built for a different graph");
-        assert!(
-            cfg.packet_flits >= 1,
-            "zero-length packets would deliver events in the same cycle"
-        );
-        assert!(cfg.vcs >= 1);
-        if let RoutingKind::Ugal { candidates } = kind {
-            assert!(candidates <= MAX_UGAL_CANDIDATES);
+        if let Err(e) = cfg.validate() {
+            panic!("{e}");
         }
+        if let RoutingKind::Ugal { candidates } = kind {
+            if candidates > MAX_UGAL_CANDIDATES {
+                panic!(
+                    "{}",
+                    SimConfigError::TooManyUgalCandidates {
+                        candidates,
+                        max: MAX_UGAL_CANDIDATES,
+                    }
+                );
+            }
+        }
+        assert!(
+            kind != RoutingKind::Negotiated || neg.is_some(),
+            "RoutingKind::Negotiated requires a NegotiatedRoutes overlay \
+             (use simulate_negotiated)"
+        );
+        let negotiated = neg.map(|nr| NegotiatedOverlay::build(spec, nr, &cfg));
         let mut deg_off = Vec::with_capacity(n + 1);
         deg_off.push(0u32);
         for r in 0..n as u32 {
@@ -442,12 +695,14 @@ impl<'a> Ctx<'a> {
             })
             .collect();
         let shard_starts = partition_starts(&weights, threads);
-        let cap_pkts = (cfg.buf_flits_per_port / cfg.vcs as u32 / cfg.packet_flits).max(1);
+        // Validated above to fit the u16 queue/credit arena fields.
+        let cap_pkts = cfg.queue_capacity_pkts();
         let wheel_len = (cfg.packet_flits + cfg.link_latency + 2) as usize;
         let end_measure = cfg.warmup_cycles + cfg.measure_cycles;
         Ctx {
             table,
             kind,
+            negotiated,
             pattern,
             active_src,
             active_eps,
@@ -677,7 +932,7 @@ impl ShardStats {
     }
 }
 
-fn splitmix64(mut x: u64) -> u64 {
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e3779b97f4a7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
@@ -1054,12 +1309,19 @@ impl Shard {
             }
             _ => NO_INTERMEDIATE,
         };
+        let pair = match &ctx.negotiated {
+            Some(ov) if ctx.kind == RoutingKind::Negotiated => {
+                ov.pair_index(src_router, dst_router)
+            }
+            _ => NO_PAIR,
+        };
         // The packet is materialized only now, after the candidate
         // comparison settled on a path.
         let mut p = Packet {
             dst_router,
             dst_slot,
             intermediate,
+            pair,
             phase: 0,
             hops: 0,
             cur_port: 0,
@@ -1121,6 +1383,21 @@ impl Shard {
         }
         p.cur_port = match ctx.kind {
             RoutingKind::MinSingle => ports[0],
+            RoutingKind::Negotiated => {
+                // Follow the negotiated path while on it; fall back to
+                // the first minimal port when the packet is off-path or
+                // the negotiated hop died in this routing epoch (the
+                // per-epoch re-route keeps fault runs live).
+                let re = self.route_epoch(ctx);
+                let ov = ctx.negotiated.as_ref().expect("checked at Ctx::new");
+                match ov
+                    .port_after(p.pair, r)
+                    .filter(|&port| !ctx.port_dead(re, r, port as usize))
+                {
+                    Some(port) => port,
+                    None => ports[0],
+                }
+            }
             RoutingKind::MinMulti | RoutingKind::Valiant | RoutingKind::Ugal { .. } => {
                 if ports.len() == 1 {
                     ports[0]
@@ -1157,7 +1434,15 @@ impl Shard {
         let max_cap = ctx.cfg.buf_flits_per_port / ctx.cfg.packet_flits;
         let consumed = max_cap.saturating_sub(cap) as u64;
         let busy = self.out_busy[self.poff[lr] + port].saturating_sub(now);
-        consumed * ctx.cfg.packet_flits as u64 + busy
+        // With a negotiated overlay attached, persistent offline
+        // contention (historic cost) prices the port too — UGAL's
+        // candidate scoring then avoids links the negotiation kept
+        // finding overused.
+        let hist = match &ctx.negotiated {
+            Some(ov) => ov.hist_port[ctx.deg_off[r as usize] as usize + port],
+            None => 0,
+        };
+        consumed * ctx.cfg.packet_flits as u64 + busy + hist
     }
 
     /// UGAL-L decision at injection (§9.3): min path vs the best of k
@@ -1842,6 +2127,103 @@ mod tests {
 
     fn k8_spec() -> NetworkSpec {
         NetworkSpec::uniform("k8", Graph::complete(8), 2)
+    }
+
+    #[test]
+    fn config_validation_catches_u16_queue_overflow() {
+        // 2^23 flits / 1 vc / 1 flit-per-packet = 2^23 packets per VC —
+        // far past what the u16 queue/credit arena fields can count.
+        let cfg = SimConfig {
+            packet_flits: 1,
+            vcs: 1,
+            buf_flits_per_port: 1 << 23,
+            ..SimConfig::default()
+        };
+        assert_eq!(
+            cfg.validate(),
+            Err(SimConfigError::QueueCapacityOverflow {
+                cap_pkts: 1 << 23,
+                max: u16::MAX as u32,
+            })
+        );
+        assert_eq!(
+            SimConfig {
+                packet_flits: 0,
+                ..SimConfig::default()
+            }
+            .validate(),
+            Err(SimConfigError::ZeroPacketFlits)
+        );
+        assert_eq!(
+            SimConfig {
+                vcs: 0,
+                ..SimConfig::default()
+            }
+            .validate(),
+            Err(SimConfigError::ZeroVcs)
+        );
+        assert_eq!(SimConfig::default().validate(), Ok(()));
+        // The largest representable capacity passes.
+        let edge = SimConfig {
+            packet_flits: 1,
+            vcs: 1,
+            buf_flits_per_port: u16::MAX as u32,
+            ..SimConfig::default()
+        };
+        assert_eq!(edge.validate(), Ok(()));
+        assert_eq!(edge.queue_capacity_pkts(), u16::MAX as u32);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the u16 arena limit")]
+    fn engine_rejects_overflowing_queue_capacity() {
+        let spec = k8_spec();
+        let table = RouteTable::builder(&spec.graph).build();
+        let cfg = SimConfig {
+            packet_flits: 1,
+            vcs: 1,
+            buf_flits_per_port: 1 << 23,
+            ..small_cfg(1)
+        };
+        let _ = simulate(
+            &spec,
+            &table,
+            RoutingKind::MinSingle,
+            &Pattern::Uniform,
+            0.1,
+            &cfg,
+        );
+    }
+
+    #[test]
+    fn negotiated_routing_delivers_and_follows_paths() {
+        use crate::flow::{FlowPlan, FlowRouting, TrafficComponent};
+        use crate::negotiate::{NegotiateConfig, NegotiatedRoutes};
+
+        let spec = k8_spec();
+        let table = RouteTable::builder(&spec.graph).build();
+        let cfg = small_cfg(3);
+        let comps = [TrafficComponent::new(
+            Pattern::Permutation,
+            crate::traffic::engine_resolve_seed(cfg.seed),
+        )];
+        let plan = FlowPlan::build(&spec, &table, &comps, FlowRouting::EcmpSplit);
+        let neg = NegotiatedRoutes::negotiate(&spec, &table, &plan, &NegotiateConfig::default());
+        assert!(neg.converged());
+        let r = simulate_negotiated(&spec, &table, &neg, &Pattern::Permutation, 0.3, &cfg);
+        assert!(r.stable, "K8 permutation at 30% under NEG: {r:?}");
+        assert!(r.delivered_fraction > 0.999);
+        // On K8 every negotiated path is the single-hop minimal one, so
+        // NEG must agree with MinSingle exactly (same RNG draw order).
+        let min = simulate(
+            &spec,
+            &table,
+            RoutingKind::MinSingle,
+            &Pattern::Permutation,
+            0.3,
+            &cfg,
+        );
+        assert_eq!(r, min);
     }
 
     #[test]

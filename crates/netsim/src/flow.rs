@@ -815,15 +815,27 @@ impl FlowNetwork {
 
     /// The exact offered load at which the most-loaded link reaches
     /// capacity — the fluid saturation point. Demands are met iff
-    /// `offered ≤ saturation_load()` (capped at 1.0: injection links
-    /// saturate at unit demand by construction under unit weights).
+    /// `offered ≤ saturation_load()`. Delegates to
+    /// [`crate::stats::fluid_onset`] — the shared onset definition the
+    /// cycle engine's empirical estimator is cross-validated against.
     pub fn saturation_load(&self) -> f64 {
-        let max = self.unit_load.iter().copied().fold(0.0, f64::max);
-        if max <= 1.0 {
-            1.0
-        } else {
-            1.0 / max
-        }
+        crate::stats::fluid_onset(self.max_unit_load())
+    }
+
+    /// Highest per-unit-offered-load weighted demand over all links
+    /// (NIC links included).
+    pub fn max_unit_load(&self) -> f64 {
+        self.unit_load.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Highest per-unit-offered-load weighted demand over directed
+    /// router-router links only — comparable to
+    /// [`crate::negotiate::NegotiatedRoutes::max_link_load`].
+    pub fn max_net_unit_load(&self) -> f64 {
+        self.unit_load[..self.net_links]
+            .iter()
+            .copied()
+            .fold(0.0, f64::max)
     }
 
     /// Resident bytes of the routed flow state (both incidence CSRs and

@@ -44,17 +44,24 @@
 //!   endpoint scale studies the cycle loop cannot reach;
 //! * [`monitor`] — observability hooks: link utilization, VC occupancy,
 //!   stall causes, latency histograms (zero-cost when unused);
+//! * [`negotiate`] — offline PathFinder-style congestion-negotiated
+//!   routing: per-pair assignments minimizing max link load, consumable
+//!   by both the flow solver and the cycle engine;
 //! * [`stats`] — load sweeps, saturation detection, latency summaries.
 
 pub mod engine;
 pub mod flow;
 pub mod monitor;
+pub mod negotiate;
 pub mod routing;
 mod sharded;
 pub mod stats;
 pub mod traffic;
 
-pub use engine::{simulate, simulate_monitored, FaultResponse, SimConfig, SimResult};
+pub use engine::{
+    simulate, simulate_monitored, simulate_negotiated, simulate_overlay,
+    simulate_overlay_monitored, FaultResponse, SimConfig, SimConfigError, SimResult,
+};
 pub use flow::{
     FlowDemand, FlowNetwork, FlowPlan, FlowResult, FlowRouting, PlannedFlow, TrafficComponent,
 };
@@ -62,5 +69,7 @@ pub use monitor::{
     MetricsMonitor, MetricsReport, NoopMonitor, PairMonitor, ShardableMonitor, SimMonitor,
     StallCause, TransientMonitor, WatchdogDiag,
 };
+pub use negotiate::{NegotiateConfig, NegotiatedRoutes};
 pub use routing::{RouteTable, RouteTableBuilder, RoutingKind};
+pub use stats::{fluid_onset, highest_stable_offered};
 pub use traffic::Pattern;

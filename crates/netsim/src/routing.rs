@@ -33,6 +33,12 @@ pub enum RoutingKind {
         /// Number of Valiant candidates sampled at injection.
         candidates: usize,
     },
+    /// Follow an offline congestion-negotiated per-pair assignment
+    /// ([`crate::negotiate::NegotiatedRoutes`]). Requires the overlay —
+    /// use [`crate::engine::simulate_negotiated`]. Packets off the
+    /// negotiated path (or whose negotiated hop died in the current
+    /// fault epoch) fall back to the first minimal port.
+    Negotiated,
 }
 
 impl RoutingKind {
@@ -47,6 +53,7 @@ impl RoutingKind {
             RoutingKind::MinSingle | RoutingKind::MinMulti => "MIN",
             RoutingKind::Valiant => "VAL",
             RoutingKind::Ugal { .. } => "UGAL",
+            RoutingKind::Negotiated => "NEG",
         }
     }
 }
@@ -200,7 +207,9 @@ impl RouteTable {
         let csr = (self.nbr_offsets.clone(), self.nbrs.clone());
         let degraded = faults.degraded_graph(&spec.graph);
         match spec.routing_policy() {
-            RoutingPolicy::FlatMinimal => {
+            // A negotiated spec's base table is the flat minimal one —
+            // the negotiated overlay rides on top of it.
+            RoutingPolicy::FlatMinimal | RoutingPolicy::Negotiated => {
                 let dists: Vec<Vec<u32>> = (0..n as u32)
                     .into_par_iter()
                     .map(|dst| polarstar_graph::traversal::bfs_distances(&degraded, dst))
@@ -463,7 +472,9 @@ impl<'a> RouteTableBuilder<'a> {
     pub fn build(self) -> RouteTable {
         let masked = self.faults.filter(|f| !f.is_empty());
         match self.policy {
-            RoutingPolicy::FlatMinimal => match masked {
+            // The negotiated overlay consults a flat minimal base table
+            // (for fallback ports and reachability); build that.
+            RoutingPolicy::FlatMinimal | RoutingPolicy::Negotiated => match masked {
                 Some(f) => RouteTable::new_masked(self.graph, f),
                 None => RouteTable::new(self.graph),
             },

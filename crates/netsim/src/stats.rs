@@ -14,6 +14,38 @@ use crate::traffic::Pattern;
 use polarstar_topo::network::NetworkSpec;
 use rayon::prelude::*;
 
+/// The repo's single saturation-onset contract — "the highest offered
+/// load the network carries in full" — with one estimator per model:
+///
+/// * [`fluid_onset`] answers it exactly from the flow model's per-link
+///   unit loads: the most-loaded link reaches capacity at offered load
+///   `1 / max_unit_load` (capped at 1.0 — injection links saturate at
+///   unit demand by construction under unit weights).
+/// * [`highest_stable_offered`] answers it empirically from cycle-engine
+///   sweep points: the largest offered load whose run stayed stable.
+///
+/// `flow_sweep` cross-validates the two (at the θ=0.97 throughput-
+/// saturation definition); keeping both behind these helpers is what
+/// stops the onset definition from drifting between the models.
+pub fn fluid_onset(max_unit_load: f64) -> f64 {
+    if max_unit_load <= 1.0 {
+        1.0
+    } else {
+        1.0 / max_unit_load
+    }
+}
+
+/// Empirical half of the saturation-onset contract (see
+/// [`fluid_onset`]): the highest offered load among `points` whose run
+/// stayed stable.
+pub fn highest_stable_offered<'a, I: IntoIterator<Item = &'a SimResult>>(points: I) -> f64 {
+    points
+        .into_iter()
+        .filter(|p| p.stable)
+        .map(|p| p.offered)
+        .fold(0.0, f64::max)
+}
+
 /// One figure series: latency and throughput across offered loads.
 #[derive(Clone, Debug)]
 pub struct LoadSweep {
@@ -28,13 +60,10 @@ pub struct LoadSweep {
 impl LoadSweep {
     /// Highest offered load whose run stayed stable (the paper plots
     /// latency "up to the highest injection rate for which simulation is
-    /// stable").
+    /// stable"). Delegates to [`highest_stable_offered`] — the shared
+    /// onset definition.
     pub fn saturation_load(&self) -> f64 {
-        self.points
-            .iter()
-            .filter(|p| p.stable)
-            .map(|p| p.offered)
-            .fold(0.0, f64::max)
+        highest_stable_offered(&self.points)
     }
 
     /// Points up to and including saturation (what Fig. 9 plots).

@@ -83,6 +83,69 @@ fn polarstar_ugal_identical_across_thread_counts() {
     assert_thread_invariant(&polarstar_spec(), RoutingKind::ugal4(), 0.3);
 }
 
+/// Negotiated routing keeps the contract end to end: the offline
+/// negotiation is a pure function of (seed, iteration) and the engine
+/// following its table — plus UGAL priced with its historic costs —
+/// stays bit-identical at every thread count.
+#[test]
+fn er5_negotiated_identical_across_thread_counts() {
+    use polarstar_netsim::flow::{FlowPlan, FlowRouting, TrafficComponent};
+    use polarstar_netsim::traffic::engine_resolve_seed;
+    use polarstar_netsim::{
+        simulate_negotiated, simulate_overlay, NegotiateConfig, NegotiatedRoutes,
+    };
+
+    let spec = er5_spec();
+    let table = RouteTable::for_spec(&spec);
+    let comps = [TrafficComponent::new(
+        Pattern::Permutation,
+        engine_resolve_seed(77),
+    )];
+    let plan = FlowPlan::build(&spec, &table, &comps, FlowRouting::EcmpSplit);
+    let ncfg = NegotiateConfig {
+        seed: 77,
+        ..NegotiateConfig::default()
+    };
+    let neg = NegotiatedRoutes::negotiate(&spec, &table, &plan, &ncfg);
+    assert_eq!(
+        neg,
+        NegotiatedRoutes::negotiate(&spec, &table, &plan, &ncfg),
+        "negotiation rebuild diverges"
+    );
+    let neg_base = simulate_negotiated(&spec, &table, &neg, &Pattern::Permutation, 0.3, &cfg(None));
+    assert!(neg_base.measured_ejected > 0, "{neg_base:?}");
+    let hist_base = simulate_overlay(
+        &spec,
+        &table,
+        RoutingKind::ugal4(),
+        &neg,
+        &Pattern::Permutation,
+        0.3,
+        &cfg(None),
+    );
+    for threads in [1usize, 2, 4] {
+        let neg_t = simulate_negotiated(
+            &spec,
+            &table,
+            &neg,
+            &Pattern::Permutation,
+            0.3,
+            &cfg(Some(threads)),
+        );
+        assert_eq!(neg_base, neg_t, "NEG diverges at threads={threads}");
+        let hist_t = simulate_overlay(
+            &spec,
+            &table,
+            RoutingKind::ugal4(),
+            &neg,
+            &Pattern::Permutation,
+            0.3,
+            &cfg(Some(threads)),
+        );
+        assert_eq!(hist_base, hist_t, "UGAL-H diverges at threads={threads}");
+    }
+}
+
 /// A fault-degraded network must keep the same contract: masked route
 /// tables and rerouted traffic stay bit-identical across thread counts.
 #[test]

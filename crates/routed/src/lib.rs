@@ -36,4 +36,7 @@ pub mod swap;
 pub use analytic::AnalyticOracle;
 pub use batch::{Query, QueryBatch, RouteAnswer};
 pub use oracle::{ClassProfile, Oracle, PairCensus, SymmetryClasses};
+// Negotiated routing rides on the serving layer: `Oracle::negotiate`
+// produces one from any backend (see `polarstar_netsim::negotiate`).
+pub use polarstar_netsim::{NegotiateConfig, NegotiatedRoutes};
 pub use swap::EpochSwapper;

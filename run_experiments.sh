@@ -27,6 +27,7 @@ run ablation_channel_load
 run fault_sweep
 run fault_recovery
 run edst_sweep --metrics-dir metrics/ --bench-json BENCH_edst.json
+run negotiate_sweep --metrics-dir metrics/ --bench-json BENCH_negotiate.json
 run route_query
 "$B/route_query" --oracle analytic --metrics-dir metrics/ \
   > results/route_query_analytic.csv 2> results/route_query_analytic.log
